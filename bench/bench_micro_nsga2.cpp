@@ -1,0 +1,68 @@
+// Micro-benchmark: NSGA-II scheduling-core throughput. Supports the §7
+// complexity claim that one Eq. 1 evaluation is O(N) in the number of jobs
+// and independent of the number of QPUs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "moo/nsga2.hpp"
+#include "sched/problem.hpp"
+
+namespace {
+
+using namespace qon;
+
+sched::SchedulingInput make_input(std::size_t jobs, std::size_t qpus) {
+  Rng rng(3);
+  sched::SchedulingInput input;
+  for (std::size_t q = 0; q < qpus; ++q) {
+    input.qpus.push_back({"q" + std::to_string(q), 27, rng.uniform(0.0, 500.0), true});
+  }
+  for (std::size_t j = 0; j < jobs; ++j) {
+    sched::QuantumJob job;
+    job.id = j;
+    job.qubits = static_cast<int>(rng.uniform_int(2, 24));
+    for (std::size_t q = 0; q < qpus; ++q) {
+      job.est_fidelity.push_back(rng.uniform(0.2, 0.95));
+      job.est_exec_seconds.push_back(rng.uniform(1.0, 10.0));
+    }
+    input.jobs.push_back(std::move(job));
+  }
+  return input;
+}
+
+void BM_Eq1Evaluation(benchmark::State& state) {
+  const auto input = make_input(static_cast<std::size_t>(state.range(0)), 8);
+  const sched::SchedulingProblem problem(input);
+  Rng rng(5);
+  std::vector<int> genome(input.jobs.size());
+  for (auto& g : genome) g = static_cast<int>(rng.uniform_int(0, 7));
+  problem.repair(genome);
+  std::vector<double> objectives;
+  for (auto _ : state) {
+    problem.evaluate(genome, objectives);
+    benchmark::DoNotOptimize(objectives.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK(BM_Eq1Evaluation)->RangeMultiplier(2)->Range(32, 512)->Complexity(benchmark::oN);
+
+void BM_Nsga2FullRun(benchmark::State& state) {
+  const auto input = make_input(static_cast<std::size_t>(state.range(0)), 8);
+  const sched::SchedulingProblem problem(input);
+  moo::Nsga2Config config;
+  config.population_size = 48;
+  config.max_generations = 32;
+  config.seed = 11;
+  for (auto _ : state) {
+    const auto result = moo::nsga2(problem, config);
+    benchmark::DoNotOptimize(result.front.data());
+  }
+}
+
+BENCHMARK(BM_Nsga2FullRun)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Micro-benchmark: state-vector simulator gate throughput by register width
+// and full noisy-trajectory execution, sizing the substrate behind the
+// Fig. 2a/2b experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/library.hpp"
+#include "qpu/fleet.hpp"
+#include "simulator/noise.hpp"
+#include "simulator/statevector.hpp"
+#include "transpiler/transpiler.hpp"
+
+namespace {
+
+using namespace qon;
+
+void BM_GateApplication(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  sim::StateVector sv(width);
+  const auto h = sim::gate_unitary_1q(circuit::GateKind::kH, 0.0);
+  const auto cx = sim::gate_unitary_2q(circuit::GateKind::kCX, 0.0);
+  int q = 0;
+  for (auto _ : state) {
+    sv.apply_unitary_1q(q, h);
+    sv.apply_unitary_2q(q, (q + 1) % width, cx);
+    q = (q + 1) % (width - 1);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+BENCHMARK(BM_GateApplication)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_IdealDistributionGhz(benchmark::State& state) {
+  const auto circ = circuit::ghz(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto dist = sim::ideal_distribution(circ);
+    benchmark::DoNotOptimize(&dist);
+  }
+}
+
+BENCHMARK(BM_IdealDistributionGhz)->Arg(8)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_NoisyTrajectories(benchmark::State& state) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 5);
+  const auto& backend = *fleet.backends[0];
+  const auto t = transpiler::transpile(circuit::ghz(static_cast<int>(state.range(0))), backend);
+  Rng rng(7);
+  sim::TrajectoryOptions opts;
+  opts.trajectories = 16;
+  for (auto _ : state) {
+    const auto counts =
+        sim::run_noisy(t.circuit, backend, 1000, rng, sim::HiddenNoise::none(), opts);
+    benchmark::DoNotOptimize(&counts);
+  }
+}
+
+BENCHMARK(BM_NoisyTrajectories)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_Transpile(benchmark::State& state) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 9);
+  const auto& backend = *fleet.backends[0];
+  const auto circ = circuit::qft(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto result = transpiler::transpile(circ, backend);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+
+BENCHMARK(BM_Transpile)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table 1 — IBM Cloud pricing: $/task and $/hour per resource type, plus
+// derived per-job cost examples showing the two-orders-of-magnitude gap
+// between high-end VM hours and QPU hours that motivates Key Idea #2.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "estimator/pricing.hpp"
+
+int main() {
+  using namespace qon;
+  using estimator::PriceTable;
+  using estimator::ResourceClass;
+
+  bench::print_header("Table 1", "IBM Cloud pricing (model defaults within paper ranges)");
+
+  const PriceTable prices;
+  TextTable table({"Resource Type", "Price/Task", "Price/Hour"});
+  table.add_row({"Standard VM", "$" + TextTable::num(prices.standard_vm_per_task, 2),
+                 "$" + TextTable::num(prices.standard_vm_per_hour, 2)});
+  table.add_row({"High-end VM", "$" + TextTable::num(prices.highend_vm_per_task, 2),
+                 "$" + TextTable::num(prices.highend_vm_per_hour, 2)});
+  table.add_row({"QPU", "$" + TextTable::num(prices.qpu_per_task, 2),
+                 "$" + TextTable::num(prices.qpu_per_hour, 2)});
+  table.print(std::cout, "Table 1: pricing");
+
+  const double ratio = prices.qpu_per_hour / prices.highend_vm_per_hour;
+  bench::print_comparison("QPU-hour / high-end-VM-hour",
+                          "two orders of magnitude ('even high-end VM-hours cost two orders "
+                          "of magnitude less than QPU-hours')",
+                          TextTable::num(ratio, 0) + "x");
+
+  // Derived per-job examples: 10 s of QPU + 60 s of classical post-processing.
+  TextTable jobs({"job profile", "cost"});
+  jobs.add_row({"10s QPU + 60s standard VM",
+                "$" + TextTable::num(estimator::job_cost_dollars(
+                          10.0, 60.0, mitigation::Accelerator::kCpu, prices), 3)});
+  jobs.add_row({"10s QPU + 60s GPU (high-end VM)",
+                "$" + TextTable::num(estimator::job_cost_dollars(
+                          10.0, 60.0, mitigation::Accelerator::kGpu, prices), 3)});
+  jobs.print(std::cout, "derived job costs");
+  return 0;
+}

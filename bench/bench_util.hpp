@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the figure/table reproduction harnesses: consistent
+// headers and "paper vs measured" comparison rows, so bench output can be
+// diffed against EXPERIMENTS.md.
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace qon::bench {
+
+inline void print_header(const std::string& experiment, const std::string& description) {
+  std::cout << "\n################################################################\n"
+            << "# " << experiment << "\n"
+            << "# " << description << "\n"
+            << "################################################################\n";
+}
+
+/// One "paper reports X, we measure Y" comparison line.
+inline void print_comparison(const std::string& metric, const std::string& paper,
+                             const std::string& measured) {
+  TextTable t({"metric", "paper", "measured"});
+  t.add_row({metric, paper, measured});
+  t.print(std::cout);
+}
+
+inline std::string pct(double fraction, int precision = 1) {
+  return TextTable::num(100.0 * fraction, precision) + "%";
+}
+
+}  // namespace qon::bench

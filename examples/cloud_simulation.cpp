@@ -1,0 +1,48 @@
+// Cloud-operator view: run the discrete-event cloud simulation under all
+// three scheduling policies and compare fleet-level metrics — the §8.3
+// experiment at example scale.
+
+#include <iostream>
+
+#include "cloudsim/metrics.hpp"
+#include "cloudsim/simulation.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace qon;
+  using namespace qon::cloudsim;
+
+  TextTable table({"policy", "apps", "mean fidelity", "mean JCT [s]", "utilization",
+                   "max QPU share"});
+  for (const auto policy : {SchedulingPolicy::kQonductor, SchedulingPolicy::kBestFidelityFcfs,
+                            SchedulingPolicy::kLeastBusy}) {
+    CloudSimConfig config;
+    config.policy = policy;
+    config.num_qpus = 4;
+    config.seed = 11;
+    config.workload.jobs_per_hour = 900.0;
+    config.workload.duration_hours = 0.25;
+    config.workload.seed = 11;
+    config.queue_trigger = 25;
+    config.timer_trigger_seconds = 60.0;
+    const auto result = run_cloud_simulation(config);
+
+    double total_busy = 0.0;
+    double max_busy = 0.0;
+    for (double b : result.qpu_busy_seconds) {
+      total_busy += b;
+      max_busy = std::max(max_busy, b);
+    }
+    table.add_row({policy_name(policy), std::to_string(result.apps.size()),
+                   TextTable::num(result.mean_fidelity(), 3),
+                   TextTable::num(result.mean_jct(), 1),
+                   TextTable::num(100.0 * result.mean_utilization(), 1) + "%",
+                   TextTable::num(100.0 * max_busy / std::max(total_busy, 1e-9), 1) + "%"});
+  }
+  table.print(std::cout, "15 simulated minutes @ 900 jobs/h on 4 QPUs");
+
+  std::cout << "\nReading: Qonductor balances load (low max-QPU share) and cuts JCTs;\n"
+               "best-fidelity FCFS concentrates on one hotspot; least-busy spreads\n"
+               "load but ignores fidelity.\n";
+  return 0;
+}

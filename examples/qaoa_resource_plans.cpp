@@ -1,0 +1,61 @@
+// Resource-plan exploration (§6): ask the resource estimator for costed
+// execution options for a QAOA circuit, inspect the fidelity/runtime/cost
+// tradeoffs, pick the balanced plan, and run the workflow with its
+// mitigation stack — the workflow of a cost-conscious cloud user.
+
+#include <iostream>
+
+#include "circuit/library.hpp"
+#include "common/table.hpp"
+#include "core/orchestrator.hpp"
+
+int main() {
+  using namespace qon;
+
+  core::QonductorConfig config;
+  config.num_qpus = 4;
+  config.seed = 21;
+  core::Qonductor qonductor(config);
+
+  const auto circ = circuit::qaoa_maxcut(12, 2, 5);
+  std::cout << "circuit: " << circ.name() << ", " << circ.num_qubits() << " qubits, depth "
+            << circ.depth() << ", " << circ.two_qubit_gate_count() << " two-qubit gates\n\n";
+
+  // --- request plans ----------------------------------------------------------
+  const auto plans = qonductor.estimateResources(circ);
+  TextTable table({"plan", "accelerator", "est fidelity", "est runtime [s]", "est cost [$]"});
+  for (const auto& plan : plans.recommended) {
+    table.add_row({plan.spec.to_string(), mitigation::accelerator_name(plan.accelerator),
+                   TextTable::num(plan.est_fidelity, 3),
+                   TextTable::num(plan.est_total_seconds, 1),
+                   TextTable::num(plan.est_cost_dollars, 2)});
+  }
+  table.print(std::cout, "recommended resource plans (fast / balanced / faithful)");
+
+  // --- choose the balanced plan (middle recommendation) and execute -----------
+  const auto& chosen = plans.recommended[plans.recommended.size() / 2];
+  std::cout << "\nchosen plan: " << chosen.spec.to_string() << " on "
+            << mitigation::accelerator_name(chosen.accelerator) << "\n\n";
+
+  std::vector<workflow::HybridTask> tasks;
+  auto quantum = workflow::HybridTask::quantum("qaoa", circ, 4000, chosen.spec);
+  quantum.accelerator = chosen.accelerator;
+  tasks.push_back(std::move(quantum));
+  if (!chosen.spec.stack.empty()) {
+    tasks.push_back(workflow::HybridTask::classical(
+        "post-process", chosen.est_classical_seconds, chosen.accelerator));
+  }
+  const auto image = qonductor.createWorkflow("qaoa-planned", std::move(tasks));
+  qonductor.deploy(image);
+  const auto run = qonductor.invoke(image);
+  const auto& result = qonductor.workflowResults(run);
+
+  TextTable outcome({"metric", "estimated", "measured"});
+  outcome.add_row({"fidelity", TextTable::num(chosen.est_fidelity, 3),
+                   TextTable::num(result.tasks[0].fidelity, 3)});
+  outcome.add_row({"cost [$]", TextTable::num(chosen.est_cost_dollars, 2),
+                   TextTable::num(result.total_cost_dollars, 2)});
+  outcome.print(std::cout, "plan vs execution");
+  std::cout << "executed on: " << result.tasks[0].resource << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Iterative hybrid workflow: a miniature VQE loop. Each iteration deploys
+// a parameterized ansatz as a quantum task, estimates an Ising-style energy
+// <H> = -sum <Z_i Z_{i+1}> from the measured counts, and keeps the best
+// parameters — the classical-optimizer-in-the-loop pattern (paper §2.2)
+// that motivates hybrid orchestration.
+
+#include <cmath>
+#include <iostream>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/orchestrator.hpp"
+
+namespace {
+
+using namespace qon;
+
+// Hardware-efficient ansatz with explicit angles.
+circuit::Circuit ansatz(const std::vector<double>& theta, int n) {
+  circuit::Circuit c(n, "vqe-ansatz");
+  for (int q = 0; q < n; ++q) c.ry(q, theta[static_cast<std::size_t>(q)]);
+  for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  for (int q = 0; q < n; ++q) c.ry(q, theta[static_cast<std::size_t>(n + q)]);
+  c.measure_all();
+  return c;
+}
+
+// <H> with H = -sum_i Z_i Z_{i+1}, estimated from Z-basis counts.
+double ising_energy(const sim::Counts& counts, int n) {
+  double energy = 0.0;
+  std::uint64_t shots = 0;
+  for (const auto& [outcome, count] : counts) shots += count;
+  for (const auto& [outcome, count] : counts) {
+    double e = 0.0;
+    for (int q = 0; q + 1 < n; ++q) {
+      const int z0 = (outcome >> q) & 1 ? -1 : 1;
+      const int z1 = (outcome >> (q + 1)) & 1 ? -1 : 1;
+      e -= z0 * z1;
+    }
+    energy += e * static_cast<double>(count) / static_cast<double>(shots);
+  }
+  return energy;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 6;
+  core::QonductorConfig config;
+  config.num_qpus = 3;
+  config.seed = 33;
+  core::Qonductor qonductor(config);
+  Rng rng(9);
+
+  std::vector<double> theta(2 * n);
+  for (auto& t : theta) t = rng.uniform(-0.3, 0.3);
+  double best_energy = 1e9;
+  std::vector<double> best_theta = theta;
+
+  TextTable table({"iteration", "energy <H>", "fidelity", "QPU", "accepted"});
+  for (int iter = 0; iter < 6; ++iter) {
+    // Classical proposal step: perturb the best parameters.
+    std::vector<double> trial = best_theta;
+    for (auto& t : trial) t += rng.normal(0.0, 0.25);
+
+    // Quantum step through the orchestrator.
+    const auto image = qonductor.createWorkflow(
+        "vqe-iter-" + std::to_string(iter),
+        {workflow::HybridTask::quantum("ansatz", ansatz(trial, n), 4000)});
+    qonductor.deploy(image);
+    const auto run = qonductor.invoke(image);
+    const auto& result = qonductor.workflowResults(run);
+    const auto& task = result.tasks[0];
+    const double energy = ising_energy(task.counts, n);
+
+    const bool accept = energy < best_energy;
+    if (accept) {
+      best_energy = energy;
+      best_theta = trial;
+    }
+    table.add_row({std::to_string(iter), TextTable::num(energy, 3),
+                   TextTable::num(task.fidelity, 3), task.resource, accept ? "yes" : "no"});
+  }
+  table.print(std::cout, "VQE iterations (Ising chain, H = -sum Z_i Z_{i+1})");
+  std::cout << "ground truth minimum: " << -(n - 1) << " (all spins aligned)\n";
+  std::cout << "best energy found:    " << TextTable::num(best_energy, 3) << "\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "circuit/dag.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qon::circuit {
+
+CircuitDag::CircuitDag(const Circuit& circuit) {
+  const auto& gates = circuit.gates();
+  const std::size_t n = gates.size();
+  succ_.assign(n, {});
+  pred_.assign(n, {});
+  layer_.assign(n, 0);
+
+  // last_writer[q] = index of the last gate that touched qubit q; npos if none.
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> last_writer(static_cast<std::size_t>(circuit.num_qubits()), npos);
+
+  auto add_edge = [this](std::size_t from, std::size_t to) {
+    if (std::find(succ_[from].begin(), succ_[from].end(), to) == succ_[from].end()) {
+      succ_[from].push_back(to);
+      pred_[to].push_back(from);
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate& g = gates[i];
+    if (g.kind == GateKind::kBarrier) {
+      // Depends on every open wire; becomes the new writer of all wires.
+      for (auto& w : last_writer) {
+        if (w != npos) add_edge(w, i);
+        w = i;
+      }
+      continue;
+    }
+    for (int k = 0; k < g.arity(); ++k) {
+      auto& w = last_writer[static_cast<std::size_t>(g.qubit(k))];
+      if (w != npos) add_edge(w, i);
+      w = i;
+    }
+  }
+
+  // ASAP layering over the DAG (gate order is topological).
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lvl = 0;
+    for (std::size_t p : pred_[i]) lvl = std::max(lvl, layer_[p] + 1);
+    layer_[i] = lvl;
+    layer_count_ = std::max(layer_count_, lvl + 1);
+  }
+  if (n == 0) layer_count_ = 0;
+}
+
+std::vector<std::vector<std::size_t>> CircuitDag::layered_nodes() const {
+  std::vector<std::vector<std::size_t>> out(layer_count_);
+  for (std::size_t i = 0; i < layer_.size(); ++i) out[layer_[i]].push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> CircuitDag::topological_order() const {
+  std::vector<std::size_t> order(succ_.size());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+}  // namespace qon::circuit

@@ -1,0 +1,47 @@
+#pragma once
+// Dependency-DAG view of a circuit: gates are nodes, edges connect each gate
+// to the next gate acting on a shared qubit. Provides ASAP layering, which
+// the transpiler's scheduler and the workflow manager both use.
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qon::circuit {
+
+/// Immutable DAG over the gates of a circuit (barriers become
+/// synchronization nodes that depend on every open wire).
+class CircuitDag {
+ public:
+  explicit CircuitDag(const Circuit& circuit);
+
+  std::size_t node_count() const { return succ_.size(); }
+
+  /// Direct successors / predecessors of gate node i (indices into
+  /// circuit.gates()).
+  const std::vector<std::size_t>& successors(std::size_t i) const { return succ_[i]; }
+  const std::vector<std::size_t>& predecessors(std::size_t i) const { return pred_[i]; }
+
+  /// ASAP layer index per gate (layer 0 = no predecessors).
+  const std::vector<std::size_t>& layers() const { return layer_; }
+
+  /// Number of ASAP layers (equals circuit depth counting barriers as
+  /// zero-duration sync points).
+  std::size_t layer_count() const { return layer_count_; }
+
+  /// Gates grouped by layer, preserving circuit order within a layer.
+  std::vector<std::vector<std::size_t>> layered_nodes() const;
+
+  /// A topological order (here: original gate order, which is always
+  /// topological for a sequential gate list).
+  std::vector<std::size_t> topological_order() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> succ_;
+  std::vector<std::vector<std::size_t>> pred_;
+  std::vector<std::size_t> layer_;
+  std::size_t layer_count_ = 0;
+};
+
+}  // namespace qon::circuit

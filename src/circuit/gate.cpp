@@ -1,0 +1,71 @@
+#include "circuit/gate.hpp"
+
+#include <sstream>
+
+namespace qon::circuit {
+
+const char* gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kI: return "id";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kH: return "h";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kSX: return "sx";
+    case GateKind::kRX: return "rx";
+    case GateKind::kRY: return "ry";
+    case GateKind::kRZ: return "rz";
+    case GateKind::kCX: return "cx";
+    case GateKind::kCZ: return "cz";
+    case GateKind::kSwap: return "swap";
+    case GateKind::kRZZ: return "rzz";
+    case GateKind::kMeasure: return "measure";
+    case GateKind::kBarrier: return "barrier";
+    case GateKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+int gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kBarrier:
+      return 0;
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kSwap:
+    case GateKind::kRZZ:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+bool is_two_qubit(GateKind kind) { return gate_arity(kind) == 2; }
+
+bool is_parameterized(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRX:
+    case GateKind::kRY:
+    case GateKind::kRZ:
+    case GateKind::kRZZ:
+    case GateKind::kDelay:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream oss;
+  oss << gate_name(kind);
+  if (is_parameterized(kind)) oss << "(" << param << ")";
+  if (arity() >= 1) oss << " q" << qubits[0];
+  if (arity() == 2) oss << ", q" << qubits[1];
+  return oss.str();
+}
+
+}  // namespace qon::circuit

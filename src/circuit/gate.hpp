@@ -1,0 +1,66 @@
+#pragma once
+// Gate-level intermediate representation. Qonductor circuits are sequences
+// of Gate records over integer qubit indices; the transpiler lowers them to
+// a backend basis ({RZ, SX, X, CX} for our IBM-Falcon-like models) and the
+// simulator interprets them as unitaries / measurements.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace qon::circuit {
+
+/// Supported gate kinds. One-qubit rotations carry an angle in `param`;
+/// kDelay carries a duration in seconds.
+enum class GateKind : std::uint8_t {
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kSX,   // sqrt(X)
+  kRX,   // param = angle
+  kRY,
+  kRZ,
+  kCX,   // control, target
+  kCZ,
+  kSwap,
+  kRZZ,  // two-qubit ZZ rotation, param = angle
+  kMeasure,
+  kBarrier,  // synchronization only; applies to all qubits
+  kDelay,    // param = duration in seconds, used by dynamical decoupling
+};
+
+/// Display name, e.g. "cx".
+const char* gate_name(GateKind kind);
+
+/// Number of qubit operands (0 for barrier, 1 or 2 otherwise).
+int gate_arity(GateKind kind);
+
+/// True for kCX, kCZ, kSwap, kRZZ.
+bool is_two_qubit(GateKind kind);
+
+/// True for parameterized rotations (kRX, kRY, kRZ, kRZZ) and kDelay.
+bool is_parameterized(GateKind kind);
+
+/// One gate application. For two-qubit gates, qubit(0) is the control (for
+/// kCX) and qubit(1) the target.
+struct Gate {
+  GateKind kind = GateKind::kI;
+  std::array<int, 2> qubits{{0, 0}};
+  double param = 0.0;
+
+  int qubit(int i) const { return qubits[static_cast<std::size_t>(i)]; }
+  int arity() const { return gate_arity(kind); }
+
+  /// Human-readable form, e.g. "rz(1.5708) q3" or "cx q0, q1".
+  std::string to_string() const;
+
+  bool operator==(const Gate& other) const = default;
+};
+
+}  // namespace qon::circuit

@@ -1,0 +1,254 @@
+#include "circuit/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace qon::circuit {
+
+Circuit ghz(int num_qubits, bool measure) {
+  Circuit c(num_qubits, "ghz" + std::to_string(num_qubits));
+  c.h(0);
+  for (int q = 1; q < num_qubits; ++q) c.cx(q - 1, q);
+  if (measure) c.measure_all();
+  return c;
+}
+
+namespace {
+
+// Controlled phase CP(theta) lowered to {RZ, CX}: standard decomposition
+// CP(t) = RZ(t/2) on control, RZ(t/2) on target, CX, RZ(-t/2) target, CX.
+void controlled_phase(Circuit& c, int control, int target, double theta) {
+  c.rz(control, theta / 2.0);
+  c.rz(target, theta / 2.0);
+  c.cx(control, target);
+  c.rz(target, -theta / 2.0);
+  c.cx(control, target);
+}
+
+// Controlled-RY via two CX and half-angle RYs.
+void controlled_ry(Circuit& c, int control, int target, double theta) {
+  c.ry(target, theta / 2.0);
+  c.cx(control, target);
+  c.ry(target, -theta / 2.0);
+  c.cx(control, target);
+}
+
+}  // namespace
+
+Circuit qft(int num_qubits, bool measure) {
+  Circuit c(num_qubits, "qft" + std::to_string(num_qubits));
+  for (int q = 0; q < num_qubits; ++q) {
+    c.h(q);
+    for (int k = q + 1; k < num_qubits; ++k) {
+      controlled_phase(c, k, q, M_PI / std::pow(2.0, k - q));
+    }
+  }
+  for (int q = 0; q < num_qubits / 2; ++q) c.swap(q, num_qubits - 1 - q);
+  if (measure) c.measure_all();
+  return c;
+}
+
+Graph random_graph(int num_vertices, double edge_prob, std::uint64_t seed) {
+  if (num_vertices < 2) throw std::invalid_argument("random_graph: need >= 2 vertices");
+  Rng rng(seed);
+  Graph g;
+  g.num_vertices = num_vertices;
+  // Spanning chain over a random permutation guarantees connectivity.
+  std::vector<int> perm(static_cast<std::size_t>(num_vertices));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  auto add_edge = [&g](int a, int b) {
+    if (a > b) std::swap(a, b);
+    const auto e = std::make_pair(a, b);
+    if (std::find(g.edges.begin(), g.edges.end(), e) == g.edges.end()) g.edges.push_back(e);
+  };
+  for (int i = 0; i + 1 < num_vertices; ++i) add_edge(perm[i], perm[i + 1]);
+  for (int a = 0; a < num_vertices; ++a) {
+    for (int b = a + 1; b < num_vertices; ++b) {
+      if (rng.bernoulli(edge_prob)) add_edge(a, b);
+    }
+  }
+  return g;
+}
+
+Circuit qaoa_maxcut(const Graph& graph, int layers, std::uint64_t seed) {
+  if (layers < 1) throw std::invalid_argument("qaoa_maxcut: layers must be >= 1");
+  Rng rng(seed);
+  Circuit c(graph.num_vertices, "qaoa" + std::to_string(graph.num_vertices));
+  for (int q = 0; q < graph.num_vertices; ++q) c.h(q);
+  for (int p = 0; p < layers; ++p) {
+    const double gamma = rng.uniform(0.0, M_PI);
+    const double beta = rng.uniform(0.0, M_PI / 2.0);
+    for (const auto& [a, b] : graph.edges) c.rzz(a, b, 2.0 * gamma);
+    for (int q = 0; q < graph.num_vertices; ++q) c.rx(q, 2.0 * beta);
+  }
+  c.measure_all();
+  return c;
+}
+
+Circuit qaoa_maxcut(int num_qubits, int layers, std::uint64_t seed) {
+  return qaoa_maxcut(random_graph(num_qubits, 0.3, seed ^ 0xabcdefULL), layers, seed);
+}
+
+Circuit vqe_ansatz(int num_qubits, int layers, std::uint64_t seed) {
+  if (layers < 1) throw std::invalid_argument("vqe_ansatz: layers must be >= 1");
+  Rng rng(seed);
+  Circuit c(num_qubits, "vqe" + std::to_string(num_qubits));
+  for (int p = 0; p < layers; ++p) {
+    for (int q = 0; q < num_qubits; ++q) c.ry(q, rng.uniform(-M_PI, M_PI));
+    for (int q = 0; q + 1 < num_qubits; ++q) c.cx(q, q + 1);
+  }
+  for (int q = 0; q < num_qubits; ++q) c.ry(q, rng.uniform(-M_PI, M_PI));
+  c.measure_all();
+  return c;
+}
+
+Circuit bernstein_vazirani(const std::vector<bool>& secret) {
+  const int n = static_cast<int>(secret.size());
+  if (n < 1) throw std::invalid_argument("bernstein_vazirani: empty secret");
+  Circuit c(n + 1, "bv" + std::to_string(n));
+  const int ancilla = n;
+  c.x(ancilla);
+  c.h(ancilla);
+  for (int q = 0; q < n; ++q) c.h(q);
+  for (int q = 0; q < n; ++q) {
+    if (secret[static_cast<std::size_t>(q)]) c.cx(q, ancilla);
+  }
+  for (int q = 0; q < n; ++q) c.h(q);
+  for (int q = 0; q < n; ++q) c.measure(q);
+  return c;
+}
+
+Circuit w_state(int num_qubits, bool measure) {
+  if (num_qubits < 1) throw std::invalid_argument("w_state: need >= 1 qubit");
+  Circuit c(num_qubits, "wstate" + std::to_string(num_qubits));
+  c.x(0);
+  // Cascade: distribute amplitude from qubit k to k+1 with angle chosen so
+  // each basis state |...1...> carries weight 1/n.
+  for (int k = 0; k < num_qubits - 1; ++k) {
+    const double remaining = static_cast<double>(num_qubits - k);
+    const double theta = 2.0 * std::acos(std::sqrt(1.0 / remaining));
+    controlled_ry(c, k, k + 1, theta);
+    c.cx(k + 1, k);
+  }
+  if (measure) c.measure_all();
+  return c;
+}
+
+Circuit grover_like(int num_qubits, int iterations, std::uint64_t seed) {
+  if (num_qubits < 2) throw std::invalid_argument("grover_like: need >= 2 qubits");
+  Rng rng(seed);
+  std::vector<bool> marked(static_cast<std::size_t>(num_qubits));
+  for (auto&& b : marked) b = rng.bernoulli(0.5);
+
+  Circuit c(num_qubits, "grover" + std::to_string(num_qubits));
+  for (int q = 0; q < num_qubits; ++q) c.h(q);
+  auto multi_cz = [&c, num_qubits] {
+    // Exact CZ for 2 qubits; CZ ladder approximation beyond (see header).
+    if (num_qubits == 2) {
+      c.cz(0, 1);
+    } else {
+      for (int q = 0; q + 1 < num_qubits; ++q) c.cz(q, q + 1);
+    }
+  };
+  for (int it = 0; it < iterations; ++it) {
+    // Oracle: phase flip on the marked string.
+    for (int q = 0; q < num_qubits; ++q) {
+      if (!marked[static_cast<std::size_t>(q)]) c.x(q);
+    }
+    multi_cz();
+    for (int q = 0; q < num_qubits; ++q) {
+      if (!marked[static_cast<std::size_t>(q)]) c.x(q);
+    }
+    // Diffusion: H X (multi-CZ) X H.
+    for (int q = 0; q < num_qubits; ++q) c.h(q);
+    for (int q = 0; q < num_qubits; ++q) c.x(q);
+    multi_cz();
+    for (int q = 0; q < num_qubits; ++q) c.x(q);
+    for (int q = 0; q < num_qubits; ++q) c.h(q);
+  }
+  c.measure_all();
+  return c;
+}
+
+Circuit random_circuit(int num_qubits, int depth, std::uint64_t seed, double two_qubit_prob) {
+  if (depth < 1) throw std::invalid_argument("random_circuit: depth must be >= 1");
+  Rng rng(seed);
+  Circuit c(num_qubits, "random" + std::to_string(num_qubits));
+  for (int layer = 0; layer < depth; ++layer) {
+    std::vector<int> free_qubits(static_cast<std::size_t>(num_qubits));
+    std::iota(free_qubits.begin(), free_qubits.end(), 0);
+    rng.shuffle(free_qubits);
+    std::size_t i = 0;
+    while (i < free_qubits.size()) {
+      if (i + 1 < free_qubits.size() && rng.bernoulli(two_qubit_prob)) {
+        c.cx(free_qubits[i], free_qubits[i + 1]);
+        i += 2;
+      } else {
+        const int q = free_qubits[i];
+        switch (rng.uniform_int(0, 3)) {
+          case 0: c.rx(q, rng.uniform(-M_PI, M_PI)); break;
+          case 1: c.ry(q, rng.uniform(-M_PI, M_PI)); break;
+          case 2: c.rz(q, rng.uniform(-M_PI, M_PI)); break;
+          default: c.h(q); break;
+        }
+        i += 1;
+      }
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+const char* benchmark_family_name(BenchmarkFamily family) {
+  switch (family) {
+    case BenchmarkFamily::kGhz: return "ghz";
+    case BenchmarkFamily::kQft: return "qft";
+    case BenchmarkFamily::kQaoa: return "qaoa";
+    case BenchmarkFamily::kVqe: return "vqe";
+    case BenchmarkFamily::kBv: return "bv";
+    case BenchmarkFamily::kWState: return "wstate";
+    case BenchmarkFamily::kGrover: return "grover";
+    case BenchmarkFamily::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::vector<BenchmarkFamily> all_benchmark_families() {
+  return {BenchmarkFamily::kGhz,    BenchmarkFamily::kQft,    BenchmarkFamily::kQaoa,
+          BenchmarkFamily::kVqe,    BenchmarkFamily::kBv,     BenchmarkFamily::kWState,
+          BenchmarkFamily::kGrover, BenchmarkFamily::kRandom};
+}
+
+Circuit make_benchmark(BenchmarkFamily family, int num_qubits, std::uint64_t seed) {
+  if (num_qubits < 2) throw std::invalid_argument("make_benchmark: need >= 2 qubits");
+  Rng rng(seed);
+  switch (family) {
+    case BenchmarkFamily::kGhz:
+      return ghz(num_qubits);
+    case BenchmarkFamily::kQft:
+      return qft(num_qubits);
+    case BenchmarkFamily::kQaoa:
+      return qaoa_maxcut(num_qubits, 1 + static_cast<int>(rng.uniform_int(0, 2)), seed);
+    case BenchmarkFamily::kVqe:
+      return vqe_ansatz(num_qubits, 1 + static_cast<int>(rng.uniform_int(0, 2)), seed);
+    case BenchmarkFamily::kBv: {
+      std::vector<bool> secret(static_cast<std::size_t>(num_qubits - 1));
+      for (auto&& b : secret) b = rng.bernoulli(0.5);
+      return bernstein_vazirani(secret);
+    }
+    case BenchmarkFamily::kWState:
+      return w_state(num_qubits);
+    case BenchmarkFamily::kGrover:
+      return grover_like(num_qubits, 1 + static_cast<int>(rng.uniform_int(0, 1)), seed);
+    case BenchmarkFamily::kRandom:
+      return random_circuit(num_qubits, 3 + static_cast<int>(rng.uniform_int(0, 7)), seed);
+  }
+  throw std::logic_error("make_benchmark: unknown family");
+}
+
+}  // namespace qon::circuit

@@ -1,0 +1,80 @@
+#pragma once
+// Benchmark-circuit generator library, standing in for MQT Bench (§8.1):
+// GHZ, QFT, QAOA Max-Cut, hardware-efficient VQE ansatz, Bernstein-Vazirani,
+// W-state, Grover-style amplification and random layered circuits, all
+// parameterised by width / depth / seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qon::circuit {
+
+/// GHZ state preparation (H + CX chain) with terminal measurements.
+Circuit ghz(int num_qubits, bool measure = true);
+
+/// Quantum Fourier Transform (with controlled-phase lowered to CX/RZ) and
+/// final qubit-order swaps. Optionally measured.
+Circuit qft(int num_qubits, bool measure = true);
+
+/// An undirected graph for QAOA instances.
+struct Graph {
+  int num_vertices = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Random graph where each edge is present with probability `edge_prob`.
+/// Guarantees connectivity by first adding a random spanning chain.
+Graph random_graph(int num_vertices, double edge_prob, std::uint64_t seed);
+
+/// QAOA Max-Cut ansatz over `graph` with `layers` (p) rounds and
+/// deterministic pseudo-random angles; measured.
+Circuit qaoa_maxcut(const Graph& graph, int layers, std::uint64_t seed);
+
+/// Convenience: QAOA over a random graph of the given width.
+Circuit qaoa_maxcut(int num_qubits, int layers, std::uint64_t seed);
+
+/// Hardware-efficient VQE ansatz: RY rotation layers interleaved with
+/// linear-chain CX entanglers; measured.
+Circuit vqe_ansatz(int num_qubits, int layers, std::uint64_t seed);
+
+/// Bernstein-Vazirani for an n-bit secret (uses n data qubits + 1 ancilla);
+/// measured on the data register.
+Circuit bernstein_vazirani(const std::vector<bool>& secret);
+
+/// W-state preparation via cascaded controlled-RY rotations; measured.
+Circuit w_state(int num_qubits, bool measure = true);
+
+/// Grover-style amplitude amplification skeleton: `iterations` rounds of a
+/// phase-flip oracle on a marked bitstring followed by the diffusion
+/// operator. Exact for <= 2 qubits; for wider circuits the multi-controlled
+/// phase is approximated by a CZ ladder (structural workload only).
+Circuit grover_like(int num_qubits, int iterations, std::uint64_t seed);
+
+/// Random layered circuit: each layer applies random 1q rotations and pairs
+/// random adjacent-free 2q gates with probability `two_qubit_prob`.
+Circuit random_circuit(int num_qubits, int depth, std::uint64_t seed, double two_qubit_prob = 0.4);
+
+/// The algorithm families the workload generator samples from.
+enum class BenchmarkFamily : std::uint8_t {
+  kGhz,
+  kQft,
+  kQaoa,
+  kVqe,
+  kBv,
+  kWState,
+  kGrover,
+  kRandom,
+};
+
+const char* benchmark_family_name(BenchmarkFamily family);
+
+/// All families, for sweeps.
+std::vector<BenchmarkFamily> all_benchmark_families();
+
+/// Samples a benchmark circuit of the given family and width (seeded).
+Circuit make_benchmark(BenchmarkFamily family, int num_qubits, std::uint64_t seed);
+
+}  // namespace qon::circuit

@@ -1,0 +1,163 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace qon::circuit {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+// Evaluates a parameter expression: NUMBER, [-]pi, NUM*pi, pi/NUM,
+// NUM*pi/NUM, or a plain float.
+double eval_param(std::string expr, std::size_t line) {
+  expr = trim(expr);
+  if (expr.empty()) throw QasmParseError("empty parameter", line);
+  double sign = 1.0;
+  if (expr[0] == '-') {
+    sign = -1.0;
+    expr = trim(expr.substr(1));
+  }
+  double numerator = 1.0;
+  double denominator = 1.0;
+  const auto star = expr.find('*');
+  if (star != std::string::npos) {
+    numerator = std::stod(trim(expr.substr(0, star)));
+    expr = trim(expr.substr(star + 1));
+  }
+  const auto slash = expr.find('/');
+  if (slash != std::string::npos) {
+    denominator = std::stod(trim(expr.substr(slash + 1)));
+    expr = trim(expr.substr(0, slash));
+  }
+  double base;
+  if (expr == "pi") {
+    base = M_PI;
+  } else {
+    std::size_t used = 0;
+    base = std::stod(expr, &used);
+    if (used != expr.size()) throw QasmParseError("bad parameter: " + expr, line);
+  }
+  return sign * numerator * base / denominator;
+}
+
+// Parses "q[3]" -> 3, validating the register name.
+int parse_ref(const std::string& token, const std::string& reg, std::size_t line) {
+  const std::string t = trim(token);
+  const auto open = t.find('[');
+  const auto close = t.find(']');
+  if (open == std::string::npos || close == std::string::npos || close < open ||
+      trim(t.substr(0, open)) != reg) {
+    throw QasmParseError("expected " + reg + "[i], got: " + t, line);
+  }
+  return std::stoi(t.substr(open + 1, close - open - 1));
+}
+
+const std::map<std::string, GateKind>& gate_names() {
+  static const std::map<std::string, GateKind> kMap = {
+      {"id", GateKind::kI},   {"x", GateKind::kX},       {"y", GateKind::kY},
+      {"z", GateKind::kZ},    {"h", GateKind::kH},       {"s", GateKind::kS},
+      {"sdg", GateKind::kSdg},{"t", GateKind::kT},       {"tdg", GateKind::kTdg},
+      {"sx", GateKind::kSX},  {"rx", GateKind::kRX},     {"ry", GateKind::kRY},
+      {"rz", GateKind::kRZ},  {"cx", GateKind::kCX},     {"cz", GateKind::kCZ},
+      {"swap", GateKind::kSwap}, {"rzz", GateKind::kRZZ}, {"delay", GateKind::kDelay}};
+  return kMap;
+}
+
+}  // namespace
+
+Circuit parse_qasm(const std::string& text) {
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  int num_qubits = 0;
+  Circuit circuit;
+  bool have_qreg = false;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto comment = raw.find("//");
+    if (comment != std::string::npos) raw = raw.substr(0, comment);
+    std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line.back() != ';') throw QasmParseError("missing ';'", line_no);
+    line = trim(line.substr(0, line.size() - 1));
+
+    if (line.rfind("OPENQASM", 0) == 0 || line.rfind("include", 0) == 0) continue;
+    if (line.rfind("qreg", 0) == 0) {
+      if (have_qreg) throw QasmParseError("multiple qregs unsupported", line_no);
+      num_qubits = parse_ref(trim(line.substr(4)), "q", line_no);
+      if (num_qubits <= 0) throw QasmParseError("qreg must be non-empty", line_no);
+      circuit = Circuit(num_qubits, "qasm");
+      have_qreg = true;
+      continue;
+    }
+    if (line.rfind("creg", 0) == 0) continue;  // classical width is implicit
+    if (!have_qreg) throw QasmParseError("statement before qreg", line_no);
+
+    if (line.rfind("barrier", 0) == 0) {
+      circuit.barrier();
+      continue;
+    }
+    if (line.rfind("measure", 0) == 0) {
+      const auto arrow = line.find("->");
+      if (arrow == std::string::npos) throw QasmParseError("measure needs '->'", line_no);
+      const int q = parse_ref(trim(line.substr(7, arrow - 7)), "q", line_no);
+      const int c = parse_ref(trim(line.substr(arrow + 2)), "c", line_no);
+      circuit.measure(q, c);
+      continue;
+    }
+
+    // Gate statement: NAME[(params)] q[i][, q[j]]
+    std::string head = line;
+    std::string param_text;
+    const auto paren = line.find('(');
+    std::size_t operands_at;
+    if (paren != std::string::npos) {
+      const auto close = line.find(')', paren);
+      if (close == std::string::npos) throw QasmParseError("unbalanced '('", line_no);
+      head = trim(line.substr(0, paren));
+      param_text = line.substr(paren + 1, close - paren - 1);
+      operands_at = close + 1;
+    } else {
+      const auto space = line.find(' ');
+      if (space == std::string::npos) throw QasmParseError("gate without operands", line_no);
+      head = trim(line.substr(0, space));
+      operands_at = space + 1;
+    }
+    const auto it = gate_names().find(head);
+    if (it == gate_names().end()) throw QasmParseError("unknown gate: " + head, line_no);
+
+    Gate gate;
+    gate.kind = it->second;
+    if (is_parameterized(gate.kind)) {
+      gate.param = eval_param(param_text, line_no);
+    } else if (!param_text.empty()) {
+      throw QasmParseError("unexpected parameter for " + head, line_no);
+    }
+    const std::string operands = line.substr(operands_at);
+    const auto comma = operands.find(',');
+    if (gate_arity(gate.kind) == 2) {
+      if (comma == std::string::npos) throw QasmParseError(head + " needs two operands", line_no);
+      gate.qubits[0] = parse_ref(operands.substr(0, comma), "q", line_no);
+      gate.qubits[1] = parse_ref(operands.substr(comma + 1), "q", line_no);
+    } else {
+      if (comma != std::string::npos) throw QasmParseError(head + " takes one operand", line_no);
+      gate.qubits[0] = parse_ref(operands, "q", line_no);
+    }
+    circuit.append(gate);
+  }
+  if (!have_qreg) throw QasmParseError("no qreg declared", 0);
+  return circuit;
+}
+
+}  // namespace qon::circuit

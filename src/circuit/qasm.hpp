@@ -1,0 +1,31 @@
+#pragma once
+// OpenQASM 2.0 subset parser — the inverse of Circuit::to_qasm(), so
+// circuits round-trip through text. Supports the gate set this library
+// emits (id/x/y/z/h/s/sdg/t/tdg/sx/rx/ry/rz/cx/cz/swap/rzz), measure with
+// explicit classical bits, barrier, and "pi"-expressions in parameters
+// (pi, -pi/2, 2*pi, 0.25*pi, ...). Comments (//) are ignored.
+//
+// Not supported (throws ParseError): custom gate definitions, if-statements,
+// opaque gates, multiple registers.
+
+#include <stdexcept>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qon::circuit {
+
+class QasmParseError : public std::runtime_error {
+ public:
+  QasmParseError(const std::string& what, std::size_t line)
+      : std::runtime_error("qasm:" + std::to_string(line) + ": " + what), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses an OpenQASM 2.0 subset document into a Circuit.
+Circuit parse_qasm(const std::string& text);
+
+}  // namespace qon::circuit

@@ -1,0 +1,33 @@
+#include "cloudsim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace qon::cloudsim {
+
+void EventQueue::schedule_at(double at, Callback fn) {
+  if (at < now_) throw std::invalid_argument("EventQueue::schedule_at: time in the past");
+  if (!fn) throw std::invalid_argument("EventQueue::schedule_at: empty callback");
+  events_.push({at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay, Callback fn) {
+  if (delay < 0.0) throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::size_t EventQueue::run_until(double horizon) {
+  std::size_t processed = 0;
+  while (!events_.empty() && events_.top().time <= horizon) {
+    // Copy out before pop so the callback can schedule more events.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++processed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return processed;
+}
+
+}  // namespace qon::cloudsim

@@ -1,0 +1,57 @@
+#pragma once
+// Discrete-event simulation core: a time-ordered event queue with stable
+// FIFO ordering for simultaneous events, driving the cloud simulation's
+// arrivals, scheduling triggers, calibration cycles and job completions.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace qon::cloudsim {
+
+/// Minimal DES engine. Schedule callbacks at absolute simulated times and
+/// run until the horizon or queue exhaustion.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time [s].
+  double now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now). Events at equal times
+  /// fire in scheduling order.
+  void schedule_at(double at, Callback fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  void schedule_in(double delay, Callback fn);
+
+  /// Runs events until the queue empties or the next event exceeds
+  /// `horizon`; returns the number of events processed. Events scheduled
+  /// during execution are honored.
+  std::size_t run_until(double horizon);
+
+  /// True when no events remain.
+  bool empty() const { return events_.empty(); }
+
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace qon::cloudsim

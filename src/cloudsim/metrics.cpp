@@ -1,0 +1,109 @@
+#include "cloudsim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::cloudsim {
+
+namespace {
+
+std::size_t bucket_count(double horizon, double bucket_seconds) {
+  if (bucket_seconds <= 0.0) throw std::invalid_argument("metrics: bucket must be > 0");
+  return static_cast<std::size_t>(std::ceil(horizon / bucket_seconds));
+}
+
+}  // namespace
+
+TimeSeries fidelity_over_time(const SimulationResult& result, double bucket_seconds) {
+  const std::size_t buckets = bucket_count(result.horizon_seconds, bucket_seconds);
+  std::vector<double> sum(buckets, 0.0);
+  std::vector<std::size_t> count(buckets, 0);
+  for (const auto& app : result.apps) {
+    const auto b = static_cast<std::size_t>(app.completion / bucket_seconds);
+    if (b >= buckets) continue;  // completed after the arrival horizon
+    sum[b] += app.measured_fidelity;
+    ++count[b];
+  }
+  TimeSeries ts;
+  double last = 0.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    ts.time.push_back((static_cast<double>(b) + 1.0) * bucket_seconds);
+    if (count[b] > 0) last = sum[b] / static_cast<double>(count[b]);
+    ts.value.push_back(last);
+  }
+  return ts;
+}
+
+TimeSeries mean_jct_over_time(const SimulationResult& result, double bucket_seconds) {
+  const std::size_t buckets = bucket_count(result.horizon_seconds, bucket_seconds);
+  // Apps are sorted by completion; accumulate the running mean.
+  TimeSeries ts;
+  double acc = 0.0;
+  std::size_t n = 0;
+  std::size_t app_idx = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double end = (static_cast<double>(b) + 1.0) * bucket_seconds;
+    while (app_idx < result.apps.size() && result.apps[app_idx].completion <= end) {
+      acc += result.apps[app_idx].jct();
+      ++n;
+      ++app_idx;
+    }
+    ts.time.push_back(end);
+    ts.value.push_back(n > 0 ? acc / static_cast<double>(n) : 0.0);
+  }
+  return ts;
+}
+
+TimeSeries utilization_over_time(const SimulationResult& result, double bucket_seconds) {
+  const std::size_t buckets = bucket_count(result.horizon_seconds, bucket_seconds);
+  std::vector<double> busy(buckets, 0.0);
+  for (const auto& app : result.apps) {
+    if (app.qpu < 0) continue;
+    // Spread the execution interval across the buckets it overlaps.
+    double t0 = app.start;
+    const double t1 = std::min(app.quantum_done, result.horizon_seconds);
+    while (t0 < t1) {
+      const auto b = static_cast<std::size_t>(t0 / bucket_seconds);
+      if (b >= buckets) break;
+      const double bucket_end = (static_cast<double>(b) + 1.0) * bucket_seconds;
+      const double step = std::min(t1, bucket_end) - t0;
+      busy[b] += step;
+      t0 += step;
+    }
+  }
+  const double fleet = static_cast<double>(std::max<std::size_t>(result.qpu_names.size(), 1));
+  TimeSeries ts;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    ts.time.push_back((static_cast<double>(b) + 1.0) * bucket_seconds);
+    ts.value.push_back(100.0 * busy[b] / (bucket_seconds * fleet));
+  }
+  return ts;
+}
+
+TimeSeries scheduler_queue_over_time(const SimulationResult& result) {
+  TimeSeries ts;
+  for (const auto& sample : result.queue_samples) {
+    ts.time.push_back(sample.time);
+    ts.value.push_back(static_cast<double>(sample.scheduler_pending));
+  }
+  return ts;
+}
+
+TimeSeries qpu_queue_over_time(const SimulationResult& result, std::size_t qpu_index) {
+  if (qpu_index >= result.qpu_names.size()) {
+    throw std::out_of_range("qpu_queue_over_time: bad QPU index");
+  }
+  TimeSeries ts;
+  for (const auto& sample : result.queue_samples) {
+    ts.time.push_back(sample.time);
+    ts.value.push_back(static_cast<double>(sample.qpu_queue_lengths[qpu_index]));
+  }
+  return ts;
+}
+
+Series to_series(const TimeSeries& ts, const std::string& name) {
+  return Series{name, ts.time, ts.value};
+}
+
+}  // namespace qon::cloudsim

@@ -1,0 +1,40 @@
+#pragma once
+// Post-processing of simulation results into the time series and aggregates
+// the paper's figures report: bucketed mean fidelity / completion time /
+// QPU utilization over simulated time (Fig. 6), per-QPU load (Figs. 2c,
+// 8c), and scheduler queue dynamics (Fig. 9b).
+
+#include <vector>
+
+#include "cloudsim/simulation.hpp"
+#include "common/table.hpp"
+
+namespace qon::cloudsim {
+
+/// A (time, value) series bucketed at fixed intervals.
+struct TimeSeries {
+  std::vector<double> time;
+  std::vector<double> value;
+};
+
+/// Mean measured fidelity of apps completed within each bucket.
+TimeSeries fidelity_over_time(const SimulationResult& result, double bucket_seconds);
+
+/// Cumulative mean JCT of apps completed up to each bucket end (the
+/// monotone-growing curve of Fig. 6b).
+TimeSeries mean_jct_over_time(const SimulationResult& result, double bucket_seconds);
+
+/// Mean QPU utilization (busy fraction across the fleet) within each bucket,
+/// reconstructed from per-app (start, quantum_done) intervals.
+TimeSeries utilization_over_time(const SimulationResult& result, double bucket_seconds);
+
+/// Scheduler pending-queue size over time (Fig. 9b).
+TimeSeries scheduler_queue_over_time(const SimulationResult& result);
+
+/// Per-QPU queue length over time for one QPU index (Fig. 2c).
+TimeSeries qpu_queue_over_time(const SimulationResult& result, std::size_t qpu_index);
+
+/// Converts a TimeSeries to the common Series printing type.
+Series to_series(const TimeSeries& ts, const std::string& name);
+
+}  // namespace qon::cloudsim

@@ -1,0 +1,51 @@
+#include "cloudsim/qpu_worker.hpp"
+
+#include <stdexcept>
+
+namespace qon::cloudsim {
+
+QpuWorker::QpuWorker(std::string name, EventQueue* events, CompletionCallback on_complete)
+    : name_(std::move(name)), events_(events), on_complete_(std::move(on_complete)) {
+  if (events_ == nullptr) throw std::invalid_argument("QpuWorker: null event queue");
+}
+
+void QpuWorker::submit(const QpuJob& job) {
+  if (job.exec_seconds < 0.0) throw std::invalid_argument("QpuWorker::submit: negative time");
+  queue_.push_back(job);
+  if (!busy_) start_next();
+}
+
+double QpuWorker::queue_wait(double now) const {
+  double wait = busy_ ? std::max(0.0, current_end_ - now) : 0.0;
+  for (const auto& j : queue_) wait += j.exec_seconds;
+  return wait;
+}
+
+std::vector<QpuJob> QpuWorker::drain_unstarted() {
+  std::vector<QpuJob> drained(queue_.begin(), queue_.end());
+  queue_.clear();
+  return drained;
+}
+
+void QpuWorker::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  const QpuJob job = queue_.front();
+  queue_.pop_front();
+  busy_ = true;
+  const double start = events_->now();
+  current_end_ = start + job.exec_seconds;
+  total_busy_ += job.exec_seconds;
+  const std::uint64_t token = ++run_token_;
+  events_->schedule_at(current_end_, [this, job, start, token] {
+    if (token != run_token_) return;  // superseded (should not happen in FIFO)
+    ++completed_;
+    const double end = events_->now();
+    if (on_complete_) on_complete_(job, start, end);
+    start_next();
+  });
+}
+
+}  // namespace qon::cloudsim

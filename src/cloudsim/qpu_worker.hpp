@@ -1,0 +1,71 @@
+#pragma once
+// QPU worker: a single-server FIFO queue in the discrete-event simulation.
+// Jobs are submitted with a fixed execution time; the worker starts them in
+// order, reports completions through a callback, and exposes the queue
+// state the scheduler and the system monitor read (queue length, estimated
+// wait, total busy time). Supports draining unstarted jobs for calibration-
+// crossover re-scheduling (§7).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloudsim/event_queue.hpp"
+
+namespace qon::cloudsim {
+
+/// A unit of quantum work queued on a worker.
+struct QpuJob {
+  std::uint64_t app_id = 0;
+  double exec_seconds = 0.0;
+};
+
+/// Completion notification: (job, start_time, end_time).
+using CompletionCallback = std::function<void(const QpuJob&, double, double)>;
+
+class QpuWorker {
+ public:
+  QpuWorker(std::string name, EventQueue* events, CompletionCallback on_complete);
+
+  const std::string& name() const { return name_; }
+
+  /// Enqueues a job; starts it immediately when idle.
+  void submit(const QpuJob& job);
+
+  /// Pending jobs (excluding the one running).
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// True while a job is executing.
+  bool busy() const { return busy_; }
+
+  /// Estimated wait for a newly submitted job: remaining time of the
+  /// running job plus queued execution times.
+  double queue_wait(double now) const;
+
+  /// Total execution seconds completed or started so far.
+  double total_busy_seconds() const { return total_busy_; }
+
+  /// Completed job count.
+  std::size_t completed() const { return completed_; }
+
+  /// Removes and returns all *unstarted* jobs (calibration crossover).
+  std::vector<QpuJob> drain_unstarted();
+
+ private:
+  void start_next();
+
+  std::string name_;
+  EventQueue* events_;
+  CompletionCallback on_complete_;
+  std::deque<QpuJob> queue_;
+  bool busy_ = false;
+  double current_end_ = 0.0;
+  std::uint64_t run_token_ = 0;  ///< invalidates stale completion events
+  double total_busy_ = 0.0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace qon::cloudsim

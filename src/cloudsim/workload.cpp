@@ -1,0 +1,68 @@
+#include "cloudsim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::cloudsim {
+
+double diurnal_rate(double t_seconds, double base_jobs_per_hour) {
+  // Sinusoid spanning [1100/1500, 2050/1500] of the base rate, period 24 h.
+  const double lo = 1100.0 / 1500.0;
+  const double hi = 2050.0 / 1500.0;
+  const double mid = 0.5 * (lo + hi);
+  const double amp = 0.5 * (hi - lo);
+  const double phase = 2.0 * M_PI * t_seconds / (24.0 * 3600.0);
+  return base_jobs_per_hour * (mid + amp * std::sin(phase));
+}
+
+std::vector<HybridApp> generate_workload(const WorkloadConfig& config) {
+  if (config.jobs_per_hour <= 0.0 || config.duration_hours <= 0.0) {
+    throw std::invalid_argument("generate_workload: rate and duration must be > 0");
+  }
+  Rng rng(config.seed);
+  const auto families = circuit::all_benchmark_families();
+  const auto menu = mitigation::standard_mitigation_menu();
+
+  std::vector<HybridApp> apps;
+  const double horizon = config.duration_hours * 3600.0;
+  double t = 0.0;
+  std::uint64_t id = 0;
+  while (true) {
+    // Thinning for the diurnal profile: draw at the max rate, accept
+    // proportionally to the instantaneous rate.
+    const double max_rate =
+        config.diurnal ? config.jobs_per_hour * (2050.0 / 1500.0) : config.jobs_per_hour;
+    t += rng.exponential(max_rate / 3600.0);
+    if (t >= horizon) break;
+    if (config.diurnal) {
+      const double accept = diurnal_rate(t, config.jobs_per_hour) / max_rate;
+      if (!rng.bernoulli(accept)) continue;
+    }
+
+    HybridApp app;
+    app.id = id++;
+    app.arrival_time = t;
+    const int width = std::clamp(
+        static_cast<int>(std::lround(rng.normal(config.mean_width, config.stddev_width))),
+        config.min_width, config.max_width);
+    const auto family =
+        families[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(families.size()) - 1))];
+    app.logical = circuit::make_benchmark(family, width, rng());
+    app.shots = std::clamp(
+        static_cast<int>(std::lround(rng.normal(config.mean_shots, config.stddev_shots))),
+        config.min_shots, config.max_shots);
+    if (rng.bernoulli(config.mitigated_fraction)) {
+      // Skip the first menu entry ("none"); bias toward the cheap stacks.
+      const std::size_t pick = 1 + static_cast<std::size_t>(rng.weighted_index(
+                                       {4.0, 3.0, 3.0, 2.0, 2.0, 1.0, 0.5, 0.5}));
+      app.spec = menu[std::min(pick, menu.size() - 1)];
+      app.accelerator = rng.bernoulli(0.3) ? mitigation::Accelerator::kGpu
+                                           : mitigation::Accelerator::kCpu;
+    }
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+}  // namespace qon::cloudsim

@@ -1,0 +1,40 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace qon {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_io_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, const std::string& msg) const {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << "[" << log_level_name(level) << "] " << name_ << ": " << msg << "\n";
+}
+
+}  // namespace qon

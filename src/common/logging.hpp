@@ -1,0 +1,38 @@
+#pragma once
+// Minimal leveled logger. Components log through a named Logger; the global
+// level gates output so benchmarks stay quiet by default.
+
+#include <sstream>
+#include <string>
+
+namespace qon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets / reads the process-wide minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Converts a level to its display tag ("DEBUG", "INFO", ...).
+const char* log_level_name(LogLevel level);
+
+/// Named logger; cheap to construct, stateless apart from the name.
+class Logger {
+ public:
+  explicit Logger(std::string name) : name_(std::move(name)) {}
+
+  void debug(const std::string& msg) const { log(LogLevel::kDebug, msg); }
+  void info(const std::string& msg) const { log(LogLevel::kInfo, msg); }
+  void warn(const std::string& msg) const { log(LogLevel::kWarn, msg); }
+  void error(const std::string& msg) const { log(LogLevel::kError, msg); }
+
+  /// Emits `msg` at `level` if it passes the global gate. Thread-safe.
+  void log(LogLevel level, const std::string& msg) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace qon

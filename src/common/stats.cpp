@@ -1,0 +1,141 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qon {
+
+double sum(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double min_of(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(xs.size());
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cdf.push_back({xs[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+double cdf_at(const std::vector<double>& xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  std::size_t below = 0;
+  for (double x : xs) {
+    if (x <= threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(xs.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_center(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::min: empty");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::max: empty");
+  return max_;
+}
+
+void TimeWeightedAverage::record(double now, double value) {
+  if (!started_) {
+    started_ = true;
+    first_time_ = last_time_ = now;
+    last_value_ = value;
+    return;
+  }
+  if (now < last_time_) throw std::invalid_argument("TimeWeightedAverage: time went backwards");
+  weighted_sum_ += last_value_ * (now - last_time_);
+  last_time_ = now;
+  last_value_ = value;
+}
+
+double TimeWeightedAverage::average(double fallback) const {
+  const double span = last_time_ - first_time_;
+  if (span <= 0.0) return started_ ? last_value_ : fallback;
+  return weighted_sum_ / span;
+}
+
+}  // namespace qon

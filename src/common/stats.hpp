@@ -1,0 +1,109 @@
+#pragma once
+// Descriptive statistics used by the metrics pipeline and the benchmark
+// harnesses: means, percentiles, CDFs, histograms and streaming accumulators.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qon {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& xs);
+
+/// Population variance helper used by stddev.
+double variance(const std::vector<double>& xs);
+
+/// Median (linear-interpolated percentile 50).
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> xs, double p);
+
+/// Minimum / maximum; throw std::invalid_argument on empty input.
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Sum of all elements.
+double sum(const std::vector<double>& xs);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value;        ///< sample value (x axis)
+  double probability;  ///< P(X <= value) (y axis)
+};
+
+/// Empirical CDF of the samples, one point per sample (sorted ascending).
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// Fraction of samples <= threshold.
+double cdf_at(const std::vector<double>& xs, double threshold);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; samples outside
+/// the range are clamped into the first/last bucket.
+struct Histogram {
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t total() const { return total_; }
+
+  /// Midpoint of bucket i.
+  double bucket_center(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1)
+  double stddev() const;
+  double min() const;  ///< throws if empty
+  double max() const;  ///< throws if empty
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length
+/// or utilization over simulated time.
+class TimeWeightedAverage {
+ public:
+  /// Records that the signal held `value` from the previous timestamp until
+  /// `now`. Timestamps must be non-decreasing.
+  void record(double now, double value);
+
+  /// Average over the observed interval; `fallback` if nothing was recorded.
+  double average(double fallback = 0.0) const;
+
+  double elapsed() const { return last_time_ - first_time_; }
+
+ private:
+  bool started_ = false;
+  double first_time_ = 0.0;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+}  // namespace qon

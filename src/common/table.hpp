@@ -1,0 +1,46 @@
+#pragma once
+// ASCII table / series printers used by the benchmark harnesses to emit the
+// rows and data series that correspond to the paper's tables and figures.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qon {
+
+/// Column-aligned ASCII table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A named (x, y) series; `print_series` emits aligned columns suitable for
+/// plotting or diffing, mirroring a figure's line/bars.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Prints all series over a shared x header. Series may have distinct x
+/// vectors; each series is printed as its own block.
+void print_series(std::ostream& os, const std::string& title, const std::vector<Series>& series,
+                  const std::string& x_label = "x", const std::string& y_label = "y",
+                  int precision = 3);
+
+}  // namespace qon

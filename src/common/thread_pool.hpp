@@ -1,0 +1,73 @@
+#pragma once
+// Work-sharing thread pool and a blocked parallel_for, in the spirit of the
+// OpenMP "parallel for" worksharing construct: parallelism is explicit, the
+// caller owns the decomposition, and the pool never spawns threads behind
+// the caller's back.
+//
+// Used to parallelize NSGA-II population evaluation, Monte-Carlo noise
+// trajectories and state-vector gate application.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qon {
+
+/// Fixed-size thread pool. Tasks are std::function<void()>; submit() returns
+/// a future for completion/exception propagation.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown");
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& global_thread_pool();
+
+/// Splits [begin, end) into contiguous blocks and runs `body(lo, hi)` for
+/// each block on the pool. Blocks on completion; rethrows the first task
+/// exception. Runs inline when the range is small or the pool has 1 thread.
+void parallel_for_blocked(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t, std::size_t)>& body,
+                          ThreadPool* pool = nullptr, std::size_t min_block = 1024);
+
+/// Element-wise convenience wrapper over parallel_for_blocked.
+void parallel_for_each_index(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body,
+                             ThreadPool* pool = nullptr, std::size_t min_block = 1024);
+
+}  // namespace qon

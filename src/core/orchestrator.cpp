@@ -1,0 +1,245 @@
+#include "core/orchestrator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "estimator/execution_model.hpp"
+#include "simulator/metrics.hpp"
+#include "transpiler/transpiler.hpp"
+
+namespace qon::core {
+
+const char* workflow_status_name(WorkflowStatus status) {
+  switch (status) {
+    case WorkflowStatus::kPending: return "pending";
+    case WorkflowStatus::kRunning: return "running";
+    case WorkflowStatus::kCompleted: return "completed";
+    case WorkflowStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Qonductor::Qonductor(QonductorConfig config)
+    : config_(config),
+      rng_(config.seed),
+      hidden_(config.seed ^ 0x9d17ULL, config.hidden_sigma),
+      fleet_(qpu::make_ibm_like_fleet(config.num_qpus, config.seed ^ 0xf1ee7ULL)),
+      nodes_(sched::make_node_pool(config.classical_standard_nodes,
+                                   config.classical_highend_nodes,
+                                   config.classical_fpga_nodes)),
+      monitor_(config.replicated_monitor) {
+  templates_ = fleet_.template_backends();
+  qpu_available_at_.assign(fleet_.backends.size(), 0.0);
+  publish_fleet_state();
+}
+
+void Qonductor::publish_fleet_state() {
+  for (std::size_t q = 0; q < fleet_.backends.size(); ++q) {
+    const auto& backend = *fleet_.backends[q];
+    QpuInfo info;
+    info.name = backend.name();
+    info.qubits = backend.num_qubits();
+    info.queue_wait_seconds = qpu_available_at_[q];
+    info.mean_gate_error_2q = backend.calibration().mean_gate_error_2q();
+    info.calibration_cycle = backend.calibration().cycle;
+    monitor_.update_qpu(info);
+  }
+}
+
+workflow::ImageId Qonductor::createWorkflow(const std::string& name,
+                                            std::vector<workflow::HybridTask> tasks,
+                                            const std::string& yaml_config) {
+  if (tasks.empty()) throw std::invalid_argument("createWorkflow: no tasks");
+  yaml::Node config = yaml_config.empty() ? yaml::Node() : yaml::parse(yaml_config);
+  return registry_.register_image(name, workflow::chain_workflow(std::move(tasks)),
+                                  std::move(config));
+}
+
+workflow::ImageId Qonductor::deploy(workflow::ImageId image) {
+  const auto& img = registry_.get(image);  // throws on unknown image
+  // Validate quantum tasks against the fleet (client QPU-size constraints).
+  for (workflow::TaskId t = 0; t < img.dag.size(); ++t) {
+    const auto& task = img.dag.task(t);
+    if (task.kind != workflow::TaskKind::kQuantum) continue;
+    bool fits = false;
+    for (const auto& backend : fleet_.backends) {
+      if (task.circ.num_qubits() <= backend->num_qubits()) fits = true;
+    }
+    if (!fits) {
+      throw std::invalid_argument("deploy: task '" + task.name + "' fits no QPU");
+    }
+  }
+  deployed_[image] = true;
+  return image;
+}
+
+estimator::PlanSet Qonductor::estimateResources(const circuit::Circuit& circ) const {
+  return estimator::generate_resource_plans(circ, templates_, config_.plan_config);
+}
+
+sched::ScheduleDecision Qonductor::generateSchedule(const sched::SchedulingInput& input) const {
+  sched::SchedulerConfig scheduler;
+  scheduler.fidelity_weight = config_.fidelity_weight;
+  return sched::schedule_cycle(input, scheduler);
+}
+
+TaskResult Qonductor::run_quantum_task(const workflow::HybridTask& task, double ready_at) {
+  // 1. Single-job scheduling cycle across the fleet (queue waits = current
+  //    availability relative to the task's ready time).
+  sched::SchedulingInput input;
+  for (std::size_t q = 0; q < fleet_.backends.size(); ++q) {
+    sched::QpuState state;
+    state.name = fleet_.backends[q]->name();
+    state.size = fleet_.backends[q]->num_qubits();
+    state.queue_wait_seconds = std::max(0.0, qpu_available_at_[q] - ready_at);
+    input.qpus.push_back(state);
+  }
+  sched::QuantumJob job;
+  job.id = next_run_;
+  job.qubits = task.circ.num_qubits();
+  job.shots = task.shots;
+
+  std::vector<transpiler::TranspileResult> transpiled;
+  transpiled.reserve(fleet_.backends.size());
+  for (const auto& backend : fleet_.backends) {
+    transpiled.push_back(transpiler::transpile(task.circ, *backend));
+    const auto& t = transpiled.back();
+    const auto sig = mitigation::compute_signature(
+        task.mitigation, static_cast<std::size_t>(task.circ.num_qubits()),
+        static_cast<std::size_t>(t.circuit.depth()), t.circuit.two_qubit_gate_count(),
+        static_cast<std::size_t>(t.circuit.num_clbits()),
+        backend->calibration().mean_gate_error_2q(), task.accelerator);
+    job.est_fidelity.push_back(estimator::predicted_fidelity(t.circuit, *backend, sig));
+    job.est_exec_seconds.push_back(transpiler::job_quantum_runtime(t.schedule, task.shots, *backend) *
+                                   sig.quantum_runtime_multiplier);
+  }
+  input.jobs.push_back(job);
+
+  sched::SchedulerConfig scheduler;
+  scheduler.fidelity_weight = config_.fidelity_weight;
+  scheduler.nsga2.seed = rng_();
+  const auto decision = sched::schedule_cycle(input, scheduler);
+  if (decision.assignment.empty() || decision.assignment[0] < 0) {
+    throw std::runtime_error("run_quantum_task: no QPU available for '" + task.name + "'");
+  }
+  const auto q = static_cast<std::size_t>(decision.assignment[0]);
+  const auto& backend = *fleet_.backends[q];
+  const auto& chosen = transpiled[q];
+
+  // 2. Execute on the chosen backend.
+  TaskResult result;
+  result.name = task.name;
+  result.kind = workflow::TaskKind::kQuantum;
+  result.resource = backend.name();
+  result.start = std::max(ready_at, qpu_available_at_[q]);
+  result.end = result.start + job.est_exec_seconds[q];
+  qpu_available_at_[q] = result.end;
+
+  // Count active qubits to decide between exact trajectory simulation and
+  // the analytic ground-truth model.
+  std::vector<bool> active(static_cast<std::size_t>(chosen.circuit.num_qubits()), false);
+  int n_active = 0;
+  for (const auto& g : chosen.circuit.gates()) {
+    for (int i = 0; i < g.arity(); ++i) {
+      if (!active[static_cast<std::size_t>(g.qubit(i))]) {
+        active[static_cast<std::size_t>(g.qubit(i))] = true;
+        ++n_active;
+      }
+    }
+  }
+  const auto sig = mitigation::compute_signature(
+      task.mitigation, static_cast<std::size_t>(task.circ.num_qubits()),
+      static_cast<std::size_t>(chosen.circuit.depth()), chosen.circuit.two_qubit_gate_count(),
+      static_cast<std::size_t>(chosen.circuit.num_clbits()),
+      backend.calibration().mean_gate_error_2q(), task.accelerator);
+  if (n_active <= config_.trajectory_width_limit && !sig.cuts_circuit) {
+    sim::TrajectoryOptions opts;
+    opts.delay_dephasing_residual = sig.delay_dephasing_residual;
+    result.counts = sim::run_noisy(chosen.circuit, backend, task.shots, rng_, hidden_, opts);
+    const double raw =
+        sim::hellinger_fidelity(result.counts, sim::ideal_distribution(task.circ));
+    result.fidelity = mitigation::mitigated_fidelity(raw, sig);
+  } else {
+    result.fidelity = estimator::executed_fidelity(chosen.circuit, backend, sig, hidden_,
+                                                   1.08, task.shots, rng_);
+  }
+  result.cost_dollars = estimator::job_cost_dollars(
+      job.est_exec_seconds[q],
+      sig.classical_preprocess_seconds + sig.classical_postprocess_seconds, task.accelerator,
+      config_.plan_config.prices);
+  publish_fleet_state();
+  return result;
+}
+
+TaskResult Qonductor::run_classical_task(const workflow::HybridTask& task, double ready_at) {
+  const int node = sched::schedule_classical(nodes_, task.request);
+  if (node < 0) {
+    throw std::runtime_error("run_classical_task: no node fits '" + task.name + "'");
+  }
+  TaskResult result;
+  result.name = task.name;
+  result.kind = workflow::TaskKind::kClassical;
+  result.resource = nodes_[static_cast<std::size_t>(node)].name;
+  result.start = ready_at;  // abundant classical capacity: no queueing
+  result.end = ready_at + task.estimated_seconds / mitigation::accelerator_speedup(task.accelerator);
+  result.cost_dollars = estimator::job_cost_dollars(0.0, result.end - result.start,
+                                                    task.accelerator,
+                                                    config_.plan_config.prices);
+  return result;
+}
+
+RunId Qonductor::invoke(workflow::ImageId image) {
+  const auto it = deployed_.find(image);
+  if (it == deployed_.end() || !it->second) {
+    throw std::invalid_argument("invoke: image not deployed");
+  }
+  const auto& img = registry_.get(image);
+  const RunId run = next_run_++;
+  monitor_.set_workflow_status(run, workflow_status_name(WorkflowStatus::kRunning));
+
+  WorkflowResult result;
+  result.run = run;
+  result.status = WorkflowStatus::kRunning;
+  std::vector<double> finish(img.dag.size(), 0.0);
+  try {
+    for (const workflow::TaskId t : img.dag.topological_order()) {
+      double ready = 0.0;
+      for (const workflow::TaskId dep : img.dag.dependencies(t)) {
+        ready = std::max(ready, finish[dep]);
+      }
+      const auto& task = img.dag.task(t);
+      TaskResult tr = task.kind == workflow::TaskKind::kQuantum
+                          ? run_quantum_task(task, ready)
+                          : run_classical_task(task, ready);
+      finish[t] = tr.end;
+      result.makespan_seconds = std::max(result.makespan_seconds, tr.end);
+      result.total_cost_dollars += tr.cost_dollars;
+      if (tr.kind == workflow::TaskKind::kQuantum) {
+        result.min_fidelity = std::min(result.min_fidelity, tr.fidelity);
+      }
+      result.tasks.push_back(std::move(tr));
+    }
+    result.status = WorkflowStatus::kCompleted;
+  } catch (const std::exception&) {
+    result.status = WorkflowStatus::kFailed;
+  }
+  monitor_.set_workflow_status(run, workflow_status_name(result.status));
+  runs_[run] = std::move(result);
+  return run;
+}
+
+WorkflowStatus Qonductor::workflowStatus(RunId run) const {
+  const auto it = runs_.find(run);
+  if (it == runs_.end()) throw std::out_of_range("workflowStatus: unknown run");
+  return it->second.status;
+}
+
+const WorkflowResult& Qonductor::workflowResults(RunId run) const {
+  const auto it = runs_.find(run);
+  if (it == runs_.end()) throw std::out_of_range("workflowResults: unknown run");
+  return it->second;
+}
+
+std::vector<workflow::ImageId> Qonductor::listImages() const { return registry_.list(); }
+
+}  // namespace qon::core

@@ -1,0 +1,119 @@
+#pragma once
+// The Qonductor orchestrator: control plane (API server + resource
+// estimator + hybrid scheduler + job manager), data plane (workflow manager
+// + registry) and worker nodes (QPU fleet + classical node pool) assembled
+// into the user-facing API of Table 2:
+//
+//   createWorkflow  — package hybrid code into a workflow image  (User->CP)
+//   deploy          — register the image for execution           (User->CP)
+//   invoke          — run a deployed image                       (User->CP)
+//   workflowStatus / workflowResults — query execution           (User->CP)
+//   listImages      — registry contents                          (CP->DP)
+//   estimateResources — resource plans for a circuit             (CP->CP)
+//   generateSchedule  — hybrid schedule for a job batch          (CP->CP)
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system_monitor.hpp"
+#include "estimator/plans.hpp"
+#include "qpu/fleet.hpp"
+#include "sched/hybrid_scheduler.hpp"
+#include "simulator/noise.hpp"
+#include "workflow/registry.hpp"
+
+namespace qon::core {
+
+using RunId = std::uint64_t;
+
+enum class WorkflowStatus { kPending, kRunning, kCompleted, kFailed };
+
+const char* workflow_status_name(WorkflowStatus status);
+
+/// Per-task execution record in a finished workflow run.
+struct TaskResult {
+  std::string name;
+  workflow::TaskKind kind = workflow::TaskKind::kClassical;
+  std::string resource;  ///< QPU or classical node name
+  double start = 0.0;
+  double end = 0.0;
+  double fidelity = 0.0;       ///< quantum tasks only
+  double cost_dollars = 0.0;
+  sim::Counts counts;          ///< populated for small quantum tasks
+};
+
+struct WorkflowResult {
+  RunId run = 0;
+  WorkflowStatus status = WorkflowStatus::kPending;
+  std::vector<TaskResult> tasks;
+  double makespan_seconds = 0.0;
+  double total_cost_dollars = 0.0;
+  double min_fidelity = 1.0;  ///< the binding fidelity across quantum tasks
+};
+
+struct QonductorConfig {
+  std::size_t num_qpus = 4;
+  std::uint64_t seed = 2025;
+  double fidelity_weight = 0.5;       ///< MCDM preference
+  estimator::PlanConfig plan_config;
+  bool replicated_monitor = false;    ///< Raft-backed system monitor
+  std::size_t classical_standard_nodes = 8;
+  std::size_t classical_highend_nodes = 2;
+  std::size_t classical_fpga_nodes = 1;
+  double hidden_sigma = 0.25;         ///< ground-truth perturbation
+  /// Trajectory-simulate quantum tasks whose active width fits (exact
+  /// counts + Hellinger fidelity); larger tasks use the analytic model.
+  int trajectory_width_limit = 12;
+};
+
+/// The orchestrator facade. Execution is simulated synchronously: invoke()
+/// walks the workflow DAG, schedules each task on the fleet / node pool,
+/// and advances a per-run virtual clock.
+class Qonductor {
+ public:
+  explicit Qonductor(QonductorConfig config = {});
+
+  // -- Table 2: user-facing API ------------------------------------------------
+  workflow::ImageId createWorkflow(const std::string& name,
+                                   std::vector<workflow::HybridTask> tasks,
+                                   const std::string& yaml_config = "");
+  /// Marks an image deployable after validating its configuration; returns
+  /// the same id for invocation.
+  workflow::ImageId deploy(workflow::ImageId image);
+  RunId invoke(workflow::ImageId image);
+  WorkflowStatus workflowStatus(RunId run) const;
+  const WorkflowResult& workflowResults(RunId run) const;
+
+  // -- Table 2: control/data-plane operations ----------------------------------
+  std::vector<workflow::ImageId> listImages() const;
+  estimator::PlanSet estimateResources(const circuit::Circuit& circ) const;
+  sched::ScheduleDecision generateSchedule(const sched::SchedulingInput& input) const;
+
+  // -- introspection -------------------------------------------------------------
+  const qpu::Fleet& fleet() const { return fleet_; }
+  SystemMonitor& monitor() { return monitor_; }
+  const std::vector<sched::ClassicalNode>& nodes() const { return nodes_; }
+
+ private:
+  TaskResult run_quantum_task(const workflow::HybridTask& task, double ready_at);
+  TaskResult run_classical_task(const workflow::HybridTask& task, double ready_at);
+  void publish_fleet_state();
+
+  QonductorConfig config_;
+  Rng rng_;
+  sim::HiddenNoise hidden_;
+  qpu::Fleet fleet_;
+  std::vector<qpu::Backend> templates_;
+  std::vector<sched::ClassicalNode> nodes_;
+  workflow::WorkflowRegistry registry_;
+  std::map<workflow::ImageId, bool> deployed_;
+  SystemMonitor monitor_;
+  std::map<RunId, WorkflowResult> runs_;
+  RunId next_run_ = 1;
+  std::vector<double> qpu_available_at_;
+};
+
+}  // namespace qon::core

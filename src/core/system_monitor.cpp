@@ -1,0 +1,80 @@
+#include "core/system_monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qon::core {
+
+SystemMonitor::SystemMonitor(bool replicated, std::size_t replicas) {
+  if (replicated) store_ = std::make_unique<raft::ReplicatedKvStore>(replicas);
+}
+
+bool SystemMonitor::put(const std::string& key, const std::string& value) {
+  if (store_) return store_->set(key, value);
+  local_[key] = value;
+  return true;
+}
+
+std::optional<std::string> SystemMonitor::get(const std::string& key) const {
+  if (store_) return store_->get(key);
+  const auto it = local_.find(key);
+  if (it == local_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SystemMonitor::erase(const std::string& key) {
+  if (store_) return store_->erase(key);
+  local_.erase(key);
+  return true;
+}
+
+namespace {
+
+std::string serialize_qpu(const QpuInfo& info) {
+  std::ostringstream oss;
+  oss << info.qubits << "|" << info.queue_length << "|" << info.queue_wait_seconds << "|"
+      << info.mean_gate_error_2q << "|" << info.calibration_cycle << "|"
+      << (info.online ? 1 : 0);
+  return oss.str();
+}
+
+std::optional<QpuInfo> deserialize_qpu(const std::string& name, const std::string& data) {
+  QpuInfo info;
+  info.name = name;
+  char sep = 0;
+  int online = 1;
+  std::istringstream in(data);
+  if (!(in >> info.qubits >> sep >> info.queue_length >> sep >> info.queue_wait_seconds >>
+        sep >> info.mean_gate_error_2q >> sep >> info.calibration_cycle >> sep >> online)) {
+    return std::nullopt;
+  }
+  info.online = online != 0;
+  return info;
+}
+
+}  // namespace
+
+void SystemMonitor::update_qpu(const QpuInfo& info) {
+  if (std::find(qpu_names_.begin(), qpu_names_.end(), info.name) == qpu_names_.end()) {
+    qpu_names_.push_back(info.name);
+  }
+  put("qpu/" + info.name, serialize_qpu(info));
+}
+
+std::optional<QpuInfo> SystemMonitor::qpu(const std::string& name) const {
+  const auto raw = get("qpu/" + name);
+  if (!raw) return std::nullopt;
+  return deserialize_qpu(name, *raw);
+}
+
+std::vector<std::string> SystemMonitor::qpu_names() const { return qpu_names_; }
+
+void SystemMonitor::set_workflow_status(std::uint64_t run_id, const std::string& status) {
+  put("workflow/" + std::to_string(run_id) + "/status", status);
+}
+
+std::optional<std::string> SystemMonitor::workflow_status(std::uint64_t run_id) const {
+  return get("workflow/" + std::to_string(run_id) + "/status");
+}
+
+}  // namespace qon::core

@@ -1,0 +1,57 @@
+#pragma once
+// System monitor (§4.1): the datastore persisting the complete system state
+// — worker/QPU static and dynamic information, workflow statuses and
+// results. Backed either by a plain local map (fast path for simulation)
+// or by the Raft-replicated KV store (2f+1 quorum, §4.1 fault tolerance).
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "raft/kv_store.hpp"
+
+namespace qon::core {
+
+/// QPU record published by worker-node device managers.
+struct QpuInfo {
+  std::string name;
+  int qubits = 0;
+  std::size_t queue_length = 0;
+  double queue_wait_seconds = 0.0;
+  double mean_gate_error_2q = 0.0;
+  std::uint64_t calibration_cycle = 0;
+  bool online = true;
+};
+
+class SystemMonitor {
+ public:
+  /// `replicated` switches to the Raft-backed store (slower, fault
+  /// tolerant); the local map is the default for simulations.
+  explicit SystemMonitor(bool replicated = false, std::size_t replicas = 3);
+
+  // -- raw KV ----------------------------------------------------------------
+  bool put(const std::string& key, const std::string& value);
+  std::optional<std::string> get(const std::string& key) const;
+  bool erase(const std::string& key);
+
+  // -- QPU state ---------------------------------------------------------------
+  void update_qpu(const QpuInfo& info);
+  std::optional<QpuInfo> qpu(const std::string& name) const;
+  std::vector<std::string> qpu_names() const;
+
+  // -- workflow state ---------------------------------------------------------
+  void set_workflow_status(std::uint64_t run_id, const std::string& status);
+  std::optional<std::string> workflow_status(std::uint64_t run_id) const;
+
+  bool replicated() const { return store_ != nullptr; }
+
+ private:
+  // Exactly one of these is active.
+  std::map<std::string, std::string> local_;
+  std::unique_ptr<raft::ReplicatedKvStore> store_;
+  std::vector<std::string> qpu_names_;  ///< registration order
+};
+
+}  // namespace qon::core

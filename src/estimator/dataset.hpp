@@ -1,0 +1,41 @@
+#pragma once
+// Synthetic run archive: the stand-in for the paper's dataset of 7,000+
+// real executions on the IBM cloud. Benchmark circuits are transpiled to
+// random fleet backends under random mitigation stacks and "executed" by
+// the ground-truth model (true = published calibration x hidden
+// perturbation x crosstalk, plus shot noise), yielding
+// (features -> fidelity, quantum runtime) training pairs.
+
+#include <cstdint>
+#include <vector>
+
+#include "estimator/features.hpp"
+#include "qpu/fleet.hpp"
+#include "simulator/noise.hpp"
+
+namespace qon::estimator {
+
+/// One archived execution.
+struct RunRecord {
+  JobFeatures features;
+  double fidelity = 0.0;          ///< measured (ground-truth) fidelity
+  double quantum_seconds = 0.0;   ///< measured quantum execution time
+  double classical_seconds = 0.0; ///< classical pre+post processing time
+};
+
+struct ArchiveConfig {
+  std::size_t num_runs = 2000;
+  int min_qubits = 2;
+  int max_qubits = 24;
+  int min_shots = 1000;
+  int max_shots = 8000;
+  std::uint64_t seed = 7;
+  /// Hidden-noise strength the ground truth uses (estimators never see it).
+  double hidden_sigma = 0.25;
+  double crosstalk_factor = 1.08;
+};
+
+/// Generates the archive by executing benchmarks across `fleet`.
+std::vector<RunRecord> generate_run_archive(const qpu::Fleet& fleet, const ArchiveConfig& config);
+
+}  // namespace qon::estimator

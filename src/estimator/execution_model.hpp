@@ -1,0 +1,31 @@
+#pragma once
+// Shared analytic execution model: how a (transpiled circuit, mitigation
+// signature, backend) triple maps to fidelity. Used in three places with
+// different noise knowledge:
+//  * predicted_fidelity(...)   — estimator-visible (published calibration);
+//  * executed_fidelity(...)    — ground truth (hidden perturbation,
+//                                crosstalk, shot noise).
+// Keeping both in one translation unit guarantees the estimator and the
+// simulator agree on everything except the hidden terms.
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "mitigation/pipeline.hpp"
+#include "qpu/backend.hpp"
+#include "simulator/noise.hpp"
+
+namespace qon::estimator {
+
+/// Mitigated fidelity as the estimator would compute it from published
+/// calibration only (no hidden noise, no crosstalk model).
+double predicted_fidelity(const circuit::Circuit& physical, const qpu::Backend& backend,
+                          const mitigation::MitigationSignature& signature);
+
+/// Ground-truth mitigated fidelity: true rates (hidden perturbation +
+/// crosstalk) plus shot noise from `shots` samples.
+double executed_fidelity(const circuit::Circuit& physical, const qpu::Backend& backend,
+                         const mitigation::MitigationSignature& signature,
+                         const sim::HiddenNoise& hidden, double crosstalk_factor, int shots,
+                         Rng& rng);
+
+}  // namespace qon::estimator

@@ -1,0 +1,89 @@
+#include "estimator/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qon::estimator {
+
+using mitigation::Technique;
+
+JobFeatures extract_features(const transpiler::TranspileResult& transpiled, int shots,
+                             const mitigation::MitigationSpec& spec,
+                             const qpu::Backend& backend) {
+  JobFeatures f;
+  const auto& circ = transpiled.circuit;
+  f.width = static_cast<double>(transpiled.initial_layout.size());
+  f.depth = static_cast<double>(circ.depth());
+  f.two_qubit_gates = static_cast<double>(circ.two_qubit_gate_count());
+  f.total_gates = static_cast<double>(circ.operation_count());
+  f.shots = static_cast<double>(shots);
+  f.duration_single_shot = transpiled.schedule.duration;
+  f.rep_delay = backend.calibration().rep_delay;
+
+  f.zne = spec.uses(Technique::kZne) ? 1.0 : 0.0;
+  f.pec = spec.uses(Technique::kPec) ? 1.0 : 0.0;
+  f.rem = spec.uses(Technique::kRem) ? 1.0 : 0.0;
+  f.dd = spec.uses(Technique::kDd) ? 1.0 : 0.0;
+  f.twirling = spec.uses(Technique::kTwirling) ? 1.0 : 0.0;
+  f.cutting = spec.uses(Technique::kCutting) ? 1.0 : 0.0;
+
+  const auto& cal = backend.calibration();
+  f.mean_gate_error_2q = cal.mean_gate_error_2q();
+  f.mean_gate_error_1q = cal.mean_gate_error_1q();
+  f.mean_readout_error = cal.mean_readout_error();
+  f.mean_t1 = cal.mean_t1();
+  f.mean_t2 = cal.mean_t2();
+  return f;
+}
+
+std::vector<double> runtime_feature_vector(const JobFeatures& f) {
+  // Quantum runtime is multiplicative: shots x (duration + rep delay) x
+  // per-technique multipliers. The log-transformed base features make that
+  // structure (nearly) linear for the log-target runtime model.
+  const double log_shots = std::log(std::max(f.shots, 1.0));
+  const double log_duration =
+      std::log(std::max(f.duration_single_shot, 1e-9) + std::max(f.rep_delay, 1e-9));
+  return {f.width,     f.depth, f.two_qubit_gates, f.total_gates,
+          f.shots,     f.duration_single_shot, f.rep_delay,
+          log_shots,   log_duration,
+          f.zne,       f.pec,   f.rem,             f.dd,
+          f.twirling,  f.cutting};
+}
+
+std::vector<double> fidelity_feature_vector(const JobFeatures& f) {
+  // Physics-informed feature: the log-ESP a calibration-product model would
+  // compute. The regression learns mitigation uplift, crosstalk bias and
+  // residual structure on top of it (cf. Fig. 7b: regression vs numerical).
+  const double one_q_gates = std::max(f.total_gates - f.two_qubit_gates, 0.0);
+  double log_esp = -(f.two_qubit_gates * f.mean_gate_error_2q +
+                     one_q_gates * f.mean_gate_error_1q +
+                     f.width * f.mean_readout_error);
+  if (f.mean_t1 > 0.0 && f.mean_t2 > 0.0) {
+    log_esp -= f.duration_single_shot * (1.0 / f.mean_t1 + 0.5 / f.mean_t2);
+  }
+  log_esp = std::max(log_esp, -60.0);
+  return {f.width,
+          f.depth,
+          f.two_qubit_gates,
+          f.total_gates,
+          f.duration_single_shot,
+          f.zne,
+          f.pec,
+          f.rem,
+          f.dd,
+          f.twirling,
+          f.cutting,
+          f.mean_gate_error_2q,
+          f.mean_gate_error_1q,
+          f.mean_readout_error,
+          f.mean_t1,
+          f.mean_t2,
+          log_esp,
+          std::exp(log_esp)};
+}
+
+std::size_t runtime_feature_count() { return 15; }
+
+std::size_t fidelity_feature_count() { return 18; }
+
+}  // namespace qon::estimator

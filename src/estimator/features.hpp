@@ -1,0 +1,59 @@
+#pragma once
+// Feature extraction for the resource estimator's regression models (§6):
+// circuit shape (width, shots, depth, two-qubit count), the mitigation
+// stack applied, and — for fidelity estimation — the target backend's
+// calibration summary.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "mitigation/pipeline.hpp"
+#include "qpu/backend.hpp"
+#include "transpiler/transpiler.hpp"
+
+namespace qon::estimator {
+
+/// The information about one (circuit, mitigation, backend, shots) job that
+/// the estimators consume.
+struct JobFeatures {
+  // Circuit shape (of the *transpiled* circuit).
+  double width = 0.0;
+  double depth = 0.0;
+  double two_qubit_gates = 0.0;
+  double total_gates = 0.0;
+  double shots = 0.0;
+  double duration_single_shot = 0.0;  ///< scheduled seconds per shot
+  double rep_delay = 250e-6;          ///< device repetition delay [s]
+
+  // Mitigation one-hot.
+  double zne = 0.0;
+  double pec = 0.0;
+  double rem = 0.0;
+  double dd = 0.0;
+  double twirling = 0.0;
+  double cutting = 0.0;
+
+  // Backend calibration summary (target QPU).
+  double mean_gate_error_2q = 0.0;
+  double mean_gate_error_1q = 0.0;
+  double mean_readout_error = 0.0;
+  double mean_t1 = 0.0;
+  double mean_t2 = 0.0;
+};
+
+/// Extracts features from a transpile result + spec + backend.
+JobFeatures extract_features(const transpiler::TranspileResult& transpiled, int shots,
+                             const mitigation::MitigationSpec& spec,
+                             const qpu::Backend& backend);
+
+/// Feature vector used by the *runtime* model (circuit shape + mitigation).
+std::vector<double> runtime_feature_vector(const JobFeatures& f);
+
+/// Feature vector used by the *fidelity* model (adds calibration summary).
+std::vector<double> fidelity_feature_vector(const JobFeatures& f);
+
+/// Column counts (for matrix pre-sizing).
+std::size_t runtime_feature_count();
+std::size_t fidelity_feature_count();
+
+}  // namespace qon::estimator

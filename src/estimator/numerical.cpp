@@ -1,0 +1,22 @@
+#include "estimator/numerical.hpp"
+
+#include "simulator/esp.hpp"
+
+namespace qon::estimator {
+
+double numerical_fidelity_estimate(const circuit::Circuit& physical,
+                                   const qpu::Backend& backend) {
+  // Published-calibration ESP: no hidden perturbation, no crosstalk model.
+  return sim::esp_fidelity(physical, backend, sim::HiddenNoise::none());
+}
+
+double numerical_runtime_estimate(const transpiler::TranspileResult& transpiled, int shots) {
+  return transpiler::job_quantum_runtime(transpiled.schedule, shots);
+}
+
+double numerical_runtime_estimate(const transpiler::TranspileResult& transpiled, int shots,
+                                  const qpu::Backend& backend) {
+  return transpiler::job_quantum_runtime(transpiled.schedule, shots, backend);
+}
+
+}  // namespace qon::estimator

@@ -1,0 +1,26 @@
+#pragma once
+// Numerical baseline estimator (Fig. 7b/c): the state-of-the-art approach
+// of computing fidelity and runtime directly from calibration data — walk
+// the circuit multiplying gate success probabilities / summing durations.
+// It ignores error-mitigation effects and any estimator-invisible noise,
+// which is exactly why the regression estimator beats it.
+
+#include "circuit/circuit.hpp"
+#include "qpu/backend.hpp"
+#include "transpiler/transpiler.hpp"
+
+namespace qon::estimator {
+
+/// Calibration-product fidelity estimate of a transpiled circuit (no
+/// mitigation awareness, no hidden-noise awareness).
+double numerical_fidelity_estimate(const circuit::Circuit& physical,
+                                   const qpu::Backend& backend);
+
+/// Duration-sum runtime estimate: shots x (scheduled duration + the
+/// device's published rep delay when a backend is given, else the IBM-like
+/// 250 us default). No mitigation-multiplier awareness.
+double numerical_runtime_estimate(const transpiler::TranspileResult& transpiled, int shots);
+double numerical_runtime_estimate(const transpiler::TranspileResult& transpiled, int shots,
+                                  const qpu::Backend& backend);
+
+}  // namespace qon::estimator

@@ -1,0 +1,112 @@
+#include "estimator/plans.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "estimator/execution_model.hpp"
+#include "estimator/numerical.hpp"
+#include "moo/mcdm.hpp"
+#include "moo/problem.hpp"
+#include "transpiler/transpiler.hpp"
+
+namespace qon::estimator {
+
+PlanSet generate_resource_plans(const circuit::Circuit& circ,
+                                const std::vector<qpu::Backend>& templates,
+                                const PlanConfig& config,
+                                const FidelityEstimator* fidelity_model,
+                                const RuntimeEstimator* runtime_model) {
+  if (templates.empty()) {
+    throw std::invalid_argument("generate_resource_plans: no template backends");
+  }
+  PlanSet result;
+  const auto menu = mitigation::standard_mitigation_menu();
+
+  for (const auto& tmpl : templates) {
+    if (circ.num_qubits() > tmpl.num_qubits()) continue;  // client filter
+    const auto transpiled = transpiler::transpile(circ, tmpl);
+    for (const auto& spec : menu) {
+      const auto sig = mitigation::compute_signature(
+          spec, static_cast<std::size_t>(circ.num_qubits()),
+          static_cast<std::size_t>(transpiled.circuit.depth()),
+          transpiled.circuit.two_qubit_gate_count(),
+          static_cast<std::size_t>(transpiled.circuit.num_clbits()),
+          tmpl.calibration().mean_gate_error_2q(), mitigation::Accelerator::kCpu);
+      for (const auto accel : config.accelerators) {
+        // Recompute the signature for this accelerator's classical costs.
+        const auto sig_a = mitigation::compute_signature(
+            spec, static_cast<std::size_t>(circ.num_qubits()),
+            static_cast<std::size_t>(transpiled.circuit.depth()),
+            transpiled.circuit.two_qubit_gate_count(),
+            static_cast<std::size_t>(transpiled.circuit.num_clbits()),
+            tmpl.calibration().mean_gate_error_2q(), accel);
+
+        ResourcePlan plan;
+        plan.spec = spec;
+        plan.accelerator = accel;
+        plan.template_backend = tmpl.name();
+        plan.delay_dephasing_residual = sig_a.delay_dephasing_residual;
+
+        const auto features = extract_features(transpiled, config.shots, spec, tmpl);
+        if (fidelity_model != nullptr && fidelity_model->trained()) {
+          plan.est_fidelity = fidelity_model->estimate(features);
+        } else {
+          plan.est_fidelity = predicted_fidelity(transpiled.circuit, tmpl, sig_a);
+        }
+        if (runtime_model != nullptr && runtime_model->trained()) {
+          // The model predicts a single circuit execution; the mitigation
+          // stack multiplies it (instances / noise scaling).
+          plan.est_quantum_seconds =
+              runtime_model->estimate(features) * sig_a.quantum_runtime_multiplier;
+        } else {
+          plan.est_quantum_seconds =
+              numerical_runtime_estimate(transpiled, config.shots, tmpl) *
+              sig_a.quantum_runtime_multiplier;
+        }
+        plan.est_classical_seconds =
+            sig_a.classical_preprocess_seconds + sig_a.classical_postprocess_seconds;
+        plan.est_total_seconds = plan.est_quantum_seconds + plan.est_classical_seconds;
+        plan.est_cost_dollars = job_cost_dollars(plan.est_quantum_seconds,
+                                                 plan.est_classical_seconds, accel,
+                                                 config.prices);
+        result.all.push_back(std::move(plan));
+        (void)sig;
+      }
+    }
+  }
+
+  // Pareto filter on (minimize total time, maximize fidelity).
+  std::vector<std::vector<double>> objectives;
+  objectives.reserve(result.all.size());
+  for (const auto& p : result.all) {
+    objectives.push_back({p.est_total_seconds, 1.0 - p.est_fidelity});
+  }
+  for (std::size_t idx : moo::non_dominated_indices(objectives)) {
+    result.pareto.push_back(result.all[idx]);
+  }
+  std::sort(result.pareto.begin(), result.pareto.end(),
+            [](const ResourcePlan& a, const ResourcePlan& b) {
+              return a.est_total_seconds < b.est_total_seconds;
+            });
+
+  // Recommended: fastest, most faithful, and the pseudo-weight balanced pick.
+  if (!result.pareto.empty()) {
+    std::vector<std::size_t> picks;
+    picks.push_back(0);                        // fastest
+    picks.push_back(result.pareto.size() - 1); // highest fidelity (slowest end)
+    std::vector<std::vector<double>> pareto_objs;
+    for (const auto& p : result.pareto) {
+      pareto_objs.push_back({p.est_total_seconds, 1.0 - p.est_fidelity});
+    }
+    picks.push_back(moo::select_by_pseudo_weight(pareto_objs, {0.5, 0.5}));
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+    for (std::size_t i : picks) {
+      if (result.recommended.size() >= config.max_recommended) break;
+      result.recommended.push_back(result.pareto[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace qon::estimator

@@ -1,0 +1,54 @@
+#pragma once
+// Resource plan generation (§6, Fig. 4): enumerate mitigation stacks x
+// accelerators x template QPUs, estimate fidelity / runtime / cost for
+// each, Pareto-filter on (fidelity, total runtime) and recommend a
+// configurable number of plans (default three: fast, balanced, faithful).
+
+#include <string>
+#include <vector>
+
+#include "estimator/models.hpp"
+#include "estimator/pricing.hpp"
+#include "mitigation/pipeline.hpp"
+#include "qpu/backend.hpp"
+
+namespace qon::estimator {
+
+/// One costed execution option for a workflow's quantum job.
+struct ResourcePlan {
+  mitigation::MitigationSpec spec;
+  mitigation::Accelerator accelerator = mitigation::Accelerator::kCpu;
+  std::string template_backend;
+  double est_fidelity = 0.0;
+  double est_quantum_seconds = 0.0;
+  double est_classical_seconds = 0.0;
+  double est_total_seconds = 0.0;
+  double est_cost_dollars = 0.0;
+  /// The DD dephasing residual to execute with (noise-model consistency).
+  double delay_dephasing_residual = 1.0;
+};
+
+struct PlanConfig {
+  int shots = 4000;
+  std::size_t max_recommended = 3;  ///< paper default: three plans
+  std::vector<mitigation::Accelerator> accelerators = {mitigation::Accelerator::kCpu,
+                                                       mitigation::Accelerator::kGpu};
+  PriceTable prices;
+};
+
+struct PlanSet {
+  std::vector<ResourcePlan> all;          ///< every enumerated option
+  std::vector<ResourcePlan> pareto;       ///< non-dominated (fidelity vs time)
+  std::vector<ResourcePlan> recommended;  ///< up to max_recommended spread
+};
+
+/// Generates plans for `circ` against the given template backends. When the
+/// regression estimators are provided (trained), they produce the fidelity/
+/// runtime estimates; otherwise the calibration-model fallback is used.
+PlanSet generate_resource_plans(const circuit::Circuit& circ,
+                                const std::vector<qpu::Backend>& templates,
+                                const PlanConfig& config,
+                                const FidelityEstimator* fidelity_model = nullptr,
+                                const RuntimeEstimator* runtime_model = nullptr);
+
+}  // namespace qon::estimator

@@ -1,0 +1,50 @@
+#include "estimator/pricing.hpp"
+
+#include <stdexcept>
+
+namespace qon::estimator {
+
+const char* resource_class_name(ResourceClass r) {
+  switch (r) {
+    case ResourceClass::kStandardVm: return "standard-vm";
+    case ResourceClass::kHighEndVm: return "high-end-vm";
+    case ResourceClass::kQpu: return "qpu";
+  }
+  return "?";
+}
+
+double PriceTable::per_task(ResourceClass r) const {
+  switch (r) {
+    case ResourceClass::kStandardVm: return standard_vm_per_task;
+    case ResourceClass::kHighEndVm: return highend_vm_per_task;
+    case ResourceClass::kQpu: return qpu_per_task;
+  }
+  throw std::logic_error("PriceTable::per_task: bad class");
+}
+
+double PriceTable::per_hour(ResourceClass r) const {
+  switch (r) {
+    case ResourceClass::kStandardVm: return standard_vm_per_hour;
+    case ResourceClass::kHighEndVm: return highend_vm_per_hour;
+    case ResourceClass::kQpu: return qpu_per_hour;
+  }
+  throw std::logic_error("PriceTable::per_hour: bad class");
+}
+
+ResourceClass vm_class_for(mitigation::Accelerator accelerator) {
+  return accelerator == mitigation::Accelerator::kCpu ? ResourceClass::kStandardVm
+                                                      : ResourceClass::kHighEndVm;
+}
+
+double job_cost_dollars(double quantum_seconds, double classical_seconds,
+                        mitigation::Accelerator accelerator, const PriceTable& prices) {
+  if (quantum_seconds < 0.0 || classical_seconds < 0.0) {
+    throw std::invalid_argument("job_cost_dollars: negative time");
+  }
+  const double qpu = prices.per_hour(ResourceClass::kQpu) * quantum_seconds / 3600.0;
+  const double vm =
+      prices.per_hour(vm_class_for(accelerator)) * classical_seconds / 3600.0;
+  return qpu + vm;
+}
+
+}  // namespace qon::estimator

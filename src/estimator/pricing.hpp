@@ -1,0 +1,38 @@
+#pragma once
+// Cloud pricing model (paper Table 1): $/task and $/hour for standard VMs,
+// high-end VMs and QPUs. The resource estimator uses it to attach a dollar
+// cost to every resource plan.
+
+#include <string>
+
+#include "mitigation/pipeline.hpp"
+
+namespace qon::estimator {
+
+/// Resource classes priced in Table 1.
+enum class ResourceClass { kStandardVm, kHighEndVm, kQpu };
+
+const char* resource_class_name(ResourceClass r);
+
+/// Price table; defaults sit inside the ranges reported in Table 1.
+struct PriceTable {
+  double standard_vm_per_task = 0.5;   ///< "<1$"
+  double standard_vm_per_hour = 3.0;   ///< "1-5$"
+  double highend_vm_per_task = 5.0;    ///< "1-10$"
+  double highend_vm_per_hour = 25.0;   ///< "10-40$"
+  double qpu_per_task = 100.0;         ///< "30-200$"
+  double qpu_per_hour = 4500.0;        ///< "3000-6000$"
+
+  double per_task(ResourceClass r) const;
+  double per_hour(ResourceClass r) const;
+};
+
+/// VM class an accelerator choice implies (GPU/FPGA nodes are high-end).
+ResourceClass vm_class_for(mitigation::Accelerator accelerator);
+
+/// Dollar cost of one hybrid job execution: metered QPU seconds plus
+/// metered VM seconds on the accelerator's class (per-hour pricing).
+double job_cost_dollars(double quantum_seconds, double classical_seconds,
+                        mitigation::Accelerator accelerator, const PriceTable& prices = {});
+
+}  // namespace qon::estimator

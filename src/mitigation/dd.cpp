@@ -1,0 +1,82 @@
+#include "mitigation/dd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "transpiler/scheduling.hpp"
+
+namespace qon::mitigation {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+const char* dd_sequence_name(DdSequence seq) {
+  switch (seq) {
+    case DdSequence::kXpXm:
+      return "XpXm";
+    case DdSequence::kXyXy:
+      return "XYXY";
+  }
+  return "?";
+}
+
+DdResult insert_dd(const Circuit& physical, const qpu::Backend& backend, const DdConfig& config) {
+  if (config.min_idle_window <= 0.0) {
+    throw std::invalid_argument("insert_dd: min_idle_window must be > 0");
+  }
+  const auto& cal = backend.calibration();
+  DdResult result;
+  result.circuit = Circuit(physical.num_qubits(), physical.name() + "_dd");
+
+  const int pulses =
+      config.sequence == DdSequence::kXpXm ? 2 : 4;
+
+  std::vector<double> ready(static_cast<std::size_t>(physical.num_qubits()), 0.0);
+  std::vector<bool> active(static_cast<std::size_t>(physical.num_qubits()), false);
+  for (const auto& g : physical.gates()) {
+    if (g.kind == GateKind::kBarrier) {
+      const double sync = *std::max_element(ready.begin(), ready.end());
+      std::fill(ready.begin(), ready.end(), sync);
+      result.circuit.append(g);
+      continue;
+    }
+    const double dur = transpiler::gate_duration(g, backend);
+    double start = 0.0;
+    for (int i = 0; i < g.arity(); ++i) {
+      start = std::max(start, ready[static_cast<std::size_t>(g.qubit(i))]);
+    }
+    // Pad idle gaps on each operand with the DD sequence before the gate.
+    for (int i = 0; i < g.arity(); ++i) {
+      const int q = g.qubit(i);
+      const double gap = start - ready[static_cast<std::size_t>(q)];
+      const double pulse_dur =
+          cal.qubits[static_cast<std::size_t>(q)].gate_duration_1q * pulses;
+      if (active[static_cast<std::size_t>(q)] && gap > config.min_idle_window &&
+          gap > pulse_dur) {
+        // Split the remaining idle evenly into (pulses + 1) delay segments.
+        const double segment = (gap - pulse_dur) / static_cast<double>(pulses + 1);
+        for (int p = 0; p < pulses; ++p) {
+          result.circuit.delay(q, segment);
+          if (config.sequence == DdSequence::kXpXm || p % 2 == 0) {
+            result.circuit.x(q);
+          } else {
+            result.circuit.y(q);
+          }
+        }
+        result.circuit.delay(q, segment);
+        result.pulses_inserted += static_cast<std::size_t>(pulses);
+        result.protected_idle_seconds += gap;
+      }
+      active[static_cast<std::size_t>(q)] = true;
+    }
+    result.circuit.append(g);
+    const double finish = start + dur;
+    for (int i = 0; i < g.arity(); ++i) {
+      ready[static_cast<std::size_t>(g.qubit(i))] = finish;
+    }
+  }
+  return result;
+}
+
+}  // namespace qon::mitigation

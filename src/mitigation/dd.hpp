@@ -1,0 +1,45 @@
+#pragma once
+// Dynamical Decoupling: fills idle windows of a scheduled physical circuit
+// with pulse pairs (XpXm: X followed by X, net identity) separated by
+// delays. The inserted pulses are real gates (they cost gate error and
+// duration); the *benefit* — suppression of dephasing during protected idle
+// time — is modelled by the dephasing-suppression factor consumed by the
+// trajectory runner and ESP model (see DESIGN.md, decision 1).
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "qpu/backend.hpp"
+
+namespace qon::mitigation {
+
+/// Supported pulse sequences.
+enum class DdSequence {
+  kXpXm,  ///< X - X (net identity, echoes low-frequency dephasing)
+  kXyXy,  ///< X - Y - X - Y (suppresses both axes, costs 4 pulses)
+};
+
+const char* dd_sequence_name(DdSequence seq);
+
+struct DdConfig {
+  DdSequence sequence = DdSequence::kXpXm;
+  /// Idle windows shorter than this are left untouched [s].
+  double min_idle_window = 100e-9;
+  /// Fraction of Z (dephasing) idle noise surviving on protected qubits;
+  /// exposed so the noise model and ESP stay consistent.
+  double dephasing_residual = 0.35;
+};
+
+/// Result of a DD insertion pass.
+struct DdResult {
+  circuit::Circuit circuit;    ///< with pulse pairs + delays inserted
+  std::size_t pulses_inserted = 0;
+  double protected_idle_seconds = 0.0;  ///< total idle time now under DD
+};
+
+/// Inserts DD sequences into every idle window of `physical` longer than
+/// `config.min_idle_window`, using `backend` durations for scheduling.
+DdResult insert_dd(const circuit::Circuit& physical, const qpu::Backend& backend,
+                   const DdConfig& config = {});
+
+}  // namespace qon::mitigation

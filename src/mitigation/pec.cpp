@@ -1,0 +1,97 @@
+#include "mitigation/pec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::mitigation {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+double pec_gamma(double error_probability) {
+  if (error_probability < 0.0 || error_probability >= 1.0) {
+    throw std::invalid_argument("pec_gamma: error probability out of range");
+  }
+  return (1.0 + error_probability / 2.0) / (1.0 - error_probability);
+}
+
+double pec_sampling_overhead(const Circuit& physical, const qpu::Backend& backend) {
+  const auto& cal = backend.calibration();
+  double overhead = 1.0;
+  for (const auto& g : physical.gates()) {
+    double err = 0.0;
+    switch (g.kind) {
+      case GateKind::kCX:
+      case GateKind::kCZ:
+      case GateKind::kSwap:
+      case GateKind::kRZZ:
+        err = cal.edge(g.qubit(0), g.qubit(1)).gate_error_2q;
+        break;
+      case GateKind::kSX:
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kRX:
+      case GateKind::kRY:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+        err = cal.qubits[static_cast<std::size_t>(g.qubit(0))].gate_error_1q;
+        break;
+      default:
+        continue;  // rz/measure/barrier/delay carry no PEC cost
+    }
+    const double gamma = pec_gamma(std::min(err, 0.5));
+    overhead *= gamma * gamma;
+    if (overhead > 1e12) return 1e12;  // saturate: PEC infeasible here
+  }
+  return overhead;
+}
+
+std::vector<PecInstance> pec_instances(const Circuit& physical, const qpu::Backend& backend,
+                                       std::size_t count, std::uint64_t seed) {
+  if (count == 0) throw std::invalid_argument("pec_instances: need >= 1 instance");
+  const auto& cal = backend.calibration();
+  Rng rng(seed);
+  std::vector<PecInstance> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    PecInstance inst;
+    inst.circuit = Circuit(physical.num_qubits(), physical.name() + "_pec");
+    inst.sign = 1;
+    for (const auto& g : physical.gates()) {
+      inst.circuit.append(g);
+      double err = 0.0;
+      const bool two_q = circuit::is_two_qubit(g.kind);
+      if (two_q) {
+        err = cal.edge(g.qubit(0), g.qubit(1)).gate_error_2q;
+      } else if (g.kind == GateKind::kSX || g.kind == GateKind::kX || g.kind == GateKind::kRX ||
+                 g.kind == GateKind::kRY || g.kind == GateKind::kH || g.kind == GateKind::kY) {
+        err = cal.qubits[static_cast<std::size_t>(g.qubit(0))].gate_error_1q;
+      } else {
+        continue;
+      }
+      // The inverse channel applies a compensating Pauli with probability
+      // ~err/(1+err) and flips the quasi-probability sign when it does.
+      const double p_insert = std::min(err, 0.5) / (1.0 + std::min(err, 0.5));
+      if (!rng.bernoulli(p_insert)) continue;
+      inst.sign = -inst.sign;
+      auto random_pauli = [&rng]() -> GateKind {
+        switch (rng.uniform_int(0, 2)) {
+          case 0: return GateKind::kX;
+          case 1: return GateKind::kY;
+          default: return GateKind::kZ;
+        }
+      };
+      inst.circuit.append({random_pauli(), {g.qubit(0), 0}, 0.0});
+      if (two_q) inst.circuit.append({random_pauli(), {g.qubit(1), 0}, 0.0});
+    }
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+}  // namespace qon::mitigation

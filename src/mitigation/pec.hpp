@@ -1,0 +1,40 @@
+#pragma once
+// Probabilistic Error Cancellation: represents the inverse of each gate's
+// depolarizing noise channel as a quasi-probability mixture of Pauli
+// insertions. Executing sampled instances with sign weights cancels the
+// noise in expectation at a sampling cost of gamma² per gate.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "qpu/backend.hpp"
+
+namespace qon::mitigation {
+
+/// One sampled PEC instance: a circuit with random Pauli insertions and the
+/// sign of its quasi-probability weight.
+struct PecInstance {
+  circuit::Circuit circuit;
+  int sign = 1;  ///< +1 or -1
+};
+
+/// gamma of the inverse depolarizing channel with error probability p:
+/// gamma = (1 + p/2) / (1 - p) for the Pauli-twirled single/two-qubit case
+/// (approximation; grows as errors grow).
+double pec_gamma(double error_probability);
+
+/// Total sampling overhead of a physical circuit on a backend:
+/// prod_over_gates gamma(err_g)^2. This is the shot-count multiplier needed
+/// to keep estimator variance constant.
+double pec_sampling_overhead(const circuit::Circuit& physical, const qpu::Backend& backend);
+
+/// Samples `count` PEC instances of `physical`. Each noisy gate is followed,
+/// with probability proportional to its quasi-probability mass, by a random
+/// Pauli insertion that flips the instance sign.
+std::vector<PecInstance> pec_instances(const circuit::Circuit& physical,
+                                       const qpu::Backend& backend, std::size_t count,
+                                       std::uint64_t seed);
+
+}  // namespace qon::mitigation

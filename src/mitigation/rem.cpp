@@ -1,0 +1,129 @@
+#include "mitigation/rem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::mitigation {
+
+using circuit::Circuit;
+
+std::vector<Confusion> measure_confusion(const qpu::Backend& backend,
+                                         const std::vector<int>& physical_qubits, int shots,
+                                         Rng& rng, const sim::HiddenNoise& hidden) {
+  if (physical_qubits.empty()) {
+    throw std::invalid_argument("measure_confusion: no qubits");
+  }
+  const int n = static_cast<int>(physical_qubits.size());
+
+  // Calibration circuit 1: prepare |0...0>, measure (clbit i <- qubit i).
+  Circuit zeros(backend.num_qubits(), "rem-cal0");
+  for (int i = 0; i < n; ++i) {
+    // A virtual rz keeps the qubit "active" without affecting its state, so
+    // the trajectory runner includes it in the compacted register.
+    zeros.rz(physical_qubits[static_cast<std::size_t>(i)], 0.0);
+    zeros.measure(physical_qubits[static_cast<std::size_t>(i)], i);
+  }
+  // Calibration circuit 2: prepare |1...1>.
+  Circuit ones(backend.num_qubits(), "rem-cal1");
+  for (int i = 0; i < n; ++i) {
+    ones.x(physical_qubits[static_cast<std::size_t>(i)]);
+    ones.measure(physical_qubits[static_cast<std::size_t>(i)], i);
+  }
+
+  sim::TrajectoryOptions opts;
+  opts.gate_noise = false;  // isolate readout errors, like real REM calibration
+  opts.idle_noise = false;
+  const auto counts0 = sim::run_noisy(zeros, backend, shots, rng, hidden, opts);
+  const auto counts1 = sim::run_noisy(ones, backend, shots, rng, hidden, opts);
+
+  std::vector<Confusion> confusion(static_cast<std::size_t>(n));
+  std::uint64_t total0 = 0;
+  std::uint64_t total1 = 0;
+  std::vector<std::uint64_t> flips0(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> flips1(static_cast<std::size_t>(n), 0);
+  for (const auto& [outcome, c] : counts0) {
+    total0 += c;
+    for (int i = 0; i < n; ++i) {
+      if (outcome & (1ULL << i)) flips0[static_cast<std::size_t>(i)] += c;
+    }
+  }
+  for (const auto& [outcome, c] : counts1) {
+    total1 += c;
+    for (int i = 0; i < n; ++i) {
+      if (!(outcome & (1ULL << i))) flips1[static_cast<std::size_t>(i)] += c;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    confusion[static_cast<std::size_t>(i)].p01 =
+        static_cast<double>(flips0[static_cast<std::size_t>(i)]) / static_cast<double>(total0);
+    confusion[static_cast<std::size_t>(i)].p10 =
+        static_cast<double>(flips1[static_cast<std::size_t>(i)]) / static_cast<double>(total1);
+  }
+  return confusion;
+}
+
+std::vector<Confusion> calibration_confusion(const qpu::Backend& backend,
+                                             const std::vector<int>& physical_qubits) {
+  std::vector<Confusion> out;
+  out.reserve(physical_qubits.size());
+  for (int p : physical_qubits) {
+    const double e = backend.calibration().qubits[static_cast<std::size_t>(p)].readout_error;
+    out.push_back({e, e});
+  }
+  return out;
+}
+
+std::map<std::uint64_t, double> apply_rem(const std::map<std::uint64_t, double>& distribution,
+                                          const std::vector<Confusion>& confusion,
+                                          int num_clbits) {
+  if (num_clbits <= 0 || num_clbits > 20) {
+    throw std::invalid_argument("apply_rem: num_clbits must be in 1..20");
+  }
+  if (confusion.size() < static_cast<std::size_t>(num_clbits)) {
+    throw std::invalid_argument("apply_rem: confusion vector too short");
+  }
+  const std::size_t dim = std::size_t{1} << num_clbits;
+  std::vector<double> dense(dim, 0.0);
+  for (const auto& [outcome, p] : distribution) {
+    if (outcome >= dim) throw std::invalid_argument("apply_rem: outcome exceeds register");
+    dense[outcome] = p;
+  }
+
+  // Apply the 2x2 inverse confusion along each clbit axis. The confusion
+  // matrix per bit is M = [[1-p01, p10], [p01, 1-p10]] (column = prepared);
+  // its inverse is applied as a tensored linear map.
+  for (int bit = 0; bit < num_clbits; ++bit) {
+    const auto& c = confusion[static_cast<std::size_t>(bit)];
+    const double det = 1.0 - c.p01 - c.p10;
+    if (std::abs(det) < 1e-9) {
+      throw std::invalid_argument("apply_rem: confusion matrix is singular");
+    }
+    const double inv00 = (1.0 - c.p10) / det;
+    const double inv01 = -c.p10 / det;
+    const double inv10 = -c.p01 / det;
+    const double inv11 = (1.0 - c.p01) / det;
+    const std::size_t mask = std::size_t{1} << bit;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (i & mask) continue;
+      const double v0 = dense[i];
+      const double v1 = dense[i | mask];
+      dense[i] = inv00 * v0 + inv01 * v1;
+      dense[i | mask] = inv10 * v0 + inv11 * v1;
+    }
+  }
+
+  // Clip negatives, renormalize, and sparsify.
+  double total = 0.0;
+  for (double& v : dense) {
+    if (v < 0.0) v = 0.0;
+    total += v;
+  }
+  std::map<std::uint64_t, double> out;
+  if (total <= 0.0) return out;
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (dense[i] > 1e-15) out[i] = dense[i] / total;
+  }
+  return out;
+}
+
+}  // namespace qon::mitigation

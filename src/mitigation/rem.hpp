@@ -1,0 +1,43 @@
+#pragma once
+// Readout Error Mitigation: estimates per-qubit confusion matrices from
+// calibration circuits (all-zeros / all-ones preparations executed through
+// the noisy simulator) and applies the tensored inverse to measured
+// distributions, clipping negative quasi-probabilities and renormalizing.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "qpu/backend.hpp"
+#include "simulator/noise.hpp"
+
+namespace qon::mitigation {
+
+/// Per-qubit symmetric-ish confusion matrix:
+/// p01 = P(read 1 | prepared 0), p10 = P(read 0 | prepared 1).
+struct Confusion {
+  double p01 = 0.0;
+  double p10 = 0.0;
+};
+
+/// Estimates confusion for the given *physical* qubits of `backend` by
+/// executing |0...0> and |1...1> calibration circuits with `shots` shots.
+std::vector<Confusion> measure_confusion(const qpu::Backend& backend,
+                                         const std::vector<int>& physical_qubits, int shots,
+                                         Rng& rng, const sim::HiddenNoise& hidden);
+
+/// Ideal confusion straight from the published calibration (flip symmetric).
+std::vector<Confusion> calibration_confusion(const qpu::Backend& backend,
+                                             const std::vector<int>& physical_qubits);
+
+/// Applies the tensored inverse confusion to a measured distribution over
+/// `num_clbits` classical bits (clbit i corrected by confusion[i]).
+/// Negative corrected probabilities are clipped to 0 and the result is
+/// renormalized. Requires num_clbits <= 20.
+std::map<std::uint64_t, double> apply_rem(const std::map<std::uint64_t, double>& distribution,
+                                          const std::vector<Confusion>& confusion,
+                                          int num_clbits);
+
+}  // namespace qon::mitigation

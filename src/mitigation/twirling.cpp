@@ -1,0 +1,69 @@
+#include "mitigation/twirling.hpp"
+
+#include <stdexcept>
+
+namespace qon::mitigation {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+// Pauli in symplectic (x, z) representation: (0,0)=I (1,0)=X (0,1)=Z (1,1)=Y.
+struct PauliBits {
+  bool x = false;
+  bool z = false;
+};
+
+void append_pauli(Circuit& out, int qubit, const PauliBits& p) {
+  if (p.x && p.z) {
+    out.y(qubit);
+  } else if (p.x) {
+    out.x(qubit);
+  } else if (p.z) {
+    out.z(qubit);
+  }
+}
+
+}  // namespace
+
+Circuit pauli_twirl(const Circuit& circ, Rng& rng) {
+  Circuit out(circ.num_qubits(), circ.name() + "_twirl");
+  for (const auto& g : circ.gates()) {
+    if (g.kind != GateKind::kCX) {
+      out.append(g);
+      continue;
+    }
+    const int control = g.qubit(0);
+    const int target = g.qubit(1);
+    PauliBits pc{rng.bernoulli(0.5), rng.bernoulli(0.5)};
+    PauliBits pt{rng.bernoulli(0.5), rng.bernoulli(0.5)};
+    // Conjugate (pc ⊗ pt) through CX: X propagates control -> target,
+    // Z propagates target -> control (up to a global sign, which is a
+    // global phase when applied as gates).
+    PauliBits qc = pc;
+    PauliBits qt = pt;
+    qt.x = qt.x != pc.x;
+    qc.z = qc.z != pt.z;
+
+    append_pauli(out, control, pc);
+    append_pauli(out, target, pt);
+    out.append(g);
+    append_pauli(out, control, qc);
+    append_pauli(out, target, qt);
+  }
+  return out;
+}
+
+std::vector<Circuit> pauli_twirl_instances(const Circuit& circ, std::size_t instances,
+                                           std::uint64_t seed) {
+  if (instances == 0) throw std::invalid_argument("pauli_twirl_instances: need >= 1");
+  Rng rng(seed);
+  std::vector<Circuit> out;
+  out.reserve(instances);
+  for (std::size_t i = 0; i < instances; ++i) out.push_back(pauli_twirl(circ, rng));
+  return out;
+}
+
+}  // namespace qon::mitigation

@@ -1,0 +1,23 @@
+#pragma once
+// Pauli twirling: wraps every CX with uniformly random Pauli pairs chosen so
+// the net unitary is unchanged (the closing pair is the CX-conjugate of the
+// opening pair). Averaging over twirled instances converts coherent noise
+// into stochastic Pauli noise.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace qon::mitigation {
+
+/// Returns one twirled instance of `circ` (unitarily equivalent up to
+/// global phase). Only kCX gates are twirled; other gates pass through.
+circuit::Circuit pauli_twirl(const circuit::Circuit& circ, Rng& rng);
+
+/// Returns `instances` independent twirls (instances >= 1).
+std::vector<circuit::Circuit> pauli_twirl_instances(const circuit::Circuit& circ,
+                                                    std::size_t instances, std::uint64_t seed);
+
+}  // namespace qon::mitigation

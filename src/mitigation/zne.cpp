@@ -1,0 +1,130 @@
+#include "mitigation/zne.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mlcore/matrix.hpp"
+
+namespace qon::mitigation {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+Circuit fold_global(const Circuit& circ, double scale) {
+  if (scale < 1.0) throw std::invalid_argument("fold_global: scale must be >= 1");
+  const Circuit unitary = circ.without_measurements();
+  const Circuit inverse = unitary.inverse();
+
+  Circuit out(circ.num_qubits(), circ.name() + "_zne");
+  out.extend(unitary);
+
+  // Whole folds: each (C† C) pair adds 2 to the effective scale.
+  const int whole_pairs = static_cast<int>((scale - 1.0) / 2.0);
+  for (int k = 0; k < whole_pairs; ++k) {
+    out.extend(inverse);
+    out.extend(unitary);
+  }
+  // Partial fold for the remainder: fold the last `fraction` of gates once.
+  const double remainder = scale - 1.0 - 2.0 * whole_pairs;
+  if (remainder > 1e-9) {
+    const auto& gates = unitary.gates();
+    const auto n_fold = static_cast<std::size_t>(
+        std::lround(remainder / 2.0 * static_cast<double>(gates.size())));
+    if (n_fold > 0) {
+      // Fold the suffix S: append S† then S.
+      Circuit suffix(circ.num_qubits());
+      for (std::size_t i = gates.size() - n_fold; i < gates.size(); ++i) {
+        suffix.append(gates[i]);
+      }
+      out.extend(suffix.inverse());
+      out.extend(suffix);
+    }
+  }
+  // Re-append the original measurements.
+  for (const auto& g : circ.gates()) {
+    if (g.kind == GateKind::kMeasure) out.append(g);
+  }
+  return out;
+}
+
+double LinearFactory::extrapolate(const std::vector<double>& scales,
+                                  const std::vector<double>& values) const {
+  if (scales.size() != values.size() || scales.size() < 2) {
+    throw std::invalid_argument("LinearFactory: need >= 2 samples");
+  }
+  ml::Matrix a(scales.size(), 2);
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = scales[i];
+  }
+  const auto beta = ml::qr_least_squares(a, values);
+  return beta[0];  // intercept = value at scale 0
+}
+
+double RichardsonFactory::extrapolate(const std::vector<double>& scales,
+                                      const std::vector<double>& values) const {
+  if (scales.size() != values.size() || scales.empty()) {
+    throw std::invalid_argument("RichardsonFactory: empty samples");
+  }
+  // Lagrange interpolation evaluated at 0.
+  double result = 0.0;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    double weight = 1.0;
+    for (std::size_t j = 0; j < scales.size(); ++j) {
+      if (i == j) continue;
+      const double denom = scales[i] - scales[j];
+      if (std::abs(denom) < 1e-12) {
+        throw std::invalid_argument("RichardsonFactory: duplicate scales");
+      }
+      weight *= (0.0 - scales[j]) / denom;
+    }
+    result += weight * values[i];
+  }
+  return result;
+}
+
+double ExpFactory::extrapolate(const std::vector<double>& scales,
+                               const std::vector<double>& values) const {
+  if (scales.size() != values.size() || scales.size() < 2) {
+    throw std::invalid_argument("ExpFactory: need >= 2 samples");
+  }
+  // Fit ln v = ln a - b s; requires all values strictly one-signed.
+  bool all_positive = true;
+  for (double v : values) {
+    if (v <= 1e-12) all_positive = false;
+  }
+  if (!all_positive) return LinearFactory().extrapolate(scales, values);
+  ml::Matrix a(scales.size(), 2);
+  std::vector<double> logs(values.size());
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = scales[i];
+    logs[i] = std::log(values[i]);
+  }
+  const auto beta = ml::qr_least_squares(a, logs);
+  return std::exp(beta[0]);
+}
+
+std::vector<Circuit> zne_circuits(const Circuit& circ, const ZneConfig& config) {
+  if (config.noise_factors.empty()) {
+    throw std::invalid_argument("zne_circuits: no noise factors");
+  }
+  std::vector<Circuit> out;
+  out.reserve(config.noise_factors.size());
+  for (double s : config.noise_factors) out.push_back(fold_global(circ, s));
+  return out;
+}
+
+double zne_expectation(const Circuit& circ, const ZneConfig& config,
+                       const std::function<double(const Circuit&)>& executor) {
+  if (!config.factory) throw std::invalid_argument("zne_expectation: null factory");
+  std::vector<double> values;
+  values.reserve(config.noise_factors.size());
+  for (const auto& folded : zne_circuits(circ, config)) {
+    values.push_back(executor(folded));
+  }
+  return config.factory->extrapolate(config.noise_factors, values);
+}
+
+}  // namespace qon::mitigation

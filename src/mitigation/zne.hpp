@@ -1,0 +1,73 @@
+#pragma once
+// Zero-Noise Extrapolation: executes a circuit at amplified noise levels
+// (via unitary folding, which lengthens the circuit without changing its
+// logic) and extrapolates the expectation value back to the zero-noise
+// limit with a pluggable factory (Linear / Richardson / Exponential).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qon::mitigation {
+
+/// Globally folds the unitary part of `circ`: scale 1 -> C, 3 -> C C† C,
+/// 5 -> C C† C C† C ... Non-odd-integer scales fold a suffix of gates
+/// (partial folding), giving a fractional effective scale. Measurements are
+/// re-appended at the end. Requires scale >= 1.
+circuit::Circuit fold_global(const circuit::Circuit& circ, double scale);
+
+/// Extrapolation factory interface: fit (scale, value) samples, predict
+/// the value at scale 0.
+class ExtrapolationFactory {
+ public:
+  virtual ~ExtrapolationFactory() = default;
+  virtual double extrapolate(const std::vector<double>& scales,
+                             const std::vector<double>& values) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Least-squares straight line through the samples, evaluated at 0.
+class LinearFactory : public ExtrapolationFactory {
+ public:
+  double extrapolate(const std::vector<double>& scales,
+                     const std::vector<double>& values) const override;
+  std::string name() const override { return "linear"; }
+};
+
+/// Richardson extrapolation: exact polynomial through all points, order
+/// n-1, evaluated at 0 (Lagrange form).
+class RichardsonFactory : public ExtrapolationFactory {
+ public:
+  double extrapolate(const std::vector<double>& scales,
+                     const std::vector<double>& values) const override;
+  std::string name() const override { return "richardson"; }
+};
+
+/// Exponential decay model v(s) = a * exp(-b s) + c with c fixed to the
+/// asymptote 0 (two-parameter fit in log space); falls back to linear when
+/// values change sign.
+class ExpFactory : public ExtrapolationFactory {
+ public:
+  double extrapolate(const std::vector<double>& scales,
+                     const std::vector<double>& values) const override;
+  std::string name() const override { return "exp"; }
+};
+
+/// ZNE configuration: which noise factors to run and how to extrapolate.
+struct ZneConfig {
+  std::vector<double> noise_factors = {1.0, 3.0, 5.0};
+  std::shared_ptr<ExtrapolationFactory> factory = std::make_shared<RichardsonFactory>();
+};
+
+/// The folded circuit instances for every configured noise factor.
+std::vector<circuit::Circuit> zne_circuits(const circuit::Circuit& circ, const ZneConfig& config);
+
+/// Runs the full ZNE loop given an executor that returns the expectation
+/// value of some observable for a (folded) circuit.
+double zne_expectation(const circuit::Circuit& circ, const ZneConfig& config,
+                       const std::function<double(const circuit::Circuit&)>& executor);
+
+}  // namespace qon::mitigation

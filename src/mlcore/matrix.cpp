@@ -1,0 +1,205 @@
+#include "mlcore/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  Matrix out(rows_, rhs.cols_, 0.0);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("Matrix::operator*: vector size mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator-: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double factor) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= factor;
+  return out;
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  return std::vector<double>(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                             data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, const std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("cholesky_solve: matrix not square");
+  if (b.size() != n) throw std::invalid_argument("cholesky_solve: rhs size mismatch");
+
+  // Lower-triangular factor, in place over a copy.
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) throw std::runtime_error("cholesky_solve: matrix not positive definite");
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / l(j, j);
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  // Backward solve Lᵀ x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> qr_least_squares(const Matrix& a, const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) throw std::invalid_argument("qr_least_squares: underdetermined system");
+  if (b.size() != m) throw std::invalid_argument("qr_least_squares: rhs size mismatch");
+
+  Matrix r = a;
+  std::vector<double> rhs = b;
+
+  // Householder QR applied to [A | b].
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) throw std::runtime_error("qr_least_squares: rank-deficient matrix");
+    if (r(k, k) > 0.0) norm = -norm;
+
+    std::vector<double> v(m - k);
+    for (std::size_t i = k; i < m; ++i) v[i - k] = r(i, k);
+    v[0] -= norm;
+    double vnorm2 = 0.0;
+    for (double x : v) vnorm2 += x * x;
+    if (vnorm2 < 1e-300) continue;
+
+    // Apply H = I - 2 v vᵀ / (vᵀv) to remaining columns and rhs.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      const double coef = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= coef * v[i - k];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * rhs[i];
+    const double coef = 2.0 * dot / vnorm2;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= coef * v[i - k];
+  }
+
+  // Back substitution on the upper-triangular n x n block.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = rhs[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * x[j];
+    if (std::abs(r(ii, ii)) < 1e-12) throw std::runtime_error("qr_least_squares: singular R");
+    x[ii] = acc / r(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> ridge_normal_equations(const Matrix& a, const std::vector<double>& b,
+                                           double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("ridge_normal_equations: negative lambda");
+  const Matrix at = a.transpose();
+  Matrix gram = at * a;
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  return cholesky_solve(gram, at * b);
+}
+
+}  // namespace qon::ml

@@ -1,0 +1,77 @@
+#pragma once
+// Dense row-major matrix of doubles with the small set of linear-algebra
+// kernels the regression models need (products, transpose, Cholesky solve,
+// QR least squares). Intentionally minimal: no expression templates, no
+// views — clarity over generality.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace qon::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Constructs from nested initializer lists; all rows must agree in size.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked element access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix transpose() const;
+
+  /// Matrix product; throws std::invalid_argument on shape mismatch.
+  Matrix operator*(const Matrix& rhs) const;
+  /// Matrix-vector product (vector length must equal cols()).
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+
+  /// Scales every element.
+  Matrix scaled(double factor) const;
+
+  /// Returns row r as a vector.
+  std::vector<double> row(std::size_t r) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky (A = L Lᵀ).
+/// Throws std::runtime_error if A is not SPD (within tolerance).
+std::vector<double> cholesky_solve(const Matrix& a, const std::vector<double>& b);
+
+/// Least-squares solution of min ||A x - b||₂ via Householder QR with column
+/// checks; works for rows >= cols. Throws on rank deficiency.
+std::vector<double> qr_least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Convenience: solves the ridge-regularized normal equations
+/// (AᵀA + lambda I) x = Aᵀ b via Cholesky. lambda == 0 gives OLS.
+std::vector<double> ridge_normal_equations(const Matrix& a, const std::vector<double>& b,
+                                           double lambda);
+
+}  // namespace qon::ml

@@ -1,0 +1,117 @@
+#include "mlcore/model_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace qon::ml {
+
+double r2_score(const std::vector<double>& y_true, const std::vector<double>& y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty()) {
+    throw std::invalid_argument("r2_score: size mismatch or empty");
+  }
+  double mean = 0.0;
+  for (double y : y_true) mean += y;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot <= 1e-300) return ss_res <= 1e-300 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mean_absolute_error(const std::vector<double>& y_true, const std::vector<double>& y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty()) {
+    throw std::invalid_argument("mean_absolute_error: size mismatch or empty");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) acc += std::abs(y_true[i] - y_pred[i]);
+  return acc / static_cast<double>(y_true.size());
+}
+
+double rmse(const std::vector<double>& y_true, const std::vector<double>& y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty()) {
+    throw std::invalid_argument("rmse: size mismatch or empty");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    acc += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+  }
+  return std::sqrt(acc / static_cast<double>(y_true.size()));
+}
+
+CvResult k_fold_cross_validate(const RegressorFactory& factory, const Matrix& x,
+                               const std::vector<double>& y, std::size_t folds,
+                               std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("k_fold_cross_validate: folds must be >= 2");
+  const std::size_t n = x.rows();
+  if (n != y.size()) throw std::invalid_argument("k_fold_cross_validate: size mismatch");
+  if (n < folds) throw std::invalid_argument("k_fold_cross_validate: fewer samples than folds");
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.shuffle(order);
+
+  CvResult result;
+  {
+    auto probe = factory();
+    result.model_name = probe->name();
+  }
+  double mae_acc = 0.0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    const std::size_t lo = f * n / folds;
+    const std::size_t hi = (f + 1) * n / folds;
+
+    const std::size_t n_test = hi - lo;
+    const std::size_t n_train = n - n_test;
+    Matrix train_x(n_train, x.cols());
+    Matrix test_x(n_test, x.cols());
+    std::vector<double> train_y(n_train);
+    std::vector<double> test_y(n_test);
+    std::size_t ti = 0;
+    std::size_t si = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t src = order[i];
+      const bool in_test = i >= lo && i < hi;
+      if (in_test) {
+        for (std::size_t j = 0; j < x.cols(); ++j) test_x(si, j) = x(src, j);
+        test_y[si++] = y[src];
+      } else {
+        for (std::size_t j = 0; j < x.cols(); ++j) train_x(ti, j) = x(src, j);
+        train_y[ti++] = y[src];
+      }
+    }
+
+    auto model = factory();
+    model->fit(train_x, train_y);
+    const auto pred = model->predict(test_x);
+    result.fold_r2.push_back(r2_score(test_y, pred));
+    mae_acc += mean_absolute_error(test_y, pred);
+  }
+  result.mean_r2 = std::accumulate(result.fold_r2.begin(), result.fold_r2.end(), 0.0) /
+                   static_cast<double>(folds);
+  result.mean_mae = mae_acc / static_cast<double>(folds);
+  return result;
+}
+
+std::vector<CvResult> select_best_model(const std::vector<RegressorFactory>& factories,
+                                        const Matrix& x, const std::vector<double>& y,
+                                        std::size_t folds, std::uint64_t seed) {
+  std::vector<CvResult> results;
+  results.reserve(factories.size());
+  for (const auto& factory : factories) {
+    results.push_back(k_fold_cross_validate(factory, x, y, folds, seed));
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const CvResult& a, const CvResult& b) { return a.mean_r2 > b.mean_r2; });
+  return results;
+}
+
+}  // namespace qon::ml

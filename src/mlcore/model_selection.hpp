@@ -1,0 +1,50 @@
+#pragma once
+// Model selection utilities: regression metrics (R², MAE, RMSE) and K-fold
+// cross-validation, mirroring the paper's §6 evaluation procedure ("train and
+// evaluate multiple models through K-fold cross-validation, using the R²
+// score as the primary evaluation metric").
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mlcore/matrix.hpp"
+#include "mlcore/regression.hpp"
+
+namespace qon::ml {
+
+/// Coefficient of determination. Returns 1 for a perfect fit; can be
+/// negative for models worse than predicting the mean.
+double r2_score(const std::vector<double>& y_true, const std::vector<double>& y_pred);
+
+/// Mean absolute error.
+double mean_absolute_error(const std::vector<double>& y_true, const std::vector<double>& y_pred);
+
+/// Root mean squared error.
+double rmse(const std::vector<double>& y_true, const std::vector<double>& y_pred);
+
+/// Result of one cross-validation run.
+struct CvResult {
+  std::string model_name;
+  std::vector<double> fold_r2;   ///< one R² per fold
+  double mean_r2 = 0.0;
+  double mean_mae = 0.0;
+};
+
+/// Factory signature so each fold trains a fresh model instance.
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/// K-fold cross validation with deterministic shuffling (`seed`).
+/// Requires folds >= 2 and at least `folds` samples.
+CvResult k_fold_cross_validate(const RegressorFactory& factory, const Matrix& x,
+                               const std::vector<double>& y, std::size_t folds,
+                               std::uint64_t seed = 42);
+
+/// Runs CV for every factory and returns results sorted by mean R²
+/// (descending), i.e. best model first.
+std::vector<CvResult> select_best_model(const std::vector<RegressorFactory>& factories,
+                                        const Matrix& x, const std::vector<double>& y,
+                                        std::size_t folds, std::uint64_t seed = 42);
+
+}  // namespace qon::ml

@@ -1,0 +1,206 @@
+#include "mlcore/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0) throw std::invalid_argument("StandardScaler::fit: empty matrix");
+  means_.assign(d, 0.0);
+  stds_.assign(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += x(i, j);
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) var += (x(i, j) - m) * (x(i, j) - m);
+    var /= static_cast<double>(n);
+    means_[j] = m;
+    stds_[j] = var > 1e-24 ? std::sqrt(var) : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("StandardScaler::transform before fit");
+  if (x.cols() != means_.size()) throw std::invalid_argument("StandardScaler: column mismatch");
+  Matrix out = x;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = (x(i, j) - means_[j]) / stds_[j];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+namespace {
+
+// Recursively enumerates monomial exponent vectors of total degree <= degree.
+void enumerate_monomials(std::size_t n_features, int degree, std::vector<int>& current,
+                         std::size_t start, int remaining,
+                         std::vector<std::vector<int>>& out) {
+  out.push_back(current);
+  if (remaining == 0) return;
+  for (std::size_t j = start; j < n_features; ++j) {
+    ++current[j];
+    enumerate_monomials(n_features, degree, current, j, remaining - 1, out);
+    --current[j];
+  }
+}
+
+std::vector<std::vector<int>> monomial_exponents(std::size_t n_features, int degree) {
+  std::vector<std::vector<int>> exponents;
+  std::vector<int> current(n_features, 0);
+  enumerate_monomials(n_features, degree, current, 0, degree, exponents);
+  return exponents;
+}
+
+}  // namespace
+
+std::size_t polynomial_feature_count(std::size_t n_features, int degree) {
+  // C(n_features + degree, degree)
+  std::size_t count = 1;
+  for (int i = 1; i <= degree; ++i) {
+    count = count * (n_features + static_cast<std::size_t>(i)) / static_cast<std::size_t>(i);
+  }
+  return count;
+}
+
+Matrix polynomial_features(const Matrix& x, int degree) {
+  if (degree < 0) throw std::invalid_argument("polynomial_features: negative degree");
+  const auto exponents = monomial_exponents(x.cols(), degree);
+  Matrix out(x.rows(), exponents.size(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t t = 0; t < exponents.size(); ++t) {
+      double v = 1.0;
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        for (int e = 0; e < exponents[t][j]; ++e) v *= x(i, j);
+      }
+      out(i, t) = v;
+    }
+  }
+  return out;
+}
+
+double Regressor::predict_one(const std::vector<double>& features) const {
+  Matrix x(1, features.size());
+  for (std::size_t j = 0; j < features.size(); ++j) x(0, j) = features[j];
+  return predict(x)[0];
+}
+
+void LinearRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("LinearRegression::fit: size mismatch");
+  // Augment with a bias column.
+  Matrix aug(x.rows(), x.cols() + 1, 1.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) aug(i, j + 1) = x(i, j);
+  }
+  std::vector<double> beta;
+  try {
+    beta = qr_least_squares(aug, y);
+  } catch (const std::runtime_error&) {
+    // Rank-deficient design matrix (collinear or near-zero columns): fall
+    // back to a minimally regularized solution.
+    beta = ridge_normal_equations(aug, y, 1e-8);
+  }
+  intercept_ = beta[0];
+  coef_.assign(beta.begin() + 1, beta.end());
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  if (coef_.empty() && x.cols() != 0) throw std::logic_error("LinearRegression: predict before fit");
+  if (x.cols() != coef_.size()) throw std::invalid_argument("LinearRegression: column mismatch");
+  std::vector<double> out(x.rows(), intercept_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) out[i] += coef_[j] * x(i, j);
+  }
+  return out;
+}
+
+RidgeRegression::RidgeRegression(double lambda) : lambda_(lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("RidgeRegression: negative lambda");
+}
+
+void RidgeRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("RidgeRegression::fit: size mismatch");
+  Matrix aug(x.rows(), x.cols() + 1, 1.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) aug(i, j + 1) = x(i, j);
+  }
+  coef_ = ridge_normal_equations(aug, y, lambda_);
+}
+
+std::vector<double> RidgeRegression::predict(const Matrix& x) const {
+  if (coef_.empty()) throw std::logic_error("RidgeRegression: predict before fit");
+  if (x.cols() + 1 != coef_.size()) throw std::invalid_argument("RidgeRegression: column mismatch");
+  std::vector<double> out(x.rows(), coef_[0]);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) out[i] += coef_[j + 1] * x(i, j);
+  }
+  return out;
+}
+
+PolynomialRegression::PolynomialRegression(int degree, double lambda)
+    : degree_(degree), ridge_(lambda) {
+  if (degree < 1) throw std::invalid_argument("PolynomialRegression: degree must be >= 1");
+}
+
+void PolynomialRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  const Matrix scaled = scaler_.fit_transform(x);
+  ridge_.fit(polynomial_features(scaled, degree_), y);
+}
+
+std::vector<double> PolynomialRegression::predict(const Matrix& x) const {
+  const Matrix scaled = scaler_.transform(x);
+  return ridge_.predict(polynomial_features(scaled, degree_));
+}
+
+std::string PolynomialRegression::name() const {
+  return "polynomial(d=" + std::to_string(degree_) + ")";
+}
+
+KnnRegression::KnnRegression(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("KnnRegression: k must be >= 1");
+}
+
+void KnnRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("KnnRegression::fit: size mismatch");
+  if (x.rows() == 0) throw std::invalid_argument("KnnRegression::fit: empty training set");
+  train_x_ = scaler_.fit_transform(x);
+  train_y_ = y;
+}
+
+std::vector<double> KnnRegression::predict(const Matrix& x) const {
+  if (train_y_.empty()) throw std::logic_error("KnnRegression: predict before fit");
+  const Matrix q = scaler_.transform(x);
+  const std::size_t k = std::min(k_, train_y_.size());
+  std::vector<double> out(q.rows(), 0.0);
+  std::vector<std::pair<double, std::size_t>> dist(train_x_.rows());
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    for (std::size_t t = 0; t < train_x_.rows(); ++t) {
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < q.cols(); ++j) {
+        const double diff = q(i, j) - train_x_(t, j);
+        d2 += diff * diff;
+      }
+      dist[t] = {d2, t};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+    double acc = 0.0;
+    for (std::size_t t = 0; t < k; ++t) acc += train_y_[dist[t].second];
+    out[i] = acc / static_cast<double>(k);
+  }
+  return out;
+}
+
+std::string KnnRegression::name() const { return "knn(k=" + std::to_string(k_) + ")"; }
+
+}  // namespace qon::ml

@@ -1,0 +1,122 @@
+#pragma once
+// Regression models for the resource estimator (§6 of the paper): the paper
+// trains several models with K-fold cross-validation and selects Polynomial
+// Regression (R² 0.998 runtime / 0.976 fidelity). We provide Linear, Ridge,
+// Polynomial (degree-d feature expansion over ridge) and KNN regressors
+// behind a common Regressor interface.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mlcore/matrix.hpp"
+
+namespace qon::ml {
+
+/// Feature standardizer: z = (x - mean) / std per column. Columns with zero
+/// variance pass through unscaled.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  Matrix fit_transform(const Matrix& x);
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+/// Expands raw features into all monomials of total degree <= `degree`
+/// (including the bias term), e.g. degree 2 over (a, b) yields
+/// [1, a, b, a², ab, b²]. Matches scikit-learn's PolynomialFeatures ordering
+/// closely enough for our purposes.
+Matrix polynomial_features(const Matrix& x, int degree);
+
+/// Number of monomials of total degree <= degree over n_features variables.
+std::size_t polynomial_feature_count(std::size_t n_features, int degree);
+
+/// Abstract regression model: fit on (X, y), predict per-row.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const Matrix& x, const std::vector<double>& y) = 0;
+  virtual std::vector<double> predict(const Matrix& x) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Predicts a single sample.
+  double predict_one(const std::vector<double>& features) const;
+};
+
+/// Ordinary least squares with intercept (QR-based).
+class LinearRegression : public Regressor {
+ public:
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& x) const override;
+  std::string name() const override { return "linear"; }
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// L2-regularized linear regression via normal equations.
+class RidgeRegression : public Regressor {
+ public:
+  explicit RidgeRegression(double lambda = 1e-6);
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& x) const override;
+  std::string name() const override { return "ridge"; }
+
+  const std::vector<double>& coefficients() const { return coef_; }
+
+ private:
+  double lambda_;
+  std::vector<double> coef_;  // includes bias as coef_[0]
+};
+
+/// Polynomial regression: standardize -> polynomial feature expansion ->
+/// ridge. This is the model the paper selects.
+class PolynomialRegression : public Regressor {
+ public:
+  explicit PolynomialRegression(int degree = 2, double lambda = 1e-6);
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& x) const override;
+  std::string name() const override;
+
+  int degree() const { return degree_; }
+
+ private:
+  int degree_;
+  StandardScaler scaler_;
+  RidgeRegression ridge_;
+};
+
+/// K-nearest-neighbour regression (mean of k nearest by Euclidean distance
+/// in standardized feature space). Included as one of the "multiple models"
+/// the paper compares against.
+class KnnRegression : public Regressor {
+ public:
+  explicit KnnRegression(std::size_t k = 5);
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const Matrix& x) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t k_;
+  StandardScaler scaler_;
+  Matrix train_x_;
+  std::vector<double> train_y_;
+};
+
+}  // namespace qon::ml

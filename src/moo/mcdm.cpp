@@ -1,0 +1,73 @@
+#include "moo/mcdm.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qon::moo {
+
+std::vector<std::vector<double>> pseudo_weights(
+    const std::vector<std::vector<double>>& front_objectives) {
+  if (front_objectives.empty()) return {};
+  const std::size_t m_count = front_objectives[0].size();
+  std::vector<double> f_min(m_count, std::numeric_limits<double>::infinity());
+  std::vector<double> f_max(m_count, -std::numeric_limits<double>::infinity());
+  for (const auto& f : front_objectives) {
+    for (std::size_t m = 0; m < m_count; ++m) {
+      f_min[m] = std::min(f_min[m], f[m]);
+      f_max[m] = std::max(f_max[m], f[m]);
+    }
+  }
+  std::vector<std::vector<double>> weights(front_objectives.size(),
+                                           std::vector<double>(m_count, 0.0));
+  for (std::size_t i = 0; i < front_objectives.size(); ++i) {
+    double total = 0.0;
+    for (std::size_t m = 0; m < m_count; ++m) {
+      const double span = f_max[m] - f_min[m];
+      // Normalized distance to the worst value of objective m.
+      weights[i][m] = span > 0.0 ? (f_max[m] - front_objectives[i][m]) / span : 0.0;
+      total += weights[i][m];
+    }
+    if (total > 0.0) {
+      for (auto& w : weights[i]) w /= total;
+    } else {
+      // Fully degenerate front: uniform weights.
+      for (auto& w : weights[i]) w = 1.0 / static_cast<double>(m_count);
+    }
+  }
+  return weights;
+}
+
+std::size_t select_by_pseudo_weight(const std::vector<std::vector<double>>& front_objectives,
+                                    const std::vector<double>& preference) {
+  if (front_objectives.empty()) {
+    throw std::invalid_argument("select_by_pseudo_weight: empty front");
+  }
+  if (preference.size() != front_objectives[0].size()) {
+    throw std::invalid_argument("select_by_pseudo_weight: preference arity mismatch");
+  }
+  const auto weights = pseudo_weights(front_objectives);
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t m = 0; m < preference.size(); ++m) {
+      d2 += (weights[i][m] - preference[m]) * (weights[i][m] - preference[m]);
+    }
+    if (d2 < best_dist) {
+      best_dist = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t select_by_pseudo_weight(const std::vector<Solution>& front,
+                                    const std::vector<double>& preference) {
+  std::vector<std::vector<double>> objs;
+  objs.reserve(front.size());
+  for (const auto& s : front) objs.push_back(s.objectives);
+  return select_by_pseudo_weight(objs, preference);
+}
+
+}  // namespace qon::moo

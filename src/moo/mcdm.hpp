@@ -1,0 +1,29 @@
+#pragma once
+// Multiple-Criteria Decision-Making over a Pareto front via pseudo-weights
+// (paper Eq. 2): each solution's weight vector measures its relative
+// position in objective space; the solution whose weights are closest to a
+// caller preference vector is selected.
+
+#include <vector>
+
+#include "moo/nsga2.hpp"
+
+namespace qon::moo {
+
+/// Pseudo-weight matrix for a front of objective vectors (all minimized):
+/// w_i(x) = norm_dist_to_worst_i(x) / sum_m norm_dist_to_worst_m(x).
+/// Rows sum to 1. Degenerate objectives (max == min) contribute 0.
+std::vector<std::vector<double>> pseudo_weights(
+    const std::vector<std::vector<double>>& front_objectives);
+
+/// Index of the front member whose pseudo-weight vector has minimal
+/// Euclidean distance to `preference` (which should sum to ~1).
+/// Throws std::invalid_argument on an empty front.
+std::size_t select_by_pseudo_weight(const std::vector<std::vector<double>>& front_objectives,
+                                    const std::vector<double>& preference);
+
+/// Convenience overload for a Solution front.
+std::size_t select_by_pseudo_weight(const std::vector<Solution>& front,
+                                    const std::vector<double>& preference);
+
+}  // namespace qon::moo

@@ -1,0 +1,295 @@
+#include "moo/nsga2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qon::moo {
+
+namespace {
+
+struct Individual {
+  std::vector<int> genome;
+  std::vector<double> objectives;
+  std::size_t rank = 0;
+  double crowding = 0.0;
+};
+
+}  // namespace
+
+std::vector<std::size_t> fast_non_dominated_sort(
+    const std::vector<std::vector<double>>& objectives) {
+  const std::size_t n = objectives.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::size_t> rank(n, 0);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(objectives[p], objectives[q])) {
+        dominated_by[p].push_back(q);
+      } else if (dominates(objectives[q], objectives[p])) {
+        ++domination_count[p];
+      }
+    }
+  }
+  std::vector<std::size_t> current;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (domination_count[p] == 0) {
+      rank[p] = 0;
+      current.push_back(p);
+    }
+  }
+  std::size_t level = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t p : current) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) {
+          rank[q] = level + 1;
+          next.push_back(q);
+        }
+      }
+    }
+    ++level;
+    current = std::move(next);
+  }
+  return rank;
+}
+
+std::vector<double> crowding_distance(const std::vector<std::vector<double>>& objectives,
+                                      const std::vector<std::size_t>& front) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> distance(front.size(), 0.0);
+  if (front.empty()) return distance;
+  const std::size_t m_count = objectives[front[0]].size();
+  std::vector<std::size_t> order(front.size());
+  for (std::size_t m = 0; m < m_count; ++m) {
+    for (std::size_t i = 0; i < front.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return objectives[front[a]][m] < objectives[front[b]][m];
+    });
+    distance[order.front()] = inf;
+    distance[order.back()] = inf;
+    const double span =
+        objectives[front[order.back()]][m] - objectives[front[order.front()]][m];
+    if (span <= 0.0) continue;
+    for (std::size_t i = 1; i + 1 < order.size(); ++i) {
+      distance[order[i]] += (objectives[front[order[i + 1]]][m] -
+                             objectives[front[order[i - 1]]][m]) /
+                            span;
+    }
+  }
+  return distance;
+}
+
+namespace {
+
+// Binary tournament: lower rank wins; ties broken by larger crowding.
+const Individual& tournament(const std::vector<Individual>& pop, Rng& rng) {
+  const auto& a = pop[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))];
+  const auto& b = pop[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))];
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  return a.crowding >= b.crowding ? a : b;
+}
+
+// Crossover with exponentially distributed spread (paper §7): children are
+// placed at 0.5((1±beta) p1 + (1∓beta) p2) with beta ~ Exp(lambda), rounded
+// back to integers.
+void exponential_crossover(const std::vector<int>& p1, const std::vector<int>& p2,
+                           std::vector<int>& c1, std::vector<int>& c2,
+                           const Nsga2Config& cfg, Rng& rng) {
+  c1 = p1;
+  c2 = p2;
+  if (!rng.bernoulli(cfg.crossover_prob)) return;
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    if (!rng.bernoulli(cfg.crossover_rate_per_gene)) continue;
+    const double beta = rng.exponential(cfg.exponential_lambda);
+    const double a = static_cast<double>(p1[i]);
+    const double b = static_cast<double>(p2[i]);
+    const double child1 = 0.5 * ((1.0 + beta) * a + (1.0 - beta) * b);
+    const double child2 = 0.5 * ((1.0 - beta) * a + (1.0 + beta) * b);
+    c1[i] = static_cast<int>(std::lround(child1));
+    c2[i] = static_cast<int>(std::lround(child2));
+  }
+}
+
+// Polynomial mutation (Deb): perturbs within the parent's vicinity with a
+// polynomial probability distribution of index eta.
+void polynomial_mutation(std::vector<int>& genome, const IntegerProblem& problem,
+                         const Nsga2Config& cfg, Rng& rng) {
+  const double p_gene = cfg.mutation_prob_per_gene > 0.0
+                            ? cfg.mutation_prob_per_gene
+                            : 1.0 / static_cast<double>(genome.size());
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (!rng.bernoulli(p_gene)) continue;
+    const double lo = problem.lower_bound(i);
+    const double hi = problem.upper_bound(i);
+    if (hi <= lo) continue;
+    const double x = genome[i];
+    const double u = rng.uniform();
+    const double eta = cfg.mutation_eta;
+    double delta;
+    if (u < 0.5) {
+      delta = std::pow(2.0 * u, 1.0 / (eta + 1.0)) - 1.0;
+    } else {
+      delta = 1.0 - std::pow(2.0 * (1.0 - u), 1.0 / (eta + 1.0));
+    }
+    genome[i] = static_cast<int>(std::lround(x + delta * (hi - lo)));
+  }
+}
+
+void evaluate_population(std::vector<Individual>& pop, const IntegerProblem& problem,
+                         bool parallel, std::size_t& evaluations) {
+  if (parallel && pop.size() > 1) {
+    parallel_for_each_index(
+        0, pop.size(),
+        [&pop, &problem](std::size_t i) { problem.evaluate(pop[i].genome, pop[i].objectives); },
+        nullptr, 1);
+  } else {
+    for (auto& ind : pop) problem.evaluate(ind.genome, ind.objectives);
+  }
+  evaluations += pop.size();
+}
+
+void assign_ranks_and_crowding(std::vector<Individual>& pop) {
+  std::vector<std::vector<double>> objs(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) objs[i] = pop[i].objectives;
+  const auto ranks = fast_non_dominated_sort(objs);
+  std::size_t max_rank = 0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    pop[i].rank = ranks[i];
+    max_rank = std::max(max_rank, ranks[i]);
+  }
+  for (std::size_t r = 0; r <= max_rank; ++r) {
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      if (pop[i].rank == r) front.push_back(i);
+    }
+    const auto dist = crowding_distance(objs, front);
+    for (std::size_t k = 0; k < front.size(); ++k) pop[front[k]].crowding = dist[k];
+  }
+}
+
+}  // namespace
+
+Nsga2Result nsga2(const IntegerProblem& problem, const Nsga2Config& config) {
+  if (problem.num_variables() == 0) {
+    throw std::invalid_argument("nsga2: problem has no variables");
+  }
+  if (config.population_size < 4) {
+    throw std::invalid_argument("nsga2: population_size must be >= 4");
+  }
+  Rng rng(config.seed);
+  Nsga2Result result;
+
+  // Random-integer initialization within bounds, with caller-provided
+  // heuristic seeds occupying the first slots.
+  std::vector<Individual> pop(config.population_size);
+  for (std::size_t p = 0; p < pop.size(); ++p) {
+    auto& ind = pop[p];
+    ind.genome.resize(problem.num_variables());
+    ind.objectives.resize(problem.num_objectives());
+    if (p < config.initial_genomes.size() &&
+        config.initial_genomes[p].size() == problem.num_variables()) {
+      ind.genome = config.initial_genomes[p];
+    } else {
+      for (std::size_t i = 0; i < ind.genome.size(); ++i) {
+        ind.genome[i] = static_cast<int>(
+            rng.uniform_int(problem.lower_bound(i), problem.upper_bound(i)));
+      }
+    }
+    problem.repair(ind.genome);
+  }
+  evaluate_population(pop, problem, config.parallel_evaluation, result.evaluations);
+  assign_ranks_and_crowding(pop);
+
+  // Sliding-window tolerance bookkeeping: track the ideal point (per-
+  // objective minima) over the last `tolerance_window` generations.
+  std::vector<std::vector<double>> ideal_history;
+  auto ideal_point = [&pop] {
+    std::vector<double> ideal = pop[0].objectives;
+    for (const auto& ind : pop) {
+      for (std::size_t m = 0; m < ideal.size(); ++m) {
+        ideal[m] = std::min(ideal[m], ind.objectives[m]);
+      }
+    }
+    return ideal;
+  };
+  ideal_history.push_back(ideal_point());
+
+  for (std::size_t gen = 0; gen < config.max_generations; ++gen) {
+    if (result.evaluations >= config.max_evaluations) break;
+    ++result.generations;
+
+    // Offspring via tournament + exponential crossover + polynomial mutation.
+    std::vector<Individual> offspring;
+    offspring.reserve(config.population_size);
+    while (offspring.size() < config.population_size) {
+      const auto& p1 = tournament(pop, rng);
+      const auto& p2 = tournament(pop, rng);
+      Individual c1;
+      Individual c2;
+      c1.objectives.resize(problem.num_objectives());
+      c2.objectives.resize(problem.num_objectives());
+      exponential_crossover(p1.genome, p2.genome, c1.genome, c2.genome, config, rng);
+      polynomial_mutation(c1.genome, problem, config, rng);
+      polynomial_mutation(c2.genome, problem, config, rng);
+      problem.repair(c1.genome);
+      problem.repair(c2.genome);
+      offspring.push_back(std::move(c1));
+      if (offspring.size() < config.population_size) offspring.push_back(std::move(c2));
+    }
+    evaluate_population(offspring, problem, config.parallel_evaluation, result.evaluations);
+
+    // Environmental selection over parents + offspring.
+    std::vector<Individual> merged;
+    merged.reserve(pop.size() + offspring.size());
+    for (auto& ind : pop) merged.push_back(std::move(ind));
+    for (auto& ind : offspring) merged.push_back(std::move(ind));
+    assign_ranks_and_crowding(merged);
+    std::sort(merged.begin(), merged.end(), [](const Individual& a, const Individual& b) {
+      if (a.rank != b.rank) return a.rank < b.rank;
+      return a.crowding > b.crowding;
+    });
+    merged.resize(config.population_size);
+    pop = std::move(merged);
+    assign_ranks_and_crowding(pop);
+
+    // Tolerance termination over the sliding window.
+    ideal_history.push_back(ideal_point());
+    if (ideal_history.size() > config.tolerance_window) {
+      ideal_history.erase(ideal_history.begin());
+      const auto& oldest = ideal_history.front();
+      const auto& latest = ideal_history.back();
+      double rel_improvement = 0.0;
+      for (std::size_t m = 0; m < latest.size(); ++m) {
+        const double denom = std::max(std::abs(oldest[m]), 1e-12);
+        rel_improvement = std::max(rel_improvement, (oldest[m] - latest[m]) / denom);
+      }
+      if (rel_improvement < config.tolerance) {
+        result.converged_by_tolerance = true;
+        break;
+      }
+    }
+  }
+
+  // Extract the deduplicated rank-0 front.
+  for (const auto& ind : pop) {
+    if (ind.rank != 0) continue;
+    const bool duplicate =
+        std::any_of(result.front.begin(), result.front.end(),
+                    [&ind](const Solution& s) { return s.genome == ind.genome; });
+    if (!duplicate) result.front.push_back({ind.genome, ind.objectives});
+  }
+  std::sort(result.front.begin(), result.front.end(), [](const Solution& a, const Solution& b) {
+    return a.objectives[0] < b.objectives[0];
+  });
+  return result;
+}
+
+}  // namespace qon::moo

@@ -1,0 +1,93 @@
+#include "qpu/backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qon::qpu {
+
+bool QpuModel::in_basis(circuit::GateKind kind) const {
+  using circuit::GateKind;
+  if (kind == GateKind::kMeasure || kind == GateKind::kBarrier || kind == GateKind::kDelay ||
+      kind == GateKind::kI) {
+    return true;
+  }
+  return std::find(basis_gates.begin(), basis_gates.end(), kind) != basis_gates.end();
+}
+
+std::vector<circuit::GateKind> falcon_basis() {
+  using circuit::GateKind;
+  return {GateKind::kRZ, GateKind::kSX, GateKind::kX, GateKind::kCX};
+}
+
+Backend::Backend(std::string name, std::shared_ptr<const QpuModel> model,
+                 CalibrationData calibration, CalibrationProfile profile)
+    : name_(std::move(name)),
+      model_(std::move(model)),
+      calibration_(std::move(calibration)),
+      profile_(profile) {
+  if (!model_) throw std::invalid_argument("Backend: null model");
+  if (calibration_.qubits.size() != static_cast<std::size_t>(model_->topology.num_qubits())) {
+    throw std::invalid_argument("Backend: calibration width mismatch");
+  }
+}
+
+void Backend::recalibrate(const CalibrationDrift& drift, Rng& rng, double timestamp) {
+  calibration_ = drift.next(calibration_, rng);
+  calibration_.timestamp = timestamp;
+}
+
+Backend make_template_backend(const std::shared_ptr<const QpuModel>& model,
+                              const std::vector<const Backend*>& backends) {
+  if (backends.empty()) {
+    throw std::invalid_argument("make_template_backend: no backends to average");
+  }
+  for (const Backend* b : backends) {
+    if (b->model().name != model->name) {
+      throw std::invalid_argument("make_template_backend: model mismatch: " + b->name());
+    }
+  }
+  const double n = static_cast<double>(backends.size());
+  CalibrationData avg = backends.front()->calibration();
+  for (std::size_t q = 0; q < avg.qubits.size(); ++q) {
+    QubitCalibration acc{};
+    acc.t1 = acc.t2 = acc.readout_error = acc.gate_error_1q = 0.0;
+    acc.readout_duration = acc.gate_duration_1q = 0.0;
+    for (const Backend* b : backends) {
+      const auto& qc = b->calibration().qubits[q];
+      acc.t1 += qc.t1;
+      acc.t2 += qc.t2;
+      acc.readout_error += qc.readout_error;
+      acc.gate_error_1q += qc.gate_error_1q;
+      acc.readout_duration += qc.readout_duration;
+      acc.gate_duration_1q += qc.gate_duration_1q;
+    }
+    acc.t1 /= n;
+    acc.t2 /= n;
+    acc.readout_error /= n;
+    acc.gate_error_1q /= n;
+    acc.readout_duration /= n;
+    acc.gate_duration_1q /= n;
+    avg.qubits[q] = acc;
+  }
+  for (auto& [edge, ec] : avg.edges) {
+    EdgeCalibration acc{};
+    acc.gate_error_2q = acc.gate_duration_2q = 0.0;
+    for (const Backend* b : backends) {
+      const auto& other = b->calibration().edge(edge.first, edge.second);
+      acc.gate_error_2q += other.gate_error_2q;
+      acc.gate_duration_2q += other.gate_duration_2q;
+    }
+    acc.gate_error_2q /= n;
+    acc.gate_duration_2q /= n;
+    ec = acc;
+  }
+  double rep_delay = 0.0;
+  for (const Backend* b : backends) rep_delay += b->calibration().rep_delay;
+  avg.rep_delay = rep_delay / n;
+  CalibrationProfile profile = backends.front()->profile();
+  profile.quality = 1.0;  // templates represent the model average
+  profile.rep_delay = avg.rep_delay;
+  return Backend("template-" + model->name, model, std::move(avg), profile);
+}
+
+}  // namespace qon::qpu

@@ -1,0 +1,129 @@
+#include "qpu/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::qpu {
+
+namespace {
+
+// Clamps an error probability into a sane range.
+double clamp_error(double p) { return std::clamp(p, 1e-6, 0.5); }
+
+}  // namespace
+
+const EdgeCalibration& CalibrationData::edge(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  const auto it = edges.find({a, b});
+  if (it == edges.end()) throw std::out_of_range("CalibrationData::edge: unknown coupler");
+  return it->second;
+}
+
+EdgeCalibration& CalibrationData::edge(int a, int b) {
+  if (a > b) std::swap(a, b);
+  const auto it = edges.find({a, b});
+  if (it == edges.end()) throw std::out_of_range("CalibrationData::edge: unknown coupler");
+  return it->second;
+}
+
+double CalibrationData::mean_gate_error_2q() const {
+  if (edges.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [k, v] : edges) {
+    (void)k;
+    acc += v.gate_error_2q;
+  }
+  return acc / static_cast<double>(edges.size());
+}
+
+double CalibrationData::mean_gate_error_1q() const {
+  if (qubits.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& q : qubits) acc += q.gate_error_1q;
+  return acc / static_cast<double>(qubits.size());
+}
+
+double CalibrationData::mean_readout_error() const {
+  if (qubits.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& q : qubits) acc += q.readout_error;
+  return acc / static_cast<double>(qubits.size());
+}
+
+double CalibrationData::mean_t1() const {
+  if (qubits.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& q : qubits) acc += q.t1;
+  return acc / static_cast<double>(qubits.size());
+}
+
+double CalibrationData::mean_t2() const {
+  if (qubits.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& q : qubits) acc += q.t2;
+  return acc / static_cast<double>(qubits.size());
+}
+
+CalibrationData sample_calibration(const Topology& topology, const CalibrationProfile& profile,
+                                   Rng& rng) {
+  CalibrationData cal;
+  cal.qubits.resize(static_cast<std::size_t>(topology.num_qubits()));
+  const double s = profile.dispersion;
+  for (auto& q : cal.qubits) {
+    q.gate_error_1q = clamp_error(profile.median_gate_error_1q * profile.quality *
+                                  rng.lognormal(0.0, s));
+    q.readout_error = clamp_error(profile.median_readout_error * profile.quality *
+                                  rng.lognormal(0.0, s));
+    // Coherence improves as quality improves (divide by quality).
+    q.t1 = profile.median_t1 / profile.quality * rng.lognormal(0.0, s);
+    q.t2 = std::min(profile.median_t2 / profile.quality * rng.lognormal(0.0, s), 2.0 * q.t1);
+    q.gate_duration_1q = 35e-9;
+    q.readout_duration = 750e-9;
+  }
+  for (const auto& e : topology.edges()) {
+    EdgeCalibration ec;
+    ec.gate_error_2q = clamp_error(profile.median_gate_error_2q * profile.quality *
+                                   rng.lognormal(0.0, s));
+    ec.gate_duration_2q = 300e-9 * rng.lognormal(0.0, 0.2);
+    cal.edges[e] = ec;
+  }
+  cal.cycle = 0;
+  cal.timestamp = 0.0;
+  cal.rep_delay = profile.rep_delay;
+  return cal;
+}
+
+CalibrationDrift::CalibrationDrift(CalibrationProfile profile, double sigma, double reversion)
+    : profile_(profile), sigma_(sigma), reversion_(reversion) {
+  if (sigma < 0.0) throw std::invalid_argument("CalibrationDrift: negative sigma");
+  if (reversion < 0.0 || reversion > 1.0) {
+    throw std::invalid_argument("CalibrationDrift: reversion must be in [0, 1]");
+  }
+}
+
+double CalibrationDrift::drift_value(double current, double median, Rng& rng) const {
+  // Geometric mean-reversion toward the profile median with log-normal jitter.
+  const double log_target =
+      (1.0 - reversion_) * std::log(current) + reversion_ * std::log(median);
+  return std::exp(log_target + rng.normal(0.0, sigma_));
+}
+
+CalibrationData CalibrationDrift::next(const CalibrationData& current, Rng& rng) const {
+  CalibrationData out = current;
+  const double q = profile_.quality;
+  for (auto& qc : out.qubits) {
+    qc.gate_error_1q = clamp_error(drift_value(qc.gate_error_1q, profile_.median_gate_error_1q * q, rng));
+    qc.readout_error = clamp_error(drift_value(qc.readout_error, profile_.median_readout_error * q, rng));
+    qc.t1 = drift_value(qc.t1, profile_.median_t1 / q, rng);
+    qc.t2 = std::min(drift_value(qc.t2, profile_.median_t2 / q, rng), 2.0 * qc.t1);
+  }
+  for (auto& [k, ec] : out.edges) {
+    (void)k;
+    ec.gate_error_2q = clamp_error(drift_value(ec.gate_error_2q, profile_.median_gate_error_2q * q, rng));
+  }
+  ++out.cycle;
+  return out;
+}
+
+}  // namespace qon::qpu

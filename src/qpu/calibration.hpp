@@ -1,0 +1,97 @@
+#pragma once
+// Per-QPU calibration data: the error rates, coherence times and durations
+// that periodic calibration procedures publish (§2.1). Calibration is the
+// *information surface* the estimator and scheduler see; the simulator's
+// ground-truth noise is derived from it plus hidden perturbations.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qpu/topology.hpp"
+
+namespace qon::qpu {
+
+/// Calibration record for one physical qubit.
+struct QubitCalibration {
+  double t1 = 100e-6;             ///< relaxation time [s]
+  double t2 = 80e-6;              ///< dephasing time [s]
+  double readout_error = 0.02;    ///< P(flip) on measurement
+  double gate_error_1q = 3e-4;    ///< depolarizing error per sx/x gate
+  double readout_duration = 750e-9;  ///< [s]
+  double gate_duration_1q = 35e-9;   ///< [s] (rz is virtual: 0 error, 0 time)
+};
+
+/// Calibration record for one coupler (two-qubit gate).
+struct EdgeCalibration {
+  double gate_error_2q = 1e-2;   ///< depolarizing error per cx
+  double gate_duration_2q = 300e-9;  ///< [s]
+};
+
+/// Full calibration snapshot of a QPU at one calibration cycle.
+struct CalibrationData {
+  std::vector<QubitCalibration> qubits;
+  std::map<std::pair<int, int>, EdgeCalibration> edges;  ///< keyed (a<b)
+  std::uint64_t cycle = 0;      ///< calibration cycle counter
+  double timestamp = 0.0;       ///< simulated time of the calibration [s]
+  /// Per-shot reset/repetition overhead [s]; devices differ substantially
+  /// (IBM defaults around 250 us), which is why execution time varies
+  /// across QPUs for the same circuit (Fig. 10a).
+  double rep_delay = 250e-6;
+
+  /// Looks up edge calibration order-insensitively; throws on unknown edge.
+  const EdgeCalibration& edge(int a, int b) const;
+  EdgeCalibration& edge(int a, int b);
+
+  double mean_gate_error_2q() const;
+  double mean_gate_error_1q() const;
+  double mean_readout_error() const;
+  double mean_t1() const;
+  double mean_t2() const;
+};
+
+/// Quality envelope from which fresh calibrations are sampled. `quality`
+/// scales all error rates multiplicatively (< 1 = better-than-average QPU),
+/// producing the persistent spatial variance of Fig. 2b.
+struct CalibrationProfile {
+  double quality = 1.0;
+  double median_gate_error_2q = 9e-3;
+  double median_gate_error_1q = 2.8e-4;
+  double median_readout_error = 1.8e-2;
+  double median_t1 = 120e-6;
+  double median_t2 = 95e-6;
+  /// Log-normal spread (sigma of ln) across qubits/edges within one QPU.
+  double dispersion = 0.35;
+  /// Device repetition delay [s] (sampled per backend by the fleet factory).
+  double rep_delay = 250e-6;
+};
+
+/// Samples a complete calibration snapshot for `topology` under `profile`.
+CalibrationData sample_calibration(const Topology& topology, const CalibrationProfile& profile,
+                                   Rng& rng);
+
+/// Temporal drift process (§2.1 "can fluctuate unpredictably between
+/// calibration cycles"): produces the next cycle's calibration by jittering
+/// every rate log-normally around its current value while mean-reverting
+/// toward the profile median.
+class CalibrationDrift {
+ public:
+  /// `sigma` is the per-cycle log-normal jitter; `reversion` in [0,1] pulls
+  /// values back toward the profile (0 = pure random walk).
+  CalibrationDrift(CalibrationProfile profile, double sigma = 0.18, double reversion = 0.35);
+
+  CalibrationData next(const CalibrationData& current, Rng& rng) const;
+
+  const CalibrationProfile& profile() const { return profile_; }
+
+ private:
+  double drift_value(double current, double median, Rng& rng) const;
+
+  CalibrationProfile profile_;
+  double sigma_;
+  double reversion_;
+};
+
+}  // namespace qon::qpu

@@ -1,0 +1,128 @@
+#include "qpu/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace qon::qpu {
+
+Topology::Topology(int num_qubits, std::vector<std::pair<int, int>> edges)
+    : num_qubits_(num_qubits) {
+  if (num_qubits <= 0) throw std::invalid_argument("Topology: num_qubits must be > 0");
+  adjacency_.assign(static_cast<std::size_t>(num_qubits), {});
+  for (auto [a, b] : edges) {
+    if (a == b) throw std::invalid_argument("Topology: self-loop");
+    if (a < 0 || b < 0 || a >= num_qubits || b >= num_qubits) {
+      throw std::out_of_range("Topology: edge endpoint out of range");
+    }
+    if (a > b) std::swap(a, b);
+    edges_.emplace_back(a, b);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  for (auto [a, b] : edges_) {
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  }
+}
+
+bool Topology::connected(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  return std::binary_search(edges_.begin(), edges_.end(), std::make_pair(a, b));
+}
+
+int Topology::distance(int a, int b) const {
+  if (a < 0 || b < 0 || a >= num_qubits_ || b >= num_qubits_) {
+    throw std::out_of_range("Topology::distance");
+  }
+  if (a == b) return 0;
+  std::vector<int> dist(static_cast<std::size_t>(num_qubits_), -1);
+  std::queue<int> frontier;
+  dist[static_cast<std::size_t>(a)] = 0;
+  frontier.push(a);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      if (v == b) return dist[static_cast<std::size_t>(v)];
+      frontier.push(v);
+    }
+  }
+  return -1;
+}
+
+std::vector<std::vector<int>> Topology::distance_matrix() const {
+  std::vector<std::vector<int>> m(static_cast<std::size_t>(num_qubits_),
+                                  std::vector<int>(static_cast<std::size_t>(num_qubits_), -1));
+  for (int s = 0; s < num_qubits_; ++s) {
+    auto& dist = m[static_cast<std::size_t>(s)];
+    std::queue<int> frontier;
+    dist[static_cast<std::size_t>(s)] = 0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return m;
+}
+
+bool Topology::is_connected() const {
+  if (num_qubits_ == 0) return false;
+  const auto row = distance_matrix()[0];
+  return std::find(row.begin(), row.end(), -1) == row.end();
+}
+
+Topology Topology::line(int num_qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int q = 0; q + 1 < num_qubits; ++q) edges.emplace_back(q, q + 1);
+  return Topology(num_qubits, std::move(edges));
+}
+
+Topology Topology::ring(int num_qubits) {
+  if (num_qubits < 3) throw std::invalid_argument("Topology::ring: need >= 3 qubits");
+  std::vector<std::pair<int, int>> edges;
+  for (int q = 0; q + 1 < num_qubits; ++q) edges.emplace_back(q, q + 1);
+  edges.emplace_back(0, num_qubits - 1);
+  return Topology(num_qubits, std::move(edges));
+}
+
+Topology Topology::grid(int rows, int cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("Topology::grid: bad shape");
+  std::vector<std::pair<int, int>> edges;
+  auto idx = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(idx(r, c), idx(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(idx(r, c), idx(r + 1, c));
+    }
+  }
+  return Topology(rows * cols, std::move(edges));
+}
+
+Topology Topology::heavy_hex_falcon27() {
+  // Undirected coupling map of IBM Falcon r5.11 (e.g. ibmq_mumbai).
+  static const std::vector<std::pair<int, int>> kEdges = {
+      {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},   {5, 8},
+      {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12}, {11, 14}, {12, 13},
+      {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+      {19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26}};
+  return Topology(27, kEdges);
+}
+
+Topology Topology::fully_connected(int num_qubits) {
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < num_qubits; ++a) {
+    for (int b = a + 1; b < num_qubits; ++b) edges.emplace_back(a, b);
+  }
+  return Topology(num_qubits, std::move(edges));
+}
+
+}  // namespace qon::qpu

@@ -1,0 +1,52 @@
+#pragma once
+// QPU qubit-connectivity topologies. Provides the generic families (line,
+// ring, grid) plus the 27-qubit IBM-Falcon heavy-hex coupling map used by
+// the paper's QPUs (mumbai, kolkata, cairo, ...).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qon::qpu {
+
+/// Undirected coupling graph over qubits 0..num_qubits-1. Edges are stored
+/// as (a, b) with a < b, sorted lexicographically.
+class Topology {
+ public:
+  Topology() = default;
+  Topology(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// True if (a, b) is a coupler (order-insensitive).
+  bool connected(int a, int b) const;
+
+  /// Neighbor lists indexed by qubit.
+  const std::vector<std::vector<int>>& adjacency() const { return adjacency_; }
+
+  /// BFS hop distance between qubits; -1 if disconnected.
+  int distance(int a, int b) const;
+
+  /// All-pairs BFS distance matrix (row-major num_qubits x num_qubits).
+  std::vector<std::vector<int>> distance_matrix() const;
+
+  /// True when the coupling graph is connected.
+  bool is_connected() const;
+
+  // -- factory functions ----------------------------------------------------
+  static Topology line(int num_qubits);
+  static Topology ring(int num_qubits);
+  static Topology grid(int rows, int cols);
+  /// The 27-qubit heavy-hex map of IBM Falcon r5.11 processors.
+  static Topology heavy_hex_falcon27();
+  /// Fully connected graph (trapped-ion-style all-to-all).
+  static Topology fully_connected(int num_qubits);
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace qon::qpu

@@ -1,0 +1,85 @@
+#include "raft/cluster.hpp"
+
+#include <stdexcept>
+
+namespace qon::raft {
+
+RaftCluster::RaftCluster(std::size_t size, RaftConfig config, NetworkConfig net,
+                         std::uint64_t seed)
+    : config_(config), network_(net) {
+  if (size < 3 || size % 2 == 0) {
+    throw std::invalid_argument("RaftCluster: size must be odd and >= 3 (2f+1)");
+  }
+  std::vector<NodeId> peers;
+  for (std::size_t i = 0; i < size; ++i) peers.push_back(static_cast<NodeId>(i));
+  applied_.resize(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    nodes_.push_back(std::make_unique<RaftNode>(
+        static_cast<NodeId>(i), peers, config, seed + i,
+        [this, i](LogIndex, const std::string& cmd) { applied_[i].push_back(cmd); }));
+  }
+}
+
+void RaftCluster::pump(std::vector<Message>& out) {
+  for (auto& m : out) network_.send(std::move(m));
+  out.clear();
+}
+
+void RaftCluster::step() {
+  std::vector<Message> out;
+  for (auto& node : nodes_) {
+    node->tick(out);
+    pump(out);
+  }
+  for (auto& message : network_.tick()) {
+    const auto to = static_cast<std::size_t>(message.to);
+    if (to >= nodes_.size()) continue;
+    nodes_[to]->deliver(message, out);
+    pump(out);
+  }
+}
+
+void RaftCluster::run(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) step();
+}
+
+std::optional<NodeId> RaftCluster::run_until_leader(std::size_t max_steps) {
+  for (std::size_t i = 0; i < max_steps; ++i) {
+    step();
+    if (const auto l = leader()) return l;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> RaftCluster::leader() const {
+  std::optional<NodeId> best;
+  Term best_term = 0;
+  for (const auto& node : nodes_) {
+    if (!node->crashed() && node->role() == Role::kLeader && node->term() >= best_term) {
+      best = node->id();
+      best_term = node->term();
+    }
+  }
+  return best;
+}
+
+bool RaftCluster::propose_and_commit(const std::string& command, std::size_t max_steps) {
+  auto l = leader();
+  if (!l) l = run_until_leader(max_steps);
+  if (!l) return false;
+  std::vector<Message> out;
+  const auto index = nodes_[static_cast<std::size_t>(*l)]->propose(command, out);
+  pump(out);
+  if (!index) return false;
+  for (std::size_t i = 0; i < max_steps; ++i) {
+    step();
+    std::size_t committed = 0;
+    for (const auto& node : nodes_) {
+      if (!node->crashed() && node->commit_index() >= *index) ++committed;
+    }
+    if (committed >= nodes_.size() / 2 + 1) return true;
+  }
+  return false;
+}
+
+}  // namespace qon::raft

@@ -1,0 +1,54 @@
+#pragma once
+// Raft cluster harness: 2f+1 nodes over a simulated network, driven in
+// lock-step ticks. Provides the fault-injection controls the §4.1 tests
+// exercise (crash the leader, partition nodes, heal).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "raft/network.hpp"
+#include "raft/node.hpp"
+
+namespace qon::raft {
+
+class RaftCluster {
+ public:
+  /// Builds a cluster of `size` nodes (size must be odd, e.g. 2f+1 with
+  /// f=1 -> 3 by default in Qonductor).
+  RaftCluster(std::size_t size, RaftConfig config = {}, NetworkConfig net = {},
+              std::uint64_t seed = 7);
+
+  std::size_t size() const { return nodes_.size(); }
+  RaftNode& node(std::size_t i) { return *nodes_[i]; }
+  const RaftNode& node(std::size_t i) const { return *nodes_[i]; }
+  SimNetwork& network() { return network_; }
+
+  /// Advances the whole cluster one tick (node ticks + message delivery).
+  void step();
+  /// Runs `n` steps.
+  void run(std::size_t n);
+  /// Runs until a leader exists or `max_steps` elapse; returns leader id.
+  std::optional<NodeId> run_until_leader(std::size_t max_steps = 2000);
+
+  /// Current unique leader (highest-term leader if several claim it).
+  std::optional<NodeId> leader() const;
+
+  /// Proposes through the current leader; runs up to `max_steps` to commit.
+  /// Returns true when a majority committed the command.
+  bool propose_and_commit(const std::string& command, std::size_t max_steps = 2000);
+
+  /// The committed command sequence observed by node i's state machine.
+  const std::vector<std::string>& applied(std::size_t i) const { return applied_[i]; }
+
+ private:
+  void pump(std::vector<Message>& out);
+
+  RaftConfig config_;
+  SimNetwork network_;
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+  std::vector<std::vector<std::string>> applied_;
+};
+
+}  // namespace qon::raft

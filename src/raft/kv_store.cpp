@@ -1,0 +1,107 @@
+#include "raft/kv_store.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qon::raft {
+
+ReplicatedKvStore::ReplicatedKvStore(std::size_t replicas, std::uint64_t seed)
+    : cluster_(replicas, RaftConfig{}, NetworkConfig{}, seed),
+      views_(replicas),
+      applied_upto_(replicas, 0) {}
+
+std::string ReplicatedKvStore::encode(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case ' ': out += "%20"; break;
+      case '\n': out += "%0a"; break;
+      case '%': out += "%25"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string ReplicatedKvStore::decode(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] == '%' && i + 2 < encoded.size()) {
+      const std::string hex = encoded.substr(i + 1, 2);
+      if (hex == "20") {
+        out += ' ';
+        i += 2;
+        continue;
+      }
+      if (hex == "0a") {
+        out += '\n';
+        i += 2;
+        continue;
+      }
+      if (hex == "25") {
+        out += '%';
+        i += 2;
+        continue;
+      }
+    }
+    out += encoded[i];
+  }
+  return out;
+}
+
+bool ReplicatedKvStore::set(const std::string& key, const std::string& value) {
+  if (!cluster_.propose_and_commit("set " + encode(key) + " " + encode(value))) return false;
+  // Let heartbeats propagate the commit index so every replica applies the
+  // entry before the caller reads it back.
+  cluster_.run(64);
+  return true;
+}
+
+bool ReplicatedKvStore::erase(const std::string& key) {
+  if (!cluster_.propose_and_commit("del " + encode(key))) return false;
+  cluster_.run(64);
+  return true;
+}
+
+void ReplicatedKvStore::catch_up(std::size_t replica) const {
+  const auto& commands = cluster_.applied(replica);
+  auto& view = views_[replica];
+  for (std::size_t i = applied_upto_[replica]; i < commands.size(); ++i) {
+    std::istringstream in(commands[i]);
+    std::string op;
+    std::string key;
+    in >> op >> key;
+    key = decode(key);
+    if (op == "set") {
+      std::string value;
+      in >> value;
+      view[key] = decode(value);
+    } else if (op == "del") {
+      view.erase(key);
+    }
+  }
+  applied_upto_[replica] = commands.size();
+}
+
+std::optional<std::string> ReplicatedKvStore::get(const std::string& key,
+                                                  std::size_t replica) const {
+  if (replica >= views_.size()) throw std::out_of_range("ReplicatedKvStore::get");
+  catch_up(replica);
+  const auto it = views_[replica].find(key);
+  if (it == views_[replica].end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ReplicatedKvStore::size(std::size_t replica) const {
+  if (replica >= views_.size()) throw std::out_of_range("ReplicatedKvStore::size");
+  catch_up(replica);
+  return views_[replica].size();
+}
+
+void ReplicatedKvStore::materialize() {
+  for (std::size_t r = 0; r < views_.size(); ++r) catch_up(r);
+}
+
+}  // namespace qon::raft

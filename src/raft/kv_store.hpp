@@ -1,0 +1,48 @@
+#pragma once
+// Replicated key-value store: the state machine behind Qonductor's system
+// monitor (§4.1). Commands are "set <key> <value>" / "del <key>"; the store
+// wraps a RaftCluster and exposes linearizable-ish writes (commit-gated)
+// plus local reads from any replica.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "raft/cluster.hpp"
+
+namespace qon::raft {
+
+class ReplicatedKvStore {
+ public:
+  explicit ReplicatedKvStore(std::size_t replicas = 3, std::uint64_t seed = 11);
+
+  /// Writes through the leader; returns false if no leader emerged or the
+  /// command failed to commit within the step budget.
+  bool set(const std::string& key, const std::string& value);
+  bool erase(const std::string& key);
+
+  /// Reads from replica `replica`'s applied state (default 0).
+  std::optional<std::string> get(const std::string& key, std::size_t replica = 0) const;
+
+  /// Number of keys on a replica.
+  std::size_t size(std::size_t replica = 0) const;
+
+  RaftCluster& cluster() { return cluster_; }
+
+  /// Re-applies every replica's committed commands into its map (used after
+  /// fault injection runs to refresh the materialized views).
+  void materialize();
+
+  /// Escapes a value so it survives the space-delimited command encoding.
+  static std::string encode(const std::string& raw);
+  static std::string decode(const std::string& encoded);
+
+ private:
+  RaftCluster cluster_;
+  mutable std::vector<std::map<std::string, std::string>> views_;
+  mutable std::vector<std::size_t> applied_upto_;
+
+  void catch_up(std::size_t replica) const;
+};
+
+}  // namespace qon::raft

@@ -1,0 +1,60 @@
+#pragma once
+// Raft wire messages (Ongaro & Ousterhout 2014), used by the replicated
+// control plane and system-monitor datastore (§4.1 fault tolerance).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qon::raft {
+
+using Term = std::uint64_t;
+using NodeId = int;
+using LogIndex = std::uint64_t;  // 1-based; 0 means "none"
+
+/// One replicated log entry: an opaque state-machine command.
+struct LogEntry {
+  Term term = 0;
+  std::string command;
+
+  bool operator==(const LogEntry&) const = default;
+};
+
+struct RequestVote {
+  Term term = 0;
+  NodeId candidate = -1;
+  LogIndex last_log_index = 0;
+  Term last_log_term = 0;
+};
+
+struct RequestVoteReply {
+  Term term = 0;
+  bool granted = false;
+};
+
+struct AppendEntries {
+  Term term = 0;
+  NodeId leader = -1;
+  LogIndex prev_log_index = 0;
+  Term prev_log_term = 0;
+  std::vector<LogEntry> entries;  ///< empty = heartbeat
+  LogIndex leader_commit = 0;
+};
+
+struct AppendEntriesReply {
+  Term term = 0;
+  bool success = false;
+  LogIndex match_index = 0;  ///< highest replicated index on success
+};
+
+using Payload = std::variant<RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply>;
+
+/// An addressed message in flight.
+struct Message {
+  NodeId from = -1;
+  NodeId to = -1;
+  Payload payload;
+};
+
+}  // namespace qon::raft

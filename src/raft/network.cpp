@@ -1,0 +1,59 @@
+#include "raft/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qon::raft {
+
+SimNetwork::SimNetwork(NetworkConfig config) : config_(config), rng_(config.seed) {
+  if (config.min_delay_ticks < 1 || config.max_delay_ticks < config.min_delay_ticks) {
+    throw std::invalid_argument("SimNetwork: bad delay bounds");
+  }
+  if (config.drop_probability < 0.0 || config.drop_probability >= 1.0) {
+    throw std::invalid_argument("SimNetwork: drop probability must be in [0, 1)");
+  }
+}
+
+void SimNetwork::send(Message message) {
+  if (partitioned(message.from, message.to) || rng_.bernoulli(config_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  const auto delay = static_cast<std::uint64_t>(
+      rng_.uniform_int(config_.min_delay_ticks, config_.max_delay_ticks));
+  queue_.push_back({now_ + delay, std::move(message)});
+}
+
+std::vector<Message> SimNetwork::tick() {
+  ++now_;
+  std::vector<Message> due;
+  auto it = queue_.begin();
+  while (it != queue_.end()) {
+    if (it->deliver_at <= now_) {
+      // A partition installed after send also blocks delivery.
+      if (!partitioned(it->message.from, it->message.to)) {
+        due.push_back(std::move(it->message));
+      } else {
+        ++dropped_;
+      }
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return due;
+}
+
+void SimNetwork::partition(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  partitions_.insert({a, b});
+}
+
+void SimNetwork::heal() { partitions_.clear(); }
+
+bool SimNetwork::partitioned(NodeId a, NodeId b) const {
+  if (a > b) std::swap(a, b);
+  return partitions_.count({a, b}) > 0;
+}
+
+}  // namespace qon::raft

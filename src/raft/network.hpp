@@ -1,0 +1,57 @@
+#pragma once
+// Simulated partially synchronous network (§4.1): messages experience
+// random bounded delays (measured in ticks), may be dropped, and pairs of
+// nodes can be partitioned for fault-injection tests.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "raft/message.hpp"
+
+namespace qon::raft {
+
+struct NetworkConfig {
+  int min_delay_ticks = 1;
+  int max_delay_ticks = 3;   ///< Δ bound after GST (partial synchrony)
+  double drop_probability = 0.0;
+  std::uint64_t seed = 99;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetworkConfig config = {});
+
+  /// Queues a message for future delivery (or drops it).
+  void send(Message message);
+
+  /// Advances one tick and returns the messages due for delivery.
+  std::vector<Message> tick();
+
+  /// Blocks both directions between a and b until heal().
+  void partition(NodeId a, NodeId b);
+  /// Removes all partitions.
+  void heal();
+  /// True when (a, b) cannot communicate.
+  bool partitioned(NodeId a, NodeId b) const;
+
+  std::uint64_t now() const { return now_; }
+  std::size_t in_flight() const { return queue_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct InFlight {
+    std::uint64_t deliver_at;
+    Message message;
+  };
+
+  NetworkConfig config_;
+  Rng rng_;
+  std::uint64_t now_ = 0;
+  std::vector<InFlight> queue_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace qon::raft

@@ -1,0 +1,246 @@
+#include "raft/node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qon::raft {
+
+const char* role_name(Role role) {
+  switch (role) {
+    case Role::kFollower: return "follower";
+    case Role::kCandidate: return "candidate";
+    case Role::kLeader: return "leader";
+  }
+  return "?";
+}
+
+RaftNode::RaftNode(NodeId id, std::vector<NodeId> peers, RaftConfig config, std::uint64_t seed,
+                   ApplyCallback apply)
+    : id_(id), peers_(std::move(peers)), config_(config), rng_(seed), apply_(std::move(apply)) {
+  if (std::find(peers_.begin(), peers_.end(), id_) == peers_.end()) {
+    throw std::invalid_argument("RaftNode: own id missing from peer list");
+  }
+  if (config.election_timeout_min_ticks < 2 ||
+      config.election_timeout_max_ticks < config.election_timeout_min_ticks) {
+    throw std::invalid_argument("RaftNode: bad election timeout bounds");
+  }
+  reset_election_timer();
+}
+
+void RaftNode::reset_election_timer() {
+  election_timer_ = static_cast<int>(rng_.uniform_int(config_.election_timeout_min_ticks,
+                                                      config_.election_timeout_max_ticks));
+}
+
+void RaftNode::become_follower(Term term) {
+  role_ = Role::kFollower;
+  if (term > term_) {
+    term_ = term;
+    voted_for_.reset();
+  }
+  reset_election_timer();
+}
+
+void RaftNode::become_candidate(std::vector<Message>& out) {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = id_;
+  votes_received_ = 1;  // own vote
+  reset_election_timer();
+  RequestVote rv;
+  rv.term = term_;
+  rv.candidate = id_;
+  rv.last_log_index = last_log_index();
+  rv.last_log_term = last_log_term();
+  for (NodeId peer : peers_) {
+    if (peer == id_) continue;
+    out.push_back({id_, peer, rv});
+  }
+}
+
+void RaftNode::become_leader(std::vector<Message>& out) {
+  role_ = Role::kLeader;
+  next_index_.assign(peers_.size(), last_log_index() + 1);
+  match_index_.assign(peers_.size(), 0);
+  heartbeat_timer_ = 0;
+  broadcast_append_entries(out);  // immediate heartbeat asserts leadership
+}
+
+void RaftNode::tick(std::vector<Message>& out) {
+  if (crashed_) return;
+  if (role_ == Role::kLeader) {
+    if (++heartbeat_timer_ >= config_.heartbeat_interval_ticks) {
+      heartbeat_timer_ = 0;
+      broadcast_append_entries(out);
+    }
+    return;
+  }
+  // Follower / candidate: detect leader failure via heartbeat silence
+  // exceeding the (randomized) Δ-derived timeout.
+  if (--election_timer_ <= 0) become_candidate(out);
+}
+
+void RaftNode::broadcast_append_entries(std::vector<Message>& out) {
+  for (NodeId peer : peers_) {
+    if (peer == id_) continue;
+    send_append_entries(peer, out);
+  }
+}
+
+void RaftNode::send_append_entries(NodeId peer, std::vector<Message>& out) {
+  const std::size_t pi = static_cast<std::size_t>(
+      std::find(peers_.begin(), peers_.end(), peer) - peers_.begin());
+  AppendEntries ae;
+  ae.term = term_;
+  ae.leader = id_;
+  ae.prev_log_index = next_index_[pi] - 1;
+  ae.prev_log_term =
+      ae.prev_log_index == 0 ? 0 : log_[static_cast<std::size_t>(ae.prev_log_index) - 1].term;
+  for (LogIndex i = next_index_[pi]; i <= last_log_index(); ++i) {
+    ae.entries.push_back(log_[static_cast<std::size_t>(i) - 1]);
+  }
+  ae.leader_commit = commit_index_;
+  out.push_back({id_, peer, ae});
+}
+
+void RaftNode::deliver(const Message& message, std::vector<Message>& out) {
+  if (crashed_) return;
+  std::visit(
+      [&](const auto& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, RequestVote>) {
+          if (payload.term > term_) become_follower(payload.term);
+          RequestVoteReply reply;
+          reply.term = term_;
+          const bool log_ok =
+              payload.last_log_term > last_log_term() ||
+              (payload.last_log_term == last_log_term() &&
+               payload.last_log_index >= last_log_index());
+          if (payload.term == term_ && log_ok &&
+              (!voted_for_ || *voted_for_ == payload.candidate)) {
+            voted_for_ = payload.candidate;
+            reply.granted = true;
+            reset_election_timer();
+          }
+          out.push_back({id_, message.from, reply});
+        } else if constexpr (std::is_same_v<T, RequestVoteReply>) {
+          if (role_ != Role::kCandidate || payload.term != term_) {
+            if (payload.term > term_) become_follower(payload.term);
+            return;
+          }
+          if (payload.granted && ++votes_received_ >= majority()) {
+            become_leader(out);
+          }
+        } else if constexpr (std::is_same_v<T, AppendEntries>) {
+          AppendEntriesReply reply;
+          if (payload.term < term_) {
+            reply.term = term_;
+            reply.success = false;
+            out.push_back({id_, message.from, reply});
+            return;
+          }
+          become_follower(payload.term);
+          reply.term = term_;
+          // Log matching check at prev_log_index.
+          const bool prev_ok =
+              payload.prev_log_index == 0 ||
+              (payload.prev_log_index <= last_log_index() &&
+               log_[static_cast<std::size_t>(payload.prev_log_index) - 1].term ==
+                   payload.prev_log_term);
+          if (!prev_ok) {
+            reply.success = false;
+            out.push_back({id_, message.from, reply});
+            return;
+          }
+          // Append / overwrite conflicting suffix.
+          LogIndex index = payload.prev_log_index;
+          for (const auto& entry : payload.entries) {
+            ++index;
+            if (index <= last_log_index()) {
+              if (log_[static_cast<std::size_t>(index) - 1].term != entry.term) {
+                log_.resize(static_cast<std::size_t>(index) - 1);
+                log_.push_back(entry);
+              }
+            } else {
+              log_.push_back(entry);
+            }
+          }
+          if (payload.leader_commit > commit_index_) {
+            commit_index_ = std::min<LogIndex>(payload.leader_commit, last_log_index());
+            apply_committed();
+          }
+          reply.success = true;
+          reply.match_index = index;
+          out.push_back({id_, message.from, reply});
+        } else if constexpr (std::is_same_v<T, AppendEntriesReply>) {
+          if (payload.term > term_) {
+            become_follower(payload.term);
+            return;
+          }
+          if (role_ != Role::kLeader || payload.term != term_) return;
+          const std::size_t pi = static_cast<std::size_t>(
+              std::find(peers_.begin(), peers_.end(), message.from) - peers_.begin());
+          if (pi >= peers_.size()) return;
+          if (payload.success) {
+            match_index_[pi] = std::max(match_index_[pi], payload.match_index);
+            next_index_[pi] = match_index_[pi] + 1;
+            advance_commit();
+          } else {
+            // Back off and retry immediately.
+            if (next_index_[pi] > 1) --next_index_[pi];
+            send_append_entries(message.from, out);
+          }
+        }
+      },
+      message.payload);
+}
+
+std::optional<LogIndex> RaftNode::propose(const std::string& command,
+                                          std::vector<Message>& out) {
+  if (crashed_ || role_ != Role::kLeader) return std::nullopt;
+  log_.push_back({term_, command});
+  const std::size_t self = static_cast<std::size_t>(
+      std::find(peers_.begin(), peers_.end(), id_) - peers_.begin());
+  match_index_[self] = last_log_index();
+  broadcast_append_entries(out);
+  advance_commit();
+  return last_log_index();
+}
+
+void RaftNode::advance_commit() {
+  // Find the highest index replicated on a majority with an entry from the
+  // current term (Raft's commit rule).
+  for (LogIndex n = last_log_index(); n > commit_index_; --n) {
+    if (log_[static_cast<std::size_t>(n) - 1].term != term_) break;
+    std::size_t count = 0;
+    for (std::size_t pi = 0; pi < peers_.size(); ++pi) {
+      if (peers_[pi] == id_ || match_index_[pi] >= n) ++count;
+    }
+    if (count >= majority()) {
+      commit_index_ = n;
+      apply_committed();
+      break;
+    }
+  }
+}
+
+void RaftNode::apply_committed() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    if (apply_) apply_(last_applied_, log_[static_cast<std::size_t>(last_applied_) - 1].command);
+  }
+}
+
+void RaftNode::crash() { crashed_ = true; }
+
+void RaftNode::restart() {
+  crashed_ = false;
+  role_ = Role::kFollower;
+  votes_received_ = 0;
+  // Volatile applied state rebuilds from the (persistent) log.
+  commit_index_ = 0;
+  last_applied_ = 0;
+  reset_election_timer();
+}
+
+}  // namespace qon::raft

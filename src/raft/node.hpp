@@ -1,0 +1,97 @@
+#pragma once
+// A single Raft consensus node: leader election with randomized timeouts,
+// heartbeat-based failure detection, log replication and commit
+// advancement. Driven synchronously by the cluster harness: deliver() for
+// incoming messages, tick() once per time step.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "raft/message.hpp"
+
+namespace qon::raft {
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+const char* role_name(Role role);
+
+struct RaftConfig {
+  int election_timeout_min_ticks = 10;
+  int election_timeout_max_ticks = 20;
+  int heartbeat_interval_ticks = 3;
+};
+
+/// Callback applying a committed command to the state machine.
+using ApplyCallback = std::function<void(LogIndex, const std::string&)>;
+
+class RaftNode {
+ public:
+  /// `peers` lists *all* cluster members including this node's own id.
+  RaftNode(NodeId id, std::vector<NodeId> peers, RaftConfig config, std::uint64_t seed,
+           ApplyCallback apply);
+
+  NodeId id() const { return id_; }
+  Role role() const { return role_; }
+  Term term() const { return term_; }
+  LogIndex commit_index() const { return commit_index_; }
+  const std::vector<LogEntry>& log() const { return log_; }
+  bool crashed() const { return crashed_; }
+
+  /// One time step: election timeout / heartbeat bookkeeping. Outgoing
+  /// messages are appended to `out`.
+  void tick(std::vector<Message>& out);
+
+  /// Handles an incoming message; replies go to `out`.
+  void deliver(const Message& message, std::vector<Message>& out);
+
+  /// Leader-only: appends a client command for replication. Returns the
+  /// assigned log index, or nullopt when not leader (client must retry at
+  /// the current leader).
+  std::optional<LogIndex> propose(const std::string& command, std::vector<Message>& out);
+
+  /// Fault injection: a crashed node ignores ticks and messages.
+  void crash();
+  /// Restarts with volatile state reset (log and term survive, as they
+  /// would on persistent storage).
+  void restart();
+
+ private:
+  void become_follower(Term term);
+  void become_candidate(std::vector<Message>& out);
+  void become_leader(std::vector<Message>& out);
+  void reset_election_timer();
+  void broadcast_append_entries(std::vector<Message>& out);
+  void send_append_entries(NodeId peer, std::vector<Message>& out);
+  void advance_commit();
+  void apply_committed();
+
+  Term last_log_term() const { return log_.empty() ? 0 : log_.back().term; }
+  LogIndex last_log_index() const { return log_.size(); }
+  std::size_t majority() const { return peers_.size() / 2 + 1; }
+
+  NodeId id_;
+  std::vector<NodeId> peers_;
+  RaftConfig config_;
+  Rng rng_;
+  ApplyCallback apply_;
+
+  Role role_ = Role::kFollower;
+  Term term_ = 0;
+  std::optional<NodeId> voted_for_;
+  std::vector<LogEntry> log_;  // 1-based indexing: log_[i-1]
+  LogIndex commit_index_ = 0;
+  LogIndex last_applied_ = 0;
+
+  int election_timer_ = 0;
+  int heartbeat_timer_ = 0;
+  std::size_t votes_received_ = 0;
+  bool crashed_ = false;
+
+  // Leader volatile state.
+  std::vector<LogIndex> next_index_;   // per peer position
+  std::vector<LogIndex> match_index_;
+};
+
+}  // namespace qon::raft

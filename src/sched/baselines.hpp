@@ -1,0 +1,26 @@
+#pragma once
+// Baseline scheduling policies:
+//  * best-fidelity FCFS — the paper's baseline: each job goes to the
+//    highest-estimated-fidelity QPU that fits (the user behaviour that
+//    creates the Fig. 2c hotspots), served first-come-first-serve;
+//  * least-busy — the Qiskit least_busy policy (minimize queue wait);
+//  * random feasible — control.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/job.hpp"
+
+namespace qon::sched {
+
+/// Per-job QPU choice (or -1 when no QPU fits). Queue waits in `input` are
+/// treated as live state: each assignment adds its execution time to the
+/// chosen QPU's wait so later jobs see the queue growing.
+std::vector<int> assign_best_fidelity_fcfs(const SchedulingInput& input);
+
+std::vector<int> assign_least_busy(const SchedulingInput& input);
+
+std::vector<int> assign_random_feasible(const SchedulingInput& input, std::uint64_t seed);
+
+}  // namespace qon::sched

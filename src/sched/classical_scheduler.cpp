@@ -1,0 +1,93 @@
+#include "sched/classical_scheduler.hpp"
+
+#include <algorithm>
+
+namespace qon::sched {
+
+bool node_fits(const ClassicalNode& node, const ClassicalRequest& request) {
+  return node.cores - node.cores_used >= request.cores &&
+         node.memory_gb - node.memory_gb_used >= request.memory_gb &&
+         node.gpus - node.gpus_used >= request.gpus &&
+         node.fpgas - node.fpgas_used >= request.fpgas;
+}
+
+double least_allocated_score(const ClassicalNode& node, const ClassicalRequest& request) {
+  const double cpu_free =
+      static_cast<double>(node.cores - node.cores_used - request.cores) /
+      std::max(node.cores, 1);
+  const double mem_free =
+      (node.memory_gb - node.memory_gb_used - request.memory_gb) /
+      std::max(node.memory_gb, 1.0);
+  return 0.5 * (cpu_free + mem_free);
+}
+
+double most_allocated_score(const ClassicalNode& node, const ClassicalRequest& request) {
+  return 1.0 - least_allocated_score(node, request);
+}
+
+int schedule_classical(const std::vector<ClassicalNode>& nodes, const ClassicalRequest& request,
+                       const ScoringPolicy& policy) {
+  int best = -1;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!node_fits(nodes[i], request)) continue;  // stage 1: filter
+    const double score = policy(nodes[i], request);  // stage 2: score
+    if (best < 0 || score > best_score) {
+      best = static_cast<int>(i);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::vector<ClassicalNode> make_node_pool(std::size_t standard, std::size_t highend,
+                                          std::size_t fpga_nodes) {
+  std::vector<ClassicalNode> pool;
+  for (std::size_t i = 0; i < standard; ++i) {
+    ClassicalNode n;
+    n.name = "vm-std-" + std::to_string(i);
+    n.cores = 8;
+    n.memory_gb = 32.0;
+    pool.push_back(n);
+  }
+  for (std::size_t i = 0; i < highend; ++i) {
+    ClassicalNode n;
+    n.name = "vm-gpu-" + std::to_string(i);
+    n.cores = 64;
+    n.memory_gb = 512.0;
+    n.gpus = 4;
+    pool.push_back(n);
+  }
+  for (std::size_t i = 0; i < fpga_nodes; ++i) {
+    ClassicalNode n;
+    n.name = "vm-fpga-" + std::to_string(i);
+    n.cores = 16;
+    n.memory_gb = 64.0;
+    n.fpgas = 2;
+    pool.push_back(n);
+  }
+  return pool;
+}
+
+ClassicalRequest request_for_accelerator(mitigation::Accelerator accelerator) {
+  ClassicalRequest req;
+  switch (accelerator) {
+    case mitigation::Accelerator::kCpu:
+      req.cores = 4;
+      req.memory_gb = 16.0;
+      break;
+    case mitigation::Accelerator::kGpu:
+      req.cores = 8;
+      req.memory_gb = 64.0;
+      req.gpus = 1;
+      break;
+    case mitigation::Accelerator::kFpga:
+      req.cores = 4;
+      req.memory_gb = 16.0;
+      req.fpgas = 1;
+      break;
+  }
+  return req;
+}
+
+}  // namespace qon::sched

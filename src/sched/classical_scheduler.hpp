@@ -1,0 +1,68 @@
+#pragma once
+// Classical-job scheduling: the standard Kubernetes two-stage
+// filtering-scoring algorithm (§7). Nodes advertise cores / memory /
+// accelerators; jobs request them; filtering removes incompatible nodes and
+// pluggable scoring policies rank the rest.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mitigation/pipeline.hpp"
+
+namespace qon::sched {
+
+/// A classical worker node (VM) in the cluster.
+struct ClassicalNode {
+  std::string name;
+  int cores = 8;
+  double memory_gb = 32.0;
+  int gpus = 0;
+  int fpgas = 0;
+
+  // Current allocations.
+  int cores_used = 0;
+  double memory_gb_used = 0.0;
+  int gpus_used = 0;
+  int fpgas_used = 0;
+
+  double cpu_utilization() const {
+    return cores > 0 ? static_cast<double>(cores_used) / cores : 1.0;
+  }
+};
+
+/// Resource request of a classical task (Listing 1 style).
+struct ClassicalRequest {
+  int cores = 1;
+  double memory_gb = 4.0;
+  int gpus = 0;
+  int fpgas = 0;
+};
+
+/// Scoring policy: higher is better; only called on nodes passing filters.
+using ScoringPolicy = std::function<double(const ClassicalNode&, const ClassicalRequest&)>;
+
+/// Default policy: least-allocated (prefer the emptiest node), the
+/// Kubernetes default behaviour.
+double least_allocated_score(const ClassicalNode& node, const ClassicalRequest& request);
+
+/// Alternative policy: most-allocated (bin-packing).
+double most_allocated_score(const ClassicalNode& node, const ClassicalRequest& request);
+
+/// True when `node` can host `request` right now.
+bool node_fits(const ClassicalNode& node, const ClassicalRequest& request);
+
+/// Two-stage filter + score; returns the chosen node index or -1.
+int schedule_classical(const std::vector<ClassicalNode>& nodes, const ClassicalRequest& request,
+                       const ScoringPolicy& policy = least_allocated_score);
+
+/// Builds a heterogeneous node pool: `standard` 8-core VMs, `highend`
+/// 64-core VMs with GPUs, `fpga_nodes` FPGA-carrying nodes.
+std::vector<ClassicalNode> make_node_pool(std::size_t standard, std::size_t highend,
+                                          std::size_t fpga_nodes);
+
+/// Request implied by a mitigation accelerator choice.
+ClassicalRequest request_for_accelerator(mitigation::Accelerator accelerator);
+
+}  // namespace qon::sched

@@ -1,0 +1,97 @@
+#include "sched/hybrid_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stopwatch.hpp"
+#include "sched/baselines.hpp"
+
+namespace qon::sched {
+
+PreprocessResult preprocess_jobs(const SchedulingInput& input) {
+  PreprocessResult result;
+  result.compact.qpus = input.qpus;
+  for (std::size_t j = 0; j < input.jobs.size(); ++j) {
+    const auto& job = input.jobs[j];
+    bool feasible = false;
+    for (std::size_t q = 0; q < input.qpus.size(); ++q) {
+      if (input.qpus[q].online && job.qubits <= input.qpus[q].size &&
+          q < job.est_exec_seconds.size() && std::isfinite(job.est_exec_seconds[q])) {
+        feasible = true;
+        break;
+      }
+    }
+    if (feasible) {
+      result.compact.jobs.push_back(job);
+      result.kept_indices.push_back(j);
+    } else {
+      result.filtered_indices.push_back(j);
+    }
+  }
+  return result;
+}
+
+ScheduleDecision schedule_cycle(const SchedulingInput& input, const SchedulerConfig& config) {
+  if (config.fidelity_weight < 0.0 || config.fidelity_weight > 1.0) {
+    throw std::invalid_argument("schedule_cycle: fidelity_weight must be in [0, 1]");
+  }
+  ScheduleDecision decision;
+  decision.assignment.assign(input.jobs.size(), -1);
+
+  // ---- stage (a): job pre-processing --------------------------------------
+  Stopwatch sw;
+  const PreprocessResult pre = preprocess_jobs(input);
+  decision.filtered_jobs = pre.filtered_indices;
+  decision.preprocess_seconds = sw.seconds();
+  if (pre.compact.jobs.empty()) return decision;
+
+  // ---- stage (b): multi-objective optimization ----------------------------
+  sw.reset();
+  const SchedulingProblem problem(pre.compact);
+  // Seed NSGA-II with the heuristic extremes so the front always covers the
+  // best-fidelity and least-busy corners of the objective space.
+  auto nsga2_config = config.nsga2;
+  nsga2_config.initial_genomes.push_back(assign_best_fidelity_fcfs(pre.compact));
+  nsga2_config.initial_genomes.push_back(assign_least_busy(pre.compact));
+  const auto result = moo::nsga2(problem, nsga2_config);
+  decision.optimize_seconds = sw.seconds();
+  decision.nsga2_generations = result.generations;
+  decision.nsga2_evaluations = result.evaluations;
+  if (result.front.empty()) {
+    throw std::logic_error("schedule_cycle: NSGA-II returned an empty front");
+  }
+
+  // ---- stage (c): MCDM selection -------------------------------------------
+  sw.reset();
+  // Preference vector over (JCT, error): fidelity_weight applies to the
+  // error objective, the rest to JCT.
+  const std::vector<double> preference = {1.0 - config.fidelity_weight,
+                                          config.fidelity_weight};
+  const std::size_t pick = moo::select_by_pseudo_weight(result.front, preference);
+  decision.select_seconds = sw.seconds();
+
+  const auto& chosen = result.front[pick];
+  decision.chosen.mean_jct = chosen.objectives[0];
+  decision.chosen.mean_error = chosen.objectives[1];
+  decision.chosen_mean_exec_seconds = problem.mean_execution_time(chosen.genome);
+
+  double min_exec = std::numeric_limits<double>::infinity();
+  double max_exec = 0.0;
+  for (const auto& sol : result.front) {
+    decision.pareto_front.push_back({sol.objectives[0], sol.objectives[1]});
+    const double exec = problem.mean_execution_time(sol.genome);
+    min_exec = std::min(min_exec, exec);
+    max_exec = std::max(max_exec, exec);
+  }
+  decision.min_front_exec_seconds = min_exec;
+  decision.max_front_exec_seconds = max_exec;
+
+  // Scatter the compact assignment back to original job positions.
+  for (std::size_t c = 0; c < chosen.genome.size(); ++c) {
+    decision.assignment[pre.kept_indices[c]] = chosen.genome[c];
+  }
+  return decision;
+}
+
+}  // namespace qon::sched

@@ -1,0 +1,44 @@
+#pragma once
+// Scheduling-facing job model. The hybrid scheduler does not need circuits —
+// it consumes the per-(job, QPU) fidelity and execution-time estimates the
+// resource estimator produced (fetched from the system monitor in the full
+// system), plus each job's qubit requirement.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace qon::sched {
+
+/// One quantum job awaiting placement.
+struct QuantumJob {
+  std::uint64_t id = 0;
+  int qubits = 0;            ///< q_i: maximum qubits required
+  int shots = 0;
+  double arrival_time = 0.0; ///< [s] simulated submission time
+
+  /// Per-QPU estimates, indexed by QPU position in SchedulingInput::qpus.
+  /// Infeasible QPUs carry fidelity 0 / infinite time.
+  std::vector<double> est_fidelity;
+  std::vector<double> est_exec_seconds;
+};
+
+/// Static + dynamic QPU state the scheduler sees.
+struct QpuState {
+  std::string name;
+  int size = 0;                 ///< s_x: number of qubits
+  double queue_wait_seconds = 0.0;  ///< w_x: current approximate queue wait
+  bool online = true;           ///< reservations mark QPUs offline (§7)
+};
+
+/// A batch scheduling request (one scheduling cycle).
+struct SchedulingInput {
+  std::vector<QuantumJob> jobs;
+  std::vector<QpuState> qpus;
+};
+
+/// Sentinel execution time for infeasible placements.
+inline constexpr double kInfeasibleTime = std::numeric_limits<double>::infinity();
+
+}  // namespace qon::sched

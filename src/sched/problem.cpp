@@ -1,0 +1,101 @@
+#include "sched/problem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::sched {
+
+SchedulingProblem::SchedulingProblem(const SchedulingInput& input) : input_(&input) {
+  if (input.jobs.empty()) throw std::invalid_argument("SchedulingProblem: no jobs");
+  if (input.qpus.empty()) throw std::invalid_argument("SchedulingProblem: no QPUs");
+  feasible_.resize(input.jobs.size());
+  for (std::size_t j = 0; j < input.jobs.size(); ++j) {
+    const auto& job = input.jobs[j];
+    if (job.est_fidelity.size() != input.qpus.size() ||
+        job.est_exec_seconds.size() != input.qpus.size()) {
+      throw std::invalid_argument("SchedulingProblem: estimate arity mismatch for job " +
+                                  std::to_string(job.id));
+    }
+    for (std::size_t q = 0; q < input.qpus.size(); ++q) {
+      const auto& qpu = input.qpus[q];
+      if (qpu.online && job.qubits <= qpu.size &&
+          std::isfinite(job.est_exec_seconds[q])) {
+        feasible_[j].push_back(static_cast<int>(q));
+      }
+    }
+    if (feasible_[j].empty()) {
+      throw std::invalid_argument("SchedulingProblem: job " + std::to_string(job.id) +
+                                  " has no feasible QPU (filter it first)");
+    }
+  }
+}
+
+std::size_t SchedulingProblem::num_variables() const { return input_->jobs.size(); }
+
+int SchedulingProblem::lower_bound(std::size_t) const { return 0; }
+
+int SchedulingProblem::upper_bound(std::size_t) const {
+  return static_cast<int>(input_->qpus.size()) - 1;
+}
+
+bool SchedulingProblem::feasible_on(std::size_t job, int qpu) const {
+  for (int q : feasible_[job]) {
+    if (q == qpu) return true;
+  }
+  return false;
+}
+
+void SchedulingProblem::repair(std::vector<int>& genome) const {
+  moo::IntegerProblem::repair(genome);  // clamp to [0, Q-1]
+  for (std::size_t j = 0; j < genome.size(); ++j) {
+    if (feasible_on(j, genome[j])) continue;
+    // Snap to the nearest feasible QPU index (deterministic).
+    int best = feasible_[j].front();
+    int best_dist = std::abs(best - genome[j]);
+    for (int q : feasible_[j]) {
+      const int d = std::abs(q - genome[j]);
+      if (d < best_dist) {
+        best = q;
+        best_dist = d;
+      }
+    }
+    genome[j] = best;
+  }
+}
+
+void SchedulingProblem::evaluate(const std::vector<int>& genome,
+                                 std::vector<double>& objectives) const {
+  const auto& jobs = input_->jobs;
+  const auto& qpus = input_->qpus;
+  const std::size_t n = jobs.size();
+  if (genome.size() != n) throw std::invalid_argument("SchedulingProblem: genome size");
+
+  // Eq. 1, computed in O(N + Q): the co-assignment sum
+  //   sum_k t_k [x_i == x_k]
+  // is the per-QPU total execution time of the assignment.
+  std::vector<double> qpu_exec(qpus.size(), 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    qpu_exec[static_cast<std::size_t>(genome[k])] +=
+        jobs[k].est_exec_seconds[static_cast<std::size_t>(genome[k])];
+  }
+  double jct_sum = 0.0;
+  double error_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto q = static_cast<std::size_t>(genome[i]);
+    jct_sum += qpus[q].queue_wait_seconds + qpu_exec[q];
+    error_sum += 1.0 - jobs[i].est_fidelity[q];
+  }
+  objectives.resize(2);
+  objectives[0] = jct_sum / static_cast<double>(n);
+  objectives[1] = error_sum / static_cast<double>(n);
+}
+
+double SchedulingProblem::mean_execution_time(const std::vector<int>& genome) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    acc += input_->jobs[i].est_exec_seconds[static_cast<std::size_t>(genome[i])];
+  }
+  return acc / static_cast<double>(genome.size());
+}
+
+}  // namespace qon::sched

@@ -1,0 +1,25 @@
+#include "sched/triggers.hpp"
+
+#include <stdexcept>
+
+namespace qon::sched {
+
+ScheduleTrigger::ScheduleTrigger(std::size_t queue_threshold, double interval_seconds)
+    : threshold_(queue_threshold), interval_(interval_seconds) {
+  if (queue_threshold == 0) {
+    throw std::invalid_argument("ScheduleTrigger: queue_threshold must be > 0");
+  }
+  if (interval_seconds <= 0.0) {
+    throw std::invalid_argument("ScheduleTrigger: interval must be > 0");
+  }
+}
+
+bool ScheduleTrigger::should_fire(double now, std::size_t queue_size) const {
+  if (queue_size == 0) return false;
+  if (queue_size >= threshold_) return true;
+  return now - last_fire_ >= interval_;
+}
+
+void ScheduleTrigger::notify_fired(double now) { last_fire_ = now; }
+
+}  // namespace qon::sched

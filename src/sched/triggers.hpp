@@ -1,0 +1,33 @@
+#pragma once
+// Scheduling triggers (§7): a scheduling cycle fires when the pending queue
+// reaches a size threshold (default 100) OR a timer elapses (default 120 s),
+// whichever comes first.
+
+#include <cstddef>
+
+namespace qon::sched {
+
+class ScheduleTrigger {
+ public:
+  ScheduleTrigger(std::size_t queue_threshold = 100, double interval_seconds = 120.0);
+
+  /// Returns true when a cycle should fire at simulated time `now` with the
+  /// given pending-queue size. Call notify_fired() after running the cycle.
+  bool should_fire(double now, std::size_t queue_size) const;
+
+  /// Records that a cycle ran at `now` (resets the timer).
+  void notify_fired(double now);
+
+  /// Simulated time of the next timer-based firing.
+  double next_timer_deadline() const { return last_fire_ + interval_; }
+
+  std::size_t queue_threshold() const { return threshold_; }
+  double interval_seconds() const { return interval_; }
+
+ private:
+  std::size_t threshold_;
+  double interval_;
+  double last_fire_ = 0.0;
+};
+
+}  // namespace qon::sched

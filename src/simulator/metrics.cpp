@@ -1,0 +1,35 @@
+#include "simulator/metrics.hpp"
+
+#include <cmath>
+
+namespace qon::sim {
+
+double hellinger_fidelity(const std::map<std::uint64_t, double>& p,
+                          const std::map<std::uint64_t, double>& q) {
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (const auto& [outcome, pp] : p) {
+    const auto it = q.find(outcome);
+    if (it == q.end()) continue;
+    bc += std::sqrt(pp * it->second);
+  }
+  return bc * bc;
+}
+
+double hellinger_fidelity(const Counts& counts, const std::map<std::uint64_t, double>& ideal) {
+  return hellinger_fidelity(counts_to_distribution(counts), ideal);
+}
+
+double total_variation_distance(const std::map<std::uint64_t, double>& p,
+                                const std::map<std::uint64_t, double>& q) {
+  double acc = 0.0;
+  for (const auto& [outcome, pp] : p) {
+    const auto it = q.find(outcome);
+    acc += std::abs(pp - (it == q.end() ? 0.0 : it->second));
+  }
+  for (const auto& [outcome, qq] : q) {
+    if (p.find(outcome) == p.end()) acc += qq;
+  }
+  return 0.5 * acc;
+}
+
+}  // namespace qon::sim

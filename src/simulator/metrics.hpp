@@ -1,0 +1,25 @@
+#pragma once
+// Distribution-level quality metrics: Hellinger fidelity (the paper's
+// execution-quality metric, §2.1) and total variation distance.
+
+#include <cstdint>
+#include <map>
+
+#include "simulator/statevector.hpp"
+
+namespace qon::sim {
+
+/// Hellinger fidelity between two distributions over packed outcomes:
+/// ( sum_i sqrt(p_i * q_i) )^2, in [0, 1]; 1 means identical distributions.
+/// Matches qiskit.quantum_info.hellinger_fidelity.
+double hellinger_fidelity(const std::map<std::uint64_t, double>& p,
+                          const std::map<std::uint64_t, double>& q);
+
+/// Hellinger fidelity of measured counts vs an ideal distribution.
+double hellinger_fidelity(const Counts& counts, const std::map<std::uint64_t, double>& ideal);
+
+/// Total variation distance: 0.5 * sum |p_i - q_i|, in [0, 1].
+double total_variation_distance(const std::map<std::uint64_t, double>& p,
+                                const std::map<std::uint64_t, double>& q);
+
+}  // namespace qon::sim

@@ -1,0 +1,149 @@
+#include "transpiler/basis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qon::transpiler {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+constexpr double kPi = M_PI;
+
+// Emits RX/RY as ZXZXZ Euler sequences derived from
+// U3(theta, phi, lambda) = RZ(phi+pi) SX RZ(theta+pi) SX RZ(lambda)
+// (up to global phase). Circuit order is right-to-left of the product.
+void emit_u3(Circuit& out, int q, double theta, double phi, double lambda) {
+  out.rz(q, lambda);
+  out.sx(q);
+  out.rz(q, theta + kPi);
+  out.sx(q);
+  out.rz(q, phi + kPi);
+}
+
+void emit_h(Circuit& out, int q) {
+  // H = RZ(pi/2) SX RZ(pi/2) up to global phase.
+  out.rz(q, kPi / 2.0);
+  out.sx(q);
+  out.rz(q, kPi / 2.0);
+}
+
+void lower_gate(Circuit& out, const Gate& g, const qpu::QpuModel& model) {
+  if (model.in_basis(g.kind)) {
+    out.append(g);
+    return;
+  }
+  const int q = g.qubit(0);
+  switch (g.kind) {
+    case GateKind::kZ:
+      out.rz(q, kPi);
+      break;
+    case GateKind::kS:
+      out.rz(q, kPi / 2.0);
+      break;
+    case GateKind::kSdg:
+      out.rz(q, -kPi / 2.0);
+      break;
+    case GateKind::kT:
+      out.rz(q, kPi / 4.0);
+      break;
+    case GateKind::kTdg:
+      out.rz(q, -kPi / 4.0);
+      break;
+    case GateKind::kH:
+      emit_h(out, q);
+      break;
+    case GateKind::kY:
+      // Y = X * RZ(pi) up to global phase (apply RZ first).
+      out.rz(q, kPi);
+      out.x(q);
+      break;
+    case GateKind::kX:
+      // Reachable only if X is not native: X = SX SX.
+      out.sx(q);
+      out.sx(q);
+      break;
+    case GateKind::kRX:
+      emit_u3(out, q, g.param, -kPi / 2.0, kPi / 2.0);
+      break;
+    case GateKind::kRY:
+      emit_u3(out, q, g.param, 0.0, 0.0);
+      break;
+    case GateKind::kCZ:
+      // CZ = (I ⊗ H) CX (I ⊗ H).
+      emit_h(out, g.qubit(1));
+      out.cx(g.qubit(0), g.qubit(1));
+      emit_h(out, g.qubit(1));
+      break;
+    case GateKind::kSwap:
+      out.cx(g.qubit(0), g.qubit(1));
+      out.cx(g.qubit(1), g.qubit(0));
+      out.cx(g.qubit(0), g.qubit(1));
+      break;
+    case GateKind::kRZZ:
+      out.cx(g.qubit(0), g.qubit(1));
+      out.rz(g.qubit(1), g.param);
+      out.cx(g.qubit(0), g.qubit(1));
+      break;
+    default:
+      throw std::invalid_argument("decompose_to_basis: cannot lower gate " + g.to_string());
+  }
+}
+
+}  // namespace
+
+Circuit decompose_to_basis(const Circuit& input, const qpu::QpuModel& model) {
+  Circuit out(input.num_qubits(), input.name());
+  bool changed = true;
+  Circuit current = input;
+  // Iterate to a fixed point: some lowerings (e.g. SWAP -> CX when CX is
+  // itself non-native) produce gates that need another pass. Two passes
+  // suffice for every basis we ship; the loop guards against regressions.
+  int rounds = 0;
+  while (changed) {
+    if (++rounds > 4) throw std::logic_error("decompose_to_basis: lowering did not converge");
+    changed = false;
+    Circuit next(current.num_qubits(), current.name());
+    for (const auto& g : current.gates()) {
+      const std::size_t before = next.size();
+      lower_gate(next, g, model);
+      if (next.size() != before + 1 || !(next.gates().back() == g)) changed = true;
+    }
+    current = std::move(next);
+  }
+  out = merge_rotations(current);
+  return out;
+}
+
+Circuit merge_rotations(const Circuit& input) {
+  Circuit out(input.num_qubits(), input.name());
+  // pending[q] holds an accumulated RZ angle not yet emitted.
+  std::vector<double> pending(static_cast<std::size_t>(input.num_qubits()), 0.0);
+  auto flush = [&out, &pending](int q) {
+    double& angle = pending[static_cast<std::size_t>(q)];
+    // Normalize into (-2pi, 2pi); drop exact zeros.
+    angle = std::fmod(angle, 2.0 * M_PI);
+    if (std::abs(angle) > 1e-12) out.rz(q, angle);
+    angle = 0.0;
+  };
+  for (const auto& g : input.gates()) {
+    if (g.kind == GateKind::kRZ) {
+      pending[static_cast<std::size_t>(g.qubit(0))] += g.param;
+      continue;
+    }
+    if (g.kind == GateKind::kBarrier) {
+      for (int q = 0; q < input.num_qubits(); ++q) flush(q);
+      out.append(g);
+      continue;
+    }
+    for (int i = 0; i < g.arity(); ++i) flush(g.qubit(i));
+    out.append(g);
+  }
+  for (int q = 0; q < input.num_qubits(); ++q) flush(q);
+  return out;
+}
+
+}  // namespace qon::transpiler

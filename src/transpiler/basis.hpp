@@ -1,0 +1,21 @@
+#pragma once
+// Basis translation: lowers arbitrary IR gates to a backend's native basis
+// (the Falcon-like {RZ, SX, X, CX} by default), plus a peephole pass that
+// merges adjacent RZ rotations. All decompositions are exact up to global
+// phase and are verified against the state-vector simulator in tests.
+
+#include "circuit/circuit.hpp"
+#include "qpu/backend.hpp"
+
+namespace qon::transpiler {
+
+/// Rewrites `input` so every gate is in `model.basis_gates` (measure,
+/// barrier, delay and id always pass through). Throws std::invalid_argument
+/// if a gate cannot be lowered to the target basis.
+circuit::Circuit decompose_to_basis(const circuit::Circuit& input, const qpu::QpuModel& model);
+
+/// Merges consecutive RZ gates on the same qubit and removes zero-angle
+/// rotations. Safe on any circuit; used after decomposition.
+circuit::Circuit merge_rotations(const circuit::Circuit& input);
+
+}  // namespace qon::transpiler

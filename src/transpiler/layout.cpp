@@ -1,0 +1,105 @@
+#include "transpiler/layout.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace qon::transpiler {
+
+std::vector<int> Layout::physical_to_logical(int num_physical) const {
+  std::vector<int> inverse(static_cast<std::size_t>(num_physical), -1);
+  for (std::size_t l = 0; l < logical_to_physical.size(); ++l) {
+    inverse[static_cast<std::size_t>(logical_to_physical[l])] = static_cast<int>(l);
+  }
+  return inverse;
+}
+
+Layout trivial_layout(int num_logical) {
+  Layout layout;
+  layout.logical_to_physical.resize(static_cast<std::size_t>(num_logical));
+  std::iota(layout.logical_to_physical.begin(), layout.logical_to_physical.end(), 0);
+  return layout;
+}
+
+namespace {
+
+// Average error of the couplers incident to physical qubit p, combined with
+// its readout error; lower is better.
+double qubit_badness(const qpu::Backend& backend, int p) {
+  const auto& cal = backend.calibration();
+  const auto& adj = backend.topology().adjacency()[static_cast<std::size_t>(p)];
+  double edge_err = 0.0;
+  for (int n : adj) edge_err += cal.edge(p, n).gate_error_2q;
+  if (!adj.empty()) edge_err /= static_cast<double>(adj.size());
+  return edge_err + cal.qubits[static_cast<std::size_t>(p)].readout_error +
+         cal.qubits[static_cast<std::size_t>(p)].gate_error_1q;
+}
+
+}  // namespace
+
+Layout choose_layout(const circuit::Circuit& circ, const qpu::Backend& backend) {
+  const int n_logical = circ.num_qubits();
+  const int n_physical = backend.num_qubits();
+  if (n_logical > n_physical) {
+    throw std::invalid_argument("choose_layout: circuit wider than backend");
+  }
+
+  // 1. Grow a connected physical region of size n_logical, greedily adding
+  //    the frontier qubit with the lowest badness.
+  int seed = 0;
+  double best = qubit_badness(backend, 0);
+  for (int p = 1; p < n_physical; ++p) {
+    const double b = qubit_badness(backend, p);
+    if (b < best) {
+      best = b;
+      seed = p;
+    }
+  }
+  std::vector<int> region{seed};
+  std::vector<bool> in_region(static_cast<std::size_t>(n_physical), false);
+  in_region[static_cast<std::size_t>(seed)] = true;
+  while (static_cast<int>(region.size()) < n_logical) {
+    int pick = -1;
+    double pick_badness = 0.0;
+    for (int r : region) {
+      for (int nb : backend.topology().adjacency()[static_cast<std::size_t>(r)]) {
+        if (in_region[static_cast<std::size_t>(nb)]) continue;
+        const double b = qubit_badness(backend, nb);
+        if (pick < 0 || b < pick_badness) {
+          pick = nb;
+          pick_badness = b;
+        }
+      }
+    }
+    if (pick < 0) {
+      throw std::invalid_argument("choose_layout: device region not large enough (disconnected)");
+    }
+    region.push_back(pick);
+    in_region[static_cast<std::size_t>(pick)] = true;
+  }
+
+  // 2. Order logical qubits by two-qubit interaction degree (descending) so
+  //    hot qubits land on the earliest (best) region slots.
+  std::vector<int> degree(static_cast<std::size_t>(n_logical), 0);
+  for (const auto& g : circ.gates()) {
+    if (circuit::is_two_qubit(g.kind)) {
+      ++degree[static_cast<std::size_t>(g.qubit(0))];
+      ++degree[static_cast<std::size_t>(g.qubit(1))];
+    }
+  }
+  std::vector<int> logical_order(static_cast<std::size_t>(n_logical));
+  std::iota(logical_order.begin(), logical_order.end(), 0);
+  std::stable_sort(logical_order.begin(), logical_order.end(), [&degree](int a, int b) {
+    return degree[static_cast<std::size_t>(a)] > degree[static_cast<std::size_t>(b)];
+  });
+
+  Layout layout;
+  layout.logical_to_physical.assign(static_cast<std::size_t>(n_logical), -1);
+  for (int i = 0; i < n_logical; ++i) {
+    layout.logical_to_physical[static_cast<std::size_t>(logical_order[static_cast<std::size_t>(i)])] =
+        region[static_cast<std::size_t>(i)];
+  }
+  return layout;
+}
+
+}  // namespace qon::transpiler

@@ -1,0 +1,30 @@
+#pragma once
+// Initial qubit placement: maps logical circuit qubits onto a connected,
+// low-error region of the physical device. Greedy heuristic in the spirit
+// of Qiskit's noise-adaptive layout: seed at the best-quality physical
+// qubit, grow a connected region preferring low two-qubit error couplers,
+// then order logical qubits by interaction degree.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qpu/backend.hpp"
+
+namespace qon::transpiler {
+
+/// logical_to_physical[l] = physical qubit hosting logical qubit l.
+struct Layout {
+  std::vector<int> logical_to_physical;
+
+  /// Inverse map sized to `num_physical`; unassigned physical slots get -1.
+  std::vector<int> physical_to_logical(int num_physical) const;
+};
+
+/// Chooses a placement for `circ` on `backend`. Throws std::invalid_argument
+/// when the circuit is wider than the device.
+Layout choose_layout(const circuit::Circuit& circ, const qpu::Backend& backend);
+
+/// Trivial identity layout (logical i -> physical i), for tests/ablations.
+Layout trivial_layout(int num_logical);
+
+}  // namespace qon::transpiler

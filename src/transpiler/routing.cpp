@@ -1,0 +1,103 @@
+#include "transpiler/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace qon::transpiler {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+// Shortest path between physical qubits via BFS.
+std::vector<int> shortest_path(const qpu::Topology& topology, int from, int to) {
+  std::vector<int> parent(static_cast<std::size_t>(topology.num_qubits()), -1);
+  std::queue<int> frontier;
+  frontier.push(from);
+  parent[static_cast<std::size_t>(from)] = from;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    if (u == to) break;
+    for (int v : topology.adjacency()[static_cast<std::size_t>(u)]) {
+      if (parent[static_cast<std::size_t>(v)] >= 0) continue;
+      parent[static_cast<std::size_t>(v)] = u;
+      frontier.push(v);
+    }
+  }
+  if (parent[static_cast<std::size_t>(to)] < 0) {
+    throw std::invalid_argument("route: physical qubits disconnected");
+  }
+  std::vector<int> path{to};
+  while (path.back() != from) path.push_back(parent[static_cast<std::size_t>(path.back())]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+RoutingResult route(const Circuit& circ, const qpu::Topology& topology, const Layout& layout) {
+  if (layout.logical_to_physical.size() != static_cast<std::size_t>(circ.num_qubits())) {
+    throw std::invalid_argument("route: layout size mismatch");
+  }
+  RoutingResult result;
+  result.initial_layout = layout.logical_to_physical;
+  result.circuit = Circuit(topology.num_qubits(), circ.name());
+
+  // l2p[l] = physical position of logical qubit l (evolves as we swap).
+  std::vector<int> l2p = layout.logical_to_physical;
+
+  auto physical_of = [&l2p](int logical) { return l2p[static_cast<std::size_t>(logical)]; };
+  auto swap_physical = [&](int pa, int pb) {
+    // Update the logical->physical map after a physical SWAP(pa, pb).
+    for (auto& p : l2p) {
+      if (p == pa) {
+        p = pb;
+      } else if (p == pb) {
+        p = pa;
+      }
+    }
+  };
+
+  for (const auto& g : circ.gates()) {
+    if (g.kind == GateKind::kBarrier) {
+      result.circuit.append(g);
+      continue;
+    }
+    if (g.kind == GateKind::kMeasure) {
+      result.circuit.measure(physical_of(g.qubit(0)), g.qubits[1]);
+      continue;
+    }
+    if (!circuit::is_two_qubit(g.kind)) {
+      Gate mapped = g;
+      mapped.qubits[0] = physical_of(g.qubit(0));
+      result.circuit.append(mapped);
+      continue;
+    }
+    // Two-qubit gate: walk the control toward the target until adjacent.
+    int pa = physical_of(g.qubit(0));
+    int pb = physical_of(g.qubit(1));
+    if (!topology.connected(pa, pb)) {
+      const auto path = shortest_path(topology, pa, pb);
+      // Swap along the path, leaving the moving qubit adjacent to pb.
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        result.circuit.swap(path[i], path[i + 1]);
+        swap_physical(path[i], path[i + 1]);
+        ++result.swaps_inserted;
+      }
+      pa = physical_of(g.qubit(0));
+      pb = physical_of(g.qubit(1));
+    }
+    Gate mapped = g;
+    mapped.qubits[0] = pa;
+    mapped.qubits[1] = pb;
+    result.circuit.append(mapped);
+  }
+  result.final_layout = l2p;
+  return result;
+}
+
+}  // namespace qon::transpiler

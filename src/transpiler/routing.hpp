@@ -1,0 +1,28 @@
+#pragma once
+// SWAP routing: makes every two-qubit gate act on adjacent physical qubits
+// by inserting SWAP chains along shortest paths (Qiskit "basic swap" style),
+// tracking the evolving logical->physical mapping.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qpu/topology.hpp"
+#include "transpiler/layout.hpp"
+
+namespace qon::transpiler {
+
+/// Result of routing a logical circuit onto a topology.
+struct RoutingResult {
+  circuit::Circuit circuit;        ///< physical circuit (width = device size)
+  std::vector<int> initial_layout; ///< logical -> physical before the first gate
+  std::vector<int> final_layout;   ///< logical -> physical after the last gate
+  std::size_t swaps_inserted = 0;
+};
+
+/// Routes `circ` (logical indices) onto `topology` starting from `layout`.
+/// Measurement gates keep their classical-bit operand, so counts stay in
+/// logical order regardless of where qubits end up.
+RoutingResult route(const circuit::Circuit& circ, const qpu::Topology& topology,
+                    const Layout& layout);
+
+}  // namespace qon::transpiler

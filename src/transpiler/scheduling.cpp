@@ -1,0 +1,78 @@
+#include "transpiler/scheduling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qon::transpiler {
+
+using circuit::GateKind;
+
+double gate_duration(const circuit::Gate& gate, const qpu::Backend& backend) {
+  const auto& cal = backend.calibration();
+  switch (gate.kind) {
+    case GateKind::kRZ:
+    case GateKind::kBarrier:
+    case GateKind::kI:
+      return 0.0;  // rz is virtual on IBM hardware
+    case GateKind::kMeasure:
+      return cal.qubits[static_cast<std::size_t>(gate.qubit(0))].readout_duration;
+    case GateKind::kDelay:
+      return gate.param;
+    case GateKind::kCX:
+    case GateKind::kCZ:
+    case GateKind::kSwap:
+    case GateKind::kRZZ:
+      return cal.edge(gate.qubit(0), gate.qubit(1)).gate_duration_2q;
+    default:
+      return cal.qubits[static_cast<std::size_t>(gate.qubit(0))].gate_duration_1q;
+  }
+}
+
+ScheduleResult asap_schedule(const circuit::Circuit& circ, const qpu::Backend& backend) {
+  if (circ.num_qubits() > backend.num_qubits()) {
+    throw std::invalid_argument("asap_schedule: circuit wider than backend");
+  }
+  const auto n = static_cast<std::size_t>(circ.num_qubits());
+  ScheduleResult result;
+  result.qubit_busy.assign(n, 0.0);
+  result.qubit_idle.assign(n, 0.0);
+  result.qubit_active.assign(n, false);
+
+  std::vector<double> ready(n, 0.0);  // earliest start time per qubit
+  for (const auto& g : circ.gates()) {
+    if (g.kind == GateKind::kBarrier) {
+      const double sync = *std::max_element(ready.begin(), ready.end());
+      std::fill(ready.begin(), ready.end(), sync);
+      continue;
+    }
+    const double dur = gate_duration(g, backend);
+    double start = 0.0;
+    for (int i = 0; i < g.arity(); ++i) {
+      start = std::max(start, ready[static_cast<std::size_t>(g.qubit(i))]);
+    }
+    const double finish = start + dur;
+    for (int i = 0; i < g.arity(); ++i) {
+      const auto q = static_cast<std::size_t>(g.qubit(i));
+      ready[q] = finish;
+      result.qubit_busy[q] += dur;
+      result.qubit_active[q] = true;
+    }
+    result.duration = std::max(result.duration, finish);
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    result.qubit_idle[q] = result.qubit_active[q] ? result.duration - result.qubit_busy[q] : 0.0;
+  }
+  return result;
+}
+
+double job_quantum_runtime(const ScheduleResult& schedule, int shots, double rep_delay) {
+  if (shots <= 0) throw std::invalid_argument("job_quantum_runtime: shots must be > 0");
+  return static_cast<double>(shots) * (schedule.duration + rep_delay);
+}
+
+double job_quantum_runtime(const ScheduleResult& schedule, int shots,
+                           const qpu::Backend& backend) {
+  return job_quantum_runtime(schedule, shots, backend.calibration().rep_delay);
+}
+
+}  // namespace qon::transpiler

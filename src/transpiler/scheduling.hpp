@@ -1,0 +1,41 @@
+#pragma once
+// ASAP scheduling of a physical circuit against a backend's calibrated gate
+// durations. Produces the circuit duration (the quantum execution time of a
+// single shot) and per-qubit busy/idle breakdowns used by the decoherence
+// term of the fidelity estimators and by dynamical decoupling.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qpu/backend.hpp"
+
+namespace qon::qpu {
+class Backend;
+}
+
+namespace qon::transpiler {
+
+/// Result of scheduling one circuit execution (single shot).
+struct ScheduleResult {
+  double duration = 0.0;               ///< critical-path length [s]
+  std::vector<double> qubit_busy;      ///< per-physical-qubit active time [s]
+  std::vector<double> qubit_idle;      ///< duration - busy, for active qubits
+  std::vector<bool> qubit_active;      ///< touched by at least one gate
+};
+
+/// Gate duration according to `backend` calibration; rz/barrier are free.
+double gate_duration(const circuit::Gate& gate, const qpu::Backend& backend);
+
+/// ASAP-schedules `circ` (already physical / routed) on `backend`.
+ScheduleResult asap_schedule(const circuit::Circuit& circ, const qpu::Backend& backend);
+
+/// Total quantum runtime of a job: shots x (circuit duration + per-shot
+/// reset/repetition overhead, IBM-like 250 us by default).
+double job_quantum_runtime(const ScheduleResult& schedule, int shots,
+                           double rep_delay = 250e-6);
+
+/// Overload using the backend's calibrated repetition delay.
+double job_quantum_runtime(const ScheduleResult& schedule, int shots,
+                           const qpu::Backend& backend);
+
+}  // namespace qon::transpiler

@@ -1,0 +1,27 @@
+#include "transpiler/transpiler.hpp"
+
+namespace qon::transpiler {
+
+TranspileResult transpile_with_layout(const circuit::Circuit& circ, const qpu::Backend& backend,
+                                      const Layout& layout) {
+  // 1. Lower to the native basis so routing only sees CX as 2q gate.
+  const circuit::Circuit lowered = decompose_to_basis(circ, backend.model());
+  // 2. Route on the coupling map.
+  RoutingResult routed = route(lowered, backend.topology(), layout);
+  // 3. The inserted SWAPs are not basis gates; lower them and re-merge.
+  circuit::Circuit physical = decompose_to_basis(routed.circuit, backend.model());
+
+  TranspileResult result;
+  result.initial_layout = std::move(routed.initial_layout);
+  result.final_layout = std::move(routed.final_layout);
+  result.swaps_inserted = routed.swaps_inserted;
+  result.schedule = asap_schedule(physical, backend);
+  result.circuit = std::move(physical);
+  return result;
+}
+
+TranspileResult transpile(const circuit::Circuit& circ, const qpu::Backend& backend) {
+  return transpile_with_layout(circ, backend, choose_layout(circ, backend));
+}
+
+}  // namespace qon::transpiler

@@ -1,0 +1,32 @@
+#pragma once
+// The full transpilation pipeline: basis decomposition -> layout -> routing
+// -> SWAP lowering -> rotation merging -> scheduling. This is the C++
+// stand-in for the Qiskit transpiler the paper relies on.
+
+#include "circuit/circuit.hpp"
+#include "qpu/backend.hpp"
+#include "transpiler/basis.hpp"
+#include "transpiler/layout.hpp"
+#include "transpiler/routing.hpp"
+#include "transpiler/scheduling.hpp"
+
+namespace qon::transpiler {
+
+/// A circuit compiled to one backend, with placement and timing metadata.
+struct TranspileResult {
+  circuit::Circuit circuit;          ///< physical, basis-only, coupling-legal
+  std::vector<int> initial_layout;   ///< logical -> physical
+  std::vector<int> final_layout;
+  std::size_t swaps_inserted = 0;
+  ScheduleResult schedule;           ///< ASAP timing on the target backend
+};
+
+/// Compiles `circ` for `backend`. Throws std::invalid_argument when the
+/// circuit does not fit the device.
+TranspileResult transpile(const circuit::Circuit& circ, const qpu::Backend& backend);
+
+/// Variant with a caller-provided layout (ablation / tests).
+TranspileResult transpile_with_layout(const circuit::Circuit& circ, const qpu::Backend& backend,
+                                      const Layout& layout);
+
+}  // namespace qon::transpiler

@@ -1,0 +1,97 @@
+#include "workflow/dag.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace qon::workflow {
+
+TaskId WorkflowDag::add_task(HybridTask task) {
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+const HybridTask& WorkflowDag::task(TaskId id) const {
+  if (id >= tasks_.size()) throw std::out_of_range("WorkflowDag::task");
+  return tasks_[id];
+}
+
+HybridTask& WorkflowDag::task(TaskId id) {
+  if (id >= tasks_.size()) throw std::out_of_range("WorkflowDag::task");
+  return tasks_[id];
+}
+
+bool WorkflowDag::reaches(TaskId from, TaskId to) const {
+  std::vector<bool> visited(tasks_.size(), false);
+  std::queue<TaskId> frontier;
+  frontier.push(from);
+  visited[from] = true;
+  while (!frontier.empty()) {
+    const TaskId u = frontier.front();
+    frontier.pop();
+    if (u == to) return true;
+    for (const auto& [a, b] : edges_) {
+      if (a == u && !visited[b]) {
+        visited[b] = true;
+        frontier.push(b);
+      }
+    }
+  }
+  return false;
+}
+
+void WorkflowDag::add_dependency(TaskId from, TaskId to) {
+  if (from >= tasks_.size() || to >= tasks_.size()) {
+    throw std::invalid_argument("WorkflowDag::add_dependency: unknown task");
+  }
+  if (from == to) throw std::invalid_argument("WorkflowDag::add_dependency: self-edge");
+  if (reaches(to, from)) {
+    throw std::invalid_argument("WorkflowDag::add_dependency: would create a cycle");
+  }
+  edges_.emplace_back(from, to);
+}
+
+std::vector<TaskId> WorkflowDag::dependencies(TaskId id) const {
+  std::vector<TaskId> deps;
+  for (const auto& [from, to] : edges_) {
+    if (to == id) deps.push_back(from);
+  }
+  return deps;
+}
+
+std::vector<TaskId> WorkflowDag::topological_order() const {
+  std::vector<std::size_t> in_degree(tasks_.size(), 0);
+  for (const auto& [from, to] : edges_) {
+    (void)from;
+    ++in_degree[to];
+  }
+  std::queue<TaskId> ready;
+  for (TaskId t = 0; t < tasks_.size(); ++t) {
+    if (in_degree[t] == 0) ready.push(t);
+  }
+  std::vector<TaskId> order;
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop();
+    order.push_back(t);
+    for (const auto& [from, to] : edges_) {
+      if (from == t && --in_degree[to] == 0) ready.push(to);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw std::logic_error("WorkflowDag::topological_order: cycle detected");
+  }
+  return order;
+}
+
+WorkflowDag chain_workflow(std::vector<HybridTask> tasks) {
+  WorkflowDag dag;
+  TaskId prev = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskId id = dag.add_task(std::move(tasks[i]));
+    if (i > 0) dag.add_dependency(prev, id);
+    prev = id;
+  }
+  return dag;
+}
+
+}  // namespace qon::workflow

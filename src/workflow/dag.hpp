@@ -1,0 +1,49 @@
+#pragma once
+// Workflow DAG (§5 "Workflow image generation"): G = (V, E) where V are the
+// classical and quantum steps and E the control/data-flow dependencies.
+// The job manager executes tasks in a dependency-respecting order.
+
+#include <cstddef>
+#include <vector>
+
+#include "workflow/task.hpp"
+
+namespace qon::workflow {
+
+using TaskId = std::size_t;
+
+class WorkflowDag {
+ public:
+  /// Adds a task; returns its id.
+  TaskId add_task(HybridTask task);
+
+  /// Declares that `to` depends on `from` (from must finish first).
+  /// Throws std::invalid_argument on unknown ids, self-edges, or edges that
+  /// would create a cycle.
+  void add_dependency(TaskId from, TaskId to);
+
+  std::size_t size() const { return tasks_.size(); }
+  const HybridTask& task(TaskId id) const;
+  HybridTask& task(TaskId id);
+  const std::vector<std::pair<TaskId, TaskId>>& edges() const { return edges_; }
+
+  /// Direct dependencies of a task.
+  std::vector<TaskId> dependencies(TaskId id) const;
+
+  /// A topological order (Kahn); throws std::logic_error if cyclic (cannot
+  /// normally happen because add_dependency rejects cycles).
+  std::vector<TaskId> topological_order() const;
+
+  /// True when an edge path leads from `from` to `to`.
+  bool reaches(TaskId from, TaskId to) const;
+
+ private:
+  std::vector<HybridTask> tasks_;
+  std::vector<std::pair<TaskId, TaskId>> edges_;
+};
+
+/// Builds a sequential chain DAG from an ordered task list (the default
+/// structure createWorkflow produces from a linear program).
+WorkflowDag chain_workflow(std::vector<HybridTask> tasks);
+
+}  // namespace qon::workflow

@@ -1,0 +1,36 @@
+#include "workflow/task.hpp"
+
+namespace qon::workflow {
+
+const char* task_kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kQuantum: return "quantum";
+    case TaskKind::kClassical: return "classical";
+  }
+  return "?";
+}
+
+HybridTask HybridTask::quantum(std::string name, circuit::Circuit circ, int shots,
+                               mitigation::MitigationSpec spec) {
+  HybridTask task;
+  task.kind = TaskKind::kQuantum;
+  task.name = std::move(name);
+  task.circ = std::move(circ);
+  task.shots = shots;
+  task.mitigation = std::move(spec);
+  task.min_qubits = task.circ.num_qubits();
+  return task;
+}
+
+HybridTask HybridTask::classical(std::string name, double estimated_seconds,
+                                 mitigation::Accelerator accelerator) {
+  HybridTask task;
+  task.kind = TaskKind::kClassical;
+  task.name = std::move(name);
+  task.estimated_seconds = estimated_seconds;
+  task.accelerator = accelerator;
+  task.request = sched::request_for_accelerator(accelerator);
+  return task;
+}
+
+}  // namespace qon::workflow

@@ -1,0 +1,42 @@
+#pragma once
+// Hybrid task model (§5): a workflow is a DAG of quantum tasks (circuits to
+// execute) and classical tasks (pre/post-processing steps with resource
+// requests), mirroring the paper's Listing 2 composition of error
+// mitigation stages around a QAOA circuit.
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "mitigation/pipeline.hpp"
+#include "sched/classical_scheduler.hpp"
+
+namespace qon::workflow {
+
+enum class TaskKind { kQuantum, kClassical };
+
+const char* task_kind_name(TaskKind kind);
+
+/// One node of a hybrid workflow.
+struct HybridTask {
+  TaskKind kind = TaskKind::kClassical;
+  std::string name;
+
+  // Quantum payload.
+  circuit::Circuit circ;
+  int shots = 4000;
+  int min_qubits = 0;  ///< client constraint ("qubits: 20" in Listing 1)
+  mitigation::MitigationSpec mitigation;
+
+  // Classical payload.
+  sched::ClassicalRequest request;
+  mitigation::Accelerator accelerator = mitigation::Accelerator::kCpu;
+  double estimated_seconds = 0.0;  ///< classical work estimate
+
+  /// Convenience constructors.
+  static HybridTask quantum(std::string name, circuit::Circuit circ, int shots = 4000,
+                            mitigation::MitigationSpec spec = {});
+  static HybridTask classical(std::string name, double estimated_seconds,
+                              mitigation::Accelerator accelerator = mitigation::Accelerator::kCpu);
+};
+
+}  // namespace qon::workflow

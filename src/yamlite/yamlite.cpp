@@ -1,0 +1,333 @@
+#include "yamlite/yamlite.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace qon::yaml {
+
+namespace {
+
+struct Line {
+  std::size_t number = 0;  // 1-based
+  std::size_t indent = 0;
+  std::string content;  // trimmed, comment-stripped, non-empty
+};
+
+std::string strip_comment(const std::string& s) {
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    if (c == '"' && !in_single) in_double = !in_double;
+    if (c == '#' && !in_single && !in_double && (i == 0 || std::isspace(static_cast<unsigned char>(s[i - 1])))) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+std::string rtrim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.pop_back();
+  return s;
+}
+
+std::string ltrim(std::string s) {
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return s.substr(i);
+}
+
+std::string unquote(const std::string& s) {
+  if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') || (s.front() == '\'' && s.back() == '\''))) {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+std::vector<Line> tokenize(const std::string& text) {
+  std::vector<Line> lines;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    std::size_t indent = 0;
+    while (indent < raw.size() && raw[indent] == ' ') ++indent;
+    if (indent < raw.size() && raw[indent] == '\t') {
+      throw ParseError("tab indentation is not allowed", number);
+    }
+    std::string content = rtrim(strip_comment(raw.substr(indent)));
+    if (content.empty()) continue;
+    lines.push_back({number, indent, std::move(content)});
+  }
+  return lines;
+}
+
+// Splits "key: value" at the first ':' that is followed by space/EOL and is
+// outside quotes. Returns false if the line has no mapping separator.
+bool split_key_value(const std::string& s, std::string& key, std::string& value) {
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    if (c == '"' && !in_single) in_double = !in_double;
+    if (c == ':' && !in_single && !in_double && (i + 1 == s.size() || s[i + 1] == ' ')) {
+      key = rtrim(s.substr(0, i));
+      value = ltrim(i + 1 < s.size() ? s.substr(i + 1) : "");
+      return true;
+    }
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  Node parse_document() {
+    if (lines_.empty()) return Node();
+    Node root = parse_block(lines_.front().indent);
+    if (pos_ != lines_.size()) {
+      throw ParseError("unexpected trailing content", lines_[pos_].number);
+    }
+    return root;
+  }
+
+ private:
+  // Parses a block (mapping or sequence) whose items sit at exactly `indent`.
+  Node parse_block(std::size_t indent) {
+    const Line& first = lines_[pos_];
+    if (first.content.rfind("- ", 0) == 0 || first.content == "-") {
+      return parse_sequence(indent);
+    }
+    return parse_mapping(indent);
+  }
+
+  Node parse_sequence(std::size_t indent) {
+    Node seq = Node::make_sequence();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           (lines_[pos_].content.rfind("- ", 0) == 0 || lines_[pos_].content == "-")) {
+      const Line line = lines_[pos_];
+      std::string rest = line.content == "-" ? "" : ltrim(line.content.substr(2));
+      ++pos_;
+      if (rest.empty()) {
+        // Item body is the following deeper block.
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          seq.push_back(parse_block(lines_[pos_].indent));
+        } else {
+          seq.push_back(Node());
+        }
+        continue;
+      }
+      std::string key, value;
+      if (split_key_value(rest, key, value)) {
+        // "- key: value" starts an inline mapping whose further keys are
+        // indented past the dash.
+        Node map = Node::make_mapping();
+        add_mapping_entry(map, key, value, indent + 2, line.number);
+        while (pos_ < lines_.size() && lines_[pos_].indent > indent &&
+               !(lines_[pos_].content.rfind("- ", 0) == 0 && lines_[pos_].indent == indent)) {
+          const Line& follow = lines_[pos_];
+          std::string k2, v2;
+          if (!split_key_value(follow.content, k2, v2)) {
+            throw ParseError("expected key: value inside list item mapping", follow.number);
+          }
+          ++pos_;
+          add_mapping_entry(map, k2, v2, follow.indent, follow.number);
+        }
+        seq.push_back(std::move(map));
+      } else {
+        seq.push_back(Node(unquote(rest)));
+      }
+    }
+    return seq;
+  }
+
+  Node parse_mapping(std::size_t indent) {
+    Node map = Node::make_mapping();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
+      const Line line = lines_[pos_];
+      if (line.content.rfind("- ", 0) == 0 || line.content == "-") break;
+      std::string key, value;
+      if (!split_key_value(line.content, key, value)) {
+        throw ParseError("expected 'key: value'", line.number);
+      }
+      ++pos_;
+      add_mapping_entry(map, key, value, indent, line.number);
+    }
+    return map;
+  }
+
+  // Installs key -> (scalar | nested block) into `map`.
+  void add_mapping_entry(Node& map, const std::string& key, const std::string& value,
+                         std::size_t indent, std::size_t line_number) {
+    if (key.empty()) throw ParseError("empty mapping key", line_number);
+    if (!value.empty()) {
+      map[unquote(key)] = Node(unquote(value));
+      return;
+    }
+    // Value is the following deeper block, a sequence at the *same* indent
+    // (YAML allows "key:\n- item" without extra indentation), or null.
+    const bool deeper = pos_ < lines_.size() && lines_[pos_].indent > indent;
+    const bool same_level_sequence =
+        pos_ < lines_.size() && lines_[pos_].indent == indent &&
+        (lines_[pos_].content.rfind("- ", 0) == 0 || lines_[pos_].content == "-");
+    if (deeper || same_level_sequence) {
+      map[unquote(key)] = parse_block(lines_[pos_].indent);
+    } else {
+      map[unquote(key)] = Node();
+    }
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+const Node& null_node() {
+  static const Node n;
+  return n;
+}
+
+}  // namespace
+
+const std::string& Node::as_string() const {
+  if (!is_scalar()) throw std::logic_error("yamlite: node is not a scalar");
+  return scalar_;
+}
+
+long long Node::as_int() const {
+  const std::string& s = as_string();
+  std::size_t used = 0;
+  long long v = std::stoll(s, &used);
+  if (used != s.size()) throw std::logic_error("yamlite: not an integer: " + s);
+  return v;
+}
+
+double Node::as_double() const {
+  const std::string& s = as_string();
+  std::size_t used = 0;
+  double v = std::stod(s, &used);
+  if (used != s.size()) throw std::logic_error("yamlite: not a number: " + s);
+  return v;
+}
+
+bool Node::as_bool() const {
+  const std::string& s = as_string();
+  if (s == "true" || s == "True" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "False" || s == "no" || s == "off") return false;
+  throw std::logic_error("yamlite: not a boolean: " + s);
+}
+
+std::string Node::as_string_or(const std::string& fallback) const {
+  return is_scalar() ? scalar_ : fallback;
+}
+
+long long Node::as_int_or(long long fallback) const { return is_scalar() ? as_int() : fallback; }
+
+double Node::as_double_or(double fallback) const { return is_scalar() ? as_double() : fallback; }
+
+const std::vector<Node>& Node::items() const {
+  if (!is_sequence()) throw std::logic_error("yamlite: node is not a sequence");
+  return sequence_;
+}
+
+std::vector<Node>& Node::items() {
+  if (!is_sequence()) throw std::logic_error("yamlite: node is not a sequence");
+  return sequence_;
+}
+
+void Node::push_back(Node n) {
+  if (is_null()) kind_ = Kind::kSequence;
+  if (!is_sequence()) throw std::logic_error("yamlite: push_back on non-sequence");
+  sequence_.push_back(std::move(n));
+}
+
+std::size_t Node::size() const {
+  if (is_sequence()) return sequence_.size();
+  if (is_mapping()) return mapping_.size();
+  return 0;
+}
+
+const Node& Node::at(const std::string& key) const {
+  if (!is_mapping()) throw std::logic_error("yamlite: node is not a mapping");
+  for (const auto& [k, v] : mapping_) {
+    if (k == key) return v;
+  }
+  throw std::out_of_range("yamlite: missing key: " + key);
+}
+
+const Node& Node::get(const std::string& key) const {
+  if (!is_mapping()) return null_node();
+  for (const auto& [k, v] : mapping_) {
+    if (k == key) return v;
+  }
+  return null_node();
+}
+
+bool Node::has(const std::string& key) const {
+  if (!is_mapping()) return false;
+  for (const auto& [k, v] : mapping_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Node& Node::operator[](const std::string& key) {
+  if (is_null()) kind_ = Kind::kMapping;
+  if (!is_mapping()) throw std::logic_error("yamlite: operator[] on non-mapping");
+  for (auto& [k, v] : mapping_) {
+    if (k == key) return v;
+  }
+  mapping_.emplace_back(key, Node());
+  return mapping_.back().second;
+}
+
+const std::vector<std::pair<std::string, Node>>& Node::entries() const {
+  if (!is_mapping()) throw std::logic_error("yamlite: node is not a mapping");
+  return mapping_;
+}
+
+std::string Node::dump(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kNull:
+      break;
+    case Kind::kScalar:
+      out << pad << scalar_ << "\n";
+      break;
+    case Kind::kSequence:
+      for (const auto& item : sequence_) {
+        if (item.is_scalar()) {
+          out << pad << "- " << item.scalar_ << "\n";
+        } else {
+          out << pad << "-\n" << item.dump(indent + 2);
+        }
+      }
+      break;
+    case Kind::kMapping:
+      for (const auto& [k, v] : mapping_) {
+        if (v.is_scalar()) {
+          out << pad << k << ": " << v.scalar_ << "\n";
+        } else if (v.is_null()) {
+          out << pad << k << ":\n";
+        } else {
+          out << pad << k << ":\n" << v.dump(indent + 2);
+        }
+      }
+      break;
+  }
+  return out.str();
+}
+
+Node parse(const std::string& text) {
+  Parser parser(tokenize(text));
+  return parser.parse_document();
+}
+
+}  // namespace qon::yaml

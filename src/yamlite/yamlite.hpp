@@ -1,0 +1,94 @@
+#pragma once
+// yamlite: a small indentation-based YAML-subset parser, sufficient for
+// Qonductor deployment configuration files (paper Listing 1): nested maps,
+// block lists ("- item"), scalars, '#' comments and quoted strings.
+//
+// Not supported (by design): anchors, multi-document streams, flow
+// collections, multi-line scalars. Parse errors throw ParseError with a
+// 1-based line number.
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qon::yaml {
+
+/// Error thrown on malformed input; `line` is 1-based.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t line)
+      : std::runtime_error("yamlite:" + std::to_string(line) + ": " + what), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// A YAML node: scalar, sequence or mapping. Mappings preserve insertion
+/// order for deterministic emission.
+class Node {
+ public:
+  enum class Kind { kNull, kScalar, kSequence, kMapping };
+
+  Node() : kind_(Kind::kNull) {}
+  explicit Node(std::string scalar) : kind_(Kind::kScalar), scalar_(std::move(scalar)) {}
+
+  static Node make_sequence() {
+    Node n;
+    n.kind_ = Kind::kSequence;
+    return n;
+  }
+  static Node make_mapping() {
+    Node n;
+    n.kind_ = Kind::kMapping;
+    return n;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_sequence() const { return kind_ == Kind::kSequence; }
+  bool is_mapping() const { return kind_ == Kind::kMapping; }
+
+  /// Scalar accessors; throw std::logic_error when the node is not a scalar
+  /// or the conversion fails.
+  const std::string& as_string() const;
+  long long as_int() const;
+  double as_double() const;
+  bool as_bool() const;
+
+  /// Scalar accessors with defaults for missing/null nodes.
+  std::string as_string_or(const std::string& fallback) const;
+  long long as_int_or(long long fallback) const;
+  double as_double_or(double fallback) const;
+
+  /// Sequence access.
+  const std::vector<Node>& items() const;
+  std::vector<Node>& items();
+  void push_back(Node n);
+  std::size_t size() const;
+
+  /// Mapping access. `at` throws std::out_of_range on a missing key;
+  /// `get` returns a shared null node instead. `has` tests membership.
+  const Node& at(const std::string& key) const;
+  const Node& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  Node& operator[](const std::string& key);  ///< inserts when missing (mapping only)
+  const std::vector<std::pair<std::string, Node>>& entries() const;
+
+  /// Serializes the node back to yamlite text (round-trippable).
+  std::string dump(int indent = 0) const;
+
+ private:
+  Kind kind_;
+  std::string scalar_;
+  std::vector<Node> sequence_;
+  std::vector<std::pair<std::string, Node>> mapping_;
+};
+
+/// Parses a yamlite document. Empty input yields a null node.
+Node parse(const std::string& text);
+
+}  // namespace qon::yaml

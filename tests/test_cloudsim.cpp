@@ -1,0 +1,304 @@
+// Tests for the cloud simulation: the DES core, QPU workers, the load
+// generator's workload statistics, and small end-to-end runs comparing the
+// Qonductor policy with the FCFS baseline (the Fig. 6 relationships).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloudsim/event_queue.hpp"
+#include "cloudsim/metrics.hpp"
+#include "cloudsim/qpu_worker.hpp"
+#include "cloudsim/simulation.hpp"
+#include "cloudsim/workload.hpp"
+#include "common/stats.hpp"
+
+namespace qon::cloudsim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue events;
+  std::vector<int> order;
+  events.schedule_at(3.0, [&] { order.push_back(3); });
+  events.schedule_at(1.0, [&] { order.push_back(1); });
+  events.schedule_at(2.0, [&] { order.push_back(2); });
+  events.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(events.now(), 10.0);
+}
+
+TEST(EventQueue, StableForSimultaneousEvents) {
+  EventQueue events;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    events.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  events.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue events;
+  int fired = 0;
+  events.schedule_at(1.0, [&] {
+    ++fired;
+    events.schedule_in(1.0, [&] { ++fired; });
+  });
+  events.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, HonorsHorizon) {
+  EventQueue events;
+  int fired = 0;
+  events.schedule_at(5.0, [&] { ++fired; });
+  events.run_until(4.0);
+  EXPECT_EQ(fired, 0);
+  events.run_until(6.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RejectsPastAndNull) {
+  EventQueue events;
+  events.run_until(10.0);
+  EXPECT_THROW(events.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(events.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(events.schedule_at(11.0, nullptr), std::invalid_argument);
+}
+
+TEST(QpuWorker, ExecutesFifo) {
+  EventQueue events;
+  std::vector<std::uint64_t> completed;
+  QpuWorker worker("w", &events, [&](const QpuJob& job, double, double) {
+    completed.push_back(job.app_id);
+  });
+  worker.submit({1, 5.0});
+  worker.submit({2, 5.0});
+  worker.submit({3, 5.0});
+  EXPECT_TRUE(worker.busy());
+  EXPECT_EQ(worker.queue_length(), 2u);
+  events.run_until(100.0);
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(worker.total_busy_seconds(), 15.0);
+  EXPECT_EQ(worker.completed(), 3u);
+}
+
+TEST(QpuWorker, QueueWaitEstimates) {
+  EventQueue events;
+  QpuWorker worker("w", &events, nullptr);
+  EXPECT_DOUBLE_EQ(worker.queue_wait(0.0), 0.0);
+  worker.submit({1, 10.0});
+  worker.submit({2, 4.0});
+  EXPECT_DOUBLE_EQ(worker.queue_wait(0.0), 14.0);
+  events.run_until(6.0);
+  EXPECT_DOUBLE_EQ(worker.queue_wait(6.0), 8.0);  // 4 left of job1 + 4 of job2
+}
+
+TEST(QpuWorker, DrainReturnsOnlyUnstarted) {
+  EventQueue events;
+  std::vector<std::uint64_t> completed;
+  QpuWorker worker("w", &events, [&](const QpuJob& job, double, double) {
+    completed.push_back(job.app_id);
+  });
+  worker.submit({1, 10.0});
+  worker.submit({2, 1.0});
+  worker.submit({3, 1.0});
+  const auto drained = worker.drain_unstarted();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].app_id, 2u);
+  events.run_until(100.0);
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{1}));  // started job finishes
+}
+
+TEST(Workload, RateMatchesConfiguration) {
+  WorkloadConfig config;
+  config.jobs_per_hour = 1200.0;
+  config.duration_hours = 2.0;
+  config.seed = 3;
+  const auto apps = generate_workload(config);
+  // Poisson(2400) => ~2400 +/- 5 sigma.
+  EXPECT_NEAR(static_cast<double>(apps.size()), 2400.0, 5.0 * std::sqrt(2400.0));
+  for (std::size_t i = 1; i < apps.size(); ++i) {
+    EXPECT_GE(apps[i].arrival_time, apps[i - 1].arrival_time);
+  }
+}
+
+TEST(Workload, WidthsAndShotsWithinBounds) {
+  WorkloadConfig config;
+  config.seed = 7;
+  config.duration_hours = 0.5;
+  const auto apps = generate_workload(config);
+  ASSERT_FALSE(apps.empty());
+  for (const auto& app : apps) {
+    EXPECT_GE(app.logical.num_qubits(), config.min_width);
+    EXPECT_LE(app.logical.num_qubits(), config.max_width + 1);  // +1: BV ancilla
+    EXPECT_GE(app.shots, config.min_shots);
+    EXPECT_LE(app.shots, config.max_shots);
+  }
+}
+
+TEST(Workload, MitigatedFractionApproximatelyHonored) {
+  WorkloadConfig config;
+  config.seed = 11;
+  config.jobs_per_hour = 2000.0;
+  config.mitigated_fraction = 0.5;
+  const auto apps = generate_workload(config);
+  std::size_t mitigated = 0;
+  for (const auto& app : apps) {
+    if (!app.spec.stack.empty()) ++mitigated;
+  }
+  const double fraction = static_cast<double>(mitigated) / static_cast<double>(apps.size());
+  EXPECT_NEAR(fraction, 0.5, 0.06);
+}
+
+TEST(Workload, DiurnalRateStaysInMeasuredBand) {
+  for (double t = 0.0; t < 24.0 * 3600.0; t += 1800.0) {
+    const double rate = diurnal_rate(t, 1500.0);
+    EXPECT_GE(rate, 1099.0);
+    EXPECT_LE(rate, 2051.0);
+  }
+}
+
+// Small but complete simulations. Kept light: 8 minutes of simulated
+// arrivals at a few hundred jobs/hour over 4 QPUs.
+class EndToEnd : public ::testing::Test {
+ protected:
+  static CloudSimConfig base_config(SchedulingPolicy policy) {
+    CloudSimConfig config;
+    config.workload.jobs_per_hour = 400.0;
+    config.workload.duration_hours = 0.15;
+    config.workload.seed = 99;
+    config.num_qpus = 4;
+    config.seed = 99;
+    config.policy = policy;
+    config.queue_trigger = 20;
+    config.timer_trigger_seconds = 60.0;
+    config.scheduler.nsga2.population_size = 32;
+    config.scheduler.nsga2.max_generations = 20;
+    return config;
+  }
+};
+
+TEST_F(EndToEnd, AllAppsCompleteUnderBothPolicies) {
+  for (const auto policy :
+       {SchedulingPolicy::kQonductor, SchedulingPolicy::kBestFidelityFcfs}) {
+    const auto result = run_cloud_simulation(base_config(policy));
+    EXPECT_EQ(result.apps.size() + result.unscheduled_apps, result.generated_apps)
+        << policy_name(policy);
+    EXPECT_GT(result.apps.size(), 0u);
+    for (const auto& app : result.apps) {
+      EXPECT_GE(app.start, app.arrival);
+      EXPECT_GE(app.quantum_done, app.start);
+      EXPECT_GE(app.completion, app.quantum_done);
+      EXPECT_GE(app.measured_fidelity, 0.0);
+      EXPECT_LE(app.measured_fidelity, 1.0);
+      EXPECT_GE(app.qpu, 0);
+    }
+  }
+}
+
+TEST_F(EndToEnd, QonductorReducesJctVersusFcfs) {
+  const auto qonductor = run_cloud_simulation(base_config(SchedulingPolicy::kQonductor));
+  const auto fcfs = run_cloud_simulation(base_config(SchedulingPolicy::kBestFidelityFcfs));
+  // Fig. 6b: Qonductor's completion times are far below the FCFS baseline.
+  EXPECT_LT(qonductor.mean_jct(), fcfs.mean_jct());
+  // Fig. 6c: utilization rises because load spreads across all QPUs.
+  EXPECT_GT(qonductor.mean_utilization(), fcfs.mean_utilization());
+  // Fig. 6a: fidelity dips only slightly (allow a generous band here; the
+  // bench reproduces the exact numbers).
+  EXPECT_GT(qonductor.mean_fidelity(), fcfs.mean_fidelity() - 0.12);
+}
+
+TEST_F(EndToEnd, QonductorBalancesLoadAcrossQpus) {
+  // Load balancing matters under contention (the paper's regime: queues of
+  // thousands of seconds). Overload the 4-QPU fleet so concentrating on the
+  // best QPU would explode JCTs.
+  auto config = base_config(SchedulingPolicy::kQonductor);
+  config.workload.jobs_per_hour = 3000.0;
+  config.workload.duration_hours = 0.2;
+  const auto result = run_cloud_simulation(config);
+  const double total = sum(result.qpu_busy_seconds);
+  ASSERT_GT(total, 0.0);
+  // The hotspot share must stay far below FCFS's concentration (Fig. 8c).
+  const double qonductor_max_share = max_of(result.qpu_busy_seconds) / total;
+  auto fcfs_config = config;
+  fcfs_config.policy = SchedulingPolicy::kBestFidelityFcfs;
+  const auto fcfs = run_cloud_simulation(fcfs_config);
+  const double fcfs_max_share = max_of(fcfs.qpu_busy_seconds) / sum(fcfs.qpu_busy_seconds);
+  EXPECT_GT(fcfs_max_share, 0.5);  // hotspot behaviour
+  EXPECT_LT(qonductor_max_share, fcfs_max_share - 0.1);
+  // Every QPU participates under Qonductor.
+  for (double busy : result.qpu_busy_seconds) EXPECT_GT(busy, 0.0);
+}
+
+TEST_F(EndToEnd, CyclesRecordStagesAndFronts) {
+  const auto result = run_cloud_simulation(base_config(SchedulingPolicy::kQonductor));
+  ASSERT_FALSE(result.cycles.empty());
+  for (const auto& cycle : result.cycles) {
+    EXPECT_GE(cycle.optimize_seconds, 0.0);
+    EXPECT_LE(cycle.min_front_jct, cycle.max_front_jct + 1e-9);
+    EXPECT_LE(cycle.min_front_fidelity, cycle.max_front_fidelity + 1e-9);
+    // The chosen solution lies within the front's bounds.
+    EXPECT_GE(cycle.chosen.mean_jct, cycle.min_front_jct - 1e-6);
+    EXPECT_LE(cycle.chosen.mean_jct, cycle.max_front_jct + 1e-6);
+  }
+}
+
+TEST_F(EndToEnd, MetricsSeriesAreWellFormed) {
+  const auto result = run_cloud_simulation(base_config(SchedulingPolicy::kQonductor));
+  const auto fid = fidelity_over_time(result, 60.0);
+  const auto jct = mean_jct_over_time(result, 60.0);
+  const auto util = utilization_over_time(result, 60.0);
+  EXPECT_EQ(fid.time.size(), fid.value.size());
+  EXPECT_EQ(jct.time.size(), util.time.size());
+  for (double u : util.value) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 100.0 + 1e-9);
+  }
+  // Cumulative mean JCT is non-negative and finite.
+  for (double v : jct.value) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  const auto queue = scheduler_queue_over_time(result);
+  EXPECT_FALSE(queue.time.empty());
+  EXPECT_NO_THROW(qpu_queue_over_time(result, 0));
+  EXPECT_THROW(qpu_queue_over_time(result, 99), std::out_of_range);
+}
+
+TEST_F(EndToEnd, MoreQpusReduceJct) {
+  // The Fig. 9a effect requires queueing pressure: saturate the small fleet.
+  auto small = base_config(SchedulingPolicy::kQonductor);
+  small.num_qpus = 2;
+  small.workload.jobs_per_hour = 1600.0;
+  auto large = small;
+  large.num_qpus = 8;
+  const auto r_small = run_cloud_simulation(small);
+  const auto r_large = run_cloud_simulation(large);
+  // Fig. 9a: mean JCT decreases as the cluster grows.
+  EXPECT_LT(r_large.mean_jct(), r_small.mean_jct());
+}
+
+TEST_F(EndToEnd, CalibrationCrossoverReschedulesQueuedJobs) {
+  auto config = base_config(SchedulingPolicy::kQonductor);
+  config.calibration_interval_hours = 0.05;  // several crossovers in-window
+  config.calibration_crossover = true;
+  const auto result = run_cloud_simulation(config);
+  // The run completes and apps still finish exactly once.
+  EXPECT_EQ(result.apps.size() + result.unscheduled_apps, result.generated_apps);
+  std::set<std::uint64_t> ids;
+  for (const auto& app : result.apps) {
+    EXPECT_TRUE(ids.insert(app.id).second) << "app completed twice";
+  }
+}
+
+TEST_F(EndToEnd, DeterministicForFixedSeed) {
+  const auto a = run_cloud_simulation(base_config(SchedulingPolicy::kQonductor));
+  const auto b = run_cloud_simulation(base_config(SchedulingPolicy::kQonductor));
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  EXPECT_DOUBLE_EQ(a.mean_jct(), b.mean_jct());
+  EXPECT_DOUBLE_EQ(a.mean_fidelity(), b.mean_fidelity());
+}
+
+}  // namespace
+}  // namespace qon::cloudsim

@@ -1,0 +1,206 @@
+// Tests for the core orchestrator: the system monitor (local and
+// Raft-replicated), and the Table-2 API surface end to end — create,
+// deploy, invoke, status, results, resource estimation and scheduling.
+
+#include <gtest/gtest.h>
+
+#include "circuit/library.hpp"
+#include "core/orchestrator.hpp"
+#include "core/system_monitor.hpp"
+
+namespace qon::core {
+namespace {
+
+TEST(SystemMonitor, LocalPutGetErase) {
+  SystemMonitor monitor(false);
+  EXPECT_TRUE(monitor.put("k", "v"));
+  EXPECT_EQ(monitor.get("k").value_or(""), "v");
+  EXPECT_TRUE(monitor.erase("k"));
+  EXPECT_FALSE(monitor.get("k").has_value());
+  EXPECT_FALSE(monitor.replicated());
+}
+
+TEST(SystemMonitor, ReplicatedBackendWorks) {
+  SystemMonitor monitor(true);
+  EXPECT_TRUE(monitor.replicated());
+  EXPECT_TRUE(monitor.put("qpu/x", "state"));
+  EXPECT_EQ(monitor.get("qpu/x").value_or(""), "state");
+}
+
+TEST(SystemMonitor, QpuRoundTrip) {
+  SystemMonitor monitor(false);
+  QpuInfo info;
+  info.name = "mumbai";
+  info.qubits = 27;
+  info.queue_length = 12;
+  info.queue_wait_seconds = 345.5;
+  info.mean_gate_error_2q = 0.011;
+  info.calibration_cycle = 7;
+  info.online = true;
+  monitor.update_qpu(info);
+  const auto read = monitor.qpu("mumbai");
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->qubits, 27);
+  EXPECT_EQ(read->queue_length, 12u);
+  EXPECT_NEAR(read->queue_wait_seconds, 345.5, 1e-9);
+  EXPECT_NEAR(read->mean_gate_error_2q, 0.011, 1e-9);
+  EXPECT_EQ(read->calibration_cycle, 7u);
+  EXPECT_EQ(monitor.qpu_names(), (std::vector<std::string>{"mumbai"}));
+  EXPECT_FALSE(monitor.qpu("absent").has_value());
+}
+
+TEST(SystemMonitor, WorkflowStatusRoundTrip) {
+  SystemMonitor monitor(false);
+  monitor.set_workflow_status(42, "running");
+  EXPECT_EQ(monitor.workflow_status(42).value_or(""), "running");
+  EXPECT_FALSE(monitor.workflow_status(43).has_value());
+}
+
+class OrchestratorFixture : public ::testing::Test {
+ protected:
+  static QonductorConfig small_config() {
+    QonductorConfig config;
+    config.num_qpus = 3;
+    config.seed = 4242;
+    config.trajectory_width_limit = 8;
+    return config;
+  }
+};
+
+TEST_F(OrchestratorFixture, PublishesFleetToMonitor) {
+  Qonductor orchestrator(small_config());
+  EXPECT_EQ(orchestrator.monitor().qpu_names().size(), 3u);
+  const auto info = orchestrator.monitor().qpu(orchestrator.fleet().backends[0]->name());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->qubits, 27);
+}
+
+TEST_F(OrchestratorFixture, CreateDeployInvokeLifecycle) {
+  Qonductor orchestrator(small_config());
+
+  // Listing-2-style hybrid workflow: pre-process, QAOA circuit, post-process.
+  std::vector<workflow::HybridTask> tasks;
+  tasks.push_back(workflow::HybridTask::classical("zne-prepare", 0.2));
+  mitigation::MitigationSpec spec;
+  spec.stack = {mitigation::Technique::kRem};
+  tasks.push_back(workflow::HybridTask::quantum("qaoa", circuit::qaoa_maxcut(5, 1, 7), 2000, spec));
+  tasks.push_back(workflow::HybridTask::classical("zne-inference", 0.4,
+                                                  mitigation::Accelerator::kGpu));
+
+  const auto image = orchestrator.createWorkflow(
+      "qaoa-error-mitigated", std::move(tasks),
+      "resources:\n  limits:\n    qubits: 5\n");
+  EXPECT_EQ(orchestrator.listImages(), (std::vector<workflow::ImageId>{image}));
+
+  EXPECT_EQ(orchestrator.deploy(image), image);
+  const auto run = orchestrator.invoke(image);
+  EXPECT_EQ(orchestrator.workflowStatus(run), WorkflowStatus::kCompleted);
+
+  const auto& result = orchestrator.workflowResults(run);
+  ASSERT_EQ(result.tasks.size(), 3u);
+  EXPECT_EQ(result.tasks[0].kind, workflow::TaskKind::kClassical);
+  EXPECT_EQ(result.tasks[1].kind, workflow::TaskKind::kQuantum);
+  EXPECT_GT(result.tasks[1].fidelity, 0.2);
+  EXPECT_LE(result.tasks[1].fidelity, 1.0);
+  EXPECT_FALSE(result.tasks[1].counts.empty());  // small: trajectory-simulated
+  EXPECT_FALSE(result.tasks[1].resource.empty());
+  EXPECT_GT(result.total_cost_dollars, 0.0);
+  EXPECT_GT(result.makespan_seconds, 0.0);
+  // Tasks run in dependency order on the virtual clock.
+  EXPECT_LE(result.tasks[0].end, result.tasks[1].start + 1e-9);
+  EXPECT_LE(result.tasks[1].end, result.tasks[2].start + 1e-9);
+}
+
+TEST_F(OrchestratorFixture, InvokeRequiresDeploy) {
+  Qonductor orchestrator(small_config());
+  const auto image = orchestrator.createWorkflow(
+      "undeployed", {workflow::HybridTask::classical("only", 0.1)});
+  EXPECT_THROW(orchestrator.invoke(image), std::invalid_argument);
+}
+
+TEST_F(OrchestratorFixture, DeployRejectsOversizedCircuits) {
+  Qonductor orchestrator(small_config());
+  circuit::Circuit big(28);
+  big.h(0);
+  big.measure_all();
+  const auto image = orchestrator.createWorkflow(
+      "too-big", {workflow::HybridTask::quantum("big", big)});
+  EXPECT_THROW(orchestrator.deploy(image), std::invalid_argument);
+}
+
+TEST_F(OrchestratorFixture, CreateWorkflowValidatesInput) {
+  Qonductor orchestrator(small_config());
+  EXPECT_THROW(orchestrator.createWorkflow("empty", {}), std::invalid_argument);
+}
+
+TEST_F(OrchestratorFixture, LargeCircuitsUseAnalyticModel) {
+  Qonductor orchestrator(small_config());
+  const auto image = orchestrator.createWorkflow(
+      "wide", {workflow::HybridTask::quantum("qft20", circuit::qft(20), 1000)});
+  orchestrator.deploy(image);
+  const auto run = orchestrator.invoke(image);
+  const auto& result = orchestrator.workflowResults(run);
+  EXPECT_EQ(result.status, WorkflowStatus::kCompleted);
+  EXPECT_TRUE(result.tasks[0].counts.empty());  // too wide for trajectories
+  // A 20-qubit QFT is deep enough that its ESP can round to zero; only the
+  // range invariant holds.
+  EXPECT_GE(result.tasks[0].fidelity, 0.0);
+  EXPECT_LE(result.tasks[0].fidelity, 1.0);
+}
+
+TEST_F(OrchestratorFixture, SequentialQuantumTasksQueueOnFleet) {
+  Qonductor orchestrator(small_config());
+  std::vector<workflow::HybridTask> tasks;
+  tasks.push_back(workflow::HybridTask::quantum("first", circuit::ghz(4), 2000));
+  tasks.push_back(workflow::HybridTask::quantum("second", circuit::ghz(4), 2000));
+  const auto image = orchestrator.createWorkflow("pair", std::move(tasks));
+  orchestrator.deploy(image);
+  const auto run = orchestrator.invoke(image);
+  const auto& result = orchestrator.workflowResults(run);
+  ASSERT_EQ(result.tasks.size(), 2u);
+  EXPECT_GE(result.tasks[1].start, result.tasks[0].end - 1e-9);
+}
+
+TEST_F(OrchestratorFixture, EstimateResourcesReturnsPlans) {
+  Qonductor orchestrator(small_config());
+  const auto plans = orchestrator.estimateResources(circuit::qaoa_maxcut(10, 1, 5));
+  EXPECT_FALSE(plans.all.empty());
+  EXPECT_FALSE(plans.recommended.empty());
+  EXPECT_LE(plans.recommended.size(), 3u);
+}
+
+TEST_F(OrchestratorFixture, GenerateScheduleUsesHybridScheduler) {
+  Qonductor orchestrator(small_config());
+  sched::SchedulingInput input;
+  for (const auto& backend : orchestrator.fleet().backends) {
+    input.qpus.push_back({backend->name(), backend->num_qubits(), 0.0, true});
+  }
+  for (int j = 0; j < 10; ++j) {
+    sched::QuantumJob job;
+    job.id = static_cast<std::uint64_t>(j);
+    job.qubits = 5;
+    job.est_fidelity.assign(input.qpus.size(), 0.9);
+    job.est_exec_seconds.assign(input.qpus.size(), 3.0);
+    input.jobs.push_back(job);
+  }
+  const auto decision = orchestrator.generateSchedule(input);
+  for (int a : decision.assignment) EXPECT_GE(a, 0);
+}
+
+TEST_F(OrchestratorFixture, WorkflowStatusUnknownRunThrows) {
+  Qonductor orchestrator(small_config());
+  EXPECT_THROW(orchestrator.workflowStatus(9999), std::out_of_range);
+  EXPECT_THROW(orchestrator.workflowResults(9999), std::out_of_range);
+}
+
+TEST_F(OrchestratorFixture, MonitorTracksWorkflowStatus) {
+  Qonductor orchestrator(small_config());
+  const auto image = orchestrator.createWorkflow(
+      "tracked", {workflow::HybridTask::classical("c", 0.1)});
+  orchestrator.deploy(image);
+  const auto run = orchestrator.invoke(image);
+  EXPECT_EQ(orchestrator.monitor().workflow_status(run).value_or(""), "completed");
+}
+
+}  // namespace
+}  // namespace qon::core

@@ -1,0 +1,414 @@
+// Tests for the error-mitigation suite: ZNE folding + extrapolation, REM
+// confusion estimation/inversion, DD insertion, Pauli twirling, circuit
+// cutting, PEC overheads and the stacked pipeline signatures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/library.hpp"
+#include "mitigation/cutting.hpp"
+#include "mitigation/dd.hpp"
+#include "mitigation/pec.hpp"
+#include "mitigation/pipeline.hpp"
+#include "mitigation/rem.hpp"
+#include "mitigation/twirling.hpp"
+#include "mitigation/zne.hpp"
+#include "qpu/fleet.hpp"
+#include "simulator/esp.hpp"
+#include "simulator/metrics.hpp"
+#include "simulator/noise.hpp"
+#include "transpiler/transpiler.hpp"
+
+namespace qon::mitigation {
+namespace {
+
+using circuit::Circuit;
+
+TEST(Zne, GlobalFoldScalesGateCount) {
+  Circuit c = circuit::ghz(4);
+  const std::size_t base_ops = c.operation_count();
+  const Circuit folded3 = fold_global(c, 3.0);
+  const Circuit folded5 = fold_global(c, 5.0);
+  EXPECT_EQ(folded3.operation_count(), 3 * base_ops);
+  EXPECT_EQ(folded5.operation_count(), 5 * base_ops);
+  // Measurements are preserved exactly once.
+  EXPECT_EQ(folded3.measurement_count(), c.measurement_count());
+}
+
+TEST(Zne, FoldingPreservesSemantics) {
+  const Circuit c = circuit::ghz(4);
+  const auto ideal = sim::ideal_distribution(c);
+  for (double scale : {1.0, 2.0, 3.0, 5.0}) {
+    const auto folded = fold_global(c, scale);
+    EXPECT_GT(sim::hellinger_fidelity(ideal, sim::ideal_distribution(folded)), 1.0 - 1e-9)
+        << "scale=" << scale;
+  }
+}
+
+TEST(Zne, RejectsScaleBelowOne) {
+  EXPECT_THROW(fold_global(circuit::ghz(3), 0.5), std::invalid_argument);
+}
+
+TEST(Zne, LinearFactoryExactOnLine) {
+  LinearFactory factory;
+  // v(s) = 1 - 0.1 s: zero-noise value 1.
+  EXPECT_NEAR(factory.extrapolate({1.0, 3.0, 5.0}, {0.9, 0.7, 0.5}), 1.0, 1e-10);
+}
+
+TEST(Zne, RichardsonExactOnQuadratic) {
+  RichardsonFactory factory;
+  // v(s) = 2 - s + 0.25 s^2.
+  auto v = [](double s) { return 2.0 - s + 0.25 * s * s; };
+  EXPECT_NEAR(factory.extrapolate({1.0, 2.0, 3.0}, {v(1), v(2), v(3)}), 2.0, 1e-9);
+}
+
+TEST(Zne, ExpFactoryRecoversAmplitude) {
+  ExpFactory factory;
+  auto v = [](double s) { return 0.8 * std::exp(-0.3 * s); };
+  EXPECT_NEAR(factory.extrapolate({1.0, 3.0, 5.0}, {v(1), v(3), v(5)}), 0.8, 1e-6);
+}
+
+TEST(Zne, FactoriesValidateInput) {
+  EXPECT_THROW(LinearFactory().extrapolate({1.0}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(RichardsonFactory().extrapolate({1.0, 1.0}, {0.5, 0.6}), std::invalid_argument);
+}
+
+TEST(Zne, EndToEndImprovesGhzParityEstimate) {
+  // Honest ZNE: estimate <Z...Z> parity of a GHZ state under noise at
+  // scales {1,3,5}, extrapolate, and compare with the unmitigated estimate.
+  const auto fleet = qpu::make_ibm_like_fleet(1, 77);
+  const auto& backend = *fleet.backends[0];
+  const Circuit c = circuit::ghz(4);
+  const auto t = transpiler::transpile(c, backend);
+  const double ideal_parity = 1.0;  // GHZ: outcomes 0000/1111 both even parity
+
+  Rng rng(5);
+  auto parity = [&rng, &backend](const Circuit& physical) {
+    const auto counts = sim::run_noisy(physical, backend, 6000, rng, sim::HiddenNoise::none());
+    double acc = 0.0;
+    std::uint64_t total = 0;
+    for (const auto& [outcome, n] : counts) {
+      acc += ((__builtin_popcountll(outcome) % 2 == 0) ? 1.0 : -1.0) * static_cast<double>(n);
+      total += n;
+    }
+    return acc / static_cast<double>(total);
+  };
+
+  ZneConfig config;
+  config.factory = std::make_shared<LinearFactory>();
+  const double unmitigated = parity(t.circuit);
+  const double mitigated = zne_expectation(t.circuit, config, parity);
+  EXPECT_LT(std::abs(mitigated - ideal_parity), std::abs(unmitigated - ideal_parity));
+}
+
+TEST(Rem, CalibrationConfusionMatchesBackend) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 13);
+  const auto& backend = *fleet.backends[0];
+  const auto confusion = calibration_confusion(backend, {0, 1, 2});
+  ASSERT_EQ(confusion.size(), 3u);
+  EXPECT_DOUBLE_EQ(confusion[0].p01, backend.calibration().qubits[0].readout_error);
+}
+
+TEST(Rem, MeasuredConfusionApproximatesTruth) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 13);
+  const auto& backend = *fleet.backends[0];
+  Rng rng(7);
+  const auto measured = measure_confusion(backend, {0, 1}, 20000, rng, sim::HiddenNoise::none());
+  const auto truth = calibration_confusion(backend, {0, 1});
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(measured[i].p01, truth[i].p01, 0.02);
+    EXPECT_NEAR(measured[i].p10, truth[i].p10, 0.02);
+  }
+}
+
+TEST(Rem, InversionRecoversCleanDistribution) {
+  // Apply known confusion to a clean distribution analytically, then undo.
+  const std::map<std::uint64_t, double> clean = {{0b00, 0.5}, {0b11, 0.5}};
+  const std::vector<Confusion> confusion = {{0.1, 0.05}, {0.08, 0.12}};
+  // Forward-apply the confusion.
+  std::map<std::uint64_t, double> noisy;
+  for (const auto& [outcome, p] : clean) {
+    for (std::uint64_t read = 0; read < 4; ++read) {
+      double prob = p;
+      for (int bit = 0; bit < 2; ++bit) {
+        const bool truth_bit = outcome & (1ULL << bit);
+        const bool read_bit = read & (1ULL << bit);
+        const auto& c = confusion[static_cast<std::size_t>(bit)];
+        if (truth_bit) {
+          prob *= read_bit ? (1.0 - c.p10) : c.p10;
+        } else {
+          prob *= read_bit ? c.p01 : (1.0 - c.p01);
+        }
+      }
+      noisy[read] += prob;
+    }
+  }
+  const auto corrected = apply_rem(noisy, confusion, 2);
+  EXPECT_NEAR(corrected.at(0b00), 0.5, 1e-9);
+  EXPECT_NEAR(corrected.at(0b11), 0.5, 1e-9);
+  EXPECT_GT(sim::hellinger_fidelity(corrected, clean), 1.0 - 1e-9);
+}
+
+TEST(Rem, ImprovesNoisyExecutionFidelity) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 29);
+  const auto& backend = *fleet.backends[0];
+  const Circuit c = circuit::ghz(4);
+  const auto t = transpiler::transpile(c, backend);
+  Rng rng(11);
+  sim::TrajectoryOptions readout_only;
+  readout_only.gate_noise = false;
+  readout_only.idle_noise = false;
+  const auto counts = sim::run_noisy(t.circuit, backend, 20000, rng, sim::HiddenNoise::none(),
+                                     readout_only);
+  const auto ideal = sim::ideal_distribution(c);
+  const auto raw_dist = sim::counts_to_distribution(counts);
+
+  // Correct with the physical qubits actually measured.
+  std::vector<int> measured_phys(4, 0);
+  for (const auto& g : t.circuit.gates()) {
+    if (g.kind == circuit::GateKind::kMeasure) measured_phys[static_cast<std::size_t>(g.qubits[1])] = g.qubit(0);
+  }
+  const auto confusion = calibration_confusion(backend, measured_phys);
+  const auto corrected = apply_rem(raw_dist, confusion, 4);
+  EXPECT_GT(sim::hellinger_fidelity(corrected, ideal),
+            sim::hellinger_fidelity(raw_dist, ideal));
+}
+
+TEST(Rem, ValidatesArguments) {
+  const std::map<std::uint64_t, double> dist = {{0, 1.0}};
+  EXPECT_THROW(apply_rem(dist, {}, 1), std::invalid_argument);
+  EXPECT_THROW(apply_rem(dist, {{0.5, 0.5}}, 1), std::invalid_argument);  // singular
+  EXPECT_THROW(apply_rem(dist, {{0.0, 0.0}}, 25), std::invalid_argument);
+}
+
+TEST(Dd, InsertsPulsesIntoIdleWindows) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 31);
+  const auto& backend = *fleet.backends[0];
+  // Qubit 1 idles while qubit 0 runs a long gate chain.
+  Circuit c(backend.num_qubits());
+  c.sx(1);
+  for (int i = 0; i < 40; ++i) c.sx(0);
+  c.cx(0, 1);
+  c.measure(0);
+  c.measure(1);
+  const auto result = insert_dd(c, backend);
+  EXPECT_GT(result.pulses_inserted, 0u);
+  EXPECT_GT(result.protected_idle_seconds, 0.0);
+  // XpXm pairs come in twos and preserve unitary semantics (X X = I).
+  EXPECT_EQ(result.pulses_inserted % 2, 0u);
+}
+
+TEST(Dd, PreservesSemantics) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 31);
+  const auto& backend = *fleet.backends[0];
+  const Circuit c = circuit::ghz(5);
+  const auto t = transpiler::transpile(c, backend);
+  const auto dd = insert_dd(t.circuit, backend);
+  const auto ideal = sim::ideal_distribution(c);
+  Rng rng(3);
+  const auto counts = sim::run_ideal(dd.circuit, 4000, rng);
+  EXPECT_GT(sim::hellinger_fidelity(counts, ideal), 0.98);
+}
+
+TEST(Dd, DoesNotIncreaseScheduleDuration) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 31);
+  const auto& backend = *fleet.backends[0];
+  const auto t = transpiler::transpile(circuit::qft(6), backend);
+  const auto dd = insert_dd(t.circuit, backend);
+  const auto before = transpiler::asap_schedule(t.circuit, backend).duration;
+  const auto after = transpiler::asap_schedule(dd.circuit, backend).duration;
+  EXPECT_LE(after, before * 1.001);
+}
+
+TEST(Twirl, PreservesUnitarySemantics) {
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Circuit c = circuit::random_circuit(4, 5, 100 + static_cast<std::uint64_t>(trial));
+    const Circuit twirled = pauli_twirl(c, rng);
+    EXPECT_GT(sim::hellinger_fidelity(sim::ideal_distribution(c),
+                                      sim::ideal_distribution(twirled)),
+              1.0 - 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Twirl, WrapsEveryCx) {
+  Rng rng(19);
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  const Circuit twirled = pauli_twirl(c, rng);
+  EXPECT_EQ(twirled.gate_counts().at("cx"), 1u);
+  EXPECT_GE(twirled.size(), c.size());  // paulis may be identity, never fewer
+}
+
+TEST(Twirl, InstancesAreDeterministicInSeed) {
+  const Circuit c = circuit::ghz(3);
+  const auto a = pauli_twirl_instances(c, 4, 55);
+  const auto b = pauli_twirl_instances(c, 4, 55);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t g = 0; g < a[i].size(); ++g) {
+      EXPECT_TRUE(a[i].gates()[g] == b[i].gates()[g]);
+    }
+  }
+  EXPECT_THROW(pauli_twirl_instances(c, 0, 1), std::invalid_argument);
+}
+
+TEST(Cutting, PlanMinimizesCrossings) {
+  // A GHZ chain: the contiguous bipartition cuts exactly one CX.
+  const Circuit c = circuit::ghz(8);
+  const auto plan = plan_bipartition(c);
+  EXPECT_EQ(plan.crossing_gates, 1u);
+  EXPECT_EQ(plan.group_a.size() + plan.group_b.size(), 8u);
+}
+
+TEST(Cutting, FragmentsHaveCorrectShape) {
+  const Circuit c = circuit::ghz(8);
+  const auto cut = cut_circuit(c);
+  EXPECT_EQ(cut.fragment_a.num_qubits() + cut.fragment_b.num_qubits(), 8);
+  EXPECT_DOUBLE_EQ(cut.sampling_overhead, 9.0);  // one cut
+  EXPECT_EQ(cut.circuit_variants, 4u);
+  // Fragments keep their original clbits (no overlap).
+  EXPECT_EQ(cut.fragment_a.measurement_count() + cut.fragment_b.measurement_count(), 8u);
+}
+
+TEST(Cutting, KnitIsExactForProductStates) {
+  // Two independent Bell pairs: cutting between them crosses zero gates and
+  // knitting reconstructs the joint distribution exactly.
+  Circuit c(4);
+  c.h(0);
+  c.cx(0, 1);
+  c.h(2);
+  c.cx(2, 3);
+  c.measure_all();
+  const auto cut = cut_circuit(c);
+  EXPECT_EQ(cut.plan.crossing_gates, 0u);
+  const auto da = sim::ideal_distribution(cut.fragment_a);
+  const auto db = sim::ideal_distribution(cut.fragment_b);
+  const auto knitted = knit_distributions(da, db);
+  EXPECT_GT(sim::hellinger_fidelity(knitted, sim::ideal_distribution(c)), 1.0 - 1e-9);
+}
+
+TEST(Cutting, KnittedFidelityModel) {
+  EXPECT_NEAR(knitted_fidelity(0.9, 0.9, 0), 0.81, 1e-12);
+  EXPECT_LT(knitted_fidelity(0.9, 0.9, 2), knitted_fidelity(0.9, 0.9, 1));
+}
+
+TEST(Cutting, FragmentEspBeatsWholeCircuitEsp) {
+  // The fidelity rationale of Fig. 2a: each fragment is narrower/shallower,
+  // so its ESP is higher than the full circuit's.
+  const auto fleet = qpu::make_ibm_like_fleet(1, 41);
+  const auto& backend = *fleet.backends[0];
+  const Circuit c = circuit::qft(16);
+  const auto whole = transpiler::transpile(c, backend);
+  const auto cut = cut_circuit(c);
+  const auto frag_a = transpiler::transpile(cut.fragment_a, backend);
+  const double f_whole = sim::esp_fidelity(whole.circuit, backend, sim::HiddenNoise::none());
+  const double f_frag = sim::esp_fidelity(frag_a.circuit, backend, sim::HiddenNoise::none());
+  EXPECT_GT(f_frag, f_whole);
+}
+
+TEST(Pec, GammaGrowsWithError) {
+  EXPECT_NEAR(pec_gamma(0.0), 1.0, 1e-12);
+  EXPECT_GT(pec_gamma(0.1), pec_gamma(0.01));
+  EXPECT_THROW(pec_gamma(1.0), std::invalid_argument);
+  EXPECT_THROW(pec_gamma(-0.1), std::invalid_argument);
+}
+
+TEST(Pec, OverheadGrowsWithCircuitSize) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 43);
+  const auto& backend = *fleet.backends[0];
+  const auto small = transpiler::transpile(circuit::ghz(4), backend);
+  const auto large = transpiler::transpile(circuit::ghz(12), backend);
+  EXPECT_GT(pec_sampling_overhead(large.circuit, backend),
+            pec_sampling_overhead(small.circuit, backend));
+  EXPECT_GE(pec_sampling_overhead(small.circuit, backend), 1.0);
+}
+
+TEST(Pec, InstancesCarrySignsAndPreserveLength) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 43);
+  const auto& backend = *fleet.backends[0];
+  const auto t = transpiler::transpile(circuit::ghz(6), backend);
+  const auto instances = pec_instances(t.circuit, backend, 32, 7);
+  ASSERT_EQ(instances.size(), 32u);
+  bool any_negative = false;
+  for (const auto& inst : instances) {
+    EXPECT_GE(inst.circuit.size(), t.circuit.size());
+    EXPECT_TRUE(inst.sign == 1 || inst.sign == -1);
+    if (inst.sign == -1) any_negative = true;
+  }
+  // With dozens of noisy gates, some instance should flip sign.
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(Pipeline, SignatureOfEmptyStackIsNeutral) {
+  const auto sig = compute_signature({}, 8, 20, 10, 8, 1e-2, Accelerator::kCpu);
+  EXPECT_DOUBLE_EQ(sig.error_residual, 1.0);
+  EXPECT_DOUBLE_EQ(sig.quantum_runtime_multiplier, 1.0);
+  EXPECT_FALSE(sig.cuts_circuit);
+}
+
+TEST(Pipeline, ZneSignatureMatchesConfig) {
+  MitigationSpec spec;
+  spec.stack = {Technique::kZne};
+  const auto sig = compute_signature(spec, 8, 20, 10, 8, 1e-2, Accelerator::kCpu);
+  EXPECT_DOUBLE_EQ(sig.circuit_instances, 3.0);          // factors {1,3,5}
+  EXPECT_DOUBLE_EQ(sig.quantum_runtime_multiplier, 9.0); // 1+3+5
+  EXPECT_LT(sig.error_residual, 1.0);
+}
+
+TEST(Pipeline, StackingMultipliesResiduals) {
+  MitigationSpec zne;
+  zne.stack = {Technique::kZne};
+  MitigationSpec zne_rem;
+  zne_rem.stack = {Technique::kZne, Technique::kRem};
+  const auto a = compute_signature(zne, 8, 20, 10, 8, 1e-2, Accelerator::kCpu);
+  const auto b = compute_signature(zne_rem, 8, 20, 10, 8, 1e-2, Accelerator::kCpu);
+  EXPECT_LT(b.error_residual, a.error_residual);
+  EXPECT_GT(b.classical_postprocess_seconds, a.classical_postprocess_seconds);
+}
+
+TEST(Pipeline, GpuAcceleratesPostprocessing) {
+  MitigationSpec cutting;
+  cutting.stack = {Technique::kCutting};
+  const auto cpu = compute_signature(cutting, 16, 60, 40, 16, 1e-2, Accelerator::kCpu);
+  const auto gpu = compute_signature(cutting, 16, 60, 40, 16, 1e-2, Accelerator::kGpu);
+  EXPECT_GT(cpu.classical_postprocess_seconds, gpu.classical_postprocess_seconds);
+  EXPECT_DOUBLE_EQ(cpu.quantum_runtime_multiplier, gpu.quantum_runtime_multiplier);
+}
+
+TEST(Pipeline, MitigatedFidelityReducesError) {
+  MitigationSpec spec;
+  spec.stack = {Technique::kZne, Technique::kRem, Technique::kDd};
+  const auto sig = compute_signature(spec, 8, 20, 10, 8, 1e-2, Accelerator::kCpu);
+  const double base = 0.6;
+  const double mitigated = mitigated_fidelity(base, sig);
+  EXPECT_GT(mitigated, base);
+  EXPECT_LE(mitigated, 1.0);
+}
+
+TEST(Pipeline, DdSetsDephasingResidual) {
+  MitigationSpec spec;
+  spec.stack = {Technique::kDd};
+  const auto sig = compute_signature(spec, 8, 20, 10, 8, 1e-2, Accelerator::kCpu);
+  EXPECT_LT(sig.delay_dephasing_residual, 1.0);
+}
+
+TEST(Pipeline, MenuIsOrderedAndNamed) {
+  const auto menu = standard_mitigation_menu();
+  ASSERT_GE(menu.size(), 6u);
+  EXPECT_EQ(menu.front().to_string(), "none");
+  EXPECT_EQ(menu[4].to_string(), "zne");
+  bool has_cutting = false;
+  for (const auto& spec : menu) {
+    if (spec.uses(Technique::kCutting)) has_cutting = true;
+  }
+  EXPECT_TRUE(has_cutting);
+}
+
+}  // namespace
+}  // namespace qon::mitigation

@@ -1,0 +1,302 @@
+// Unit and property tests for the mlcore linear algebra and regression stack.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "mlcore/matrix.hpp"
+#include "mlcore/model_selection.hpp"
+#include "mlcore/regression.hpp"
+
+namespace qon::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(Matrix({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(5);
+  Matrix m(3, 5);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) m(i, j) = rng.normal();
+  }
+  const Matrix tt = m.transpose().transpose();
+  EXPECT_NEAR((tt - m).frobenius_norm(), 0.0, 1e-15);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeUnit) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_NEAR(((a * i) - a).frobenius_norm(), 0.0, 1e-15);
+  EXPECT_NEAR(((i * a) - a).frobenius_norm(), 0.0, 1e-15);
+}
+
+TEST(LinAlg, CholeskySolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [6,5]; solution x = [1,1].
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto x = cholesky_solve(a, {6.0, 5.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LinAlg, CholeskyRejectsIndefinite) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(LinAlg, QrLeastSquaresExactOnConsistentSystem) {
+  // Overdetermined but consistent: y = 2x + 1 sampled at 4 points.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(static_cast<std::size_t>(i), 0) = 1.0;
+    a(static_cast<std::size_t>(i), 1) = i;
+    b[static_cast<std::size_t>(i)] = 1.0 + 2.0 * i;
+  }
+  const auto x = qr_least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(LinAlg, QrLeastSquaresMatchesNormalEquations) {
+  Rng rng(77);
+  const std::size_t m = 40;
+  const std::size_t n = 5;
+  Matrix a(m, n);
+  std::vector<double> b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    b[i] = rng.normal();
+  }
+  const auto x_qr = qr_least_squares(a, b);
+  const auto x_ne = ridge_normal_equations(a, b, 0.0);
+  for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(x_qr[j], x_ne[j], 1e-8);
+}
+
+TEST(LinAlg, QrRejectsUnderdetermined) {
+  Matrix a(2, 3);
+  EXPECT_THROW(qr_least_squares(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LinAlg, RidgeShrinksCoefficients) {
+  Rng rng(88);
+  Matrix a(30, 3);
+  std::vector<double> b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.normal();
+    b[i] = 3.0 * a(i, 0) + rng.normal(0.0, 0.1);
+  }
+  const auto ols = ridge_normal_equations(a, b, 0.0);
+  const auto ridge = ridge_normal_equations(a, b, 100.0);
+  EXPECT_LT(std::abs(ridge[0]), std::abs(ols[0]));
+}
+
+TEST(Scaler, StandardizesColumns) {
+  Matrix x{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  // Column means ~0.
+  for (std::size_t j = 0; j < 2; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) m += z(i, j);
+    EXPECT_NEAR(m / 3.0, 0.0, 1e-12);
+  }
+  EXPECT_THROW(StandardScaler().transform(x), std::logic_error);
+}
+
+TEST(Scaler, ConstantColumnPassesThrough) {
+  Matrix x{{5.0}, {5.0}, {5.0}};
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(z(i, 0), 0.0, 1e-12);
+}
+
+TEST(PolyFeatures, CountMatchesBinomial) {
+  EXPECT_EQ(polynomial_feature_count(2, 2), 6u);   // 1,a,b,a2,ab,b2
+  EXPECT_EQ(polynomial_feature_count(3, 2), 10u);
+  EXPECT_EQ(polynomial_feature_count(4, 3), 35u);
+  Matrix x{{2.0, 3.0}};
+  EXPECT_EQ(polynomial_features(x, 2).cols(), 6u);
+}
+
+TEST(PolyFeatures, ValuesIncludeCrossTerms) {
+  Matrix x{{2.0, 3.0}};
+  const Matrix f = polynomial_features(x, 2);
+  // Expansion order: 1, a, a2, ab, b, b2 (prefix-recursive). Verify the set.
+  std::vector<double> vals(f.data());
+  std::sort(vals.begin(), vals.end());
+  const std::vector<double> expected = {1.0, 2.0, 3.0, 4.0, 6.0, 9.0};
+  ASSERT_EQ(vals.size(), expected.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) EXPECT_DOUBLE_EQ(vals[i], expected[i]);
+}
+
+TEST(Regression, LinearRecoversPlane) {
+  Rng rng(101);
+  Matrix x(60, 2);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = rng.uniform(-2.0, 2.0);
+    y[i] = 4.0 - 1.5 * x(i, 0) + 0.75 * x(i, 1);
+  }
+  LinearRegression model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.intercept(), 4.0, 1e-9);
+  EXPECT_NEAR(model.coefficients()[0], -1.5, 1e-9);
+  EXPECT_NEAR(model.coefficients()[1], 0.75, 1e-9);
+  EXPECT_NEAR(r2_score(y, model.predict(x)), 1.0, 1e-12);
+}
+
+TEST(Regression, PolynomialFitsQuadraticExactly) {
+  Rng rng(103);
+  Matrix x(80, 2);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    const double a = rng.uniform(-1.5, 1.5);
+    const double b = rng.uniform(-1.5, 1.5);
+    x(i, 0) = a;
+    x(i, 1) = b;
+    y[i] = 1.0 + 2.0 * a - b + 0.5 * a * a + a * b - 2.0 * b * b;
+  }
+  PolynomialRegression model(2, 1e-10);
+  model.fit(x, y);
+  EXPECT_GT(r2_score(y, model.predict(x)), 0.999999);
+}
+
+TEST(Regression, PolynomialDegreeOneEqualsLinear) {
+  Rng rng(105);
+  Matrix x(40, 1);
+  std::vector<double> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.uniform(0.0, 5.0);
+    y[i] = 2.0 * x(i, 0) + 1.0 + rng.normal(0.0, 0.01);
+  }
+  PolynomialRegression poly(1, 1e-12);
+  LinearRegression linear;
+  poly.fit(x, y);
+  linear.fit(x, y);
+  const auto yp = poly.predict(x);
+  const auto yl = linear.predict(x);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_NEAR(yp[i], yl[i], 1e-6);
+}
+
+TEST(Regression, KnnInterpolatesLocally) {
+  Matrix x(5, 1);
+  std::vector<double> y(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i) * 10.0;
+  }
+  KnnRegression model(1);
+  model.fit(x, y);
+  EXPECT_DOUBLE_EQ(model.predict_one({2.1}), 20.0);
+  EXPECT_DOUBLE_EQ(model.predict_one({3.9}), 40.0);
+}
+
+TEST(Regression, PredictBeforeFitThrows) {
+  Matrix x(1, 1);
+  EXPECT_THROW(RidgeRegression().predict(x), std::logic_error);
+  EXPECT_THROW(KnnRegression().predict(x), std::logic_error);
+}
+
+TEST(Metrics, R2PerfectAndMeanBaseline) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, y), 1.0);
+  const std::vector<double> mean_pred = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r2_score(y, mean_pred), 0.0);
+}
+
+TEST(Metrics, MaeAndRmse) {
+  const std::vector<double> t = {0.0, 0.0};
+  const std::vector<double> p = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(mean_absolute_error(t, p), 3.5);
+  EXPECT_NEAR(rmse(t, p), std::sqrt(12.5), 1e-12);
+}
+
+TEST(CrossValidation, FoldsPartitionData) {
+  Rng rng(107);
+  Matrix x(50, 1);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    y[i] = 3.0 * x(i, 0);
+  }
+  const auto result = k_fold_cross_validate(
+      [] { return std::make_unique<LinearRegression>(); }, x, y, 5);
+  EXPECT_EQ(result.fold_r2.size(), 5u);
+  EXPECT_GT(result.mean_r2, 0.999);
+  EXPECT_EQ(result.model_name, "linear");
+}
+
+TEST(CrossValidation, RejectsBadFoldCount) {
+  Matrix x(3, 1);
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  auto factory = [] { return std::make_unique<LinearRegression>(); };
+  EXPECT_THROW(k_fold_cross_validate(factory, x, y, 1), std::invalid_argument);
+  EXPECT_THROW(k_fold_cross_validate(factory, x, y, 4), std::invalid_argument);
+}
+
+TEST(CrossValidation, SelectBestModelPrefersPolynomialOnQuadraticData) {
+  Rng rng(109);
+  Matrix x(120, 1);
+  std::vector<double> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    y[i] = x(i, 0) * x(i, 0) + rng.normal(0.0, 0.02);
+  }
+  const auto results = select_best_model(
+      {[] { return std::make_unique<LinearRegression>(); },
+       [] { return std::make_unique<PolynomialRegression>(2); }},
+      x, y, 5);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].model_name, "polynomial(d=2)");
+  EXPECT_GT(results[0].mean_r2, results[1].mean_r2);
+}
+
+// Parameterized sweep: polynomial regression reaches near-perfect R2 on
+// matching-degree synthetic data for several degrees.
+class PolyDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyDegreeSweep, FitsOwnDegree) {
+  const int degree = GetParam();
+  Rng rng(200 + static_cast<std::uint64_t>(degree));
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    double v = 0.0;
+    for (int d = 0; d <= degree; ++d) v += std::pow(x(i, 0), d) * (d + 1);
+    y[i] = v;
+  }
+  PolynomialRegression model(degree, 1e-10);
+  model.fit(x, y);
+  EXPECT_GT(r2_score(y, model.predict(x)), 0.99999) << "degree=" << degree;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyDegreeSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace qon::ml

@@ -1,0 +1,248 @@
+// Tests for the multi-objective optimization engine: dominance, fast
+// non-dominated sort, crowding distance, NSGA-II convergence on a known
+// bi-objective problem, and pseudo-weight MCDM selection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/mcdm.hpp"
+#include "moo/nsga2.hpp"
+#include "moo/problem.hpp"
+
+namespace qon::moo {
+namespace {
+
+TEST(Dominance, StrictAndIncomparable) {
+  EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}));
+  EXPECT_TRUE(dominates({1.0, 2.0}, {1.0, 3.0}));
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // incomparable
+  EXPECT_FALSE(dominates({1.0, 1.0}, {1.0, 1.0}));  // equal: not strict
+}
+
+TEST(Dominance, NonDominatedIndices) {
+  const std::vector<std::vector<double>> objs = {
+      {1.0, 5.0}, {2.0, 3.0}, {3.0, 4.0}, {4.0, 1.0}};
+  const auto front = non_dominated_indices(objs);
+  // {3,4} is dominated by {2,3}; the rest are mutually incomparable.
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Sorting, FastNonDominatedSortRanks) {
+  // A total-order chain: each point is dominated by everything better, so
+  // the fronts peel off one at a time: 1.0 < 1.5 < 2.0 < 3.0.
+  const std::vector<std::vector<double>> objs = {
+      {1.0, 1.0},  // rank 0
+      {2.0, 2.0},  // rank 2
+      {3.0, 3.0},  // rank 3
+      {1.5, 1.5},  // rank 1
+  };
+  const auto ranks = fast_non_dominated_sort(objs);
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_EQ(ranks[1], 2u);
+  EXPECT_EQ(ranks[2], 3u);
+  EXPECT_EQ(ranks[3], 1u);
+
+  // Two incomparable points share rank 0.
+  const auto mixed = fast_non_dominated_sort({{1.0, 5.0}, {5.0, 1.0}, {6.0, 6.0}});
+  EXPECT_EQ(mixed[0], 0u);
+  EXPECT_EQ(mixed[1], 0u);
+  EXPECT_EQ(mixed[2], 1u);
+}
+
+TEST(Sorting, CrowdingDistanceBoundariesInfinite) {
+  const std::vector<std::vector<double>> objs = {
+      {0.0, 4.0}, {1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}, {4.0, 0.0}};
+  const std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+  const auto dist = crowding_distance(objs, front);
+  EXPECT_TRUE(std::isinf(dist[0]));
+  EXPECT_TRUE(std::isinf(dist[4]));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(dist[i], 0.0);
+    EXPECT_FALSE(std::isinf(dist[i]));
+  }
+}
+
+// A classic discretized bi-objective: minimize (x^2, (x - K)^2) for integer
+// x in [-50, 150] with K = 100. The Pareto set is x in [0, K].
+class TwoParabolas : public IntegerProblem {
+ public:
+  std::size_t num_variables() const override { return 1; }
+  int lower_bound(std::size_t) const override { return -50; }
+  int upper_bound(std::size_t) const override { return 150; }
+  std::size_t num_objectives() const override { return 2; }
+  void evaluate(const std::vector<int>& genome, std::vector<double>& objectives) const override {
+    const double x = genome[0];
+    objectives.resize(2);
+    objectives[0] = x * x;
+    objectives[1] = (x - 100.0) * (x - 100.0);
+  }
+};
+
+TEST(Nsga2, FindsParetoSetOfTwoParabolas) {
+  TwoParabolas problem;
+  Nsga2Config config;
+  config.population_size = 60;
+  config.max_generations = 80;
+  config.seed = 5;
+  const auto result = nsga2(problem, config);
+  ASSERT_FALSE(result.front.empty());
+  // Every front member must lie in the true Pareto set [0, 100].
+  for (const auto& sol : result.front) {
+    EXPECT_GE(sol.genome[0], 0);
+    EXPECT_LE(sol.genome[0], 100);
+  }
+  // The front should cover a substantial spread of the set.
+  int lo = 200;
+  int hi = -200;
+  for (const auto& sol : result.front) {
+    lo = std::min(lo, sol.genome[0]);
+    hi = std::max(hi, sol.genome[0]);
+  }
+  EXPECT_LT(lo, 25);
+  EXPECT_GT(hi, 75);
+}
+
+TEST(Nsga2, FrontIsMutuallyNonDominated) {
+  TwoParabolas problem;
+  Nsga2Config config;
+  config.seed = 11;
+  const auto result = nsga2(problem, config);
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    for (std::size_t j = 0; j < result.front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(result.front[i].objectives, result.front[j].objectives))
+          << "front member " << i << " dominates " << j;
+    }
+  }
+}
+
+TEST(Nsga2, RespectsEvaluationBudget) {
+  TwoParabolas problem;
+  Nsga2Config config;
+  config.population_size = 20;
+  config.max_generations = 1000;
+  config.max_evaluations = 200;
+  config.tolerance = 0.0;  // disable tolerance termination
+  const auto result = nsga2(problem, config);
+  EXPECT_LE(result.evaluations, 240u);  // budget + at most one extra batch
+}
+
+TEST(Nsga2, ToleranceTerminationStopsEarly) {
+  TwoParabolas problem;
+  Nsga2Config config;
+  config.population_size = 40;
+  config.max_generations = 500;
+  config.tolerance = 0.05;  // generous: should converge well before 500
+  config.tolerance_window = 5;
+  config.seed = 3;
+  const auto result = nsga2(problem, config);
+  EXPECT_TRUE(result.converged_by_tolerance);
+  EXPECT_LT(result.generations, 500u);
+}
+
+TEST(Nsga2, DeterministicForFixedSeed) {
+  TwoParabolas problem;
+  Nsga2Config config;
+  config.seed = 21;
+  const auto a = nsga2(problem, config);
+  const auto b = nsga2(problem, config);
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].genome, b.front[i].genome);
+  }
+}
+
+TEST(Nsga2, ValidatesConfig) {
+  TwoParabolas problem;
+  Nsga2Config config;
+  config.population_size = 2;
+  EXPECT_THROW(nsga2(problem, config), std::invalid_argument);
+}
+
+// Constrained problem: only even genes are feasible; repair() enforces it.
+class EvenOnly : public IntegerProblem {
+ public:
+  std::size_t num_variables() const override { return 3; }
+  int lower_bound(std::size_t) const override { return 0; }
+  int upper_bound(std::size_t) const override { return 10; }
+  std::size_t num_objectives() const override { return 2; }
+  void evaluate(const std::vector<int>& g, std::vector<double>& o) const override {
+    o = {static_cast<double>(g[0] + g[1] + g[2]),
+         30.0 - static_cast<double>(g[0] + g[1] + g[2])};
+  }
+  void repair(std::vector<int>& g) const override {
+    IntegerProblem::repair(g);
+    for (auto& x : g) x -= x % 2;
+  }
+};
+
+TEST(Nsga2, RepairHookIsHonored) {
+  EvenOnly problem;
+  Nsga2Config config;
+  config.seed = 9;
+  const auto result = nsga2(problem, config);
+  for (const auto& sol : result.front) {
+    for (int gene : sol.genome) EXPECT_EQ(gene % 2, 0);
+  }
+}
+
+TEST(Mcdm, PseudoWeightsRowsSumToOne) {
+  const std::vector<std::vector<double>> front = {
+      {0.0, 10.0}, {5.0, 5.0}, {10.0, 0.0}};
+  const auto weights = pseudo_weights(front);
+  ASSERT_EQ(weights.size(), 3u);
+  for (const auto& row : weights) {
+    double sum = 0.0;
+    for (double w : row) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Mcdm, ExtremePreferencesPickExtremeSolutions) {
+  // Objective 0 = JCT, objective 1 = error; both minimized.
+  const std::vector<std::vector<double>> front = {
+      {0.0, 10.0},  // best JCT, worst error
+      {5.0, 5.0},
+      {10.0, 0.0},  // worst JCT, best error
+  };
+  // All weight on objective 0 -> the solution best in objective 0.
+  EXPECT_EQ(select_by_pseudo_weight(front, {1.0, 0.0}), 0u);
+  EXPECT_EQ(select_by_pseudo_weight(front, {0.0, 1.0}), 2u);
+  EXPECT_EQ(select_by_pseudo_weight(front, {0.5, 0.5}), 1u);
+}
+
+TEST(Mcdm, DegenerateFrontFallsBackToUniform) {
+  const std::vector<std::vector<double>> front = {{3.0, 3.0}, {3.0, 3.0}};
+  const auto weights = pseudo_weights(front);
+  EXPECT_NEAR(weights[0][0], 0.5, 1e-12);
+  EXPECT_NO_THROW(select_by_pseudo_weight(front, {0.5, 0.5}));
+}
+
+TEST(Mcdm, ValidatesInput) {
+  EXPECT_THROW(select_by_pseudo_weight(std::vector<std::vector<double>>{}, {0.5, 0.5}),
+               std::invalid_argument);
+  const std::vector<std::vector<double>> front = {{1.0, 2.0}};
+  EXPECT_THROW(select_by_pseudo_weight(front, {1.0}), std::invalid_argument);
+}
+
+// Seed sweep: the scheduler's core engine must behave across seeds.
+class Nsga2SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Nsga2SeedSweep, ParetoMembersStayFeasible) {
+  TwoParabolas problem;
+  Nsga2Config config;
+  config.seed = GetParam();
+  config.max_generations = 40;
+  const auto result = nsga2(problem, config);
+  ASSERT_FALSE(result.front.empty());
+  for (const auto& sol : result.front) {
+    EXPECT_GE(sol.genome[0], problem.lower_bound(0));
+    EXPECT_LE(sol.genome[0], problem.upper_bound(0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Nsga2SeedSweep, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace qon::moo

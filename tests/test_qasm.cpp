@@ -1,0 +1,117 @@
+// Tests for the OpenQASM 2.0 subset parser: round-trips with
+// Circuit::to_qasm() and semantic preservation through the simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/library.hpp"
+#include "circuit/qasm.hpp"
+#include "simulator/metrics.hpp"
+#include "simulator/statevector.hpp"
+
+namespace qon::circuit {
+namespace {
+
+TEST(Qasm, ParsesMinimalProgram) {
+  const auto c = parse_qasm(
+      "OPENQASM 2.0;\n"
+      "include \"qelib1.inc\";\n"
+      "qreg q[2];\n"
+      "creg c[2];\n"
+      "h q[0];\n"
+      "cx q[0], q[1];\n"
+      "measure q[0] -> c[0];\n"
+      "measure q[1] -> c[1];\n");
+  EXPECT_EQ(c.num_qubits(), 2);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gates()[0].kind, GateKind::kH);
+  EXPECT_EQ(c.gates()[1].kind, GateKind::kCX);
+  EXPECT_EQ(c.measurement_count(), 2u);
+}
+
+TEST(Qasm, ParsesPiExpressions) {
+  const auto c = parse_qasm(
+      "qreg q[1];\n"
+      "rz(pi) q[0];\n"
+      "rx(-pi/2) q[0];\n"
+      "ry(0.5*pi) q[0];\n"
+      "rz(2*pi/4) q[0];\n"
+      "rx(1.25) q[0];\n");
+  EXPECT_NEAR(c.gates()[0].param, M_PI, 1e-12);
+  EXPECT_NEAR(c.gates()[1].param, -M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(c.gates()[2].param, M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(c.gates()[3].param, M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(c.gates()[4].param, 1.25, 1e-12);
+}
+
+TEST(Qasm, IgnoresCommentsAndBlankLines) {
+  const auto c = parse_qasm(
+      "// header comment\n"
+      "qreg q[1];\n"
+      "\n"
+      "x q[0]; // flip\n");
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Qasm, MeasureMapsClassicalBits) {
+  const auto c = parse_qasm(
+      "qreg q[2];\n"
+      "measure q[0] -> c[1];\n");
+  EXPECT_EQ(c.gates()[0].qubit(0), 0);
+  EXPECT_EQ(c.gates()[0].qubits[1], 1);
+  EXPECT_EQ(c.num_clbits(), 2);
+}
+
+TEST(Qasm, BarrierAndTwoQubitGates) {
+  const auto c = parse_qasm(
+      "qreg q[3];\n"
+      "swap q[0], q[2];\n"
+      "cz q[1], q[2];\n"
+      "rzz(0.5) q[0], q[1];\n"
+      "barrier q;\n");
+  EXPECT_EQ(c.gates()[0].kind, GateKind::kSwap);
+  EXPECT_EQ(c.gates()[1].kind, GateKind::kCZ);
+  EXPECT_NEAR(c.gates()[2].param, 0.5, 1e-12);
+  EXPECT_EQ(c.gates()[3].kind, GateKind::kBarrier);
+}
+
+TEST(Qasm, ErrorsCarryLineNumbers) {
+  try {
+    parse_qasm("qreg q[2];\nbogus q[0];\n");
+    FAIL() << "expected QasmParseError";
+  } catch (const QasmParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Qasm, RejectsMalformedPrograms) {
+  EXPECT_THROW(parse_qasm("x q[0];\n"), QasmParseError);               // before qreg
+  EXPECT_THROW(parse_qasm("qreg q[1];\nx q[0]\n"), QasmParseError);    // missing ;
+  EXPECT_THROW(parse_qasm("qreg q[1];\ncx q[0];\n"), QasmParseError);  // arity
+  EXPECT_THROW(parse_qasm("qreg q[1];\nh(0.5) q[0];\n"), QasmParseError);  // param
+  EXPECT_THROW(parse_qasm("qreg q[1];\nmeasure q[0];\n"), QasmParseError); // no ->
+  EXPECT_THROW(parse_qasm(""), QasmParseError);                        // empty
+  EXPECT_THROW(parse_qasm("qreg q[0];\n"), QasmParseError);            // empty reg
+}
+
+// Round-trip property: dump -> parse preserves measured semantics for every
+// benchmark family.
+class QasmRoundTrip : public ::testing::TestWithParam<BenchmarkFamily> {};
+
+TEST_P(QasmRoundTrip, PreservesDistribution) {
+  const Circuit original = make_benchmark(GetParam(), 4, 13);
+  const Circuit round = parse_qasm(original.to_qasm());
+  EXPECT_EQ(round.num_qubits(), original.num_qubits());
+  EXPECT_EQ(round.size(), original.size());
+  const auto d1 = sim::ideal_distribution(original);
+  const auto d2 = sim::ideal_distribution(round);
+  EXPECT_GT(sim::hellinger_fidelity(d1, d2), 1.0 - 1e-9)
+      << benchmark_family_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, QasmRoundTrip,
+                         ::testing::ValuesIn(all_benchmark_families()));
+
+}  // namespace
+}  // namespace qon::circuit

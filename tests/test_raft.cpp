@@ -1,0 +1,228 @@
+// Tests for the Raft consensus substrate (§4.1 fault tolerance): leader
+// election, log replication, leader failover, partition behaviour and the
+// replicated KV store that backs the system monitor.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "raft/cluster.hpp"
+#include "raft/kv_store.hpp"
+#include "raft/network.hpp"
+
+namespace qon::raft {
+namespace {
+
+TEST(Network, DeliversWithBoundedDelay) {
+  NetworkConfig config;
+  config.min_delay_ticks = 2;
+  config.max_delay_ticks = 4;
+  SimNetwork net(config);
+  net.send({0, 1, RequestVote{}});
+  std::size_t delivered = 0;
+  for (int t = 0; t < 10; ++t) delivered += net.tick().size();
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(Network, PartitionBlocksBothDirections) {
+  SimNetwork net;
+  net.partition(0, 1);
+  net.send({0, 1, RequestVote{}});
+  net.send({1, 0, RequestVote{}});
+  std::size_t delivered = 0;
+  for (int t = 0; t < 10; ++t) delivered += net.tick().size();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(net.dropped(), 2u);
+  net.heal();
+  net.send({0, 1, RequestVote{}});
+  delivered = 0;
+  for (int t = 0; t < 10; ++t) delivered += net.tick().size();
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(Network, ValidatesConfig) {
+  NetworkConfig bad;
+  bad.min_delay_ticks = 0;
+  EXPECT_THROW(SimNetwork{bad}, std::invalid_argument);
+}
+
+TEST(Cluster, ElectsExactlyOneLeader) {
+  RaftCluster cluster(3);
+  const auto leader = cluster.run_until_leader();
+  ASSERT_TRUE(leader.has_value());
+  // Let the heartbeats settle, then count leaders of the max term.
+  cluster.run(50);
+  std::size_t leaders = 0;
+  Term max_term = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) max_term = std::max(max_term, cluster.node(i).term());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.node(i).role() == Role::kLeader && cluster.node(i).term() == max_term) {
+      ++leaders;
+    }
+  }
+  EXPECT_EQ(leaders, 1u);
+}
+
+TEST(Cluster, RejectsEvenOrTinySizes) {
+  EXPECT_THROW(RaftCluster(2), std::invalid_argument);
+  EXPECT_THROW(RaftCluster(4), std::invalid_argument);
+  EXPECT_THROW(RaftCluster(1), std::invalid_argument);
+}
+
+TEST(Cluster, ReplicatesCommandsToMajority) {
+  RaftCluster cluster(3);
+  ASSERT_TRUE(cluster.propose_and_commit("cmd-1"));
+  ASSERT_TRUE(cluster.propose_and_commit("cmd-2"));
+  cluster.run(100);
+  // All live nodes applied the same sequence.
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    ASSERT_GE(cluster.applied(i).size(), 2u) << "node " << i;
+    EXPECT_EQ(cluster.applied(i)[0], "cmd-1");
+    EXPECT_EQ(cluster.applied(i)[1], "cmd-2");
+  }
+}
+
+TEST(Cluster, FailsOverWhenLeaderCrashes) {
+  RaftCluster cluster(3);
+  const auto first = cluster.run_until_leader();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(cluster.propose_and_commit("before-crash"));
+
+  cluster.node(static_cast<std::size_t>(*first)).crash();
+  // The remaining 2-of-3 quorum elects a new leader via heartbeat timeout.
+  std::optional<NodeId> second;
+  for (int i = 0; i < 3000 && !second; ++i) {
+    cluster.step();
+    const auto l = cluster.leader();
+    if (l && *l != *first) second = l;
+  }
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*second, *first);
+  // The new regime still commits.
+  EXPECT_TRUE(cluster.propose_and_commit("after-crash"));
+}
+
+TEST(Cluster, CrashedMinorityDoesNotBlockCommits) {
+  RaftCluster cluster(5);
+  ASSERT_TRUE(cluster.run_until_leader().has_value());
+  // Crash two non-leader nodes (f = 2 tolerated by 2f+1 = 5).
+  const auto leader = *cluster.leader();
+  int crashed = 0;
+  for (std::size_t i = 0; i < cluster.size() && crashed < 2; ++i) {
+    if (static_cast<NodeId>(i) != leader) {
+      cluster.node(i).crash();
+      ++crashed;
+    }
+  }
+  EXPECT_TRUE(cluster.propose_and_commit("with-minority-down"));
+}
+
+TEST(Cluster, LogsStayConsistentAcrossFailover) {
+  RaftCluster cluster(3);
+  ASSERT_TRUE(cluster.propose_and_commit("a"));
+  const auto first = *cluster.leader();
+  cluster.node(static_cast<std::size_t>(first)).crash();
+  for (int i = 0; i < 2000; ++i) {
+    cluster.step();
+    const auto l = cluster.leader();
+    if (l && *l != first) break;
+  }
+  ASSERT_TRUE(cluster.propose_and_commit("b"));
+  cluster.run(200);
+  // Every live node's applied prefix is ["a", "b"].
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.node(i).crashed()) continue;
+    ASSERT_GE(cluster.applied(i).size(), 2u);
+    EXPECT_EQ(cluster.applied(i)[0], "a");
+    EXPECT_EQ(cluster.applied(i)[1], "b");
+  }
+}
+
+TEST(Cluster, RestartedNodeCatchesUp) {
+  RaftCluster cluster(3);
+  ASSERT_TRUE(cluster.propose_and_commit("x"));
+  const auto leader = *cluster.leader();
+  // Crash a follower, commit more, restart it.
+  const std::size_t follower = static_cast<std::size_t>((leader + 1) % 3);
+  cluster.node(follower).crash();
+  ASSERT_TRUE(cluster.propose_and_commit("y"));
+  cluster.node(follower).restart();
+  cluster.run(400);
+  ASSERT_GE(cluster.applied(follower).size(), 2u);
+  EXPECT_EQ(cluster.applied(follower)[0], "x");
+  EXPECT_EQ(cluster.applied(follower)[1], "y");
+}
+
+TEST(Cluster, TermsAreMonotonic) {
+  RaftCluster cluster(3);
+  cluster.run_until_leader();
+  Term prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    cluster.step();
+    Term max_term = 0;
+    for (std::size_t n = 0; n < cluster.size(); ++n) {
+      max_term = std::max(max_term, cluster.node(n).term());
+    }
+    EXPECT_GE(max_term, prev);
+    prev = max_term;
+  }
+}
+
+TEST(KvStore, SetGetRoundTrip) {
+  ReplicatedKvStore store(3);
+  ASSERT_TRUE(store.set("qpu/mumbai", "queue=12"));
+  const auto value = store.get("qpu/mumbai");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "queue=12");
+  EXPECT_FALSE(store.get("missing").has_value());
+}
+
+TEST(KvStore, OverwriteAndErase) {
+  ReplicatedKvStore store(3);
+  ASSERT_TRUE(store.set("k", "v1"));
+  ASSERT_TRUE(store.set("k", "v2"));
+  EXPECT_EQ(*store.get("k"), "v2");
+  ASSERT_TRUE(store.erase("k"));
+  EXPECT_FALSE(store.get("k").has_value());
+}
+
+TEST(KvStore, ValuesWithSpacesSurviveEncoding) {
+  ReplicatedKvStore store(3);
+  const std::string value = "status=running queue size=5 100%";
+  ASSERT_TRUE(store.set("workflow/1", value));
+  EXPECT_EQ(*store.get("workflow/1"), value);
+}
+
+TEST(KvStore, AllReplicasConverge) {
+  ReplicatedKvStore store(3);
+  ASSERT_TRUE(store.set("a", "1"));
+  ASSERT_TRUE(store.set("b", "2"));
+  store.cluster().run(200);
+  store.materialize();
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(store.get("a", r).value_or(""), "1") << "replica " << r;
+    EXPECT_EQ(store.get("b", r).value_or(""), "2") << "replica " << r;
+    EXPECT_EQ(store.size(r), 2u);
+  }
+}
+
+TEST(KvStore, EncodeDecodeInverse) {
+  const std::string raw = "a b%c\nd";
+  EXPECT_EQ(ReplicatedKvStore::decode(ReplicatedKvStore::encode(raw)), raw);
+}
+
+// Lossy-network sweep: consensus must still make progress under drops.
+class LossyNetworkSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyNetworkSweep, CommitsDespiteDrops) {
+  NetworkConfig net;
+  net.drop_probability = GetParam();
+  RaftCluster cluster(3, RaftConfig{}, net, 123);
+  ASSERT_TRUE(cluster.run_until_leader(5000).has_value());
+  EXPECT_TRUE(cluster.propose_and_commit("lossy", 5000));
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, LossyNetworkSweep, ::testing::Values(0.0, 0.05, 0.15));
+
+}  // namespace
+}  // namespace qon::raft

@@ -1,0 +1,304 @@
+// Tests for basis decomposition (verified unitarily against the simulator),
+// layout, routing legality, scheduling and the full transpile pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/library.hpp"
+#include "qpu/fleet.hpp"
+#include "simulator/metrics.hpp"
+#include "simulator/statevector.hpp"
+#include "transpiler/transpiler.hpp"
+
+namespace qon::transpiler {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+// Computes the full unitary matrix of a circuit (column c = action on basis
+// state |c>), for small widths. Basis states are prepared with X gates.
+std::vector<std::vector<sim::cplx>> circuit_unitary(const Circuit& circ) {
+  const int n = circ.num_qubits();
+  const std::size_t dim = std::size_t{1} << n;
+  std::vector<std::vector<sim::cplx>> u(dim, std::vector<sim::cplx>(dim));
+  for (std::size_t col = 0; col < dim; ++col) {
+    sim::StateVector sv(n);
+    for (int q = 0; q < n; ++q) {
+      if (col & (std::size_t{1} << q)) {
+        sv.apply_unitary_1q(q, sim::gate_unitary_1q(GateKind::kX, 0.0));
+      }
+    }
+    sv.run(circ.without_measurements());
+    for (std::size_t row = 0; row < dim; ++row) u[row][col] = sv.amplitudes()[row];
+  }
+  return u;
+}
+
+// True when U ~ V up to a global phase.
+bool equal_up_to_phase(const std::vector<std::vector<sim::cplx>>& u,
+                       const std::vector<std::vector<sim::cplx>>& v, double tol = 1e-9) {
+  sim::cplx phase(0.0, 0.0);
+  for (std::size_t r = 0; r < u.size() && std::abs(phase) < 0.5; ++r) {
+    for (std::size_t c = 0; c < u.size() && std::abs(phase) < 0.5; ++c) {
+      if (std::abs(u[r][c]) > 0.5) phase = v[r][c] / u[r][c];
+    }
+  }
+  if (std::abs(std::abs(phase) - 1.0) > tol) return false;
+  for (std::size_t r = 0; r < u.size(); ++r) {
+    for (std::size_t c = 0; c < u.size(); ++c) {
+      if (std::abs(u[r][c] * phase - v[r][c]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+qpu::QpuModel falcon_line_model(int width) {
+  qpu::QpuModel model;
+  model.name = "test-line";
+  model.topology = qpu::Topology::line(width);
+  model.basis_gates = qpu::falcon_basis();
+  return model;
+}
+
+// Every single-gate circuit must decompose to a unitarily equivalent
+// basis-only circuit.
+class BasisDecomposition : public ::testing::TestWithParam<circuit::Gate> {};
+
+TEST_P(BasisDecomposition, PreservesUnitary) {
+  const auto gate = GetParam();
+  const int width = gate.arity() == 2 ? 2 : 1;
+  Circuit original(width);
+  original.append(gate);
+  const auto model = falcon_line_model(width);
+  const Circuit lowered = decompose_to_basis(original, model);
+  for (const auto& g : lowered.gates()) {
+    EXPECT_TRUE(model.in_basis(g.kind)) << "non-basis gate survived: " << g.to_string();
+  }
+  EXPECT_TRUE(equal_up_to_phase(circuit_unitary(original), circuit_unitary(lowered)))
+      << "decomposition changed semantics of " << gate.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, BasisDecomposition,
+    ::testing::Values(circuit::Gate{GateKind::kH, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kX, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kY, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kZ, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kS, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kSdg, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kT, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kTdg, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kSX, {0, 0}, 0.0},
+                      circuit::Gate{GateKind::kRX, {0, 0}, 0.7},
+                      circuit::Gate{GateKind::kRX, {0, 0}, -2.1},
+                      circuit::Gate{GateKind::kRY, {0, 0}, 1.3},
+                      circuit::Gate{GateKind::kRY, {0, 0}, -0.4},
+                      circuit::Gate{GateKind::kRZ, {0, 0}, 0.9},
+                      circuit::Gate{GateKind::kCX, {0, 1}, 0.0},
+                      circuit::Gate{GateKind::kCX, {1, 0}, 0.0},
+                      circuit::Gate{GateKind::kCZ, {0, 1}, 0.0},
+                      circuit::Gate{GateKind::kSwap, {0, 1}, 0.0},
+                      circuit::Gate{GateKind::kRZZ, {0, 1}, 1.1}));
+
+TEST(BasisDecompositionWhole, RandomCircuitPreservesDistribution) {
+  for (std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    const Circuit original = circuit::random_circuit(4, 6, seed);
+    const auto model = falcon_line_model(4);
+    // Skip routing here: compare on all-to-all connectivity semantics.
+    qpu::QpuModel full = model;
+    full.topology = qpu::Topology::fully_connected(4);
+    const Circuit lowered = decompose_to_basis(original, full);
+    const auto d1 = sim::ideal_distribution(original);
+    const auto d2 = sim::ideal_distribution(lowered);
+    EXPECT_GT(sim::hellinger_fidelity(d1, d2), 1.0 - 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(MergeRotations, CombinesAndDropsRz) {
+  Circuit c(1);
+  c.rz(0, 0.5);
+  c.rz(0, 0.25);
+  c.sx(0);
+  c.rz(0, 1.0);
+  c.rz(0, -1.0);
+  const Circuit merged = merge_rotations(c);
+  // 0.75 rz, sx, nothing (cancelled).
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.gates()[0].kind, GateKind::kRZ);
+  EXPECT_NEAR(merged.gates()[0].param, 0.75, 1e-12);
+  EXPECT_EQ(merged.gates()[1].kind, GateKind::kSX);
+}
+
+TEST(MergeRotations, DoesNotMergeAcrossBarriers) {
+  Circuit c(1);
+  c.rz(0, 0.5);
+  c.barrier();
+  c.rz(0, 0.5);
+  const Circuit merged = merge_rotations(c);
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST(Layout, TrivialIsIdentity) {
+  const auto l = trivial_layout(4);
+  EXPECT_EQ(l.logical_to_physical, (std::vector<int>{0, 1, 2, 3}));
+  const auto inv = l.physical_to_logical(6);
+  EXPECT_EQ(inv[3], 3);
+  EXPECT_EQ(inv[5], -1);
+}
+
+TEST(Layout, ChoosesConnectedRegion) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 3);
+  const auto& backend = *fleet.backends[0];
+  const Circuit c = circuit::ghz(12, false);
+  const auto layout = choose_layout(c, backend);
+  ASSERT_EQ(layout.logical_to_physical.size(), 12u);
+  // All physical targets distinct and in range.
+  std::set<int> used(layout.logical_to_physical.begin(), layout.logical_to_physical.end());
+  EXPECT_EQ(used.size(), 12u);
+  for (int p : used) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 27);
+  }
+}
+
+TEST(Layout, RejectsOversizedCircuit) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 3);
+  const Circuit c = circuit::ghz(28, false);
+  EXPECT_THROW(choose_layout(c, *fleet.backends[0]), std::invalid_argument);
+}
+
+TEST(Routing, InsertsSwapsForDistantQubits) {
+  const auto topo = qpu::Topology::line(4);
+  Circuit c(4);
+  c.cx(0, 3);
+  const auto result = route(c, topo, trivial_layout(4));
+  EXPECT_GT(result.swaps_inserted, 0u);
+  EXPECT_TRUE(result.circuit.respects_coupling(topo.edges()));
+}
+
+TEST(Routing, AdjacentGateNeedsNoSwap) {
+  const auto topo = qpu::Topology::line(4);
+  Circuit c(4);
+  c.cx(1, 2);
+  const auto result = route(c, topo, trivial_layout(4));
+  EXPECT_EQ(result.swaps_inserted, 0u);
+}
+
+TEST(Routing, TracksFinalLayout) {
+  const auto topo = qpu::Topology::line(3);
+  Circuit c(3);
+  c.cx(0, 2);  // needs one swap on a 3-line
+  const auto result = route(c, topo, trivial_layout(3));
+  // Layout must be a permutation of physical qubits.
+  std::set<int> finals(result.final_layout.begin(), result.final_layout.end());
+  EXPECT_EQ(finals.size(), 3u);
+}
+
+// The heart of the transpiler contract: for any benchmark circuit the
+// transpiled version is basis-only, coupling-legal and (for small circuits)
+// measurement-equivalent to the original.
+class TranspileProperty
+    : public ::testing::TestWithParam<std::tuple<circuit::BenchmarkFamily, int, std::uint64_t>> {};
+
+TEST_P(TranspileProperty, LegalAndSemanticallyEquivalent) {
+  const auto [family, width, seed] = GetParam();
+  const auto fleet = qpu::make_ibm_like_fleet(1, seed + 1);
+  const auto& backend = *fleet.backends[0];
+  const Circuit original = circuit::make_benchmark(family, width, seed);
+  const auto result = transpile(original, backend);
+
+  // 1. Basis-only.
+  for (const auto& g : result.circuit.gates()) {
+    EXPECT_TRUE(backend.model().in_basis(g.kind)) << g.to_string();
+  }
+  // 2. Coupling-legal.
+  EXPECT_TRUE(result.circuit.respects_coupling(backend.topology().edges()));
+  // 3. Schedule sanity.
+  EXPECT_GT(result.schedule.duration, 0.0);
+  // 4. Semantics: ideal measured distribution is preserved (clbits keep
+  //    logical order). Only checked for small circuits.
+  if (width <= 5) {
+    const auto d_orig = sim::ideal_distribution(original);
+    const auto d_phys = [&] {
+      // Simulate only the active region by remapping physical -> compact.
+      std::vector<int> compact_of(static_cast<std::size_t>(result.circuit.num_qubits()), -1);
+      int n_active = 0;
+      for (const auto& g : result.circuit.gates()) {
+        for (int i = 0; i < g.arity(); ++i) {
+          if (compact_of[static_cast<std::size_t>(g.qubit(i))] < 0) {
+            compact_of[static_cast<std::size_t>(g.qubit(i))] = n_active++;
+          }
+        }
+      }
+      Circuit compact(n_active);
+      for (const auto& g : result.circuit.gates()) {
+        circuit::Gate mapped = g;
+        for (int i = 0; i < g.arity(); ++i) {
+          mapped.qubits[static_cast<std::size_t>(i)] =
+              compact_of[static_cast<std::size_t>(g.qubit(i))];
+        }
+        compact.append(mapped);
+      }
+      return sim::ideal_distribution(compact);
+    }();
+    EXPECT_GT(sim::hellinger_fidelity(d_orig, d_phys), 1.0 - 1e-9)
+        << circuit::benchmark_family_name(family) << " width=" << width << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, TranspileProperty,
+    ::testing::Combine(::testing::Values(circuit::BenchmarkFamily::kGhz,
+                                         circuit::BenchmarkFamily::kQft,
+                                         circuit::BenchmarkFamily::kQaoa,
+                                         circuit::BenchmarkFamily::kVqe,
+                                         circuit::BenchmarkFamily::kBv,
+                                         circuit::BenchmarkFamily::kWState,
+                                         circuit::BenchmarkFamily::kRandom),
+                       ::testing::Values(3, 5, 12),
+                       ::testing::Values(2ULL, 17ULL)));
+
+TEST(Schedule, DurationGrowsWithCircuitSize) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 5);
+  const auto& backend = *fleet.backends[0];
+  const auto small = transpile(circuit::ghz(4), backend);
+  const auto large = transpile(circuit::ghz(16), backend);
+  EXPECT_GT(large.schedule.duration, small.schedule.duration);
+}
+
+TEST(Schedule, RzIsFree) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 5);
+  const auto& backend = *fleet.backends[0];
+  Circuit c(backend.num_qubits());
+  c.rz(0, 1.0);
+  const auto sched = asap_schedule(c, backend);
+  EXPECT_DOUBLE_EQ(sched.duration, 0.0);
+}
+
+TEST(Schedule, IdleTimeAccounted) {
+  const auto fleet = qpu::make_ibm_like_fleet(1, 5);
+  const auto& backend = *fleet.backends[0];
+  Circuit c(backend.num_qubits());
+  // Qubit 1 waits while qubit 0 runs two sx gates, then a cx joins them.
+  c.sx(0);
+  c.sx(0);
+  c.sx(1);
+  c.cx(0, 1);
+  const auto sched = asap_schedule(c, backend);
+  EXPECT_GT(sched.qubit_idle[1], 0.0);
+  EXPECT_TRUE(sched.qubit_active[0]);
+  EXPECT_FALSE(sched.qubit_active[5]);
+}
+
+TEST(Schedule, JobRuntimeScalesWithShots) {
+  ScheduleResult s;
+  s.duration = 1e-4;
+  EXPECT_NEAR(job_quantum_runtime(s, 1000), 1000 * (1e-4 + 250e-6), 1e-9);
+  EXPECT_THROW(job_quantum_runtime(s, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qon::transpiler

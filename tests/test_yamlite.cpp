@@ -1,0 +1,146 @@
+// Unit tests for the yamlite YAML-subset parser.
+
+#include <gtest/gtest.h>
+
+#include "yamlite/yamlite.hpp"
+
+namespace qon::yaml {
+namespace {
+
+TEST(Yamlite, ParsesFlatMapping) {
+  const auto doc = parse("name: qaoa\nqubits: 20\nratio: 0.5\nenabled: true\n");
+  EXPECT_EQ(doc.at("name").as_string(), "qaoa");
+  EXPECT_EQ(doc.at("qubits").as_int(), 20);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_double(), 0.5);
+  EXPECT_TRUE(doc.at("enabled").as_bool());
+}
+
+TEST(Yamlite, ParsesNestedMapping) {
+  const auto doc = parse(
+      "resources:\n"
+      "  limits:\n"
+      "    qpu: 1\n"
+      "    qubits: 20\n");
+  EXPECT_EQ(doc.at("resources").at("limits").at("qubits").as_int(), 20);
+}
+
+TEST(Yamlite, ParsesPaperListingOne) {
+  // The deployment configuration from paper Listing 1 (§5), verbatim shape.
+  const std::string text =
+      "spec:\n"
+      "  containers:\n"
+      "  - name: qaoa-error-mitigated\n"
+      "    image: nvidia/cuda:11.0-base\n"
+      "    resources:\n"
+      "      limits:\n"
+      "        nvidia.com/gpu: 1 # Request one GPU\n"
+      "  - name: qaoa-algorithm\n"
+      "    image: qaoa:latest\n"
+      "    resources:\n"
+      "      limits:\n"
+      "        quantum.ibm.com/qpu: 1 # Request one QPU\n"
+      "        qubits: 20 # Request QPU size >= 20\n";
+  const auto doc = parse(text);
+  const auto& containers = doc.at("spec").at("containers");
+  ASSERT_TRUE(containers.is_sequence());
+  ASSERT_EQ(containers.size(), 2u);
+  EXPECT_EQ(containers.items()[0].at("name").as_string(), "qaoa-error-mitigated");
+  EXPECT_EQ(containers.items()[0].at("resources").at("limits").at("nvidia.com/gpu").as_int(), 1);
+  EXPECT_EQ(containers.items()[1].at("resources").at("limits").at("qubits").as_int(), 20);
+}
+
+TEST(Yamlite, ParsesScalarList) {
+  const auto doc = parse("backends:\n  - mumbai\n  - kolkata\n  - cairo\n");
+  const auto& list = doc.at("backends");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.items()[1].as_string(), "kolkata");
+}
+
+TEST(Yamlite, StripsCommentsAndBlankLines) {
+  const auto doc = parse("# header comment\n\na: 1  # trailing\n\n# another\nb: 2\n");
+  EXPECT_EQ(doc.at("a").as_int(), 1);
+  EXPECT_EQ(doc.at("b").as_int(), 2);
+}
+
+TEST(Yamlite, QuotedStringsPreserveHashesAndColons) {
+  const auto doc = parse("msg: \"hello # not a comment\"\nurl: 'http://x'\n");
+  EXPECT_EQ(doc.at("msg").as_string(), "hello # not a comment");
+  EXPECT_EQ(doc.at("url").as_string(), "http://x");
+}
+
+TEST(Yamlite, EmptyDocumentIsNull) {
+  EXPECT_TRUE(parse("").is_null());
+  EXPECT_TRUE(parse("\n  \n# only comments\n").is_null());
+}
+
+TEST(Yamlite, MissingKeyBehaviour) {
+  const auto doc = parse("a: 1\n");
+  EXPECT_THROW(doc.at("b"), std::out_of_range);
+  EXPECT_TRUE(doc.get("b").is_null());
+  EXPECT_EQ(doc.get("b").as_int_or(7), 7);
+  EXPECT_TRUE(doc.has("a"));
+  EXPECT_FALSE(doc.has("b"));
+}
+
+TEST(Yamlite, RejectsTabs) {
+  EXPECT_THROW(parse("a:\n\tb: 1\n"), ParseError);
+}
+
+TEST(Yamlite, RejectsNonMappingLine) {
+  EXPECT_THROW(parse("just a scalar line\n"), ParseError);
+}
+
+TEST(Yamlite, ScalarConversionErrors) {
+  const auto doc = parse("a: hello\n");
+  EXPECT_THROW(doc.at("a").as_int(), std::logic_error);
+  EXPECT_THROW(doc.at("a").as_bool(), std::logic_error);
+  EXPECT_EQ(doc.at("a").as_string_or("x"), "hello");
+}
+
+TEST(Yamlite, NullValueForKeyWithoutBlock) {
+  const auto doc = parse("a:\nb: 2\n");
+  EXPECT_TRUE(doc.at("a").is_null());
+  EXPECT_EQ(doc.at("b").as_int(), 2);
+}
+
+TEST(Yamlite, DumpParseRoundTrip) {
+  const std::string text =
+      "spec:\n"
+      "  containers:\n"
+      "  - name: one\n"
+      "    image: img:1\n"
+      "  - name: two\n"
+      "limits:\n"
+      "  qubits: 12\n";
+  const auto doc = parse(text);
+  const auto round = parse(doc.dump());
+  EXPECT_EQ(round.at("spec").at("containers").size(), 2u);
+  EXPECT_EQ(round.at("spec").at("containers").items()[0].at("image").as_string(), "img:1");
+  EXPECT_EQ(round.at("limits").at("qubits").as_int(), 12);
+}
+
+TEST(Yamlite, ParseErrorCarriesLineNumber) {
+  try {
+    parse("ok: 1\nbroken line\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Yamlite, ProgrammaticConstruction) {
+  Node root;
+  root["alpha"] = Node("1");
+  root["nested"]["beta"] = Node("x");
+  Node list = Node::make_sequence();
+  list.push_back(Node("a"));
+  list.push_back(Node("b"));
+  root["items"] = list;
+  const auto round = parse(root.dump());
+  EXPECT_EQ(round.at("alpha").as_int(), 1);
+  EXPECT_EQ(round.at("nested").at("beta").as_string(), "x");
+  EXPECT_EQ(round.at("items").size(), 2u);
+}
+
+}  // namespace
+}  // namespace qon::yaml
