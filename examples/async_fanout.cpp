@@ -1,0 +1,85 @@
+// Async fan-out: the non-blocking half of the v1 API. A single client
+// submits a batch of workflow runs with invokeAll(), keeps the RunHandles,
+// does other work while the executor pool drains the batch, cancels one
+// run mid-flight, and then collects every result — the job-lifecycle
+// pattern (submit / poll / wait / cancel) that a multi-tenant control
+// plane needs and that the old synchronous invoke() could not express.
+
+#include <iostream>
+
+#include "api/client.hpp"
+#include "circuit/library.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace qon;
+
+  core::QonductorConfig config;
+  config.num_qpus = 4;
+  config.seed = 58;
+  config.executor_threads = 4;  // four runs make progress concurrently
+  api::QonductorClient client(config);
+
+  // --- package and deploy a small mitigated-GHZ workflow ----------------------
+  api::CreateWorkflowRequest create;
+  create.name = "ghz-fanout";
+  create.tasks.push_back(workflow::HybridTask::classical("prepare", 0.2));
+  create.tasks.push_back(workflow::HybridTask::quantum("ghz", circuit::ghz(5), 2000));
+  const auto created = client.createWorkflow(create);
+  if (!created.ok()) {
+    std::cerr << created.status().to_string() << "\n";
+    return 1;
+  }
+  api::DeployRequest deploy_request;
+  deploy_request.image = created->image;
+  if (const auto deployed = client.deploy(deploy_request); !deployed.ok()) {
+    std::cerr << deployed.status().to_string() << "\n";
+    return 1;
+  }
+
+  // --- fan out a batch of runs -------------------------------------------------
+  constexpr std::size_t kRuns = 8;
+  std::vector<api::InvokeRequest> requests(kRuns);
+  for (auto& request : requests) request.image = created->image;
+  const auto batch = client.invokeAll(requests);
+  if (!batch.ok()) {
+    std::cerr << "invokeAll failed: " << batch.status().to_string() << "\n";
+    return 1;
+  }
+  std::cout << kRuns << " runs submitted; invokeAll returned while they execute.\n";
+
+  // The client is free here: poll a snapshot of the in-flight batch...
+  std::size_t terminal = 0;
+  for (const auto& handle : *batch) {
+    if (api::run_status_terminal(handle.poll())) ++terminal;
+  }
+  std::cout << "snapshot right after submit: " << terminal << "/" << kRuns
+            << " runs already terminal\n";
+
+  // ...and cancel one run it no longer needs. Cancellation is cooperative
+  // (takes effect at the next task boundary), so a run that already
+  // finished just reports kCompleted.
+  const auto& victim = (*batch)[kRuns - 1];
+  const bool cancelled = victim.cancel();
+  std::cout << "cancel(run " << victim.id() << ") "
+            << (cancelled ? "requested" : "too late — already terminal") << "\n\n";
+
+  // --- collect -----------------------------------------------------------------
+  TextTable table({"run", "status", "tasks", "makespan [s]", "min fidelity", "cost [$]"});
+  for (const auto& handle : *batch) {
+    const auto report = handle.result();  // waits for this run to settle
+    if (!report.ok()) {
+      std::cerr << report.status().to_string() << "\n";
+      return 1;
+    }
+    table.add_row({std::to_string(report->run), api::run_status_name(report->status),
+                   std::to_string(report->tasks.size()),
+                   TextTable::num(report->makespan_seconds, 2),
+                   report->status == api::RunStatus::kCompleted
+                       ? TextTable::num(report->min_fidelity, 3)
+                       : "-",
+                   TextTable::num(report->total_cost_dollars, 3)});
+  }
+  table.print(std::cout, "fan-out batch results");
+  return 0;
+}

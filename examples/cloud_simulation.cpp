@@ -1,6 +1,11 @@
 // Cloud-operator view: run the discrete-event cloud simulation under all
 // three scheduling policies and compare fleet-level metrics — the §8.3
 // experiment at example scale.
+//
+// This drives the simulator directly rather than the v1 client facade:
+// the cloudsim workload generator stands in for the thousands of tenants
+// that would otherwise reach the control plane through api::QonductorClient
+// (see examples/quickstart.cpp and examples/async_fanout.cpp for that path).
 
 #include <iostream>
 

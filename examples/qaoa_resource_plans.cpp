@@ -1,13 +1,14 @@
 // Resource-plan exploration (§6): ask the resource estimator for costed
 // execution options for a QAOA circuit, inspect the fidelity/runtime/cost
 // tradeoffs, pick the balanced plan, and run the workflow with its
-// mitigation stack — the workflow of a cost-conscious cloud user.
+// mitigation stack — the workflow of a cost-conscious cloud user, driven
+// through the v1 typed client facade.
 
 #include <iostream>
 
+#include "api/client.hpp"
 #include "circuit/library.hpp"
 #include "common/table.hpp"
-#include "core/orchestrator.hpp"
 
 int main() {
   using namespace qon;
@@ -15,16 +16,20 @@ int main() {
   core::QonductorConfig config;
   config.num_qpus = 4;
   config.seed = 21;
-  core::Qonductor qonductor(config);
+  api::QonductorClient client(config);
 
   const auto circ = circuit::qaoa_maxcut(12, 2, 5);
   std::cout << "circuit: " << circ.name() << ", " << circ.num_qubits() << " qubits, depth "
             << circ.depth() << ", " << circ.two_qubit_gate_count() << " two-qubit gates\n\n";
 
   // --- request plans ----------------------------------------------------------
-  const auto plans = qonductor.estimateResources(circ);
+  const auto plans = client.estimateResources(circ);
+  if (!plans.ok()) {
+    std::cerr << "estimateResources failed: " << plans.status().to_string() << "\n";
+    return 1;
+  }
   TextTable table({"plan", "accelerator", "est fidelity", "est runtime [s]", "est cost [$]"});
-  for (const auto& plan : plans.recommended) {
+  for (const auto& plan : plans->recommended) {
     table.add_row({plan.spec.to_string(), mitigation::accelerator_name(plan.accelerator),
                    TextTable::num(plan.est_fidelity, 3),
                    TextTable::num(plan.est_total_seconds, 1),
@@ -33,22 +38,43 @@ int main() {
   table.print(std::cout, "recommended resource plans (fast / balanced / faithful)");
 
   // --- choose the balanced plan (middle recommendation) and execute -----------
-  const auto& chosen = plans.recommended[plans.recommended.size() / 2];
+  const auto& chosen = plans->recommended[plans->recommended.size() / 2];
   std::cout << "\nchosen plan: " << chosen.spec.to_string() << " on "
             << mitigation::accelerator_name(chosen.accelerator) << "\n\n";
 
-  std::vector<workflow::HybridTask> tasks;
+  api::CreateWorkflowRequest create;
+  create.name = "qaoa-planned";
   auto quantum = workflow::HybridTask::quantum("qaoa", circ, 4000, chosen.spec);
   quantum.accelerator = chosen.accelerator;
-  tasks.push_back(std::move(quantum));
+  create.tasks.push_back(std::move(quantum));
   if (!chosen.spec.stack.empty()) {
-    tasks.push_back(workflow::HybridTask::classical(
+    create.tasks.push_back(workflow::HybridTask::classical(
         "post-process", chosen.est_classical_seconds, chosen.accelerator));
   }
-  const auto image = qonductor.createWorkflow("qaoa-planned", std::move(tasks));
-  qonductor.deploy(image);
-  const auto run = qonductor.invoke(image);
-  const auto& result = qonductor.workflowResults(run);
+  const auto created = client.createWorkflow(create);
+  if (!created.ok()) {
+    std::cerr << "createWorkflow failed: " << created.status().to_string() << "\n";
+    return 1;
+  }
+  api::DeployRequest deploy_request;
+  deploy_request.image = created->image;
+  if (const auto deployed = client.deploy(deploy_request); !deployed.ok()) {
+    std::cerr << "deploy failed: " << deployed.status().to_string() << "\n";
+    return 1;
+  }
+  api::InvokeRequest invoke_request;
+  invoke_request.image = created->image;
+  const auto handle = client.invoke(invoke_request);
+  if (!handle.ok()) {
+    std::cerr << "invoke failed: " << handle.status().to_string() << "\n";
+    return 1;
+  }
+  const auto report = handle->result();  // block until the async run finishes
+  if (!report.ok()) {
+    std::cerr << "result failed: " << report.status().to_string() << "\n";
+    return 1;
+  }
+  const auto& result = *report;
 
   TextTable outcome({"metric", "estimated", "measured"});
   outcome.add_row({"fidelity", TextTable::num(chosen.est_fidelity, 3),

@@ -1,38 +1,43 @@
-// Quickstart: the Qonductor user-facing API from Table 2 / Listing 2.
+// Quickstart: the Qonductor user-facing API from Table 2 / Listing 2,
+// through the v1 typed client facade.
 //
 // Builds a hybrid workflow (classical pre-processing, a mitigated QAOA
 // circuit, classical post-processing), packages it as a workflow image,
-// deploys it, invokes it, and reads the results back — exactly the
+// deploys it, invokes it asynchronously, and reads the results back — the
 // createWorkflow / deploy / invoke / workflowResults flow of the paper.
+// Every call returns api::Result<T>: errors are typed Status values
+// (NOT_FOUND, FAILED_PRECONDITION, ...), never exceptions.
 
 #include <iostream>
 
+#include "api/client.hpp"
 #include "circuit/library.hpp"
 #include "common/table.hpp"
-#include "core/orchestrator.hpp"
 
 int main() {
   using namespace qon;
 
-  // An orchestrator over a 4-QPU simulated fleet and a classical node pool.
+  // A client over an orchestrator with a 4-QPU simulated fleet and a
+  // classical node pool.
   core::QonductorConfig config;
   config.num_qpus = 4;
   config.seed = 7;
-  core::Qonductor qonductor(config);
+  api::QonductorClient client(config);
 
   // --- compose the hybrid workflow (cf. Listing 2) --------------------------
   mitigation::MitigationSpec mitigated;
   mitigated.stack = {mitigation::Technique::kRem, mitigation::Technique::kDd};
 
-  std::vector<workflow::HybridTask> tasks;
-  tasks.push_back(workflow::HybridTask::classical("zne-prepare", 0.3));
-  tasks.push_back(workflow::HybridTask::quantum(
+  api::CreateWorkflowRequest create;
+  create.name = "qaoa-quickstart";
+  create.tasks.push_back(workflow::HybridTask::classical("zne-prepare", 0.3));
+  create.tasks.push_back(workflow::HybridTask::quantum(
       "qaoa-maxcut", circuit::qaoa_maxcut(6, 1, 42), 4000, mitigated));
-  tasks.push_back(workflow::HybridTask::classical("rem-inference", 0.5,
-                                                  mitigation::Accelerator::kGpu));
+  create.tasks.push_back(workflow::HybridTask::classical("rem-inference", 0.5,
+                                                         mitigation::Accelerator::kGpu));
 
   // Deployment configuration in the paper's Listing-1 YAML shape.
-  const std::string deployment =
+  create.yaml_config =
       "spec:\n"
       "  containers:\n"
       "  - name: qaoa-error-mitigated\n"
@@ -46,15 +51,39 @@ int main() {
       "        qubits: 6\n";
 
   // --- create -> deploy -> invoke -> results ---------------------------------
-  const auto image = qonductor.createWorkflow("qaoa-quickstart", std::move(tasks), deployment);
-  qonductor.deploy(image);
-  const auto run = qonductor.invoke(image);
-
-  while (qonductor.workflowStatus(run) != core::WorkflowStatus::kCompleted) {
-    // In this simulated deployment invoke() is synchronous, so this loop
-    // (the Listing-2 polling idiom) exits immediately.
+  const auto created = client.createWorkflow(create);
+  if (!created.ok()) {
+    std::cerr << "createWorkflow failed: " << created.status().to_string() << "\n";
+    return 1;
   }
-  const auto& result = qonductor.workflowResults(run);
+
+  api::DeployRequest deploy_request;
+  deploy_request.image = created->image;
+  if (const auto deployed = client.deploy(deploy_request); !deployed.ok()) {
+    std::cerr << "deploy failed: " << deployed.status().to_string() << "\n";
+    return 1;
+  }
+
+  // invoke() is non-blocking: it hands back a RunHandle while the workflow
+  // DAG executes on the orchestrator's executor pool. A client can submit
+  // more work, poll, or attach a deadline — here we just wait.
+  api::InvokeRequest invoke_request;
+  invoke_request.image = created->image;
+  const auto handle = client.invoke(invoke_request);
+  if (!handle.ok()) {
+    std::cerr << "invoke failed: " << handle.status().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "run " << handle->id() << " submitted, status '"
+            << api::run_status_name(handle->poll()) << "'; waiting...\n\n";
+  handle->wait();
+
+  const auto report = handle->result();
+  if (!report.ok()) {
+    std::cerr << "result failed: " << report.status().to_string() << "\n";
+    return 1;
+  }
+  const api::WorkflowResult& result = *report;
 
   TextTable table({"task", "kind", "resource", "start [s]", "end [s]", "fidelity", "cost [$]"});
   for (const auto& task : result.tasks) {
@@ -64,9 +93,9 @@ int main() {
                                                              : "-",
                    TextTable::num(task.cost_dollars, 3)});
   }
-  table.print(std::cout, "workflow run " + std::to_string(run));
+  table.print(std::cout, "workflow run " + std::to_string(result.run));
 
-  std::cout << "status:      " << core::workflow_status_name(result.status) << "\n";
+  std::cout << "status:      " << api::run_status_name(result.status) << "\n";
   std::cout << "makespan:    " << TextTable::num(result.makespan_seconds, 2) << " s\n";
   std::cout << "total cost:  $" << TextTable::num(result.total_cost_dollars, 3) << "\n";
   std::cout << "min fidelity " << TextTable::num(result.min_fidelity, 3) << "\n";

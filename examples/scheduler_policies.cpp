@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "api/client.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "sched/baselines.hpp"
@@ -92,6 +93,26 @@ int main() {
   const auto [jct_l, fid_l] = evaluate(input, least_busy);
   baselines.add_row({"least-busy", TextTable::num(jct_l, 1), TextTable::num(fid_l, 3)});
   baselines.print(std::cout, "policy comparison on the same queue");
+
+  // --- the same cycle over the typed control-plane facade -------------------------
+  // Tenants don't call schedule_cycle() directly: generateSchedule is a
+  // Table-2 control-plane operation, exposed (typed, non-throwing) on the
+  // v1 client. The orchestrator applies its own configured MCDM weights.
+  {
+    core::QonductorConfig qonductor_config;
+    qonductor_config.fidelity_weight = 0.5;
+    qonductor_config.num_qpus = 2;  // scheduling input below carries its own QPUs
+    api::QonductorClient client(qonductor_config);
+    const auto via_api = client.generateSchedule(input);
+    if (!via_api.ok()) {
+      std::cerr << "generateSchedule failed: " << via_api.status().to_string() << "\n";
+      return 1;
+    }
+    const auto [jct_api, fid_api] = evaluate(input, via_api->assignment);
+    std::cout << "\nvia api::QonductorClient v" << api::QonductorClient::version()
+              << " generateSchedule: mean JCT " << TextTable::num(jct_api, 1)
+              << " s, mean fidelity " << TextTable::num(fid_api, 3) << "\n";
+  }
 
   std::cout << "\nstage timings: preprocess "
             << TextTable::num(decision.preprocess_seconds * 1e3, 2) << " ms, optimize "

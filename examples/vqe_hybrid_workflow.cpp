@@ -7,10 +7,10 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/client.hpp"
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
-#include "core/orchestrator.hpp"
 
 namespace {
 
@@ -50,7 +50,7 @@ int main() {
   core::QonductorConfig config;
   config.num_qpus = 3;
   config.seed = 33;
-  core::Qonductor qonductor(config);
+  api::QonductorClient client(config);
   Rng rng(9);
 
   std::vector<double> theta(2 * n);
@@ -64,14 +64,36 @@ int main() {
     std::vector<double> trial = best_theta;
     for (auto& t : trial) t += rng.normal(0.0, 0.25);
 
-    // Quantum step through the orchestrator.
-    const auto image = qonductor.createWorkflow(
-        "vqe-iter-" + std::to_string(iter),
-        {workflow::HybridTask::quantum("ansatz", ansatz(trial, n), 4000)});
-    qonductor.deploy(image);
-    const auto run = qonductor.invoke(image);
-    const auto& result = qonductor.workflowResults(run);
-    const auto& task = result.tasks[0];
+    // Quantum step through the typed client facade. The optimizer needs
+    // this iteration's counts before proposing the next point, so the
+    // async handle is waited on immediately.
+    api::CreateWorkflowRequest create;
+    create.name = "vqe-iter-" + std::to_string(iter);
+    create.tasks.push_back(workflow::HybridTask::quantum("ansatz", ansatz(trial, n), 4000));
+    const auto created = client.createWorkflow(create);
+    if (!created.ok()) {
+      std::cerr << created.status().to_string() << "\n";
+      return 1;
+    }
+    api::DeployRequest deploy_request;
+    deploy_request.image = created->image;
+    if (const auto deployed = client.deploy(deploy_request); !deployed.ok()) {
+      std::cerr << deployed.status().to_string() << "\n";
+      return 1;
+    }
+    api::InvokeRequest invoke_request;
+    invoke_request.image = created->image;
+    const auto handle = client.invoke(invoke_request);
+    if (!handle.ok()) {
+      std::cerr << handle.status().to_string() << "\n";
+      return 1;
+    }
+    const auto report = handle->result();  // waits for the run to finish
+    if (!report.ok()) {
+      std::cerr << report.status().to_string() << "\n";
+      return 1;
+    }
+    const auto& task = report->tasks[0];
     const double energy = ising_energy(task.counts, n);
 
     const bool accept = energy < best_energy;

@@ -1,0 +1,104 @@
+#include "api/client.hpp"
+
+namespace qon::api {
+
+QonductorClient::QonductorClient(core::QonductorConfig config)
+    : owned_(std::make_unique<core::Qonductor>(std::move(config))), backend_(owned_.get()) {}
+
+QonductorClient::QonductorClient(core::Qonductor& backend) : backend_(&backend) {}
+
+Status QonductorClient::check_version(std::uint32_t requested, const char* method) const {
+  if (requested == kApiVersion) return Status::Ok();
+  return Unimplemented(std::string(method) + ": request api_version " +
+                       std::to_string(requested) + " not supported (this build speaks v" +
+                       std::to_string(kApiVersion) + ")");
+}
+
+Result<CreateWorkflowResponse> QonductorClient::createWorkflow(CreateWorkflowRequest request) {
+  if (Status v = check_version(request.api_version, "createWorkflow"); !v.ok()) return v;
+  try {
+    return backend_->createWorkflow(std::move(request));
+  } catch (const std::exception& e) {
+    return Internal(std::string("createWorkflow: ") + e.what());
+  }
+}
+
+Result<DeployResponse> QonductorClient::deploy(const DeployRequest& request) {
+  if (Status v = check_version(request.api_version, "deploy"); !v.ok()) return v;
+  try {
+    return backend_->deploy(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("deploy: ") + e.what());
+  }
+}
+
+Result<RunHandle> QonductorClient::invoke(const InvokeRequest& request) {
+  if (Status v = check_version(request.api_version, "invoke"); !v.ok()) return v;
+  try {
+    return backend_->invoke(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("invoke: ") + e.what());
+  }
+}
+
+Result<std::vector<RunHandle>> QonductorClient::invokeAll(
+    const std::vector<InvokeRequest>& requests) {
+  for (const auto& request : requests) {
+    if (Status v = check_version(request.api_version, "invokeAll"); !v.ok()) return v;
+  }
+  try {
+    return backend_->invokeAll(requests);
+  } catch (const std::exception& e) {
+    return Internal(std::string("invokeAll: ") + e.what());
+  }
+}
+
+Result<WorkflowStatusResponse> QonductorClient::workflowStatus(
+    const WorkflowStatusRequest& request) const {
+  if (Status v = check_version(request.api_version, "workflowStatus"); !v.ok()) return v;
+  try {
+    return backend_->workflowStatus(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("workflowStatus: ") + e.what());
+  }
+}
+
+Result<WorkflowResultsResponse> QonductorClient::workflowResults(
+    const WorkflowResultsRequest& request) const {
+  if (Status v = check_version(request.api_version, "workflowResults"); !v.ok()) return v;
+  try {
+    return backend_->workflowResults(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("workflowResults: ") + e.what());
+  }
+}
+
+Result<ListImagesResponse> QonductorClient::listImages(const ListImagesRequest& request) const {
+  if (Status v = check_version(request.api_version, "listImages"); !v.ok()) return v;
+  try {
+    ListImagesResponse response;
+    response.images = backend_->listImages();
+    return response;
+  } catch (const std::exception& e) {
+    return Internal(std::string("listImages: ") + e.what());
+  }
+}
+
+Result<estimator::PlanSet> QonductorClient::estimateResources(const circuit::Circuit& circ) const {
+  try {
+    return backend_->estimateResources(circ);
+  } catch (const std::exception& e) {
+    return Internal(std::string("estimateResources: ") + e.what());
+  }
+}
+
+Result<sched::ScheduleDecision> QonductorClient::generateSchedule(
+    const sched::SchedulingInput& input) const {
+  try {
+    return backend_->generateSchedule(input);
+  } catch (const std::exception& e) {
+    return Internal(std::string("generateSchedule: ") + e.what());
+  }
+}
+
+}  // namespace qon::api

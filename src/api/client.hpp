@@ -1,0 +1,61 @@
+#pragma once
+// Versioned client facade over the orchestrator — the surface a remote SDK
+// would bind to. Every call (1) checks the request's api_version against
+// what this build speaks (kUnimplemented on mismatch, instead of silently
+// misreading fields) and (2) guarantees that no exception escapes: stray
+// throws from lower layers surface as StatusCode::kInternal.
+//
+//   api::QonductorClient client(config);
+//   auto image = client.createWorkflow({.name = "qaoa", .tasks = ...});
+//   client.deploy({.image = image->image});
+//   auto handle = client.invoke({.image = image->image});
+//   handle->wait();
+
+#include <memory>
+#include <vector>
+
+#include "api/result.hpp"
+#include "api/run_handle.hpp"
+#include "api/types.hpp"
+#include "core/orchestrator.hpp"
+
+namespace qon::api {
+
+class QonductorClient {
+ public:
+  /// Stands up an orchestrator owned by the client.
+  explicit QonductorClient(core::QonductorConfig config = {});
+  /// Wraps an existing orchestrator (non-owning); `backend` must outlive
+  /// the client.
+  explicit QonductorClient(core::Qonductor& backend);
+
+  /// The API version this client speaks.
+  static constexpr std::uint32_t version() { return kApiVersion; }
+
+  // -- Table 2 user-facing API --------------------------------------------------
+  /// Taken by value: pass an rvalue to hand the task circuits over without
+  /// a deep copy.
+  Result<CreateWorkflowResponse> createWorkflow(CreateWorkflowRequest request);
+  Result<DeployResponse> deploy(const DeployRequest& request);
+  Result<RunHandle> invoke(const InvokeRequest& request);
+  Result<std::vector<RunHandle>> invokeAll(const std::vector<InvokeRequest>& requests);
+  Result<WorkflowStatusResponse> workflowStatus(const WorkflowStatusRequest& request) const;
+  Result<WorkflowResultsResponse> workflowResults(const WorkflowResultsRequest& request) const;
+  Result<ListImagesResponse> listImages(const ListImagesRequest& request = {}) const;
+
+  // -- control-plane passthroughs (typed, non-throwing) -------------------------
+  Result<estimator::PlanSet> estimateResources(const circuit::Circuit& circ) const;
+  Result<sched::ScheduleDecision> generateSchedule(const sched::SchedulingInput& input) const;
+
+  /// Escape hatch to the wrapped orchestrator (introspection, monitor).
+  core::Qonductor& backend() { return *backend_; }
+  const core::Qonductor& backend() const { return *backend_; }
+
+ private:
+  Status check_version(std::uint32_t requested, const char* method) const;
+
+  std::unique_ptr<core::Qonductor> owned_;  ///< set iff constructed from config
+  core::Qonductor* backend_;
+};
+
+}  // namespace qon::api

@@ -1,0 +1,58 @@
+#pragma once
+// Expected-style Result<T>: either a value or a non-OK Status. The
+// error-return half of the typed API boundary (status.hpp has the codes).
+//
+//   api::Result<RunHandle> handle = qonductor.invoke(request);
+//   if (!handle.ok()) { log(handle.status().to_string()); return; }
+//   handle->wait();
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "api/status.hpp"
+
+namespace qon::api {
+
+template <typename T>
+class Result {
+ public:
+  /// Success. Implicit so functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Failure. Implicit so functions can `return NotFound(...);`.
+  /// A status that is OK but carries no value is a logic error and is
+  /// normalized to kInternal.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) status_ = Internal("Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value access requires ok(); violating that aborts (the API layer never
+  /// throws, and silently fabricating a value would hide the error).
+  T& value() & { check(); return *value_; }
+  const T& value() const& { check(); return *value_; }
+  T&& value() && { check(); return *std::move(value_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  void check() const {
+    if (!ok()) std::abort();  // accessing value() of an error Result
+  }
+
+  std::optional<T> value_;
+  Status status_;  ///< OK iff value_ is set
+};
+
+}  // namespace qon::api

@@ -1,0 +1,45 @@
+#include "api/run_handle.hpp"
+
+namespace qon::api {
+
+RunStatus RunHandle::poll() const {
+  if (!state_) return RunStatus::kFailed;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->status;
+}
+
+RunStatus RunHandle::wait() const {
+  if (!state_) return RunStatus::kFailed;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return run_status_terminal(state_->status); });
+  return state_->status;
+}
+
+Result<RunStatus> RunHandle::wait_for(std::chrono::milliseconds timeout) const {
+  if (!state_) return NotFound("wait_for: empty run handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  const bool done = state_->cv.wait_for(
+      lock, timeout, [this] { return run_status_terminal(state_->status); });
+  if (!done) {
+    return DeadlineExceeded("run " + std::to_string(state_->id) +
+                            " still in flight after timeout");
+  }
+  return state_->status;
+}
+
+bool RunHandle::cancel() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (run_status_terminal(state_->status)) return false;
+  state_->cancel_requested = true;
+  return true;
+}
+
+Result<WorkflowResult> RunHandle::result() const {
+  if (!state_) return NotFound("result: empty run handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return run_status_terminal(state_->status); });
+  return state_->result;
+}
+
+}  // namespace qon::api

@@ -1,0 +1,72 @@
+#pragma once
+// Client-side handle for an in-flight workflow run. invoke() returns a
+// RunHandle immediately; the DAG executes on the orchestrator's executor
+// pool. Handles are cheap to copy (a shared_ptr to the run record) and
+// stay valid after the orchestrator retires — queries keep answering from
+// the shared record.
+//
+//   auto handle = *qonductor.invoke({.image = image});
+//   while (!run_status_terminal(handle.poll())) do_other_work();
+//   auto result = handle.result();
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "api/result.hpp"
+#include "api/types.hpp"
+
+namespace qon::api {
+
+/// Shared record of one run, written by the orchestrator's executor and
+/// read by any number of handles. All fields are guarded by `mutex`; `cv`
+/// is notified on every status transition.
+struct RunState {
+  RunId id = 0;
+  workflow::ImageId image = 0;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  RunStatus status = RunStatus::kPending;
+  bool cancel_requested = false;
+  WorkflowResult result;  ///< stable once `status` is terminal
+};
+
+class RunHandle {
+ public:
+  /// An empty handle: valid() is false, poll()/wait() report kFailed
+  /// (there is no run to observe), and Result-returning queries
+  /// (wait_for, result) return kNotFound.
+  RunHandle() = default;
+  explicit RunHandle(std::shared_ptr<RunState> state) : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  RunId id() const { return state_ ? state_->id : 0; }
+  workflow::ImageId image() const { return state_ ? state_->image : 0; }
+
+  /// Non-blocking status snapshot.
+  RunStatus poll() const;
+
+  /// Blocks until the run reaches a terminal state and returns it.
+  RunStatus wait() const;
+
+  /// wait() with a deadline; kDeadlineExceeded when the run is still in
+  /// flight after `timeout`.
+  Result<RunStatus> wait_for(std::chrono::milliseconds timeout) const;
+
+  /// Requests cooperative cancellation: the executor stops before the next
+  /// task boundary and the run ends kCancelled. Returns false when the run
+  /// had already reached a terminal state (nothing to cancel).
+  bool cancel() const;
+
+  /// Blocks until terminal, then returns the execution report. The report
+  /// of a failed/cancelled run is still a value — its `status` and `error`
+  /// fields say what happened. Only an empty handle is an error (kNotFound).
+  Result<WorkflowResult> result() const;
+
+ private:
+  std::shared_ptr<RunState> state_;
+};
+
+}  // namespace qon::api

@@ -1,0 +1,64 @@
+#pragma once
+// Typed error layer of the user-facing API: a canonical status-code space
+// (gRPC-style) plus a Status value carrying code + human-readable message.
+// No exception crosses the qon::api boundary — every fallible operation
+// returns a Status or a Result<T> (result.hpp).
+
+#include <string>
+
+namespace qon::api {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed request (empty workflow, bad config)
+  kNotFound,            ///< unknown image / run id
+  kAlreadyExists,       ///< e.g. deploying an image twice
+  kFailedPrecondition,  ///< e.g. invoking an image that was never deployed
+  kResourceExhausted,   ///< no QPU / classical node can host the task
+  kCancelled,           ///< run cancelled by the client
+  kDeadlineExceeded,    ///< wait_for() timed out
+  kUnavailable,         ///< result not ready yet (non-blocking query)
+  kUnimplemented,       ///< request from an unsupported API version
+  kInternal,            ///< execution failure inside the data plane
+};
+
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "FAILED_PRECONDITION: image 3 is not deployed" (or "OK").
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Canonical constructors, one per non-OK code.
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status ResourceExhausted(std::string message);
+Status Cancelled(std::string message);
+Status DeadlineExceeded(std::string message);
+Status Unavailable(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+
+}  // namespace qon::api

@@ -1,0 +1,16 @@
+#include "api/types.hpp"
+
+namespace qon::api {
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kPending: return "pending";
+    case RunStatus::kRunning: return "running";
+    case RunStatus::kCompleted: return "completed";
+    case RunStatus::kFailed: return "failed";
+    case RunStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace qon::api

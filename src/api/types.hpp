@@ -1,0 +1,120 @@
+#pragma once
+// Versioned wire-facing types of the Table-2 control-plane API. Every
+// request struct carries `api_version` so the surface can evolve without
+// breaking callers: the client facade rejects versions it does not speak
+// (kUnimplemented) instead of silently misinterpreting fields.
+//
+// The run lifecycle (RunStatus) and the execution report (WorkflowResult)
+// live here too — they are part of the public surface, and qon::core
+// aliases them for the orchestrator internals.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "simulator/statevector.hpp"
+#include "workflow/registry.hpp"
+#include "workflow/task.hpp"
+
+namespace qon::api {
+
+/// The API version this library speaks. Bump on incompatible changes to the
+/// request/response structs below; the client facade refuses newer versions.
+inline constexpr std::uint32_t kApiVersion = 1;
+
+using RunId = std::uint64_t;
+
+/// Lifecycle of an invoked workflow run. Terminal states are kCompleted,
+/// kFailed and kCancelled; RunHandle::wait() blocks until one is reached.
+enum class RunStatus { kPending, kRunning, kCompleted, kFailed, kCancelled };
+
+const char* run_status_name(RunStatus status);
+
+inline bool run_status_terminal(RunStatus status) {
+  return status == RunStatus::kCompleted || status == RunStatus::kFailed ||
+         status == RunStatus::kCancelled;
+}
+
+/// Per-task execution record in a finished workflow run.
+struct TaskResult {
+  std::string name;
+  workflow::TaskKind kind = workflow::TaskKind::kClassical;
+  std::string resource;  ///< QPU or classical node name
+  double start = 0.0;
+  double end = 0.0;
+  double fidelity = 0.0;  ///< quantum tasks only
+  double cost_dollars = 0.0;
+  sim::Counts counts;  ///< populated for small quantum tasks
+};
+
+/// Execution report for one run. `error` is non-OK iff status is kFailed
+/// or kCancelled.
+struct WorkflowResult {
+  RunId run = 0;
+  RunStatus status = RunStatus::kPending;
+  std::vector<TaskResult> tasks;
+  double makespan_seconds = 0.0;
+  double total_cost_dollars = 0.0;
+  double min_fidelity = 1.0;  ///< the binding fidelity across quantum tasks
+  Status error;               ///< why the run failed / was cancelled
+};
+
+// ---- requests / responses ----------------------------------------------------
+
+struct CreateWorkflowRequest {
+  std::uint32_t api_version = kApiVersion;
+  std::string name;
+  std::vector<workflow::HybridTask> tasks;
+  std::string yaml_config;  ///< Listing-1 deployment configuration, optional
+};
+
+struct CreateWorkflowResponse {
+  workflow::ImageId image = 0;
+};
+
+struct DeployRequest {
+  std::uint32_t api_version = kApiVersion;
+  workflow::ImageId image = 0;
+};
+
+struct DeployResponse {
+  workflow::ImageId image = 0;
+};
+
+struct InvokeRequest {
+  std::uint32_t api_version = kApiVersion;
+  workflow::ImageId image = 0;
+};
+
+struct WorkflowStatusRequest {
+  std::uint32_t api_version = kApiVersion;
+  RunId run = 0;
+};
+
+struct WorkflowStatusResponse {
+  RunId run = 0;
+  RunStatus status = RunStatus::kPending;
+};
+
+struct WorkflowResultsRequest {
+  std::uint32_t api_version = kApiVersion;
+  RunId run = 0;
+  /// Block until the run reaches a terminal state. When false and the run
+  /// is still in flight, workflowResults() returns kUnavailable.
+  bool wait = true;
+};
+
+struct WorkflowResultsResponse {
+  WorkflowResult result;
+};
+
+struct ListImagesRequest {
+  std::uint32_t api_version = kApiVersion;
+};
+
+struct ListImagesResponse {
+  std::vector<workflow::ImageId> images;
+};
+
+}  // namespace qon::api

@@ -14,12 +14,14 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace qon {
 
-/// Fixed-size thread pool. Tasks are std::function<void()>; submit() returns
-/// a future for completion/exception propagation.
+/// Fixed-size thread pool. submit() accepts any nullary callable and
+/// returns a std::future of its result type for value/exception
+/// propagation.
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
@@ -31,11 +33,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; the returned future rethrows any task exception.
+  /// Enqueues a task; the returned future yields the task's return value
+  /// and rethrows any task exception.
   template <typename F>
-  std::future<void> submit(F&& f) {
-    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
-    std::future<void> fut = task->get_future();
+  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& f) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown");

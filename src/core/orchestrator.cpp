@@ -10,13 +10,7 @@
 namespace qon::core {
 
 const char* workflow_status_name(WorkflowStatus status) {
-  switch (status) {
-    case WorkflowStatus::kPending: return "pending";
-    case WorkflowStatus::kRunning: return "running";
-    case WorkflowStatus::kCompleted: return "completed";
-    case WorkflowStatus::kFailed: return "failed";
-  }
-  return "?";
+  return api::run_status_name(status);
 }
 
 Qonductor::Qonductor(QonductorConfig config)
@@ -27,11 +21,17 @@ Qonductor::Qonductor(QonductorConfig config)
       nodes_(sched::make_node_pool(config.classical_standard_nodes,
                                    config.classical_highend_nodes,
                                    config.classical_fpga_nodes)),
-      monitor_(config.replicated_monitor) {
+      monitor_(config.replicated_monitor),
+      executor_(std::make_unique<ThreadPool>(
+          std::max<std::size_t>(1, config.executor_threads))) {
   templates_ = fleet_.template_backends();
   qpu_available_at_.assign(fleet_.backends.size(), 0.0);
   publish_fleet_state();
 }
+
+// Default: executor_ is declared last, so it is destroyed first and drains
+// in-flight runs while every other member is still alive.
+Qonductor::~Qonductor() = default;
 
 void Qonductor::publish_fleet_state() {
   for (std::size_t q = 0; q < fleet_.backends.size(); ++q) {
@@ -46,32 +46,232 @@ void Qonductor::publish_fleet_state() {
   }
 }
 
-workflow::ImageId Qonductor::createWorkflow(const std::string& name,
-                                            std::vector<workflow::HybridTask> tasks,
-                                            const std::string& yaml_config) {
-  if (tasks.empty()) throw std::invalid_argument("createWorkflow: no tasks");
-  yaml::Node config = yaml_config.empty() ? yaml::Node() : yaml::parse(yaml_config);
-  return registry_.register_image(name, workflow::chain_workflow(std::move(tasks)),
-                                  std::move(config));
+// ---- v1 request/response surface ---------------------------------------------
+
+api::Result<api::CreateWorkflowResponse> Qonductor::createWorkflow(
+    api::CreateWorkflowRequest request) {
+  if (request.tasks.empty()) {
+    return api::InvalidArgument("createWorkflow: workflow has no tasks");
+  }
+  yaml::Node config;
+  if (!request.yaml_config.empty()) {
+    try {
+      config = yaml::parse(request.yaml_config);
+    } catch (const std::exception& e) {
+      return api::InvalidArgument(std::string("createWorkflow: bad deployment config: ") +
+                                  e.what());
+    }
+  }
+  api::CreateWorkflowResponse response;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    response.image = registry_.register_image(
+        std::move(request.name), workflow::chain_workflow(std::move(request.tasks)),
+        std::move(config));
+  }
+  return response;
 }
 
-workflow::ImageId Qonductor::deploy(workflow::ImageId image) {
-  const auto& img = registry_.get(image);  // throws on unknown image
+api::Result<api::DeployResponse> Qonductor::deploy(const api::DeployRequest& request) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const workflow::WorkflowImage* img = registry_.find(request.image);
+  if (img == nullptr) {
+    return api::NotFound("deploy: unknown image " + std::to_string(request.image));
+  }
+  const auto it = deployed_.find(request.image);
+  if (it != deployed_.end() && it->second) {
+    return api::AlreadyExists("deploy: image " + std::to_string(request.image) +
+                              " is already deployed");
+  }
   // Validate quantum tasks against the fleet (client QPU-size constraints).
-  for (workflow::TaskId t = 0; t < img.dag.size(); ++t) {
-    const auto& task = img.dag.task(t);
+  for (workflow::TaskId t = 0; t < img->dag.size(); ++t) {
+    const auto& task = img->dag.task(t);
     if (task.kind != workflow::TaskKind::kQuantum) continue;
     bool fits = false;
     for (const auto& backend : fleet_.backends) {
       if (task.circ.num_qubits() <= backend->num_qubits()) fits = true;
     }
     if (!fits) {
-      throw std::invalid_argument("deploy: task '" + task.name + "' fits no QPU");
+      return api::ResourceExhausted("deploy: task '" + task.name + "' fits no QPU");
     }
   }
-  deployed_[image] = true;
-  return image;
+  deployed_[request.image] = true;
+  api::DeployResponse response;
+  response.image = request.image;
+  return response;
 }
+
+api::Status Qonductor::validate_invoke(const api::InvokeRequest& request,
+                                       const workflow::WorkflowImage** image_out) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const workflow::WorkflowImage* img = registry_.find(request.image);
+  if (img == nullptr) {
+    return api::NotFound("invoke: unknown image " + std::to_string(request.image));
+  }
+  const auto it = deployed_.find(request.image);
+  if (it == deployed_.end() || !it->second) {
+    return api::FailedPrecondition("invoke: image " + std::to_string(request.image) +
+                                   " is not deployed");
+  }
+  *image_out = img;  // registry is append-only: the pointer stays valid
+  return api::Status::Ok();
+}
+
+std::shared_ptr<api::RunState> Qonductor::start_run(const workflow::WorkflowImage* image) {
+  auto state = std::make_shared<api::RunState>();
+  state->image = image->id;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    state->id = next_run_++;
+    runs_[state->id] = state;
+  }
+  monitor_.set_workflow_status(state->id, api::run_status_name(api::RunStatus::kPending));
+  try {
+    executor_->submit([this, state, image] { execute_run(state, image); });
+  } catch (...) {
+    // Executor rejected the run (shutdown). Retract the record so no
+    // waiter can block forever on a run that will never execute.
+    {
+      std::lock_guard<std::mutex> lock(runs_mutex_);
+      runs_.erase(state->id);
+    }
+    monitor_.set_workflow_status(state->id, api::run_status_name(api::RunStatus::kFailed));
+    throw;
+  }
+  return state;
+}
+
+api::Result<api::RunHandle> Qonductor::invoke(const api::InvokeRequest& request) {
+  const workflow::WorkflowImage* img = nullptr;
+  if (api::Status status = validate_invoke(request, &img); !status.ok()) return status;
+  try {
+    return api::RunHandle(start_run(img));
+  } catch (const std::exception& e) {
+    // Executor shut down mid-request (orchestrator being destroyed).
+    return api::Unavailable(std::string("invoke: ") + e.what());
+  }
+}
+
+api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
+    const std::vector<api::InvokeRequest>& requests) {
+  // Validate the whole batch before starting anything: an invalid entry
+  // rejects the batch atomically.
+  std::vector<const workflow::WorkflowImage*> images(requests.size(), nullptr);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (api::Status status = validate_invoke(requests[i], &images[i]); !status.ok()) {
+      return api::Status(status.code(), "invokeAll[" + std::to_string(i) + "]: " +
+                                            status.message());
+    }
+  }
+  std::vector<api::RunHandle> handles;
+  handles.reserve(requests.size());
+  try {
+    for (const workflow::WorkflowImage* img : images) {
+      handles.emplace_back(start_run(img));
+    }
+  } catch (const std::exception& e) {
+    // Only reachable when the executor shuts down mid-batch. Runs queued
+    // before the failure keep executing and stay queryable by run id; the
+    // failed run itself was retracted by start_run.
+    return api::Unavailable(std::string("invokeAll: ") + e.what());
+  }
+  return handles;
+}
+
+api::Result<api::RunHandle> Qonductor::runHandle(RunId run) const {
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  const auto it = runs_.find(run);
+  if (it == runs_.end()) {
+    return api::NotFound("runHandle: unknown run " + std::to_string(run));
+  }
+  return api::RunHandle(it->second);
+}
+
+api::Result<api::WorkflowStatusResponse> Qonductor::workflowStatus(
+    const api::WorkflowStatusRequest& request) const {
+  auto handle = runHandle(request.run);
+  if (!handle.ok()) {
+    return api::NotFound("workflowStatus: unknown run " + std::to_string(request.run));
+  }
+  api::WorkflowStatusResponse response;
+  response.run = request.run;
+  response.status = handle->poll();
+  return response;
+}
+
+api::Result<api::WorkflowResultsResponse> Qonductor::workflowResults(
+    const api::WorkflowResultsRequest& request) const {
+  auto handle = runHandle(request.run);
+  if (!handle.ok()) {
+    return api::NotFound("workflowResults: unknown run " + std::to_string(request.run));
+  }
+  if (!request.wait && !api::run_status_terminal(handle->poll())) {
+    return api::Unavailable("workflowResults: run " + std::to_string(request.run) +
+                            " still in flight");
+  }
+  auto result = handle->result();  // blocks until terminal
+  if (!result.ok()) return result.status();
+  api::WorkflowResultsResponse response;
+  response.result = *std::move(result);
+  return response;
+}
+
+// ---- deprecated synchronous shims --------------------------------------------
+
+workflow::ImageId Qonductor::createWorkflow(const std::string& name,
+                                            std::vector<workflow::HybridTask> tasks,
+                                            const std::string& yaml_config) {
+  api::CreateWorkflowRequest request;
+  request.name = name;
+  request.tasks = std::move(tasks);
+  request.yaml_config = yaml_config;
+  auto response = createWorkflow(std::move(request));
+  if (!response.ok()) throw std::invalid_argument(response.status().to_string());
+  return response->image;
+}
+
+workflow::ImageId Qonductor::deploy(workflow::ImageId image) {
+  api::DeployRequest request;
+  request.image = image;
+  auto response = deploy(request);
+  if (!response.ok()) {
+    if (response.status().code() == api::StatusCode::kNotFound) {
+      throw std::out_of_range(response.status().to_string());
+    }
+    throw std::invalid_argument(response.status().to_string());
+  }
+  return response->image;
+}
+
+RunId Qonductor::invoke(workflow::ImageId image) {
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = invoke(request);
+  if (!handle.ok()) throw std::invalid_argument(handle.status().to_string());
+  handle->wait();  // the old contract: invoke() returned a finished run
+  return handle->id();
+}
+
+WorkflowStatus Qonductor::workflowStatus(RunId run) const {
+  auto handle = runHandle(run);
+  if (!handle.ok()) throw std::out_of_range("workflowStatus: unknown run");
+  return handle->poll();
+}
+
+const WorkflowResult& Qonductor::workflowResults(RunId run) const {
+  std::shared_ptr<api::RunState> state;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    const auto it = runs_.find(run);
+    if (it != runs_.end()) state = it->second;
+  }
+  if (!state) throw std::out_of_range("workflowResults: unknown run");
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&state] { return api::run_status_terminal(state->status); });
+  return state->result;  // stable once terminal
+}
+
+// ---- control/data-plane operations -------------------------------------------
 
 estimator::PlanSet Qonductor::estimateResources(const circuit::Circuit& circ) const {
   return estimator::generate_resource_plans(circ, templates_, config_.plan_config);
@@ -83,7 +283,90 @@ sched::ScheduleDecision Qonductor::generateSchedule(const sched::SchedulingInput
   return sched::schedule_cycle(input, scheduler);
 }
 
-TaskResult Qonductor::run_quantum_task(const workflow::HybridTask& task, double ready_at) {
+std::vector<workflow::ImageId> Qonductor::listImages() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return registry_.list();
+}
+
+// ---- data-plane execution ----------------------------------------------------
+
+void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
+                            const workflow::WorkflowImage* image) {
+  const RunId run = state->id;
+  bool cancelled_before_start = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->cancel_requested) {
+      state->result.run = run;
+      state->result.status = api::RunStatus::kCancelled;
+      state->result.error = api::Cancelled("run cancelled before execution started");
+      state->status = api::RunStatus::kCancelled;
+      cancelled_before_start = true;
+    } else {
+      state->status = api::RunStatus::kRunning;
+    }
+  }
+  state->cv.notify_all();
+  if (cancelled_before_start) {
+    monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kCancelled));
+    return;
+  }
+  monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kRunning));
+
+  WorkflowResult result;
+  result.run = run;
+  bool cancelled = false;
+  std::vector<double> finish(image->dag.size(), 0.0);
+  for (const workflow::TaskId t : image->dag.topological_order()) {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->cancel_requested) {
+        cancelled = true;
+      }
+    }
+    if (cancelled) break;
+    const auto& task = image->dag.task(t);
+    if (config_.on_task_start) config_.on_task_start(run, task.name);
+    double ready = 0.0;
+    for (const workflow::TaskId dep : image->dag.dependencies(t)) {
+      ready = std::max(ready, finish[dep]);
+    }
+    try {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      TaskResult tr = task.kind == workflow::TaskKind::kQuantum
+                          ? run_quantum_task(task, ready, run)
+                          : run_classical_task(task, ready);
+      finish[t] = tr.end;
+      result.makespan_seconds = std::max(result.makespan_seconds, tr.end);
+      result.total_cost_dollars += tr.cost_dollars;
+      if (tr.kind == workflow::TaskKind::kQuantum) {
+        result.min_fidelity = std::min(result.min_fidelity, tr.fidelity);
+      }
+      result.tasks.push_back(std::move(tr));
+    } catch (const std::exception& e) {
+      result.status = api::RunStatus::kFailed;
+      result.error = api::Internal(std::string("task '") + task.name + "' failed: " + e.what());
+      break;
+    }
+  }
+  if (cancelled) {
+    result.status = api::RunStatus::kCancelled;
+    result.error = api::Cancelled("run cancelled by client");
+  } else if (result.status != api::RunStatus::kFailed) {
+    result.status = api::RunStatus::kCompleted;
+  }
+
+  monitor_.set_workflow_status(run, api::run_status_name(result.status));
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->result = std::move(result);
+    state->status = state->result.status;
+  }
+  state->cv.notify_all();
+}
+
+TaskResult Qonductor::run_quantum_task(const workflow::HybridTask& task, double ready_at,
+                                       RunId run) {
   // 1. Single-job scheduling cycle across the fleet (queue waits = current
   //    availability relative to the task's ready time).
   sched::SchedulingInput input;
@@ -95,7 +378,7 @@ TaskResult Qonductor::run_quantum_task(const workflow::HybridTask& task, double 
     input.qpus.push_back(state);
   }
   sched::QuantumJob job;
-  job.id = next_run_;
+  job.id = run;
   job.qubits = task.circ.num_qubits();
   job.shots = task.shots;
 
@@ -187,59 +470,5 @@ TaskResult Qonductor::run_classical_task(const workflow::HybridTask& task, doubl
                                                     config_.plan_config.prices);
   return result;
 }
-
-RunId Qonductor::invoke(workflow::ImageId image) {
-  const auto it = deployed_.find(image);
-  if (it == deployed_.end() || !it->second) {
-    throw std::invalid_argument("invoke: image not deployed");
-  }
-  const auto& img = registry_.get(image);
-  const RunId run = next_run_++;
-  monitor_.set_workflow_status(run, workflow_status_name(WorkflowStatus::kRunning));
-
-  WorkflowResult result;
-  result.run = run;
-  result.status = WorkflowStatus::kRunning;
-  std::vector<double> finish(img.dag.size(), 0.0);
-  try {
-    for (const workflow::TaskId t : img.dag.topological_order()) {
-      double ready = 0.0;
-      for (const workflow::TaskId dep : img.dag.dependencies(t)) {
-        ready = std::max(ready, finish[dep]);
-      }
-      const auto& task = img.dag.task(t);
-      TaskResult tr = task.kind == workflow::TaskKind::kQuantum
-                          ? run_quantum_task(task, ready)
-                          : run_classical_task(task, ready);
-      finish[t] = tr.end;
-      result.makespan_seconds = std::max(result.makespan_seconds, tr.end);
-      result.total_cost_dollars += tr.cost_dollars;
-      if (tr.kind == workflow::TaskKind::kQuantum) {
-        result.min_fidelity = std::min(result.min_fidelity, tr.fidelity);
-      }
-      result.tasks.push_back(std::move(tr));
-    }
-    result.status = WorkflowStatus::kCompleted;
-  } catch (const std::exception&) {
-    result.status = WorkflowStatus::kFailed;
-  }
-  monitor_.set_workflow_status(run, workflow_status_name(result.status));
-  runs_[run] = std::move(result);
-  return run;
-}
-
-WorkflowStatus Qonductor::workflowStatus(RunId run) const {
-  const auto it = runs_.find(run);
-  if (it == runs_.end()) throw std::out_of_range("workflowStatus: unknown run");
-  return it->second.status;
-}
-
-const WorkflowResult& Qonductor::workflowResults(RunId run) const {
-  const auto it = runs_.find(run);
-  if (it == runs_.end()) throw std::out_of_range("workflowResults: unknown run");
-  return it->second;
-}
-
-std::vector<workflow::ImageId> Qonductor::listImages() const { return registry_.list(); }
 
 }  // namespace qon::core

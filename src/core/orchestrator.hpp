@@ -11,13 +11,27 @@
 //   listImages      — registry contents                          (CP->DP)
 //   estimateResources — resource plans for a circuit             (CP->CP)
 //   generateSchedule  — hybrid schedule for a job batch          (CP->CP)
+//
+// Invocation is asynchronous: invoke() validates the request, enqueues the
+// run on the executor pool and returns an api::RunHandle immediately; the
+// workflow DAG executes off-thread against the fleet's virtual clock. All
+// error paths on the request/response surface return api::Status — no
+// exception crosses the API boundary. The pre-async signatures survive as
+// thin deprecated shims that block and throw, so older call sites keep
+// compiling while they migrate.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "api/result.hpp"
+#include "api/run_handle.hpp"
+#include "api/types.hpp"
+#include "common/thread_pool.hpp"
 #include "core/system_monitor.hpp"
 #include "estimator/plans.hpp"
 #include "qpu/fleet.hpp"
@@ -27,32 +41,15 @@
 
 namespace qon::core {
 
-using RunId = std::uint64_t;
+using RunId = api::RunId;
 
-enum class WorkflowStatus { kPending, kRunning, kCompleted, kFailed };
+// The run lifecycle and execution report are part of the public API
+// surface (api/types.hpp); core aliases them for backward compatibility.
+using WorkflowStatus = api::RunStatus;
+using TaskResult = api::TaskResult;
+using WorkflowResult = api::WorkflowResult;
 
 const char* workflow_status_name(WorkflowStatus status);
-
-/// Per-task execution record in a finished workflow run.
-struct TaskResult {
-  std::string name;
-  workflow::TaskKind kind = workflow::TaskKind::kClassical;
-  std::string resource;  ///< QPU or classical node name
-  double start = 0.0;
-  double end = 0.0;
-  double fidelity = 0.0;       ///< quantum tasks only
-  double cost_dollars = 0.0;
-  sim::Counts counts;          ///< populated for small quantum tasks
-};
-
-struct WorkflowResult {
-  RunId run = 0;
-  WorkflowStatus status = WorkflowStatus::kPending;
-  std::vector<TaskResult> tasks;
-  double makespan_seconds = 0.0;
-  double total_cost_dollars = 0.0;
-  double min_fidelity = 1.0;  ///< the binding fidelity across quantum tasks
-};
 
 struct QonductorConfig {
   std::size_t num_qpus = 4;
@@ -67,24 +64,56 @@ struct QonductorConfig {
   /// Trajectory-simulate quantum tasks whose active width fits (exact
   /// counts + Hellinger fidelity); larger tasks use the analytic model.
   int trajectory_width_limit = 12;
+  /// Executor pool width: how many workflow runs make progress in parallel.
+  std::size_t executor_threads = 2;
+  /// Observer called by the executor right before each task runs (tracing,
+  /// test instrumentation). Must be thread-safe; called outside all locks.
+  std::function<void(RunId, const std::string&)> on_task_start;
 };
 
-/// The orchestrator facade. Execution is simulated synchronously: invoke()
-/// walks the workflow DAG, schedules each task on the fleet / node pool,
-/// and advances a per-run virtual clock.
+/// The orchestrator facade. invoke() is asynchronous: the workflow DAG is
+/// executed on the executor pool, scheduling each task on the fleet / node
+/// pool and advancing the shared virtual clock under the engine lock.
+/// Concurrent clients are safe: registry, run table, monitor and fleet
+/// clock are each synchronized.
 class Qonductor {
  public:
   explicit Qonductor(QonductorConfig config = {});
+  ~Qonductor();
 
-  // -- Table 2: user-facing API ------------------------------------------------
+  // -- Table 2: user-facing API (v1, typed statuses, async invoke) -------------
+  /// Taken by value: pass an rvalue to hand the task circuits over without
+  /// a deep copy.
+  api::Result<api::CreateWorkflowResponse> createWorkflow(api::CreateWorkflowRequest request);
+  api::Result<api::DeployResponse> deploy(const api::DeployRequest& request);
+  /// Returns as soon as the run is queued; execution proceeds off-thread.
+  api::Result<api::RunHandle> invoke(const api::InvokeRequest& request);
+  /// Atomic batch: validates every request first, then queues all runs;
+  /// on any validation error nothing is started.
+  api::Result<std::vector<api::RunHandle>> invokeAll(const std::vector<api::InvokeRequest>& requests);
+  api::Result<api::WorkflowStatusResponse> workflowStatus(const api::WorkflowStatusRequest& request) const;
+  api::Result<api::WorkflowResultsResponse> workflowResults(const api::WorkflowResultsRequest& request) const;
+  /// Handle for an already-started run (e.g. a run id received over the
+  /// wire); kNotFound for unknown ids.
+  api::Result<api::RunHandle> runHandle(RunId run) const;
+
+  // -- deprecated synchronous shims (pre-v1 surface) ---------------------------
+  /// @deprecated Use createWorkflow(CreateWorkflowRequest). Throws
+  /// std::invalid_argument on error.
   workflow::ImageId createWorkflow(const std::string& name,
                                    std::vector<workflow::HybridTask> tasks,
                                    const std::string& yaml_config = "");
-  /// Marks an image deployable after validating its configuration; returns
-  /// the same id for invocation.
+  /// @deprecated Use deploy(DeployRequest). Throws std::out_of_range on an
+  /// unknown image and std::invalid_argument otherwise.
   workflow::ImageId deploy(workflow::ImageId image);
+  /// @deprecated Use invoke(InvokeRequest). Blocks until the run finishes
+  /// (the old synchronous contract); throws std::invalid_argument on error.
   RunId invoke(workflow::ImageId image);
+  /// @deprecated Use workflowStatus(WorkflowStatusRequest). Throws
+  /// std::out_of_range on an unknown run.
   WorkflowStatus workflowStatus(RunId run) const;
+  /// @deprecated Use workflowResults(WorkflowResultsRequest). Blocks until
+  /// the run is terminal; throws std::out_of_range on an unknown run.
   const WorkflowResult& workflowResults(RunId run) const;
 
   // -- Table 2: control/data-plane operations ----------------------------------
@@ -98,7 +127,12 @@ class Qonductor {
   const std::vector<sched::ClassicalNode>& nodes() const { return nodes_; }
 
  private:
-  TaskResult run_quantum_task(const workflow::HybridTask& task, double ready_at);
+  api::Status validate_invoke(const api::InvokeRequest& request,
+                              const workflow::WorkflowImage** image_out) const;
+  std::shared_ptr<api::RunState> start_run(const workflow::WorkflowImage* image);
+  void execute_run(const std::shared_ptr<api::RunState>& state,
+                   const workflow::WorkflowImage* image);
+  TaskResult run_quantum_task(const workflow::HybridTask& task, double ready_at, RunId run);
   TaskResult run_classical_task(const workflow::HybridTask& task, double ready_at);
   void publish_fleet_state();
 
@@ -111,9 +145,23 @@ class Qonductor {
   workflow::WorkflowRegistry registry_;
   std::map<workflow::ImageId, bool> deployed_;
   SystemMonitor monitor_;
-  std::map<RunId, WorkflowResult> runs_;
+  std::map<RunId, std::shared_ptr<api::RunState>> runs_;
   RunId next_run_ = 1;
   std::vector<double> qpu_available_at_;
+
+  /// Guards registry_ + deployed_. The registry is append-only, so image
+  /// pointers obtained under this lock stay valid for the orchestrator's
+  /// lifetime.
+  mutable std::mutex registry_mutex_;
+  /// Guards runs_ + next_run_. Individual run records carry their own lock.
+  mutable std::mutex runs_mutex_;
+  /// Serializes data-plane task execution: the fleet virtual clock
+  /// (qpu_available_at_), the shared RNG and the hidden-noise model.
+  std::mutex engine_mutex_;
+
+  /// Declared last so it is destroyed first: the destructor drains queued
+  /// runs while every other member is still alive.
+  std::unique_ptr<ThreadPool> executor_;
 };
 
 }  // namespace qon::core

@@ -9,20 +9,31 @@ SystemMonitor::SystemMonitor(bool replicated, std::size_t replicas) {
   if (replicated) store_ = std::make_unique<raft::ReplicatedKvStore>(replicas);
 }
 
-bool SystemMonitor::put(const std::string& key, const std::string& value) {
+bool SystemMonitor::put_unlocked(const std::string& key, const std::string& value) {
   if (store_) return store_->set(key, value);
   local_[key] = value;
   return true;
 }
 
-std::optional<std::string> SystemMonitor::get(const std::string& key) const {
+std::optional<std::string> SystemMonitor::get_unlocked(const std::string& key) const {
   if (store_) return store_->get(key);
   const auto it = local_.find(key);
   if (it == local_.end()) return std::nullopt;
   return it->second;
 }
 
+bool SystemMonitor::put(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return put_unlocked(key, value);
+}
+
+std::optional<std::string> SystemMonitor::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_unlocked(key);
+}
+
 bool SystemMonitor::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (store_) return store_->erase(key);
   local_.erase(key);
   return true;
@@ -55,26 +66,36 @@ std::optional<QpuInfo> deserialize_qpu(const std::string& name, const std::strin
 }  // namespace
 
 void SystemMonitor::update_qpu(const QpuInfo& info) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (std::find(qpu_names_.begin(), qpu_names_.end(), info.name) == qpu_names_.end()) {
     qpu_names_.push_back(info.name);
   }
-  put("qpu/" + info.name, serialize_qpu(info));
+  put_unlocked("qpu/" + info.name, serialize_qpu(info));
 }
 
 std::optional<QpuInfo> SystemMonitor::qpu(const std::string& name) const {
-  const auto raw = get("qpu/" + name);
+  std::optional<std::string> raw;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    raw = get_unlocked("qpu/" + name);
+  }
   if (!raw) return std::nullopt;
   return deserialize_qpu(name, *raw);
 }
 
-std::vector<std::string> SystemMonitor::qpu_names() const { return qpu_names_; }
+std::vector<std::string> SystemMonitor::qpu_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return qpu_names_;
+}
 
 void SystemMonitor::set_workflow_status(std::uint64_t run_id, const std::string& status) {
-  put("workflow/" + std::to_string(run_id) + "/status", status);
+  std::lock_guard<std::mutex> lock(mutex_);
+  put_unlocked("workflow/" + std::to_string(run_id) + "/status", status);
 }
 
 std::optional<std::string> SystemMonitor::workflow_status(std::uint64_t run_id) const {
-  return get("workflow/" + std::to_string(run_id) + "/status");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return get_unlocked("workflow/" + std::to_string(run_id) + "/status");
 }
 
 }  // namespace qon::core

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,9 @@ struct QpuInfo {
   bool online = true;
 };
 
+/// Thread-safe: workflow executors, device managers and control-plane
+/// queries hit the monitor concurrently; one internal mutex serializes
+/// access to whichever backend is active.
 class SystemMonitor {
  public:
   /// `replicated` switches to the Raft-backed store (slower, fault
@@ -48,6 +52,11 @@ class SystemMonitor {
   bool replicated() const { return store_ != nullptr; }
 
  private:
+  // Backend access with mutex_ already held.
+  bool put_unlocked(const std::string& key, const std::string& value);
+  std::optional<std::string> get_unlocked(const std::string& key) const;
+
+  mutable std::mutex mutex_;
   // Exactly one of these is active.
   std::map<std::string, std::string> local_;
   std::unique_ptr<raft::ReplicatedKvStore> store_;

@@ -1,5 +1,7 @@
 #include "workflow/registry.hpp"
 
+#include <stdexcept>
+
 namespace qon::workflow {
 
 ImageId WorkflowRegistry::register_image(std::string name, WorkflowDag dag, yaml::Node config) {
@@ -13,10 +15,15 @@ ImageId WorkflowRegistry::register_image(std::string name, WorkflowDag dag, yaml
   return id;
 }
 
-const WorkflowImage& WorkflowRegistry::get(ImageId id) const {
+const WorkflowImage* WorkflowRegistry::find(ImageId id) const {
   const auto it = images_.find(id);
-  if (it == images_.end()) throw std::out_of_range("WorkflowRegistry::get: unknown image");
-  return it->second;
+  return it == images_.end() ? nullptr : &it->second;
+}
+
+const WorkflowImage& WorkflowRegistry::get(ImageId id) const {
+  const WorkflowImage* image = find(id);
+  if (image == nullptr) throw std::out_of_range("WorkflowRegistry::get: unknown image");
+  return *image;
 }
 
 std::optional<ImageId> WorkflowRegistry::find_by_name(const std::string& name) const {

@@ -31,7 +31,12 @@ class WorkflowRegistry {
   /// lookup by name returns the latest registration.
   ImageId register_image(std::string name, WorkflowDag dag, yaml::Node config);
 
-  /// Fetch by id; throws std::out_of_range when absent.
+  /// Fetch by id; nullptr when absent. The registry is append-only, so the
+  /// returned pointer stays valid for the registry's lifetime.
+  const WorkflowImage* find(ImageId id) const;
+
+  /// @deprecated Compat wrapper over find(); throws std::out_of_range when
+  /// absent.
   const WorkflowImage& get(ImageId id) const;
 
   /// Latest image registered under `name`, if any.

@@ -1,0 +1,458 @@
+// Tests for the v1 typed/async API surface: Status + Result<T>, the
+// request/response client facade, the non-blocking invoke() lifecycle
+// (poll/wait/wait_for/cancel), batched invokeAll, typed error codes, API
+// versioning, and a concurrency smoke test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "api/client.hpp"
+#include "circuit/library.hpp"
+
+namespace qon::api {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::QonductorConfig small_config() {
+  core::QonductorConfig config;
+  config.num_qpus = 3;
+  config.seed = 4242;
+  config.trajectory_width_limit = 8;
+  return config;
+}
+
+/// A latch the on_task_start hook can block on: the test observes that a
+/// task entered execution, does its assertions, then releases the run.
+struct TaskGate {
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  std::atomic<bool> armed{true};  ///< only gate the first task that arrives
+};
+
+core::QonductorConfig gated_config(const std::shared_ptr<TaskGate>& gate) {
+  auto config = small_config();
+  config.on_task_start = [gate](RunId, const std::string&) {
+    if (gate->armed.exchange(false)) {
+      gate->entered.set_value();
+      gate->release_future.wait();
+    }
+  };
+  return config;
+}
+
+workflow::ImageId deploy_classical(QonductorClient& client, const std::string& name,
+                                   int num_tasks = 1) {
+  CreateWorkflowRequest request;
+  request.name = name;
+  for (int t = 0; t < num_tasks; ++t) {
+    request.tasks.push_back(
+        workflow::HybridTask::classical(name + "-t" + std::to_string(t), 0.1));
+  }
+  auto created = client.createWorkflow(request);
+  EXPECT_TRUE(created.ok()) << created.status().to_string();
+  DeployRequest deploy_request;
+  deploy_request.image = created->image;
+  auto deployed = client.deploy(deploy_request);
+  EXPECT_TRUE(deployed.ok()) << deployed.status().to_string();
+  return created->image;
+}
+
+// ---- Status / Result ---------------------------------------------------------
+
+TEST(Status, DefaultIsOkAndFormats) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.to_string(), "OK");
+
+  const Status missing = NotFound("image 7");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+  EXPECT_EQ(missing.to_string(), "NOT_FOUND: image 7");
+  EXPECT_STREQ(status_code_name(StatusCode::kFailedPrecondition), "FAILED_PRECONDITION");
+}
+
+TEST(ResultT, HoldsValueOrStatus) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.status().ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(-1), 42);
+
+  Result<int> bad = InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(-1), -1);
+
+  // An OK status without a value is a logic error, normalized to kInternal.
+  Result<int> weird = Status::Ok();
+  EXPECT_FALSE(weird.ok());
+  EXPECT_EQ(weird.status().code(), StatusCode::kInternal);
+}
+
+// ---- async lifecycle ---------------------------------------------------------
+
+TEST(AsyncInvoke, ReturnsBeforeExecutionCompletes) {
+  auto gate = std::make_shared<TaskGate>();
+  QonductorClient client(gated_config(gate));
+  const auto image = deploy_classical(client, "async");
+
+  InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+
+  // invoke() came back while the run is still in flight.
+  EXPECT_FALSE(run_status_terminal(handle->poll()));
+
+  gate->entered.get_future().wait();
+  EXPECT_EQ(handle->poll(), RunStatus::kRunning);
+
+  gate->release.set_value();
+  EXPECT_EQ(handle->wait(), RunStatus::kCompleted);
+
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, RunStatus::kCompleted);
+  ASSERT_EQ(result->tasks.size(), 1u);
+  EXPECT_TRUE(result->error.ok());
+  EXPECT_EQ(client.backend().monitor().workflow_status(handle->id()).value_or(""),
+            "completed");
+}
+
+TEST(AsyncInvoke, WaitForTimesOutWhileInFlight) {
+  auto gate = std::make_shared<TaskGate>();
+  QonductorClient client(gated_config(gate));
+  const auto image = deploy_classical(client, "timeout");
+
+  InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok());
+  gate->entered.get_future().wait();
+
+  auto waited = handle->wait_for(10ms);
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kDeadlineExceeded);
+
+  gate->release.set_value();
+  auto done = handle->wait_for(10s);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(*done, RunStatus::kCompleted);
+}
+
+TEST(AsyncInvoke, WorkflowResultsNonBlockingQuery) {
+  auto gate = std::make_shared<TaskGate>();
+  QonductorClient client(gated_config(gate));
+  const auto image = deploy_classical(client, "nonblocking");
+
+  InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok());
+  gate->entered.get_future().wait();
+
+  WorkflowResultsRequest results_request;
+  results_request.run = handle->id();
+  results_request.wait = false;
+  auto in_flight = client.workflowResults(results_request);
+  ASSERT_FALSE(in_flight.ok());
+  EXPECT_EQ(in_flight.status().code(), StatusCode::kUnavailable);
+
+  gate->release.set_value();
+  handle->wait();
+  results_request.wait = true;
+  auto done = client.workflowResults(results_request);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->result.status, RunStatus::kCompleted);
+}
+
+TEST(AsyncInvoke, CancelMidRunStopsAtTaskBoundary) {
+  auto gate = std::make_shared<TaskGate>();
+  QonductorClient client(gated_config(gate));
+  const auto image = deploy_classical(client, "cancel", /*num_tasks=*/3);
+
+  InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok());
+  gate->entered.get_future().wait();  // task 0 is executing
+
+  EXPECT_TRUE(handle->cancel());
+  gate->release.set_value();
+
+  EXPECT_EQ(handle->wait(), RunStatus::kCancelled);
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, RunStatus::kCancelled);
+  EXPECT_EQ(result->error.code(), StatusCode::kCancelled);
+  // Task 0 completed before the cancellation took effect; tasks 1-2 never ran.
+  EXPECT_EQ(result->tasks.size(), 1u);
+  EXPECT_FALSE(handle->cancel());  // already terminal
+  EXPECT_EQ(client.backend().monitor().workflow_status(handle->id()).value_or(""),
+            "cancelled");
+}
+
+TEST(AsyncInvoke, CancelWhileQueuedRunsNothing) {
+  auto gate = std::make_shared<TaskGate>();
+  auto config = gated_config(gate);
+  config.executor_threads = 1;  // one lane: the second run must queue
+  QonductorClient client(config);
+  const auto blocker = deploy_classical(client, "blocker");
+  const auto queued = deploy_classical(client, "queued");
+
+  InvokeRequest blocker_request;
+  blocker_request.image = blocker;
+  auto blocker_handle = client.invoke(blocker_request);
+  ASSERT_TRUE(blocker_handle.ok());
+  gate->entered.get_future().wait();  // the lane is now occupied
+
+  InvokeRequest queued_request;
+  queued_request.image = queued;
+  auto queued_handle = client.invoke(queued_request);
+  ASSERT_TRUE(queued_handle.ok());
+  EXPECT_EQ(queued_handle->poll(), RunStatus::kPending);
+  EXPECT_TRUE(queued_handle->cancel());
+
+  gate->release.set_value();
+  EXPECT_EQ(blocker_handle->wait(), RunStatus::kCompleted);
+  EXPECT_EQ(queued_handle->wait(), RunStatus::kCancelled);
+  auto result = queued_handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tasks.empty());  // cancelled before any task ran
+}
+
+TEST(AsyncInvoke, QuantumWorkflowCompletesAsync) {
+  QonductorClient client(small_config());
+  CreateWorkflowRequest create;
+  create.name = "ghz-async";
+  create.tasks.push_back(workflow::HybridTask::quantum("ghz", circuit::ghz(4), 1000));
+  auto created = client.createWorkflow(create);
+  ASSERT_TRUE(created.ok());
+  DeployRequest deploy_request;
+  deploy_request.image = created->image;
+  ASSERT_TRUE(client.deploy(deploy_request).ok());
+
+  InvokeRequest request;
+  request.image = created->image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->wait(), RunStatus::kCompleted);
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->tasks.size(), 1u);
+  EXPECT_GT(result->tasks[0].fidelity, 0.0);
+  EXPECT_LE(result->tasks[0].fidelity, 1.0);
+  EXPECT_FALSE(result->tasks[0].resource.empty());
+}
+
+// ---- typed error codes -------------------------------------------------------
+
+TEST(ApiErrors, CreateWorkflowRejectsEmptyAndBadConfig) {
+  QonductorClient client(small_config());
+  CreateWorkflowRequest empty;
+  empty.name = "empty";
+  auto created = client.createWorkflow(empty);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApiErrors, DeployUnknownImageIsNotFound) {
+  QonductorClient client(small_config());
+  DeployRequest request;
+  request.image = 999;
+  auto deployed = client.deploy(request);
+  ASSERT_FALSE(deployed.ok());
+  EXPECT_EQ(deployed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ApiErrors, DoubleDeployIsAlreadyExists) {
+  QonductorClient client(small_config());
+  const auto image = deploy_classical(client, "once");
+  DeployRequest request;
+  request.image = image;
+  auto again = client.deploy(request);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ApiErrors, DeployOversizedCircuitIsResourceExhausted) {
+  QonductorClient client(small_config());
+  circuit::Circuit big(28);
+  big.h(0);
+  big.measure_all();
+  CreateWorkflowRequest create;
+  create.name = "too-big";
+  create.tasks.push_back(workflow::HybridTask::quantum("big", big));
+  auto created = client.createWorkflow(create);
+  ASSERT_TRUE(created.ok());
+  DeployRequest request;
+  request.image = created->image;
+  auto deployed = client.deploy(request);
+  ASSERT_FALSE(deployed.ok());
+  EXPECT_EQ(deployed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ApiErrors, InvokeUndeployedIsFailedPrecondition) {
+  QonductorClient client(small_config());
+  CreateWorkflowRequest create;
+  create.name = "undeployed";
+  create.tasks.push_back(workflow::HybridTask::classical("only", 0.1));
+  auto created = client.createWorkflow(create);
+  ASSERT_TRUE(created.ok());
+
+  InvokeRequest request;
+  request.image = created->image;
+  auto handle = client.invoke(request);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ApiErrors, InvokeUnknownImageIsNotFound) {
+  QonductorClient client(small_config());
+  InvokeRequest request;
+  request.image = 12345;
+  auto handle = client.invoke(request);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ApiErrors, UnknownRunIsNotFound) {
+  QonductorClient client(small_config());
+  WorkflowStatusRequest status_request;
+  status_request.run = 9999;
+  auto status = client.workflowStatus(status_request);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), StatusCode::kNotFound);
+
+  WorkflowResultsRequest results_request;
+  results_request.run = 9999;
+  auto results = client.workflowResults(results_request);
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ApiVersioning, UnsupportedVersionIsUnimplemented) {
+  QonductorClient client(small_config());
+  EXPECT_EQ(QonductorClient::version(), kApiVersion);
+
+  CreateWorkflowRequest create;
+  create.api_version = kApiVersion + 1;
+  create.name = "future";
+  create.tasks.push_back(workflow::HybridTask::classical("t", 0.1));
+  auto created = client.createWorkflow(create);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kUnimplemented);
+
+  InvokeRequest invoke_request;
+  invoke_request.api_version = 99;
+  auto handle = client.invoke(invoke_request);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kUnimplemented);
+}
+
+// ---- batched invocation ------------------------------------------------------
+
+TEST(InvokeAll, RunsTheWholeBatch) {
+  QonductorClient client(small_config());
+  const auto image = deploy_classical(client, "batch", /*num_tasks=*/2);
+
+  std::vector<InvokeRequest> requests(3);
+  for (auto& request : requests) request.image = image;
+  auto handles = client.invokeAll(requests);
+  ASSERT_TRUE(handles.ok()) << handles.status().to_string();
+  ASSERT_EQ(handles->size(), 3u);
+  std::set<RunId> ids;
+  for (const auto& handle : *handles) {
+    EXPECT_EQ(handle.wait(), RunStatus::kCompleted);
+    ids.insert(handle.id());
+  }
+  EXPECT_EQ(ids.size(), 3u);  // distinct run ids
+}
+
+TEST(InvokeAll, ValidatesAtomically) {
+  QonductorClient client(small_config());
+  const auto image = deploy_classical(client, "valid");
+
+  std::vector<InvokeRequest> requests(2);
+  requests[0].image = image;
+  requests[1].image = 777;  // unknown: the whole batch must be rejected
+  auto handles = client.invokeAll(requests);
+  ASSERT_FALSE(handles.ok());
+  EXPECT_EQ(handles.status().code(), StatusCode::kNotFound);
+
+  // Nothing was started: the next run id is still the first one.
+  InvokeRequest single;
+  single.image = image;
+  auto handle = client.invoke(single);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->id(), 1u);
+  handle->wait();
+}
+
+// ---- concurrency smoke test --------------------------------------------------
+
+TEST(Concurrency, ManyClientsInvokeInParallel) {
+  auto config = small_config();
+  config.executor_threads = 4;
+  QonductorClient client(config);
+  const auto image = deploy_classical(client, "storm", /*num_tasks=*/2);
+
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 8;
+  std::vector<std::vector<RunHandle>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int c = 0; c < kThreads; ++c) {
+    threads.emplace_back([&client, &per_thread, image, c] {
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        InvokeRequest request;
+        request.image = image;
+        auto handle = client.invoke(request);
+        ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+        per_thread[static_cast<std::size_t>(c)].push_back(*handle);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::set<RunId> ids;
+  for (const auto& handles : per_thread) {
+    ASSERT_EQ(handles.size(), static_cast<std::size_t>(kRunsPerThread));
+    for (const auto& handle : handles) {
+      EXPECT_EQ(handle.wait(), RunStatus::kCompleted);
+      auto result = handle.result();
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->tasks.size(), 2u);
+      ids.insert(handle.id());
+    }
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kRunsPerThread));
+}
+
+// ---- deprecated shims --------------------------------------------------------
+
+TEST(DeprecatedShims, OldSurfaceStillBlocksAndThrows) {
+  core::Qonductor qonductor(small_config());
+  const auto image = qonductor.createWorkflow(
+      "legacy", {workflow::HybridTask::classical("c", 0.1)});
+  qonductor.deploy(image);
+  EXPECT_THROW(qonductor.deploy(image), std::invalid_argument);  // double deploy
+  const auto run = qonductor.invoke(image);  // blocks until done
+  EXPECT_EQ(qonductor.workflowStatus(run), core::WorkflowStatus::kCompleted);
+  EXPECT_EQ(qonductor.workflowResults(run).tasks.size(), 1u);
+  EXPECT_THROW(qonductor.workflowStatus(run + 1), std::out_of_range);
+  EXPECT_THROW(qonductor.invoke(image + 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qon::api

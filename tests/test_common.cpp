@@ -242,6 +242,14 @@ TEST(ThreadPool, SubmitPropagatesExceptions) {
   EXPECT_THROW(fut.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, SubmitReturnsTaskValue) {
+  ThreadPool pool(2);
+  auto answer = pool.submit([] { return 6 * 7; });
+  auto text = pool.submit([] { return std::string("qon"); });
+  EXPECT_EQ(answer.get(), 42);
+  EXPECT_EQ(text.get(), "qon");
+}
+
 TEST(ThreadPool, ParallelSumMatchesSerial) {
   ThreadPool pool(4);
   const std::size_t n = 100000;

@@ -1,6 +1,11 @@
 // Tests for the core orchestrator: the system monitor (local and
 // Raft-replicated), and the Table-2 API surface end to end — create,
 // deploy, invoke, status, results, resource estimation and scheduling.
+//
+// These exercise the deprecated synchronous shims (invoke() blocking until
+// the run finishes, errors thrown as std::invalid_argument/std::out_of_range)
+// and pin their contract while call sites migrate; the v1 typed/async
+// surface is covered by tests/test_api.cpp.
 
 #include <gtest/gtest.h>
 

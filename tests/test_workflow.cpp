@@ -89,6 +89,19 @@ TEST(Registry, RegisterAndFetch) {
   EXPECT_THROW(registry.get(id + 42), std::out_of_range);
 }
 
+TEST(Registry, FindIsNonThrowing) {
+  WorkflowRegistry registry;
+  const auto id = registry.register_image("lookup", chain_workflow({}), yaml::Node());
+  const WorkflowImage* image = registry.find(id);
+  ASSERT_NE(image, nullptr);
+  EXPECT_EQ(image->name, "lookup");
+  EXPECT_EQ(image->id, id);
+  EXPECT_EQ(registry.find(id + 42), nullptr);
+  // The registry is append-only: pointers survive later registrations.
+  registry.register_image("later", chain_workflow({}), yaml::Node());
+  EXPECT_EQ(registry.find(id), image);
+}
+
 TEST(Registry, FindByNameReturnsLatest) {
   WorkflowRegistry registry;
   registry.register_image("vqe", chain_workflow({}), yaml::Node());
