@@ -1,9 +1,12 @@
 // Async fan-out: the non-blocking half of the v1 API. A single client
 // submits a batch of workflow runs with invokeAll(), keeps the RunHandles,
 // does other work while the executor pool drains the batch, cancels one
-// run mid-flight, and then collects every result — the job-lifecycle
-// pattern (submit / poll / wait / cancel) that a multi-tenant control
-// plane needs and that the old synchronous invoke() could not express.
+// run mid-flight, collects every result, and then audits the batch through
+// the run-table queries (listRuns / getRun) — the job-lifecycle pattern
+// (submit / poll / wait / cancel / list) a multi-tenant control plane
+// needs. The orchestrator's run table is bounded: terminal runs beyond the
+// retention policy are LRU-evicted, so a long-lived client can fan out
+// forever without leaking a record per run.
 
 #include <iostream>
 
@@ -17,7 +20,8 @@ int main() {
   core::QonductorConfig config;
   config.num_qpus = 4;
   config.seed = 58;
-  config.executor_threads = 4;  // four runs make progress concurrently
+  config.executor_threads = 4;       // four runs make progress concurrently
+  config.retention.max_terminal_runs = 6;  // keep only the 6 freshest results
   api::QonductorClient client(config);
 
   // --- package and deploy a small mitigated-GHZ workflow ----------------------
@@ -81,5 +85,30 @@ int main() {
                    TextTable::num(report->total_cost_dollars, 3)});
   }
   table.print(std::cout, "fan-out batch results");
+
+  // --- audit through the run table --------------------------------------------
+  // listRuns() pages over what the control plane still remembers. With a
+  // retention budget of 6 terminal runs, the two runs that settled first
+  // have already been garbage-collected — their ids answer NOT_FOUND, even
+  // though the RunHandles above kept answering from the shared records.
+  const auto listed = client.listRuns();
+  if (!listed.ok()) {
+    std::cerr << listed.status().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "\nrun table after the batch (retention keeps "
+            << config.retention.max_terminal_runs << "):\n";
+  for (const auto& info : listed->runs) {
+    std::cout << "  run " << info.run << "  " << api::run_status_name(info.status)
+              << "  submitted@" << TextTable::num(info.submitted_at, 2)
+              << "s finished@" << TextTable::num(info.finished_at, 2) << "s\n";
+  }
+  for (const auto& handle : *batch) {
+    if (const auto info = client.getRun(handle.id()); !info.ok()) {
+      std::cout << "getRun(run " << handle.id() << "): " << info.status().to_string()
+                << " — evicted, but the handle still answers: "
+                << api::run_status_name(handle.poll()) << "\n";
+    }
+  }
   return 0;
 }

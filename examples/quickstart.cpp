@@ -100,6 +100,15 @@ int main() {
   std::cout << "total cost:  $" << TextTable::num(result.total_cost_dollars, 3) << "\n";
   std::cout << "min fidelity " << TextTable::num(result.min_fidelity, 3) << "\n";
 
+  // The control plane's lifecycle record of the same run — what a remote
+  // dashboard would read via getRun(): state plus timestamps on the fleet's
+  // virtual clock.
+  if (const auto info = client.getRun(handle->id()); info.ok()) {
+    std::cout << "run record:  submitted@" << TextTable::num(info->submitted_at, 2)
+              << "s, started@" << TextTable::num(info->started_at, 2)
+              << "s, finished@" << TextTable::num(info->finished_at, 2) << "s\n";
+  }
+
   // The quantum task was small enough for exact trajectory simulation: show
   // the top measurement outcomes.
   for (const auto& task : result.tasks) {

@@ -73,6 +73,32 @@ Result<WorkflowResultsResponse> QonductorClient::workflowResults(
   }
 }
 
+Result<GetRunResponse> QonductorClient::getRun(const GetRunRequest& request) const {
+  if (Status v = check_version(request.api_version, "getRun"); !v.ok()) return v;
+  try {
+    return backend_->getRun(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("getRun: ") + e.what());
+  }
+}
+
+Result<RunInfo> QonductorClient::getRun(RunId run) const {
+  GetRunRequest request;
+  request.run = run;
+  auto response = getRun(request);
+  if (!response.ok()) return response.status();
+  return std::move(response->info);
+}
+
+Result<ListRunsResponse> QonductorClient::listRuns(const ListRunsRequest& request) const {
+  if (Status v = check_version(request.api_version, "listRuns"); !v.ok()) return v;
+  try {
+    return backend_->listRuns(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("listRuns: ") + e.what());
+  }
+}
+
 Result<ListImagesResponse> QonductorClient::listImages(const ListImagesRequest& request) const {
   if (Status v = check_version(request.api_version, "listImages"); !v.ok()) return v;
   try {

@@ -43,6 +43,16 @@ class QonductorClient {
   Result<WorkflowResultsResponse> workflowResults(const WorkflowResultsRequest& request) const;
   Result<ListImagesResponse> listImages(const ListImagesRequest& request = {}) const;
 
+  // -- run-table queries --------------------------------------------------------
+  /// Lifecycle record of one run (state, virtual-clock timestamps, error);
+  /// kNotFound for unknown or retention-evicted run ids.
+  Result<GetRunResponse> getRun(const GetRunRequest& request) const;
+  /// Convenience overload for the common "by id" lookup.
+  Result<RunInfo> getRun(RunId run) const;
+  /// Pages over the orchestrator's bounded run table (state/image filters,
+  /// run-id-ordered pagination).
+  Result<ListRunsResponse> listRuns(const ListRunsRequest& request = {}) const;
+
   // -- control-plane passthroughs (typed, non-throwing) -------------------------
   Result<estimator::PlanSet> estimateResources(const circuit::Circuit& circ) const;
   Result<sched::ScheduleDecision> generateSchedule(const sched::SchedulingInput& input) const;

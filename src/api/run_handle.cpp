@@ -42,4 +42,18 @@ Result<WorkflowResult> RunHandle::result() const {
   return state_->result;
 }
 
+Result<RunInfo> RunHandle::info() const {
+  if (!state_) return NotFound("info: empty run handle");
+  RunInfo info;
+  info.run = state_->id;
+  info.image = state_->image;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  info.status = state_->status;
+  info.submitted_at = state_->submitted_at;
+  info.started_at = state_->started_at;
+  info.finished_at = state_->finished_at;
+  if (run_status_terminal(state_->status)) info.error = state_->result.error;
+  return info;
+}
+
 }  // namespace qon::api

@@ -31,6 +31,11 @@ struct RunState {
   RunStatus status = RunStatus::kPending;
   bool cancel_requested = false;
   WorkflowResult result;  ///< stable once `status` is terminal
+  // Lifecycle timestamps on the fleet virtual clock; -1 until the phase
+  // happens. Stamped by the orchestrator at each transition.
+  double submitted_at = -1.0;
+  double started_at = -1.0;
+  double finished_at = -1.0;
 };
 
 class RunHandle {
@@ -64,6 +69,11 @@ class RunHandle {
   /// of a failed/cancelled run is still a value — its `status` and `error`
   /// fields say what happened. Only an empty handle is an error (kNotFound).
   Result<WorkflowResult> result() const;
+
+  /// Non-blocking snapshot of the run's lifecycle record (state, virtual-
+  /// clock timestamps, error status) — the same view getRun() serves. Keeps
+  /// answering after the run is evicted from the orchestrator's run table.
+  Result<RunInfo> info() const;
 
  private:
   std::shared_ptr<RunState> state_;

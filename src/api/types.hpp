@@ -9,6 +9,7 @@
 // aliases them for the orchestrator internals.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,19 @@ struct WorkflowResult {
   double total_cost_dollars = 0.0;
   double min_fidelity = 1.0;  ///< the binding fidelity across quantum tasks
   Status error;               ///< why the run failed / was cancelled
+};
+
+/// Point-in-time view of one run in the control plane's run table — what
+/// getRun() / listRuns() return. Timestamps are on the fleet's virtual
+/// clock (seconds); a phase that has not happened yet reads -1.
+struct RunInfo {
+  RunId run = 0;
+  workflow::ImageId image = 0;
+  RunStatus status = RunStatus::kPending;
+  double submitted_at = -1.0;  ///< virtual clock when the run was queued
+  double started_at = -1.0;    ///< virtual clock at kPending -> kRunning
+  double finished_at = -1.0;   ///< virtual clock at the terminal transition
+  Status error;                ///< non-OK iff status is kFailed / kCancelled
 };
 
 // ---- requests / responses ----------------------------------------------------
@@ -115,6 +129,36 @@ struct ListImagesRequest {
 
 struct ListImagesResponse {
   std::vector<workflow::ImageId> images;
+};
+
+struct GetRunRequest {
+  std::uint32_t api_version = kApiVersion;
+  RunId run = 0;
+};
+
+struct GetRunResponse {
+  RunInfo info;
+};
+
+/// Query over the run table, in ascending run-id order. Runs evicted under
+/// the retention policy no longer appear (and getRun() on them is
+/// kNotFound) — the table is bounded by design.
+struct ListRunsRequest {
+  std::uint32_t api_version = kApiVersion;
+  /// Keep only runs currently in this state, e.g. RunStatus::kRunning.
+  std::optional<RunStatus> status;
+  /// Keep only runs of this image; 0 = any image.
+  workflow::ImageId image = 0;
+  /// Resume after this run id (the previous response's next_page_token).
+  RunId page_token = 0;
+  /// Max runs per page; clamped to at least 1.
+  std::size_t page_size = 100;
+};
+
+struct ListRunsResponse {
+  std::vector<RunInfo> runs;
+  /// Pass as the next request's page_token; 0 when the listing is complete.
+  RunId next_page_token = 0;
 };
 
 }  // namespace qon::api

@@ -14,15 +14,20 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (joined_) return;
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+  joined_ = true;
 }
 
 void ThreadPool::worker_loop() {
@@ -30,8 +35,10 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
+      cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !tasks_.empty();
+      });
+      if (tasks_.empty()) return;  // only reachable when stopping
       task = std::move(tasks_.front());
       tasks_.pop();
     }

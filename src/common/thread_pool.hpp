@@ -7,11 +7,13 @@
 // Used to parallelize NSGA-II population evaluation, Monte-Carlo noise
 // trajectories and state-vector gate application.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <type_traits>
@@ -22,6 +24,13 @@ namespace qon {
 /// Fixed-size thread pool. submit() accepts any nullary callable and
 /// returns a std::future of its result type for value/exception
 /// propagation.
+///
+/// Shutdown contract: once shutdown() begins (explicitly or via the
+/// destructor), every task already accepted still runs to completion, and
+/// every later submission is rejected deterministically — try_submit()
+/// returns nullopt, submit() throws. A submission can never race the worker
+/// join into being silently dropped: acceptance and the stop flag are
+/// decided under one lock, and workers drain the queue before exiting.
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
@@ -33,20 +42,37 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; the returned future yields the task's return value
-  /// and rethrows any task exception.
+  /// Stops accepting work, runs everything already queued, and joins the
+  /// workers. Idempotent and safe to call concurrently with submissions.
+  void shutdown();
+
+  /// True once shutdown has begun; any subsequent submission is rejected.
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
+
+  /// Enqueues a task unless the pool is shutting down; nullopt means the
+  /// task was rejected and will never run. The future yields the task's
+  /// return value and rethrows any task exception.
   template <typename F>
-  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& f) {
+  std::optional<std::future<std::invoke_result_t<std::decay_t<F>>>> try_submit(F&& f) {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown");
+      if (stopping_.load(std::memory_order_relaxed)) return std::nullopt;
       tasks_.push([task] { (*task)(); });
     }
     cv_.notify_one();
     return fut;
+  }
+
+  /// try_submit() for call sites that treat a shut-down pool as a logic
+  /// error: throws std::logic_error on rejection.
+  template <typename F>
+  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& f) {
+    auto fut = try_submit(std::forward<F>(f));
+    if (!fut) throw std::logic_error("ThreadPool::submit after shutdown");
+    return std::move(*fut);
   }
 
  private:
@@ -56,7 +82,11 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stopping_ = false;
+  /// Written under mutex_ (ordering vs. task acceptance); atomic so
+  /// stopping() can be read without the lock.
+  std::atomic<bool> stopping_{false};
+  std::mutex join_mutex_;  ///< serializes concurrent shutdown() calls
+  bool joined_ = false;    ///< guarded by join_mutex_
 };
 
 /// Process-wide default pool (lazily constructed).

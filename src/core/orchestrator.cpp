@@ -22,16 +22,31 @@ Qonductor::Qonductor(QonductorConfig config)
                                    config.classical_highend_nodes,
                                    config.classical_fpga_nodes)),
       monitor_(config.replicated_monitor),
+      run_table_(config.retention),
       executor_(std::make_unique<ThreadPool>(
           std::max<std::size_t>(1, config.executor_threads))) {
   templates_ = fleet_.template_backends();
   qpu_available_at_.assign(fleet_.backends.size(), 0.0);
+  // GC follows the record: when the run table evicts a terminal run, its
+  // status entry leaves the system monitor too.
+  run_table_.set_eviction_observer(
+      [this](RunId run) { monitor_.erase_workflow_status(run); });
   publish_fleet_state();
 }
 
 // Default: executor_ is declared last, so it is destroyed first and drains
 // in-flight runs while every other member is still alive.
 Qonductor::~Qonductor() = default;
+
+void Qonductor::shutdown() { executor_->shutdown(); }
+
+void Qonductor::advance_fleet_clock(double up_to) {
+  // Callers hold engine_mutex_, so a plain read-modify-write is race-free;
+  // the atomic store publishes the frontier to lock-free readers.
+  if (up_to > fleet_clock_.load(std::memory_order_relaxed)) {
+    fleet_clock_.store(up_to, std::memory_order_release);
+  }
+}
 
 void Qonductor::publish_fleet_state() {
   for (std::size_t q = 0; q < fleet_.backends.size(); ++q) {
@@ -117,39 +132,38 @@ api::Status Qonductor::validate_invoke(const api::InvokeRequest& request,
   return api::Status::Ok();
 }
 
-std::shared_ptr<api::RunState> Qonductor::start_run(const workflow::WorkflowImage* image) {
+api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* image) {
   auto state = std::make_shared<api::RunState>();
   state->image = image->id;
-  {
-    std::lock_guard<std::mutex> lock(runs_mutex_);
-    state->id = next_run_++;
-    runs_[state->id] = state;
-  }
-  monitor_.set_workflow_status(state->id, api::run_status_name(api::RunStatus::kPending));
-  try {
-    executor_->submit([this, state, image] { execute_run(state, image); });
-  } catch (...) {
-    // Executor rejected the run (shutdown). Retract the record so no
-    // waiter can block forever on a run that will never execute.
+  state->submitted_at = fleetNow();
+  const RunId run = run_table_.insert(state);
+  monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kPending));
+  auto queued = executor_->try_submit([this, state, image] { execute_run(state, image); });
+  if (!queued) {
+    // Executor rejected the run (shutdown). Retract the record and fail
+    // the state so no waiter can block forever on a run that will never
+    // execute.
+    run_table_.erase(run);
     {
-      std::lock_guard<std::mutex> lock(runs_mutex_);
-      runs_.erase(state->id);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->status = api::RunStatus::kFailed;
+      state->finished_at = fleetNow();
+      state->result.run = run;
+      state->result.status = api::RunStatus::kFailed;
+      state->result.error = api::Unavailable("executor shutting down");
     }
-    monitor_.set_workflow_status(state->id, api::run_status_name(api::RunStatus::kFailed));
-    throw;
+    state->cv.notify_all();
+    monitor_.erase_workflow_status(run);
+    return api::Unavailable("invoke: executor is shutting down, run " +
+                            std::to_string(run) + " rejected");
   }
-  return state;
+  return api::RunHandle(state);
 }
 
 api::Result<api::RunHandle> Qonductor::invoke(const api::InvokeRequest& request) {
   const workflow::WorkflowImage* img = nullptr;
   if (api::Status status = validate_invoke(request, &img); !status.ok()) return status;
-  try {
-    return api::RunHandle(start_run(img));
-  } catch (const std::exception& e) {
-    // Executor shut down mid-request (orchestrator being destroyed).
-    return api::Unavailable(std::string("invoke: ") + e.what());
-  }
+  return start_run(img);
 }
 
 api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
@@ -165,26 +179,59 @@ api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
   }
   std::vector<api::RunHandle> handles;
   handles.reserve(requests.size());
-  try {
-    for (const workflow::WorkflowImage* img : images) {
-      handles.emplace_back(start_run(img));
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    auto handle = start_run(images[i]);
+    if (!handle.ok()) {
+      // Only reachable when the executor shuts down mid-batch. Runs queued
+      // before the failure keep executing and stay queryable by run id; the
+      // failed run itself was retracted by start_run.
+      return api::Status(handle.status().code(), "invokeAll[" + std::to_string(i) +
+                                                     "]: " + handle.status().message());
     }
-  } catch (const std::exception& e) {
-    // Only reachable when the executor shuts down mid-batch. Runs queued
-    // before the failure keep executing and stay queryable by run id; the
-    // failed run itself was retracted by start_run.
-    return api::Unavailable(std::string("invokeAll: ") + e.what());
+    handles.push_back(*std::move(handle));
   }
   return handles;
 }
 
 api::Result<api::RunHandle> Qonductor::runHandle(RunId run) const {
-  std::lock_guard<std::mutex> lock(runs_mutex_);
-  const auto it = runs_.find(run);
-  if (it == runs_.end()) {
+  auto state = run_table_.find(run);
+  if (!state) {
     return api::NotFound("runHandle: unknown run " + std::to_string(run));
   }
-  return api::RunHandle(it->second);
+  return api::RunHandle(std::move(state));
+}
+
+api::Result<api::GetRunResponse> Qonductor::getRun(const api::GetRunRequest& request) const {
+  auto state = run_table_.find(request.run);
+  if (!state) {
+    return api::NotFound("getRun: unknown run " + std::to_string(request.run));
+  }
+  auto info = api::RunHandle(std::move(state)).info();
+  if (!info.ok()) return info.status();
+  api::GetRunResponse response;
+  response.info = *std::move(info);
+  return response;
+}
+
+api::Result<api::ListRunsResponse> Qonductor::listRuns(
+    const api::ListRunsRequest& request) const {
+  const std::size_t page_size = std::max<std::size_t>(1, request.page_size);
+  api::ListRunsResponse response;
+  // The table is bounded by the retention policy, so snapshotting the tail
+  // beyond the page token is cheap; filters apply to the live status.
+  for (const auto& state : run_table_.list_after(request.page_token)) {
+    auto info = api::RunHandle(state).info();
+    if (!info.ok()) continue;  // unreachable: table states are never empty
+    if (request.status.has_value() && info->status != *request.status) continue;
+    if (request.image != 0 && info->image != request.image) continue;
+    if (response.runs.size() == page_size) {
+      // One more match exists beyond this page: hand out a resume token.
+      response.next_page_token = response.runs.back().run;
+      break;
+    }
+    response.runs.push_back(*std::move(info));
+  }
+  return response;
 }
 
 api::Result<api::WorkflowStatusResponse> Qonductor::workflowStatus(
@@ -214,61 +261,6 @@ api::Result<api::WorkflowResultsResponse> Qonductor::workflowResults(
   api::WorkflowResultsResponse response;
   response.result = *std::move(result);
   return response;
-}
-
-// ---- deprecated synchronous shims --------------------------------------------
-
-workflow::ImageId Qonductor::createWorkflow(const std::string& name,
-                                            std::vector<workflow::HybridTask> tasks,
-                                            const std::string& yaml_config) {
-  api::CreateWorkflowRequest request;
-  request.name = name;
-  request.tasks = std::move(tasks);
-  request.yaml_config = yaml_config;
-  auto response = createWorkflow(std::move(request));
-  if (!response.ok()) throw std::invalid_argument(response.status().to_string());
-  return response->image;
-}
-
-workflow::ImageId Qonductor::deploy(workflow::ImageId image) {
-  api::DeployRequest request;
-  request.image = image;
-  auto response = deploy(request);
-  if (!response.ok()) {
-    if (response.status().code() == api::StatusCode::kNotFound) {
-      throw std::out_of_range(response.status().to_string());
-    }
-    throw std::invalid_argument(response.status().to_string());
-  }
-  return response->image;
-}
-
-RunId Qonductor::invoke(workflow::ImageId image) {
-  api::InvokeRequest request;
-  request.image = image;
-  auto handle = invoke(request);
-  if (!handle.ok()) throw std::invalid_argument(handle.status().to_string());
-  handle->wait();  // the old contract: invoke() returned a finished run
-  return handle->id();
-}
-
-WorkflowStatus Qonductor::workflowStatus(RunId run) const {
-  auto handle = runHandle(run);
-  if (!handle.ok()) throw std::out_of_range("workflowStatus: unknown run");
-  return handle->poll();
-}
-
-const WorkflowResult& Qonductor::workflowResults(RunId run) const {
-  std::shared_ptr<api::RunState> state;
-  {
-    std::lock_guard<std::mutex> lock(runs_mutex_);
-    const auto it = runs_.find(run);
-    if (it != runs_.end()) state = it->second;
-  }
-  if (!state) throw std::out_of_range("workflowResults: unknown run");
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&state] { return api::run_status_terminal(state->status); });
-  return state->result;  // stable once terminal
 }
 
 // ---- control/data-plane operations -------------------------------------------
@@ -301,16 +293,23 @@ void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
       state->result.status = api::RunStatus::kCancelled;
       state->result.error = api::Cancelled("run cancelled before execution started");
       state->status = api::RunStatus::kCancelled;
+      state->finished_at = fleetNow();
+      // The monitor write must precede mark_terminal: the instant the run
+      // is GC-eligible a concurrent eviction may erase the monitor entry,
+      // and a later write would resurrect it unerasable.
+      monitor_.set_workflow_status(run,
+                                   api::run_status_name(api::RunStatus::kCancelled));
+      // Inside the state lock so that any observer of the terminal status
+      // finds the table already treating the run as GC-eligible.
+      run_table_.mark_terminal(run);
       cancelled_before_start = true;
     } else {
       state->status = api::RunStatus::kRunning;
+      state->started_at = fleetNow();
     }
   }
   state->cv.notify_all();
-  if (cancelled_before_start) {
-    monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kCancelled));
-    return;
-  }
+  if (cancelled_before_start) return;
   monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kRunning));
 
   WorkflowResult result;
@@ -336,6 +335,7 @@ void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
       TaskResult tr = task.kind == workflow::TaskKind::kQuantum
                           ? run_quantum_task(task, ready, run)
                           : run_classical_task(task, ready);
+      advance_fleet_clock(tr.end);
       finish[t] = tr.end;
       result.makespan_seconds = std::max(result.makespan_seconds, tr.end);
       result.total_cost_dollars += tr.cost_dollars;
@@ -361,6 +361,11 @@ void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
     std::lock_guard<std::mutex> lock(state->mutex);
     state->result = std::move(result);
     state->status = state->result.status;
+    state->finished_at = fleetNow();
+    // Inside the state lock: a client that observes the terminal status
+    // (poll/wait/result all take this lock) is guaranteed the run is
+    // already GC-eligible in the table — listRuns/getRun never lag.
+    run_table_.mark_terminal(run);
   }
   state->cv.notify_all();
 }

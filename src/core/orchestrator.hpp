@@ -8,6 +8,7 @@
 //   deploy          — register the image for execution           (User->CP)
 //   invoke          — run a deployed image                       (User->CP)
 //   workflowStatus / workflowResults — query execution           (User->CP)
+//   listRuns / getRun — query the run table                      (User->CP)
 //   listImages      — registry contents                          (CP->DP)
 //   estimateResources — resource plans for a circuit             (CP->CP)
 //   generateSchedule  — hybrid schedule for a job batch          (CP->CP)
@@ -16,10 +17,15 @@
 // run on the executor pool and returns an api::RunHandle immediately; the
 // workflow DAG executes off-thread against the fleet's virtual clock. All
 // error paths on the request/response surface return api::Status — no
-// exception crosses the API boundary. The pre-async signatures survive as
-// thin deprecated shims that block and throw, so older call sites keep
-// compiling while they migrate.
+// exception crosses the API boundary.
+//
+// Run records live in a bounded RunTable: terminal runs are garbage-
+// collected under QonductorConfig::retention (LRU + TTL), so a long-lived
+// orchestrator serving sustained traffic holds a bounded amount of run
+// state. In-flight runs are never evicted, and an api::RunHandle keeps
+// answering after its record ages out of the table.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -32,6 +38,7 @@
 #include "api/run_handle.hpp"
 #include "api/types.hpp"
 #include "common/thread_pool.hpp"
+#include "core/run_table.hpp"
 #include "core/system_monitor.hpp"
 #include "estimator/plans.hpp"
 #include "qpu/fleet.hpp"
@@ -66,6 +73,8 @@ struct QonductorConfig {
   int trajectory_width_limit = 12;
   /// Executor pool width: how many workflow runs make progress in parallel.
   std::size_t executor_threads = 2;
+  /// Garbage collection of terminal run records (see core::RunTable).
+  RunRetentionPolicy retention;
   /// Observer called by the executor right before each task runs (tracing,
   /// test instrumentation). Must be thread-safe; called outside all locks.
   std::function<void(RunId, const std::string&)> on_task_start;
@@ -87,34 +96,27 @@ class Qonductor {
   api::Result<api::CreateWorkflowResponse> createWorkflow(api::CreateWorkflowRequest request);
   api::Result<api::DeployResponse> deploy(const api::DeployRequest& request);
   /// Returns as soon as the run is queued; execution proceeds off-thread.
+  /// kUnavailable once shutdown() has begun.
   api::Result<api::RunHandle> invoke(const api::InvokeRequest& request);
   /// Atomic batch: validates every request first, then queues all runs;
   /// on any validation error nothing is started.
   api::Result<std::vector<api::RunHandle>> invokeAll(const std::vector<api::InvokeRequest>& requests);
   api::Result<api::WorkflowStatusResponse> workflowStatus(const api::WorkflowStatusRequest& request) const;
   api::Result<api::WorkflowResultsResponse> workflowResults(const api::WorkflowResultsRequest& request) const;
+  /// Lifecycle record of one run: state, virtual-clock timestamps, error.
+  /// kNotFound for unknown ids — including runs evicted under `retention`.
+  api::Result<api::GetRunResponse> getRun(const api::GetRunRequest& request) const;
+  /// Pages over the run table in run-id order with optional state/image
+  /// filters; see api::ListRunsRequest.
+  api::Result<api::ListRunsResponse> listRuns(const api::ListRunsRequest& request) const;
   /// Handle for an already-started run (e.g. a run id received over the
   /// wire); kNotFound for unknown ids.
   api::Result<api::RunHandle> runHandle(RunId run) const;
 
-  // -- deprecated synchronous shims (pre-v1 surface) ---------------------------
-  /// @deprecated Use createWorkflow(CreateWorkflowRequest). Throws
-  /// std::invalid_argument on error.
-  workflow::ImageId createWorkflow(const std::string& name,
-                                   std::vector<workflow::HybridTask> tasks,
-                                   const std::string& yaml_config = "");
-  /// @deprecated Use deploy(DeployRequest). Throws std::out_of_range on an
-  /// unknown image and std::invalid_argument otherwise.
-  workflow::ImageId deploy(workflow::ImageId image);
-  /// @deprecated Use invoke(InvokeRequest). Blocks until the run finishes
-  /// (the old synchronous contract); throws std::invalid_argument on error.
-  RunId invoke(workflow::ImageId image);
-  /// @deprecated Use workflowStatus(WorkflowStatusRequest). Throws
-  /// std::out_of_range on an unknown run.
-  WorkflowStatus workflowStatus(RunId run) const;
-  /// @deprecated Use workflowResults(WorkflowResultsRequest). Blocks until
-  /// the run is terminal; throws std::out_of_range on an unknown run.
-  const WorkflowResult& workflowResults(RunId run) const;
+  /// Stops accepting new runs (subsequent invoke() returns kUnavailable),
+  /// finishes every run already queued, and joins the executor pool.
+  /// Idempotent; queries keep working after shutdown.
+  void shutdown();
 
   // -- Table 2: control/data-plane operations ----------------------------------
   std::vector<workflow::ImageId> listImages() const;
@@ -125,16 +127,23 @@ class Qonductor {
   const qpu::Fleet& fleet() const { return fleet_; }
   SystemMonitor& monitor() { return monitor_; }
   const std::vector<sched::ClassicalNode>& nodes() const { return nodes_; }
+  /// The run table backing getRun/listRuns (eviction counters, sweep()).
+  /// Non-const like monitor(): mutating it is an owner-level operation.
+  RunTable& runTable() { return run_table_; }
+  /// Current frontier of the fleet's virtual clock, in seconds: the latest
+  /// task-completion time any resource has reached.
+  double fleetNow() const { return fleet_clock_.load(std::memory_order_acquire); }
 
  private:
   api::Status validate_invoke(const api::InvokeRequest& request,
                               const workflow::WorkflowImage** image_out) const;
-  std::shared_ptr<api::RunState> start_run(const workflow::WorkflowImage* image);
+  api::Result<api::RunHandle> start_run(const workflow::WorkflowImage* image);
   void execute_run(const std::shared_ptr<api::RunState>& state,
                    const workflow::WorkflowImage* image);
   TaskResult run_quantum_task(const workflow::HybridTask& task, double ready_at, RunId run);
   TaskResult run_classical_task(const workflow::HybridTask& task, double ready_at);
   void publish_fleet_state();
+  void advance_fleet_clock(double up_to);
 
   QonductorConfig config_;
   Rng rng_;
@@ -145,16 +154,18 @@ class Qonductor {
   workflow::WorkflowRegistry registry_;
   std::map<workflow::ImageId, bool> deployed_;
   SystemMonitor monitor_;
-  std::map<RunId, std::shared_ptr<api::RunState>> runs_;
-  RunId next_run_ = 1;
+  /// Owns the run records; mutable because lookups refresh LRU recency.
+  /// Declared before executor_ so in-flight runs can use it during drain.
+  mutable RunTable run_table_;
   std::vector<double> qpu_available_at_;
+  /// Monotone frontier of the virtual clock, advanced by the executor under
+  /// engine_mutex_ and read lock-free when stamping run lifecycle times.
+  std::atomic<double> fleet_clock_{0.0};
 
   /// Guards registry_ + deployed_. The registry is append-only, so image
   /// pointers obtained under this lock stay valid for the orchestrator's
   /// lifetime.
   mutable std::mutex registry_mutex_;
-  /// Guards runs_ + next_run_. Individual run records carry their own lock.
-  mutable std::mutex runs_mutex_;
   /// Serializes data-plane task execution: the fleet virtual clock
   /// (qpu_available_at_), the shared RNG and the hidden-noise model.
   std::mutex engine_mutex_;

@@ -98,4 +98,8 @@ std::optional<std::string> SystemMonitor::workflow_status(std::uint64_t run_id) 
   return get_unlocked("workflow/" + std::to_string(run_id) + "/status");
 }
 
+void SystemMonitor::erase_workflow_status(std::uint64_t run_id) {
+  erase("workflow/" + std::to_string(run_id) + "/status");
+}
+
 }  // namespace qon::core

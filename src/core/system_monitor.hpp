@@ -48,6 +48,9 @@ class SystemMonitor {
   // -- workflow state ---------------------------------------------------------
   void set_workflow_status(std::uint64_t run_id, const std::string& status);
   std::optional<std::string> workflow_status(std::uint64_t run_id) const;
+  /// Drops a run's status record; called when the run table evicts the run
+  /// so the monitor's footprint stays bounded alongside it.
+  void erase_workflow_status(std::uint64_t run_id);
 
   bool replicated() const { return store_ != nullptr; }
 

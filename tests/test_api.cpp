@@ -1,13 +1,16 @@
 // Tests for the v1 typed/async API surface: Status + Result<T>, the
 // request/response client facade, the non-blocking invoke() lifecycle
 // (poll/wait/wait_for/cancel), batched invokeAll, typed error codes, API
-// versioning, and a concurrency smoke test.
+// versioning, a concurrency smoke test, and a randomized lifecycle
+// property test (every observed state sequence is a prefix walk of
+// kPending -> kRunning -> terminal, and all terminal queries agree).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <iostream>
 #include <memory>
 #include <set>
 #include <thread>
@@ -15,6 +18,7 @@
 
 #include "api/client.hpp"
 #include "circuit/library.hpp"
+#include "common/rng.hpp"
 
 namespace qon::api {
 namespace {
@@ -439,19 +443,155 @@ TEST(Concurrency, ManyClientsInvokeInParallel) {
   EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kRunsPerThread));
 }
 
-// ---- deprecated shims --------------------------------------------------------
+// ---- executor shutdown (error table: UNAVAILABLE) ----------------------------
 
-TEST(DeprecatedShims, OldSurfaceStillBlocksAndThrows) {
-  core::Qonductor qonductor(small_config());
-  const auto image = qonductor.createWorkflow(
-      "legacy", {workflow::HybridTask::classical("c", 0.1)});
-  qonductor.deploy(image);
-  EXPECT_THROW(qonductor.deploy(image), std::invalid_argument);  // double deploy
-  const auto run = qonductor.invoke(image);  // blocks until done
-  EXPECT_EQ(qonductor.workflowStatus(run), core::WorkflowStatus::kCompleted);
-  EXPECT_EQ(qonductor.workflowResults(run).tasks.size(), 1u);
-  EXPECT_THROW(qonductor.workflowStatus(run + 1), std::out_of_range);
-  EXPECT_THROW(qonductor.invoke(image + 1), std::invalid_argument);
+TEST(ApiErrors, ShutdownRejectsNewRunsAsUnavailable) {
+  QonductorClient client(small_config());
+  const auto image = deploy_classical(client, "drain");
+
+  InvokeRequest request;
+  request.image = image;
+  auto pre = client.invoke(request);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->wait(), RunStatus::kCompleted);
+
+  client.backend().shutdown();
+
+  // New work is rejected with the typed UNAVAILABLE — single and batched.
+  auto post = client.invoke(request);
+  ASSERT_FALSE(post.ok());
+  EXPECT_EQ(post.status().code(), StatusCode::kUnavailable);
+  auto batch = client.invokeAll({request, request});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kUnavailable);
+
+  // Completed runs stay queryable through every surface.
+  EXPECT_EQ(pre->poll(), RunStatus::kCompleted);
+  auto info = client.getRun(pre->id());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->status, RunStatus::kCompleted);
+}
+
+TEST(ApiErrors, ShutdownMidRunDrainsQueuedWorkBeforeRejecting) {
+  auto gate = std::make_shared<TaskGate>();
+  auto config = gated_config(gate);
+  config.executor_threads = 1;  // one lane: the second run must queue
+  QonductorClient client(config);
+  const auto image = deploy_classical(client, "mid-shutdown");
+
+  InvokeRequest request;
+  request.image = image;
+  auto running = client.invoke(request);
+  ASSERT_TRUE(running.ok());
+  gate->entered.get_future().wait();  // the lane is now occupied
+  auto queued = client.invoke(request);
+  ASSERT_TRUE(queued.ok());
+
+  // Shut down while one run executes and another waits in the queue. The
+  // contract: accepted work drains to completion, nothing is dropped.
+  std::thread shutter([&client] { client.backend().shutdown(); });
+  gate->release.set_value();
+  shutter.join();
+
+  EXPECT_EQ(running->poll(), RunStatus::kCompleted);
+  EXPECT_EQ(queued->poll(), RunStatus::kCompleted);
+
+  auto late = client.invoke(request);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+// ---- randomized lifecycle property test --------------------------------------
+
+// For 500 randomly seeded runs (mixed images, random cancellations, jittered
+// polling), every observed status sequence must be a prefix walk of
+//   kPending -> kRunning -> {kCompleted | kCancelled}
+// (each status rank non-decreasing, nothing after a terminal state), and
+// once terminal, poll() / wait() / wait_for(0) / result() / info() must all
+// agree on the outcome.
+TEST(LifecycleProperty, StateSequencesArePrefixWalksAndTerminalQueriesAgree) {
+  constexpr std::uint64_t kSeed = 20260728;  // change to reproduce a failure
+  RecordProperty("seed", std::to_string(kSeed));
+  std::cout << "LifecycleProperty seed = " << kSeed << "\n";
+  Rng rng(kSeed);
+
+  auto config = small_config();
+  config.executor_threads = 4;
+  config.retention.max_terminal_runs = 600;  // keep all 500 queryable
+  QonductorClient client(config);
+  const auto quick = deploy_classical(client, "prop-quick", /*num_tasks=*/1);
+  const auto chained = deploy_classical(client, "prop-chained", /*num_tasks=*/3);
+
+  const auto rank = [](RunStatus status) {
+    if (status == RunStatus::kPending) return 0;
+    if (status == RunStatus::kRunning) return 1;
+    return 2;
+  };
+
+  constexpr int kRuns = 500;
+  constexpr int kWave = 50;  // bound the number of simultaneous handles
+  int completed = 0;
+  int cancelled = 0;
+  for (int wave = 0; wave < kRuns / kWave; ++wave) {
+    std::vector<RunHandle> handles;
+    std::vector<bool> asked_to_cancel;
+    handles.reserve(kWave);
+    for (int r = 0; r < kWave; ++r) {
+      InvokeRequest request;
+      request.image = rng.bernoulli(0.5) ? quick : chained;
+      auto handle = client.invoke(request);
+      ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+      const bool cancel = rng.bernoulli(0.3);
+      if (cancel) handle->cancel();
+      handles.push_back(*std::move(handle));
+      asked_to_cancel.push_back(cancel);
+    }
+    for (std::size_t h = 0; h < handles.size(); ++h) {
+      const RunHandle& handle = handles[h];
+      std::vector<RunStatus> observed{handle.poll()};
+      while (!run_status_terminal(observed.back())) {
+        if (rng.bernoulli(0.5)) std::this_thread::yield();
+        const RunStatus next = handle.poll();
+        if (next != observed.back()) observed.push_back(next);
+      }
+      for (std::size_t i = 1; i < observed.size(); ++i) {
+        ASSERT_LT(rank(observed[i - 1]), 2)
+            << "run " << handle.id() << ": status observed after a terminal state";
+        ASSERT_GT(rank(observed[i]), rank(observed[i - 1]))
+            << "run " << handle.id() << ": lifecycle walked backwards";
+      }
+
+      // After a terminal state, every query agrees on the outcome.
+      const RunStatus final_status = observed.back();
+      ASSERT_TRUE(run_status_terminal(final_status));
+      EXPECT_EQ(handle.poll(), final_status);
+      EXPECT_EQ(handle.wait(), final_status);
+      auto waited = handle.wait_for(0ms);
+      ASSERT_TRUE(waited.ok()) << waited.status().to_string();
+      EXPECT_EQ(*waited, final_status);
+      auto result = handle.result();
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->status, final_status);
+      EXPECT_EQ(result->error.ok(), final_status == RunStatus::kCompleted);
+      auto info = handle.info();
+      ASSERT_TRUE(info.ok());
+      EXPECT_EQ(info->status, final_status);
+      EXPECT_GE(info->finished_at, info->submitted_at);
+
+      // Only cancellation was injected, so failures are real bugs; a run
+      // never asked to cancel must complete.
+      ASSERT_NE(final_status, RunStatus::kFailed)
+          << "run " << handle.id() << ": " << result->error.to_string();
+      if (!asked_to_cancel[h]) {
+        EXPECT_EQ(final_status, RunStatus::kCompleted);
+      }
+      (final_status == RunStatus::kCompleted ? completed : cancelled) += 1;
+    }
+  }
+  std::cout << "LifecycleProperty: " << completed << " completed, " << cancelled
+            << " cancelled\n";
+  EXPECT_EQ(completed + cancelled, kRuns);
+  EXPECT_GT(completed, 0);
 }
 
 }  // namespace

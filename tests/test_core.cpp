@@ -1,11 +1,10 @@
 // Tests for the core orchestrator: the system monitor (local and
 // Raft-replicated), and the Table-2 API surface end to end — create,
-// deploy, invoke, status, results, resource estimation and scheduling.
-//
-// These exercise the deprecated synchronous shims (invoke() blocking until
-// the run finishes, errors thrown as std::invalid_argument/std::out_of_range)
-// and pin their contract while call sites migrate; the v1 typed/async
-// surface is covered by tests/test_api.cpp.
+// deploy, invoke, status, results, resource estimation and scheduling —
+// exercised directly on core::Qonductor through the typed request/response
+// surface (the former synchronous shims are gone). The client facade and
+// the async lifecycle corners are covered by tests/test_api.cpp; the run
+// table's retention policy by tests/test_run_table.cpp.
 
 #include <gtest/gtest.h>
 
@@ -59,6 +58,8 @@ TEST(SystemMonitor, WorkflowStatusRoundTrip) {
   monitor.set_workflow_status(42, "running");
   EXPECT_EQ(monitor.workflow_status(42).value_or(""), "running");
   EXPECT_FALSE(monitor.workflow_status(43).has_value());
+  monitor.erase_workflow_status(42);
+  EXPECT_FALSE(monitor.workflow_status(42).has_value());
 }
 
 class OrchestratorFixture : public ::testing::Test {
@@ -69,6 +70,40 @@ class OrchestratorFixture : public ::testing::Test {
     config.seed = 4242;
     config.trajectory_width_limit = 8;
     return config;
+  }
+
+  /// createWorkflow through the typed surface; asserts success.
+  static workflow::ImageId create(Qonductor& orchestrator, const std::string& name,
+                                  std::vector<workflow::HybridTask> tasks,
+                                  const std::string& yaml_config = "") {
+    api::CreateWorkflowRequest request;
+    request.name = name;
+    request.tasks = std::move(tasks);
+    request.yaml_config = yaml_config;
+    auto created = orchestrator.createWorkflow(std::move(request));
+    EXPECT_TRUE(created.ok()) << created.status().to_string();
+    return created.ok() ? created->image : 0;
+  }
+
+  static void deploy(Qonductor& orchestrator, workflow::ImageId image) {
+    api::DeployRequest request;
+    request.image = image;
+    auto deployed = orchestrator.deploy(request);
+    ASSERT_TRUE(deployed.ok()) << deployed.status().to_string();
+  }
+
+  /// invoke + wait: the blocking convenience the old sync surface offered,
+  /// now composed from the async primitives.
+  static api::WorkflowResult invoke_and_wait(Qonductor& orchestrator,
+                                             workflow::ImageId image) {
+    api::InvokeRequest request;
+    request.image = image;
+    auto handle = orchestrator.invoke(request);
+    EXPECT_TRUE(handle.ok()) << handle.status().to_string();
+    if (!handle.ok()) return {};
+    auto result = handle->result();
+    EXPECT_TRUE(result.ok()) << result.status().to_string();
+    return result.ok() ? *std::move(result) : api::WorkflowResult{};
   }
 };
 
@@ -92,16 +127,13 @@ TEST_F(OrchestratorFixture, CreateDeployInvokeLifecycle) {
   tasks.push_back(workflow::HybridTask::classical("zne-inference", 0.4,
                                                   mitigation::Accelerator::kGpu));
 
-  const auto image = orchestrator.createWorkflow(
-      "qaoa-error-mitigated", std::move(tasks),
-      "resources:\n  limits:\n    qubits: 5\n");
+  const auto image = create(orchestrator, "qaoa-error-mitigated", std::move(tasks),
+                            "resources:\n  limits:\n    qubits: 5\n");
   EXPECT_EQ(orchestrator.listImages(), (std::vector<workflow::ImageId>{image}));
+  deploy(orchestrator, image);
 
-  EXPECT_EQ(orchestrator.deploy(image), image);
-  const auto run = orchestrator.invoke(image);
-  EXPECT_EQ(orchestrator.workflowStatus(run), WorkflowStatus::kCompleted);
-
-  const auto& result = orchestrator.workflowResults(run);
+  const auto result = invoke_and_wait(orchestrator, image);
+  EXPECT_EQ(result.status, WorkflowStatus::kCompleted);
   ASSERT_EQ(result.tasks.size(), 3u);
   EXPECT_EQ(result.tasks[0].kind, workflow::TaskKind::kClassical);
   EXPECT_EQ(result.tasks[1].kind, workflow::TaskKind::kQuantum);
@@ -114,13 +146,24 @@ TEST_F(OrchestratorFixture, CreateDeployInvokeLifecycle) {
   // Tasks run in dependency order on the virtual clock.
   EXPECT_LE(result.tasks[0].end, result.tasks[1].start + 1e-9);
   EXPECT_LE(result.tasks[1].end, result.tasks[2].start + 1e-9);
+
+  // The run's lifecycle record is queryable and stamped on the fleet clock.
+  api::WorkflowStatusRequest status_request;
+  status_request.run = result.run;
+  auto status = orchestrator.workflowStatus(status_request);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->status, WorkflowStatus::kCompleted);
 }
 
 TEST_F(OrchestratorFixture, InvokeRequiresDeploy) {
   Qonductor orchestrator(small_config());
-  const auto image = orchestrator.createWorkflow(
-      "undeployed", {workflow::HybridTask::classical("only", 0.1)});
-  EXPECT_THROW(orchestrator.invoke(image), std::invalid_argument);
+  const auto image = create(orchestrator, "undeployed",
+                            {workflow::HybridTask::classical("only", 0.1)});
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = orchestrator.invoke(request);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), api::StatusCode::kFailedPrecondition);
 }
 
 TEST_F(OrchestratorFixture, DeployRejectsOversizedCircuits) {
@@ -128,24 +171,32 @@ TEST_F(OrchestratorFixture, DeployRejectsOversizedCircuits) {
   circuit::Circuit big(28);
   big.h(0);
   big.measure_all();
-  const auto image = orchestrator.createWorkflow(
-      "too-big", {workflow::HybridTask::quantum("big", big)});
-  EXPECT_THROW(orchestrator.deploy(image), std::invalid_argument);
+  const auto image = create(orchestrator, "too-big",
+                            {workflow::HybridTask::quantum("big", big)});
+  api::DeployRequest request;
+  request.image = image;
+  auto deployed = orchestrator.deploy(request);
+  ASSERT_FALSE(deployed.ok());
+  EXPECT_EQ(deployed.status().code(), api::StatusCode::kResourceExhausted);
 }
 
 TEST_F(OrchestratorFixture, CreateWorkflowValidatesInput) {
   Qonductor orchestrator(small_config());
-  EXPECT_THROW(orchestrator.createWorkflow("empty", {}), std::invalid_argument);
+  api::CreateWorkflowRequest request;
+  request.name = "empty";
+  auto created = orchestrator.createWorkflow(std::move(request));
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), api::StatusCode::kInvalidArgument);
 }
 
 TEST_F(OrchestratorFixture, LargeCircuitsUseAnalyticModel) {
   Qonductor orchestrator(small_config());
-  const auto image = orchestrator.createWorkflow(
-      "wide", {workflow::HybridTask::quantum("qft20", circuit::qft(20), 1000)});
-  orchestrator.deploy(image);
-  const auto run = orchestrator.invoke(image);
-  const auto& result = orchestrator.workflowResults(run);
+  const auto image = create(orchestrator, "wide",
+                            {workflow::HybridTask::quantum("qft20", circuit::qft(20), 1000)});
+  deploy(orchestrator, image);
+  const auto result = invoke_and_wait(orchestrator, image);
   EXPECT_EQ(result.status, WorkflowStatus::kCompleted);
+  ASSERT_EQ(result.tasks.size(), 1u);
   EXPECT_TRUE(result.tasks[0].counts.empty());  // too wide for trajectories
   // A 20-qubit QFT is deep enough that its ESP can round to zero; only the
   // range invariant holds.
@@ -158,10 +209,9 @@ TEST_F(OrchestratorFixture, SequentialQuantumTasksQueueOnFleet) {
   std::vector<workflow::HybridTask> tasks;
   tasks.push_back(workflow::HybridTask::quantum("first", circuit::ghz(4), 2000));
   tasks.push_back(workflow::HybridTask::quantum("second", circuit::ghz(4), 2000));
-  const auto image = orchestrator.createWorkflow("pair", std::move(tasks));
-  orchestrator.deploy(image);
-  const auto run = orchestrator.invoke(image);
-  const auto& result = orchestrator.workflowResults(run);
+  const auto image = create(orchestrator, "pair", std::move(tasks));
+  deploy(orchestrator, image);
+  const auto result = invoke_and_wait(orchestrator, image);
   ASSERT_EQ(result.tasks.size(), 2u);
   EXPECT_GE(result.tasks[1].start, result.tasks[0].end - 1e-9);
 }
@@ -192,19 +242,80 @@ TEST_F(OrchestratorFixture, GenerateScheduleUsesHybridScheduler) {
   for (int a : decision.assignment) EXPECT_GE(a, 0);
 }
 
-TEST_F(OrchestratorFixture, WorkflowStatusUnknownRunThrows) {
+TEST_F(OrchestratorFixture, UnknownRunIsNotFound) {
   Qonductor orchestrator(small_config());
-  EXPECT_THROW(orchestrator.workflowStatus(9999), std::out_of_range);
-  EXPECT_THROW(orchestrator.workflowResults(9999), std::out_of_range);
+  api::WorkflowStatusRequest status_request;
+  status_request.run = 9999;
+  auto status = orchestrator.workflowStatus(status_request);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), api::StatusCode::kNotFound);
+
+  api::GetRunRequest get_request;
+  get_request.run = 9999;
+  auto info = orchestrator.getRun(get_request);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), api::StatusCode::kNotFound);
 }
 
 TEST_F(OrchestratorFixture, MonitorTracksWorkflowStatus) {
   Qonductor orchestrator(small_config());
-  const auto image = orchestrator.createWorkflow(
-      "tracked", {workflow::HybridTask::classical("c", 0.1)});
-  orchestrator.deploy(image);
-  const auto run = orchestrator.invoke(image);
-  EXPECT_EQ(orchestrator.monitor().workflow_status(run).value_or(""), "completed");
+  const auto image = create(orchestrator, "tracked",
+                            {workflow::HybridTask::classical("c", 0.1)});
+  deploy(orchestrator, image);
+  const auto result = invoke_and_wait(orchestrator, image);
+  EXPECT_EQ(orchestrator.monitor().workflow_status(result.run).value_or(""), "completed");
+}
+
+TEST_F(OrchestratorFixture, RunInfoTimestampsFollowTheFleetClock) {
+  Qonductor orchestrator(small_config());
+  std::vector<workflow::HybridTask> tasks;
+  tasks.push_back(workflow::HybridTask::quantum("ghz", circuit::ghz(4), 1000));
+  tasks.push_back(workflow::HybridTask::classical("post", 0.2));
+  const auto image = create(orchestrator, "stamped", std::move(tasks));
+  deploy(orchestrator, image);
+  const auto result = invoke_and_wait(orchestrator, image);
+
+  api::GetRunRequest request;
+  request.run = result.run;
+  auto response = orchestrator.getRun(request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  const api::RunInfo& info = response->info;
+  EXPECT_EQ(info.run, result.run);
+  EXPECT_EQ(info.image, image);
+  EXPECT_EQ(info.status, WorkflowStatus::kCompleted);
+  EXPECT_TRUE(info.error.ok());
+  // submitted -> started -> finished is monotone on the fleet virtual
+  // clock, and the finish stamp has caught up with the executed makespan.
+  EXPECT_GE(info.submitted_at, 0.0);
+  EXPECT_GE(info.started_at, info.submitted_at);
+  EXPECT_GE(info.finished_at, info.started_at);
+  EXPECT_GE(info.finished_at, result.makespan_seconds - 1e-9);
+  EXPECT_GE(orchestrator.fleetNow(), info.finished_at);
+}
+
+TEST_F(OrchestratorFixture, ShutdownIsIdempotentAndKeepsQueriesWorking) {
+  Qonductor orchestrator(small_config());
+  const auto image = create(orchestrator, "pre-shutdown",
+                            {workflow::HybridTask::classical("c", 0.1)});
+  deploy(orchestrator, image);
+  const auto result = invoke_and_wait(orchestrator, image);
+
+  orchestrator.shutdown();
+  orchestrator.shutdown();  // idempotent
+
+  // Queries on existing runs keep answering after shutdown.
+  api::GetRunRequest request;
+  request.run = result.run;
+  auto info = orchestrator.getRun(request);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->info.status, WorkflowStatus::kCompleted);
+
+  // New work is rejected with the typed UNAVAILABLE, not an exception.
+  api::InvokeRequest invoke_request;
+  invoke_request.image = image;
+  auto rejected = orchestrator.invoke(invoke_request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), api::StatusCode::kUnavailable);
 }
 
 }  // namespace

@@ -85,13 +85,22 @@ TEST(Integration, OrchestratorWithReplicatedMonitor) {
   core::Qonductor qonductor(config);
   EXPECT_TRUE(qonductor.monitor().replicated());
 
-  const auto image = qonductor.createWorkflow(
-      "replicated-run", {workflow::HybridTask::quantum("ghz", circuit::ghz(4), 1000)});
-  qonductor.deploy(image);
-  const auto run = qonductor.invoke(image);
-  EXPECT_EQ(qonductor.workflowStatus(run), core::WorkflowStatus::kCompleted);
+  api::CreateWorkflowRequest create;
+  create.name = "replicated-run";
+  create.tasks.push_back(workflow::HybridTask::quantum("ghz", circuit::ghz(4), 1000));
+  const auto created = qonductor.createWorkflow(std::move(create));
+  ASSERT_TRUE(created.ok()) << created.status().to_string();
+  api::DeployRequest deploy_request;
+  deploy_request.image = created->image;
+  ASSERT_TRUE(qonductor.deploy(deploy_request).ok());
+
+  api::InvokeRequest invoke_request;
+  invoke_request.image = created->image;
+  const auto handle = qonductor.invoke(invoke_request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  EXPECT_EQ(handle->wait(), core::WorkflowStatus::kCompleted);
   // The status was committed through the Raft-backed store.
-  EXPECT_EQ(qonductor.monitor().workflow_status(run).value_or(""), "completed");
+  EXPECT_EQ(qonductor.monitor().workflow_status(handle->id()).value_or(""), "completed");
   // Fleet state is readable back from the replicated monitor.
   const auto info = qonductor.monitor().qpu(qonductor.fleet().backends[0]->name());
   ASSERT_TRUE(info.has_value());
