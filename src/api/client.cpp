@@ -99,6 +99,16 @@ Result<ListRunsResponse> QonductorClient::listRuns(const ListRunsRequest& reques
   }
 }
 
+Result<GetSchedulerStatsResponse> QonductorClient::getSchedulerStats(
+    const GetSchedulerStatsRequest& request) const {
+  if (Status v = check_version(request.api_version, "getSchedulerStats"); !v.ok()) return v;
+  try {
+    return backend_->getSchedulerStats(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("getSchedulerStats: ") + e.what());
+  }
+}
+
 Result<ListImagesResponse> QonductorClient::listImages(const ListImagesRequest& request) const {
   if (Status v = check_version(request.api_version, "listImages"); !v.ok()) return v;
   try {

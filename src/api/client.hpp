@@ -52,6 +52,11 @@ class QonductorClient {
   /// Pages over the orchestrator's bounded run table (state/image filters,
   /// run-id-ordered pagination).
   Result<ListRunsResponse> listRuns(const ListRunsRequest& request = {}) const;
+  /// Effective scheduler-service config plus cycle/queue statistics: cycle
+  /// count, batch sizes, pending-queue depth and the Fig. 9c per-stage
+  /// timings of recent scheduling cycles.
+  Result<GetSchedulerStatsResponse> getSchedulerStats(
+      const GetSchedulerStatsRequest& request = {}) const;
 
   // -- control-plane passthroughs (typed, non-throwing) -------------------------
   Result<estimator::PlanSet> estimateResources(const circuit::Circuit& circ) const;

@@ -13,4 +13,21 @@ const char* run_status_name(RunStatus status) {
   return "?";
 }
 
+const char* cycle_trigger_name(CycleTrigger trigger) {
+  switch (trigger) {
+    case CycleTrigger::kThreshold: return "threshold";
+    case CycleTrigger::kTimer: return "timer";
+    case CycleTrigger::kFlush: return "flush";
+  }
+  return "?";
+}
+
+const char* scheduling_mode_name(SchedulingMode mode) {
+  switch (mode) {
+    case SchedulingMode::kBatch: return "batch";
+    case SchedulingMode::kImmediate: return "immediate";
+  }
+  return "?";
+}
+
 }  // namespace qon::api

@@ -161,4 +161,71 @@ struct ListRunsResponse {
   RunId next_page_token = 0;
 };
 
+// ---- scheduler service (§7 job manager) --------------------------------------
+
+/// How the orchestrator dispatches quantum tasks to the fleet.
+///   kBatch     — the default: tasks queue in the scheduler service and are
+///                assigned per scheduling cycle by the hybrid scheduler
+///                (queue-threshold OR timer trigger, §7).
+///   kImmediate — the pre-batching fallback: each task runs a single-job
+///                scheduling cycle inline and executes straight away.
+enum class SchedulingMode { kBatch, kImmediate };
+
+const char* scheduling_mode_name(SchedulingMode mode);
+
+/// Effective scheduler-service configuration, echoed by getSchedulerStats
+/// so clients can see which knobs a deployment runs with.
+struct SchedulerConfigView {
+  SchedulingMode mode = SchedulingMode::kBatch;
+  std::size_t queue_threshold = 0;  ///< trigger: fire at this queue size
+  double interval_seconds = 0.0;    ///< trigger: timer on the fleet clock
+  std::size_t queue_capacity = 0;   ///< pending-queue bound; 0 = unbounded
+  std::size_t max_batch_size = 0;   ///< jobs per cycle cap; 0 = no cap
+};
+
+/// What fired a scheduling cycle: the queue-size threshold, the (virtual)
+/// timer deadline, or the final shutdown drain.
+enum class CycleTrigger { kThreshold, kTimer, kFlush };
+
+const char* cycle_trigger_name(CycleTrigger trigger);
+
+/// One scheduling cycle as observed by the scheduler service. Stage
+/// timings are the Fig. 9c breakdown (preprocess / optimize / select).
+struct SchedulerCycleInfo {
+  std::uint64_t cycle = 0;       ///< 1-based cycle index
+  double fired_at = 0.0;         ///< fleet virtual clock when the cycle fired
+  CycleTrigger trigger = CycleTrigger::kThreshold;
+  std::size_t batch_size = 0;    ///< jobs handed to the hybrid scheduler
+  std::size_t scheduled = 0;     ///< jobs assigned to a QPU
+  std::size_t filtered = 0;      ///< infeasible jobs (failed RESOURCE_EXHAUSTED)
+  std::size_t queue_depth_after = 0;  ///< pending jobs left behind
+  double preprocess_seconds = 0.0;
+  double optimize_seconds = 0.0;
+  double select_seconds = 0.0;
+  double cycle_latency_seconds = 0.0;     ///< wall clock, whole cycle
+  double mean_queue_wait_seconds = 0.0;   ///< virtual wait of this batch
+};
+
+/// Aggregate counters plus a bounded history of recent cycles and per-job
+/// queue waits (virtual seconds between enqueue and dispatch).
+struct SchedulerStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t jobs_scheduled = 0;
+  std::uint64_t jobs_filtered = 0;
+  std::size_t queue_depth = 0;           ///< pending jobs right now
+  std::size_t queue_high_watermark = 0;  ///< Fig. 9b stability statistic
+  std::size_t max_batch_size_seen = 0;
+  std::vector<SchedulerCycleInfo> recent_cycles;  ///< oldest first, bounded
+  std::vector<double> recent_queue_waits;         ///< per-job, bounded
+};
+
+struct GetSchedulerStatsRequest {
+  std::uint32_t api_version = kApiVersion;
+};
+
+struct GetSchedulerStatsResponse {
+  SchedulerConfigView config;
+  SchedulerStats stats;
+};
+
 }  // namespace qon::api

@@ -32,13 +32,44 @@ Qonductor::Qonductor(QonductorConfig config)
   run_table_.set_eviction_observer(
       [this](RunId run) { monitor_.erase_workflow_status(run); });
   publish_fleet_state();
+
+  // Scheduler knobs are validated here, once, so the ScheduleTrigger's
+  // std::invalid_argument never crosses the API boundary: a bad config
+  // parks invoke()/invokeAll() on the stored INVALID_ARGUMENT instead.
+  init_status_ = validate_scheduler_config(config_.scheduler_service);
+  if (init_status_.ok() &&
+      (config_.fidelity_weight < 0.0 || config_.fidelity_weight > 1.0)) {
+    init_status_ = api::InvalidArgument(
+        "QonductorConfig: fidelity_weight must be in [0, 1]");
+  }
+  if (init_status_.ok() && config_.scheduler_service.mode == SchedulingMode::kBatch) {
+    sched::SchedulerConfig cycle_config;
+    cycle_config.fidelity_weight = config_.fidelity_weight;
+    SchedulerServiceHooks hooks;
+    hooks.now = [this] { return fleetNow(); };
+    hooks.snapshot_qpus = [this](double advance_to) {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      advance_fleet_clock(advance_to);
+      return snapshot_qpu_states_locked(fleet_clock_.load(std::memory_order_relaxed));
+    };
+    scheduler_service_ = std::make_unique<SchedulerService>(
+        config_.scheduler_service, config_.seed ^ 0x5c4edULL, cycle_config,
+        std::move(hooks));
+  }
 }
 
 // Default: executor_ is declared last, so it is destroyed first and drains
-// in-flight runs while every other member is still alive.
+// in-flight runs while the scheduler service (declared just before it) is
+// still firing cycles for them; the service then flushes and joins.
 Qonductor::~Qonductor() = default;
 
-void Qonductor::shutdown() { executor_->shutdown(); }
+void Qonductor::shutdown() {
+  // Order matters: draining the executor first lets in-flight runs keep
+  // parking quantum tasks in the (still live) scheduler service; the
+  // service then drains its pending queue with a final flush cycle.
+  executor_->shutdown();
+  if (scheduler_service_) scheduler_service_->shutdown();
+}
 
 void Qonductor::advance_fleet_clock(double up_to) {
   // Callers hold engine_mutex_, so a plain read-modify-write is race-free;
@@ -57,8 +88,26 @@ void Qonductor::publish_fleet_state() {
     info.queue_wait_seconds = qpu_available_at_[q];
     info.mean_gate_error_2q = backend.calibration().mean_gate_error_2q();
     info.calibration_cycle = backend.calibration().cycle;
+    // The online flag is owned by whoever reserves QPUs (§7) — republishing
+    // dynamic state must not silently bring a reserved QPU back.
+    info.online = monitor_.qpu(info.name).value_or(QpuInfo{}).online;
     monitor_.update_qpu(info);
   }
+}
+
+std::vector<sched::QpuState> Qonductor::snapshot_qpu_states_locked(
+    double reference) const {
+  std::vector<sched::QpuState> states;
+  states.reserve(fleet_.backends.size());
+  for (std::size_t q = 0; q < fleet_.backends.size(); ++q) {
+    sched::QpuState state;
+    state.name = fleet_.backends[q]->name();
+    state.size = fleet_.backends[q]->num_qubits();
+    state.queue_wait_seconds = std::max(0.0, qpu_available_at_[q] - reference);
+    state.online = monitor_.qpu(state.name).value_or(QpuInfo{}).online;
+    states.push_back(std::move(state));
+  }
+  return states;
 }
 
 // ---- v1 request/response surface ---------------------------------------------
@@ -161,6 +210,7 @@ api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* 
 }
 
 api::Result<api::RunHandle> Qonductor::invoke(const api::InvokeRequest& request) {
+  if (!init_status_.ok()) return init_status_;
   const workflow::WorkflowImage* img = nullptr;
   if (api::Status status = validate_invoke(request, &img); !status.ok()) return status;
   return start_run(img);
@@ -168,6 +218,7 @@ api::Result<api::RunHandle> Qonductor::invoke(const api::InvokeRequest& request)
 
 api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
     const std::vector<api::InvokeRequest>& requests) {
+  if (!init_status_.ok()) return init_status_;
   // Validate the whole batch before starting anything: an invalid entry
   // rejects the batch atomically.
   std::vector<const workflow::WorkflowImage*> images(requests.size(), nullptr);
@@ -231,6 +282,14 @@ api::Result<api::ListRunsResponse> Qonductor::listRuns(
     }
     response.runs.push_back(*std::move(info));
   }
+  return response;
+}
+
+api::Result<api::GetSchedulerStatsResponse> Qonductor::getSchedulerStats(
+    const api::GetSchedulerStatsRequest&) const {
+  api::GetSchedulerStatsResponse response;
+  response.config = to_config_view(config_.scheduler_service);
+  if (scheduler_service_) response.stats = scheduler_service_->stats();
   return response;
 }
 
@@ -331,11 +390,20 @@ void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
       ready = std::max(ready, finish[dep]);
     }
     try {
-      std::lock_guard<std::mutex> lock(engine_mutex_);
-      TaskResult tr = task.kind == workflow::TaskKind::kQuantum
-                          ? run_quantum_task(task, ready, run)
-                          : run_classical_task(task, ready);
-      advance_fleet_clock(tr.end);
+      // The task runners manage the engine lock themselves: in batch mode a
+      // quantum task parks in the scheduler service's pending queue first,
+      // and holding the lock across that wait would stall every cycle.
+      api::Result<TaskResult> executed = task.kind == workflow::TaskKind::kQuantum
+                                             ? run_quantum_task(task, ready, run)
+                                             : run_classical_task(task, ready);
+      if (!executed.ok()) {
+        result.status = api::RunStatus::kFailed;
+        result.error = api::Status(executed.status().code(),
+                                   "task '" + task.name + "' failed: " +
+                                       executed.status().message());
+        break;
+      }
+      TaskResult tr = *std::move(executed);
       finish[t] = tr.end;
       result.makespan_seconds = std::max(result.makespan_seconds, tr.end);
       result.total_cost_dollars += tr.cost_dollars;
@@ -370,57 +438,41 @@ void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
   state->cv.notify_all();
 }
 
-TaskResult Qonductor::run_quantum_task(const workflow::HybridTask& task, double ready_at,
-                                       RunId run) {
-  // 1. Single-job scheduling cycle across the fleet (queue waits = current
-  //    availability relative to the task's ready time).
-  sched::SchedulingInput input;
-  for (std::size_t q = 0; q < fleet_.backends.size(); ++q) {
-    sched::QpuState state;
-    state.name = fleet_.backends[q]->name();
-    state.size = fleet_.backends[q]->num_qubits();
-    state.queue_wait_seconds = std::max(0.0, qpu_available_at_[q] - ready_at);
-    input.qpus.push_back(state);
-  }
-  sched::QuantumJob job;
-  job.id = run;
-  job.qubits = task.circ.num_qubits();
-  job.shots = task.shots;
-
-  std::vector<transpiler::TranspileResult> transpiled;
-  transpiled.reserve(fleet_.backends.size());
+Qonductor::QuantumTaskPrep Qonductor::prepare_quantum_task(
+    const workflow::HybridTask& task) const {
+  // Pure function of the (immutable) circuit and backends, so executors
+  // prepare concurrently without the engine lock and scheduling cycles get
+  // their estimate rows for free.
+  QuantumTaskPrep prep;
+  prep.transpiled.reserve(fleet_.backends.size());
   for (const auto& backend : fleet_.backends) {
-    transpiled.push_back(transpiler::transpile(task.circ, *backend));
-    const auto& t = transpiled.back();
+    prep.transpiled.push_back(transpiler::transpile(task.circ, *backend));
+    const auto& t = prep.transpiled.back();
     const auto sig = mitigation::compute_signature(
         task.mitigation, static_cast<std::size_t>(task.circ.num_qubits()),
         static_cast<std::size_t>(t.circuit.depth()), t.circuit.two_qubit_gate_count(),
         static_cast<std::size_t>(t.circuit.num_clbits()),
         backend->calibration().mean_gate_error_2q(), task.accelerator);
-    job.est_fidelity.push_back(estimator::predicted_fidelity(t.circuit, *backend, sig));
-    job.est_exec_seconds.push_back(transpiler::job_quantum_runtime(t.schedule, task.shots, *backend) *
-                                   sig.quantum_runtime_multiplier);
+    prep.est_fidelity.push_back(estimator::predicted_fidelity(t.circuit, *backend, sig));
+    prep.est_exec_seconds.push_back(
+        transpiler::job_quantum_runtime(t.schedule, task.shots, *backend) *
+        sig.quantum_runtime_multiplier);
   }
-  input.jobs.push_back(job);
+  return prep;
+}
 
-  sched::SchedulerConfig scheduler;
-  scheduler.fidelity_weight = config_.fidelity_weight;
-  scheduler.nsga2.seed = rng_();
-  const auto decision = sched::schedule_cycle(input, scheduler);
-  if (decision.assignment.empty() || decision.assignment[0] < 0) {
-    throw std::runtime_error("run_quantum_task: no QPU available for '" + task.name + "'");
-  }
-  const auto q = static_cast<std::size_t>(decision.assignment[0]);
+TaskResult Qonductor::execute_quantum_locked(const workflow::HybridTask& task,
+                                             const QuantumTaskPrep& prep, std::size_t q,
+                                             double ready_at, double not_before) {
   const auto& backend = *fleet_.backends[q];
-  const auto& chosen = transpiled[q];
+  const auto& chosen = prep.transpiled[q];
 
-  // 2. Execute on the chosen backend.
   TaskResult result;
   result.name = task.name;
   result.kind = workflow::TaskKind::kQuantum;
   result.resource = backend.name();
-  result.start = std::max(ready_at, qpu_available_at_[q]);
-  result.end = result.start + job.est_exec_seconds[q];
+  result.start = std::max({ready_at, qpu_available_at_[q], not_before});
+  result.end = result.start + prep.est_exec_seconds[q];
   qpu_available_at_[q] = result.end;
 
   // Count active qubits to decide between exact trajectory simulation and
@@ -452,17 +504,73 @@ TaskResult Qonductor::run_quantum_task(const workflow::HybridTask& task, double 
                                                    1.08, task.shots, rng_);
   }
   result.cost_dollars = estimator::job_cost_dollars(
-      job.est_exec_seconds[q],
+      prep.est_exec_seconds[q],
       sig.classical_preprocess_seconds + sig.classical_postprocess_seconds, task.accelerator,
       config_.plan_config.prices);
+  advance_fleet_clock(result.end);
   publish_fleet_state();
   return result;
 }
 
-TaskResult Qonductor::run_classical_task(const workflow::HybridTask& task, double ready_at) {
+api::Result<TaskResult> Qonductor::run_quantum_task(const workflow::HybridTask& task,
+                                                    double ready_at, RunId run) {
+  const QuantumTaskPrep prep = prepare_quantum_task(task);
+
+  if (scheduler_service_) {
+    // Batch path (§7): park the task in the pending queue and wait for a
+    // scheduling cycle to assign a QPU (or filter the job).
+    auto pending = std::make_shared<PendingQuantumTask>();
+    pending->run = run;
+    pending->task_name = task.name;
+    pending->qubits = task.circ.num_qubits();
+    pending->shots = task.shots;
+    pending->ready_at = ready_at;
+    pending->enqueued_at = fleetNow();
+    pending->est_fidelity = prep.est_fidelity;
+    pending->est_exec_seconds = prep.est_exec_seconds;
+    if (!scheduler_service_->enqueue(pending)) {
+      return api::Unavailable("run_quantum_task: scheduler service is shutting down");
+    }
+    pending->await();
+    if (!pending->error.ok()) return pending->error;
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    return execute_quantum_locked(task, prep,
+                                  static_cast<std::size_t>(pending->assigned_qpu),
+                                  ready_at, pending->dispatched_at);
+  }
+
+  // Immediate fallback: a single-job scheduling cycle inline, with queue
+  // waits measured relative to the task's own ready time.
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  sched::SchedulingInput input;
+  input.qpus = snapshot_qpu_states_locked(ready_at);
+  sched::QuantumJob job;
+  job.id = run;
+  job.qubits = task.circ.num_qubits();
+  job.shots = task.shots;
+  job.est_fidelity = prep.est_fidelity;
+  job.est_exec_seconds = prep.est_exec_seconds;
+  input.jobs.push_back(std::move(job));
+
+  sched::SchedulerConfig scheduler;
+  scheduler.fidelity_weight = config_.fidelity_weight;
+  scheduler.nsga2.seed = rng_();
+  const auto decision = sched::schedule_cycle(input, scheduler);
+  if (decision.assignment.empty() || decision.assignment[0] < 0) {
+    return api::ResourceExhausted("run_quantum_task: task '" + task.name +
+                                  "' fits no online QPU in the fleet");
+  }
+  return execute_quantum_locked(task, prep,
+                                static_cast<std::size_t>(decision.assignment[0]),
+                                ready_at, 0.0);
+}
+
+api::Result<TaskResult> Qonductor::run_classical_task(const workflow::HybridTask& task,
+                                                      double ready_at) {
   const int node = sched::schedule_classical(nodes_, task.request);
   if (node < 0) {
-    throw std::runtime_error("run_classical_task: no node fits '" + task.name + "'");
+    return api::ResourceExhausted("run_classical_task: no classical node fits '" +
+                                  task.name + "'");
   }
   TaskResult result;
   result.name = task.name;
@@ -473,6 +581,8 @@ TaskResult Qonductor::run_classical_task(const workflow::HybridTask& task, doubl
   result.cost_dollars = estimator::job_cost_dollars(0.0, result.end - result.start,
                                                     task.accelerator,
                                                     config_.plan_config.prices);
+  std::lock_guard<std::mutex> lock(engine_mutex_);
+  advance_fleet_clock(result.end);
   return result;
 }
 

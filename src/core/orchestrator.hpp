@@ -19,6 +19,14 @@
 // error paths on the request/response surface return api::Status — no
 // exception crosses the API boundary.
 //
+// Quantum dispatch is batch-scheduled (§7): by default each quantum task
+// parks in the scheduler service's pending queue, and a dedicated scheduler
+// thread fires scheduling cycles (queue threshold OR timer on the fleet
+// virtual clock) that assign whole batches via the hybrid scheduler.
+// getSchedulerStats exposes the cycle history; SchedulingMode::kImmediate
+// restores the old greedy per-task path. Tasks no online QPU can host fail
+// their run with the typed RESOURCE_EXHAUSTED.
+//
 // Run records live in a bounded RunTable: terminal runs are garbage-
 // collected under QonductorConfig::retention (LRU + TTL), so a long-lived
 // orchestrator serving sustained traffic holds a bounded amount of run
@@ -39,11 +47,13 @@
 #include "api/types.hpp"
 #include "common/thread_pool.hpp"
 #include "core/run_table.hpp"
+#include "core/scheduler_service.hpp"
 #include "core/system_monitor.hpp"
 #include "estimator/plans.hpp"
 #include "qpu/fleet.hpp"
 #include "sched/hybrid_scheduler.hpp"
 #include "simulator/noise.hpp"
+#include "transpiler/transpiler.hpp"
 #include "workflow/registry.hpp"
 
 namespace qon::core {
@@ -55,6 +65,7 @@ using RunId = api::RunId;
 using WorkflowStatus = api::RunStatus;
 using TaskResult = api::TaskResult;
 using WorkflowResult = api::WorkflowResult;
+using SchedulingMode = api::SchedulingMode;
 
 const char* workflow_status_name(WorkflowStatus status);
 
@@ -72,7 +83,14 @@ struct QonductorConfig {
   /// counts + Hellinger fidelity); larger tasks use the analytic model.
   int trajectory_width_limit = 12;
   /// Executor pool width: how many workflow runs make progress in parallel.
+  /// In kBatch mode a run's executor thread parks while its quantum task
+  /// waits for a scheduling cycle, so this also bounds how many jobs can
+  /// sit in the pending queue at once.
   std::size_t executor_threads = 2;
+  /// The batch-scheduling job manager (mode, trigger thresholds, queue
+  /// bound — see core::SchedulerServiceConfig). Invalid knobs surface as
+  /// INVALID_ARGUMENT from invoke(), never as an exception.
+  SchedulerServiceConfig scheduler_service;
   /// Garbage collection of terminal run records (see core::RunTable).
   RunRetentionPolicy retention;
   /// Observer called by the executor right before each task runs (tracing,
@@ -109,13 +127,19 @@ class Qonductor {
   /// Pages over the run table in run-id order with optional state/image
   /// filters; see api::ListRunsRequest.
   api::Result<api::ListRunsResponse> listRuns(const api::ListRunsRequest& request) const;
+  /// The scheduler service's effective config and cycle/queue statistics
+  /// (cycle count, batch sizes, queue depth, Fig. 9c stage timings). In
+  /// kImmediate mode the stats are all-zero.
+  api::Result<api::GetSchedulerStatsResponse> getSchedulerStats(
+      const api::GetSchedulerStatsRequest& request) const;
   /// Handle for an already-started run (e.g. a run id received over the
   /// wire); kNotFound for unknown ids.
   api::Result<api::RunHandle> runHandle(RunId run) const;
 
   /// Stops accepting new runs (subsequent invoke() returns kUnavailable),
-  /// finishes every run already queued, and joins the executor pool.
-  /// Idempotent; queries keep working after shutdown.
+  /// finishes every run already queued — including one final scheduling
+  /// cycle that drains the pending queue — and joins the executor pool and
+  /// the scheduler thread. Idempotent; queries keep working after shutdown.
   void shutdown();
 
   // -- Table 2: control/data-plane operations ----------------------------------
@@ -135,13 +159,34 @@ class Qonductor {
   double fleetNow() const { return fleet_clock_.load(std::memory_order_acquire); }
 
  private:
+  /// Per-backend transpilation + resource estimates for one quantum task —
+  /// everything a scheduling cycle needs to know about the job, computed
+  /// outside the engine lock (the inputs are immutable).
+  struct QuantumTaskPrep {
+    std::vector<transpiler::TranspileResult> transpiled;
+    std::vector<double> est_fidelity;
+    std::vector<double> est_exec_seconds;
+  };
+
   api::Status validate_invoke(const api::InvokeRequest& request,
                               const workflow::WorkflowImage** image_out) const;
   api::Result<api::RunHandle> start_run(const workflow::WorkflowImage* image);
   void execute_run(const std::shared_ptr<api::RunState>& state,
                    const workflow::WorkflowImage* image);
-  TaskResult run_quantum_task(const workflow::HybridTask& task, double ready_at, RunId run);
-  TaskResult run_classical_task(const workflow::HybridTask& task, double ready_at);
+  api::Result<TaskResult> run_quantum_task(const workflow::HybridTask& task,
+                                           double ready_at, RunId run);
+  api::Result<TaskResult> run_classical_task(const workflow::HybridTask& task,
+                                             double ready_at);
+  QuantumTaskPrep prepare_quantum_task(const workflow::HybridTask& task) const;
+  /// Executes the prepared task on backend `q`; requires engine_mutex_.
+  /// `not_before` floors the start time at the dispatching cycle's fire
+  /// time (0 in immediate mode).
+  TaskResult execute_quantum_locked(const workflow::HybridTask& task,
+                                    const QuantumTaskPrep& prep, std::size_t q,
+                                    double ready_at, double not_before);
+  /// QPU states for a scheduling input (queue waits relative to
+  /// `reference`, online flags from the monitor); requires engine_mutex_.
+  std::vector<sched::QpuState> snapshot_qpu_states_locked(double reference) const;
   void publish_fleet_state();
   void advance_fleet_clock(double up_to);
 
@@ -169,6 +214,16 @@ class Qonductor {
   /// Serializes data-plane task execution: the fleet virtual clock
   /// (qpu_available_at_), the shared RNG and the hidden-noise model.
   std::mutex engine_mutex_;
+
+  /// Verdict of construction-time config validation; a non-OK value is
+  /// returned by invoke()/invokeAll() so bad scheduler knobs surface as a
+  /// typed status instead of an exception crossing the API boundary.
+  api::Status init_status_;
+  /// The batch-scheduling job manager (null in kImmediate mode or when the
+  /// config failed validation). Declared before executor_: runs draining
+  /// through the pool during destruction still park tasks here, so the
+  /// service must outlive the pool.
+  std::unique_ptr<SchedulerService> scheduler_service_;
 
   /// Declared last so it is destroyed first: the destructor drains queued
   /// runs while every other member is still alive.

@@ -1,0 +1,107 @@
+#include "core/pending_queue.hpp"
+
+#include <algorithm>
+
+namespace qon::core {
+
+void PendingQuantumTask::complete(int qpu, double now) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assigned_qpu = qpu;
+    dispatched_at = now;
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+void PendingQuantumTask::fail(api::Status status, double now) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error = std::move(status);
+    dispatched_at = now;
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+void PendingQuantumTask::await() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return done_; });
+}
+
+PendingQueue::PendingQueue(std::size_t capacity) : capacity_(capacity) {}
+
+bool PendingQueue::push(Item item) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    producer_cv_.wait(lock, [this] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    high_watermark_ = std::max(high_watermark_, items_.size());
+  }
+  consumer_cv_.notify_one();
+  return true;
+}
+
+std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max) {
+  std::vector<Item> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n =
+        (max == 0) ? items_.size() : std::min(max, items_.size());
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+  }
+  producer_cv_.notify_all();
+  return batch;
+}
+
+void PendingQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+}
+
+bool PendingQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t PendingQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+std::size_t PendingQueue::high_watermark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_watermark_;
+}
+
+PendingQueue::Wake PendingQueue::wait_for_batch(std::size_t threshold,
+                                                std::chrono::milliseconds linger) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Phase 1: sleep until there is any work at all (or the queue closes).
+  // An empty queue never fires a cycle, so there is no deadline here.
+  consumer_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+  if (items_.empty()) return Wake::kClosed;
+  if (closed_) return Wake::kFlush;
+  if (items_.size() >= threshold) return Wake::kThreshold;
+  // Phase 2: give the batch `linger` to fill up to the threshold; the
+  // single-consumer invariant means items_ cannot shrink underneath us.
+  const auto deadline = std::chrono::steady_clock::now() + linger;
+  const bool woke = consumer_cv_.wait_until(lock, deadline, [this, threshold] {
+    return items_.size() >= threshold || closed_;
+  });
+  if (!woke) return Wake::kLinger;
+  return closed_ ? Wake::kFlush : Wake::kThreshold;
+}
+
+}  // namespace qon::core

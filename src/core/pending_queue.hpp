@@ -1,0 +1,122 @@
+#pragma once
+// The pending-job queue of the scheduler service (§7, Fig. 5): quantum
+// tasks from in-flight runs park here instead of executing immediately, and
+// the scheduler thread drains them in batches when a scheduling cycle
+// fires. The queue is bounded (producers block while it is full) and owns
+// the wait primitive the scheduler thread sleeps on: wake on reaching the
+// queue-size threshold, on a linger timeout with work waiting, or on
+// close() for the final shutdown flush.
+//
+// One producer-side executor thread pushes one PendingQuantumTask per
+// quantum task and blocks on it until the scheduler either assigns a QPU or
+// fails the task (typed api::Status, e.g. RESOURCE_EXHAUSTED when no online
+// QPU fits). There is exactly one consumer — the scheduler thread — so a
+// non-empty queue observed by wait_for_batch() stays non-empty until the
+// following take_batch().
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "api/types.hpp"
+
+namespace qon::core {
+
+/// One quantum task parked between its run's executor and the scheduler
+/// service. The executor fills the request half before push() (the
+/// per-backend estimates are precomputed off-lock so scheduling cycles stay
+/// cheap), blocks in await(), and the scheduler completes exactly one of
+/// {assigned_qpu, error}.
+struct PendingQuantumTask {
+  // ---- request half: written by the executor before push() -------------------
+  api::RunId run = 0;
+  std::string task_name;
+  int qubits = 0;
+  int shots = 0;
+  double ready_at = 0.0;    ///< DAG-dependency ready time (fleet clock)
+  double enqueued_at = 0.0; ///< fleet clock at push (queue-wait accounting)
+  /// Per-backend estimates, indexed like Fleet::backends — the rows of the
+  /// cycle's sched::SchedulingInput.
+  std::vector<double> est_fidelity;
+  std::vector<double> est_exec_seconds;
+
+  // ---- completion half: written once by the scheduler ------------------------
+  /// Assigns QPU `qpu` at virtual time `now` and wakes the executor.
+  void complete(int qpu, double now);
+  /// Fails the task with `status` at virtual time `now` and wakes the
+  /// executor; the run ends kFailed carrying this status.
+  void fail(api::Status status, double now);
+  /// Executor side: blocks until complete()/fail(). After it returns,
+  /// assigned_qpu / dispatched_at / error are stable and safe to read
+  /// without the lock.
+  void await();
+
+  int assigned_qpu = -1;      ///< valid iff error.ok()
+  double dispatched_at = 0.0; ///< fleet clock when the cycle fired
+  api::Status error;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+/// Bounded, thread-safe FIFO of pending quantum tasks. Thread-safety:
+/// any number of producers, one consumer (the scheduler thread).
+class PendingQueue {
+ public:
+  using Item = std::shared_ptr<PendingQuantumTask>;
+
+  /// Why wait_for_batch() woke up.
+  enum class Wake {
+    kThreshold, ///< the queue reached the caller's threshold
+    kLinger,    ///< non-empty, but the linger budget elapsed first
+    kFlush,     ///< close() arrived with items still queued: final drain
+    kClosed,    ///< closed and empty — no more work will ever arrive
+  };
+
+  /// `capacity` bounds the queue; pushes block while it is full. 0 means
+  /// unbounded.
+  explicit PendingQueue(std::size_t capacity = 0);
+
+  /// Enqueues `item`, blocking while the queue is at capacity. Returns
+  /// false once close()d — the item was not queued and never will be.
+  bool push(Item item);
+
+  /// Pops up to `max` items in FIFO order (0 = everything queued).
+  std::vector<Item> take_batch(std::size_t max = 0);
+
+  /// Stops accepting pushes and wakes every waiter (producers and the
+  /// scheduler). Idempotent.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return capacity_; }
+  /// Largest size() ever observed — the Fig. 9b stability statistic.
+  std::size_t high_watermark() const;
+
+  /// Scheduler-side wait. Blocks until the queue holds at least
+  /// `threshold` items (kThreshold), or is non-empty once `linger` has
+  /// elapsed from the first item observed (kLinger), or close() happened
+  /// (kFlush when items remain, kClosed when the queue is empty for good).
+  Wake wait_for_batch(std::size_t threshold, std::chrono::milliseconds linger);
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable producer_cv_; ///< producers waiting for space
+  std::condition_variable consumer_cv_; ///< the scheduler thread
+  std::deque<Item> items_;
+  std::size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace qon::core

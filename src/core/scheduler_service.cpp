@@ -1,0 +1,207 @@
+#include "core/scheduler_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+
+namespace qon::core {
+
+api::Status validate_scheduler_config(const SchedulerServiceConfig& config) {
+  if (config.queue_threshold == 0) {
+    return api::InvalidArgument("scheduler config: queue_threshold must be > 0");
+  }
+  if (!(config.interval_seconds > 0.0)) {
+    return api::InvalidArgument("scheduler config: interval_seconds must be > 0");
+  }
+  if (config.linger.count() < 0) {
+    return api::InvalidArgument("scheduler config: linger must be >= 0");
+  }
+  if (config.queue_capacity != 0 && config.queue_capacity < config.queue_threshold) {
+    // The queue could never reach the threshold: every cycle would silently
+    // degrade to a timer fire with a full interval of virtual queue wait.
+    return api::InvalidArgument(
+        "scheduler config: queue_capacity must be 0 (unbounded) or >= queue_threshold");
+  }
+  return api::Status::Ok();
+}
+
+api::SchedulerConfigView to_config_view(const SchedulerServiceConfig& config) {
+  api::SchedulerConfigView view;
+  view.mode = config.mode;
+  view.queue_threshold = config.queue_threshold;
+  view.interval_seconds = config.interval_seconds;
+  view.queue_capacity = config.queue_capacity;
+  view.max_batch_size = config.max_batch_size;
+  return view;
+}
+
+SchedulerService::SchedulerService(SchedulerServiceConfig config, std::uint64_t seed,
+                                   sched::SchedulerConfig cycle_config,
+                                   SchedulerServiceHooks hooks)
+    : config_(config),
+      cycle_config_(cycle_config),
+      hooks_(std::move(hooks)),
+      trigger_(config.queue_threshold, config.interval_seconds),
+      rng_(seed),
+      queue_(config.queue_capacity) {
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+bool SchedulerService::enqueue(const std::shared_ptr<PendingQuantumTask>& task) {
+  return queue_.push(task);
+}
+
+void SchedulerService::shutdown() {
+  queue_.close();
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (thread_.joinable()) thread_.join();
+}
+
+api::SchedulerStats SchedulerService::stats() const {
+  api::SchedulerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.queue_depth = queue_.size();
+  snapshot.queue_high_watermark = queue_.high_watermark();
+  return snapshot;
+}
+
+void SchedulerService::run_loop() {
+  for (;;) {
+    const auto wake = queue_.wait_for_batch(trigger_.queue_threshold(), config_.linger);
+    if (wake == PendingQueue::Wake::kClosed) break;
+
+    // The wake reason IS the cycle's trigger — re-deriving it from a fresh
+    // queue-size read would race late producers.
+    double fired_at = hooks_.now();
+    api::CycleTrigger fired_by = api::CycleTrigger::kThreshold;
+    if (wake == PendingQueue::Wake::kFlush) {
+      // Shutdown drain: fire immediately at the current virtual time, no
+      // clock warp — the queue must empty, not wait for a deadline.
+      fired_by = api::CycleTrigger::kFlush;
+    } else if (wake == PendingQueue::Wake::kLinger) {
+      fired_by = api::CycleTrigger::kTimer;
+      if (!trigger_.should_fire(fired_at, queue_.size())) {
+        // Below the threshold and before the deadline on the virtual clock,
+        // but the real-time linger elapsed: model the wait as the virtual
+        // timer running out (the clock is advanced in run_cycle's snapshot).
+        fired_at = std::max(fired_at, trigger_.next_timer_deadline());
+      }
+    }
+    run_cycle(fired_at, fired_by);
+  }
+}
+
+void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
+  Stopwatch cycle_clock;
+  auto batch = queue_.take_batch(config_.max_batch_size);
+  if (batch.empty()) return;
+
+  // Advance the fleet clock to the fire time and snapshot the QPU states
+  // (under the engine lock on the orchestrator side); the frontier may
+  // already be past fired_at, so re-read it as the cycle's dispatch time.
+  sched::SchedulingInput input;
+  input.qpus = hooks_.snapshot_qpus(fired_at);
+  const double now = std::max(fired_at, hooks_.now());
+
+  input.jobs.reserve(batch.size());
+  for (const auto& item : batch) {
+    sched::QuantumJob job;
+    job.id = item->run;
+    job.qubits = item->qubits;
+    job.shots = item->shots;
+    job.arrival_time = item->enqueued_at;
+    job.est_fidelity = item->est_fidelity;
+    job.est_exec_seconds = item->est_exec_seconds;
+    input.jobs.push_back(std::move(job));
+  }
+
+  auto cycle_config = cycle_config_;
+  cycle_config.nsga2.seed = rng_();
+  sched::ScheduleDecision decision;
+  api::Status cycle_error;
+  try {
+    decision = sched::schedule_cycle(input, cycle_config);
+  } catch (const std::exception& e) {
+    // Defensive: config knobs were validated up front, so a throw here is a
+    // scheduler bug — fail the whole batch with a typed status rather than
+    // leaving executors parked forever.
+    cycle_error = api::Internal(std::string("scheduling cycle failed: ") + e.what());
+  }
+
+  // Classify the batch first so the cycle is fully accounted in stats_
+  // BEFORE any waiter wakes: an executor observing its task dispatched is
+  // guaranteed to find the dispatching cycle in getSchedulerStats.
+  std::size_t scheduled = 0;
+  std::size_t filtered = 0;
+  double wait_sum = 0.0;
+  std::vector<double> waits;
+  waits.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const double wait = std::max(0.0, now - batch[i]->enqueued_at);
+    wait_sum += wait;
+    waits.push_back(wait);
+    if (cycle_error.ok() && decision.assignment[i] >= 0) {
+      ++scheduled;
+    } else if (cycle_error.ok()) {
+      ++filtered;
+    }
+  }
+  trigger_.notify_fired(now);
+
+  api::SchedulerCycleInfo info;
+  info.fired_at = now;
+  info.trigger = fired_by;
+  info.batch_size = batch.size();
+  info.scheduled = scheduled;
+  info.filtered = filtered;
+  info.queue_depth_after = queue_.size();
+  info.preprocess_seconds = decision.preprocess_seconds;
+  info.optimize_seconds = decision.optimize_seconds;
+  info.select_seconds = decision.select_seconds;
+  info.cycle_latency_seconds = cycle_clock.seconds();
+  info.mean_queue_wait_seconds = wait_sum / static_cast<double>(batch.size());
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    info.cycle = ++stats_.cycles;
+    stats_.jobs_scheduled += scheduled;
+    stats_.jobs_filtered += filtered;
+    stats_.max_batch_size_seen = std::max(stats_.max_batch_size_seen, batch.size());
+    stats_.recent_cycles.push_back(info);
+    if (stats_.recent_cycles.size() > config_.stats_cycle_history) {
+      stats_.recent_cycles.erase(stats_.recent_cycles.begin());
+    }
+    stats_.recent_queue_waits.insert(stats_.recent_queue_waits.end(), waits.begin(),
+                                     waits.end());
+    if (stats_.recent_queue_waits.size() > config_.stats_wait_history) {
+      stats_.recent_queue_waits.erase(
+          stats_.recent_queue_waits.begin(),
+          stats_.recent_queue_waits.begin() +
+              static_cast<std::ptrdiff_t>(stats_.recent_queue_waits.size() -
+                                          config_.stats_wait_history));
+    }
+  }
+
+  // Now wake the executors: assigned tasks proceed to their QPU, filtered
+  // jobs fail their run with the typed RESOURCE_EXHAUSTED.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!cycle_error.ok()) {
+      batch[i]->fail(cycle_error, now);
+    } else if (decision.assignment[i] < 0) {
+      batch[i]->fail(api::ResourceExhausted("scheduling cycle: task '" +
+                                            batch[i]->task_name +
+                                            "' fits no online QPU in the fleet"),
+                     now);
+    } else {
+      batch[i]->complete(decision.assignment[i], now);
+    }
+  }
+}
+
+}  // namespace qon::core

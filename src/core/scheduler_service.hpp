@@ -1,0 +1,137 @@
+#pragma once
+// The scheduler service (§7, Fig. 5): Qonductor's batch-scheduling job
+// manager in the serving path. Quantum tasks from in-flight runs are parked
+// in a bounded PendingQueue; a dedicated scheduler thread fires *scheduling
+// cycles* through sched::ScheduleTrigger — when the queue reaches the size
+// threshold OR the timer elapses, both evaluated against the fleet virtual
+// clock — batches the queue into one sched::SchedulingInput, runs the
+// hybrid scheduler (NSGA-II Pareto optimization + MCDM selection), and
+// completes each pending task with its assigned QPU. Jobs the scheduler
+// filters as infeasible (no online QPU fits) fail with RESOURCE_EXHAUSTED.
+//
+// Virtual-vs-real time: the trigger's threshold and interval live on the
+// fleet virtual clock, but the service must make progress in real time even
+// when nothing advances that clock. `linger` is the real-time grace a
+// sub-threshold batch gets to fill up; when it expires, the service models
+// the wait as the virtual timer elapsing — it advances the fleet clock to
+// the trigger's deadline and fires a timer cycle.
+//
+// shutdown() drains: the queue is closed, one final flush cycle dispatches
+// everything still parked, and only then is the scheduler thread joined.
+// The orchestrator shuts the service down after its executor pool, so runs
+// draining through the pool can still get their tasks scheduled.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/status.hpp"
+#include "api/types.hpp"
+#include "common/rng.hpp"
+#include "core/pending_queue.hpp"
+#include "sched/hybrid_scheduler.hpp"
+#include "sched/triggers.hpp"
+
+namespace qon::core {
+
+/// Knobs of the batch-scheduling job manager. Validated by
+/// validate_scheduler_config() so bad values surface as a typed
+/// INVALID_ARGUMENT through the API instead of the ScheduleTrigger
+/// constructor's std::invalid_argument crossing the boundary.
+struct SchedulerServiceConfig {
+  api::SchedulingMode mode = api::SchedulingMode::kBatch;
+  /// ScheduleTrigger: fire when the pending queue reaches this size…
+  std::size_t queue_threshold = 100;
+  /// …or when this many virtual seconds passed since the last cycle.
+  double interval_seconds = 120.0;
+  /// Pending-queue bound; producers block while it is full. 0 = unbounded.
+  std::size_t queue_capacity = 4096;
+  /// Max jobs per cycle; the surplus stays queued for the next cycle.
+  /// 0 = schedule the whole queue at once.
+  std::size_t max_batch_size = 0;
+  /// Real-time grace for a sub-threshold batch to fill before the virtual
+  /// timer fires (see the header comment on virtual-vs-real time).
+  std::chrono::milliseconds linger{2};
+  /// How many per-cycle records getSchedulerStats retains (ring buffer).
+  std::size_t stats_cycle_history = 256;
+  /// How many per-job queue-wait samples getSchedulerStats retains.
+  std::size_t stats_wait_history = 8192;
+};
+
+/// Rejects out-of-range knobs with kInvalidArgument; kOk otherwise.
+api::Status validate_scheduler_config(const SchedulerServiceConfig& config);
+
+/// The effective-config echo getSchedulerStats serves.
+api::SchedulerConfigView to_config_view(const SchedulerServiceConfig& config);
+
+/// Callbacks tying the service to the orchestrator's engine, bundled so the
+/// service stays unit-testable against fakes.
+struct SchedulerServiceHooks {
+  /// Advances the fleet virtual clock to at least `advance_to` and returns
+  /// the QPU states (sizes, queue waits relative to the new now, online
+  /// flags) the cycle schedules against. Runs under the engine lock.
+  std::function<std::vector<sched::QpuState>(double advance_to)> snapshot_qpus;
+  /// Lock-free read of the fleet clock frontier.
+  std::function<double()> now;
+};
+
+/// The job manager: owns the pending queue, the trigger and the scheduler
+/// thread. Thread-safe: any number of producers enqueue; stats() may be
+/// called concurrently from query paths.
+class SchedulerService {
+ public:
+  /// Precondition: validate_scheduler_config(config).ok() — the trigger
+  /// constructed here throws on bad knobs. `cycle_config` carries the MCDM
+  /// preference and NSGA-II parameters; its nsga2.seed is re-rolled from
+  /// `seed` every cycle.
+  SchedulerService(SchedulerServiceConfig config, std::uint64_t seed,
+                   sched::SchedulerConfig cycle_config, SchedulerServiceHooks hooks);
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Hands a prepared task to the scheduler; blocks while the queue is at
+  /// capacity. False when the service is shutting down (the task was not
+  /// queued and never will be).
+  bool enqueue(const std::shared_ptr<PendingQuantumTask>& task);
+
+  /// Closes the queue, lets the scheduler thread flush the final cycle(s),
+  /// and joins it. Idempotent and safe to call concurrently.
+  void shutdown();
+
+  /// Snapshot of the aggregate counters + bounded histories.
+  api::SchedulerStats stats() const;
+
+  const SchedulerServiceConfig& config() const { return config_; }
+
+ private:
+  void run_loop();
+  void run_cycle(double fired_at, api::CycleTrigger fired_by);
+
+  const SchedulerServiceConfig config_;
+  const sched::SchedulerConfig cycle_config_;
+  const SchedulerServiceHooks hooks_;
+
+  // Owned by the scheduler thread once it starts: the trigger's last-fire
+  // state and the RNG feeding per-cycle NSGA-II seeds.
+  sched::ScheduleTrigger trigger_;
+  Rng rng_;
+
+  PendingQueue queue_;
+
+  mutable std::mutex stats_mutex_;
+  api::SchedulerStats stats_;
+
+  std::mutex join_mutex_;  ///< serializes concurrent shutdown() calls
+  /// Declared last: no member may be destroyed while the thread still runs
+  /// (the destructor shuts down and joins first).
+  std::thread thread_;
+};
+
+}  // namespace qon::core

@@ -265,9 +265,42 @@ TEST(Trigger, NeverFiresOnEmptyQueue) {
   EXPECT_FALSE(trigger.should_fire(1000.0, 0));
 }
 
+TEST(Trigger, EmptyQueueStaysQuietEvenFarPastTheDeadline) {
+  ScheduleTrigger trigger(1, 10.0);
+  trigger.notify_fired(5.0);
+  EXPECT_FALSE(trigger.should_fire(1e9, 0));  // nothing to schedule, no cycle
+  EXPECT_TRUE(trigger.should_fire(1e9, 1));   // one job re-arms everything
+}
+
+TEST(Trigger, FiresExactlyAtTheTimerDeadline) {
+  ScheduleTrigger trigger(100, 60.0);
+  trigger.notify_fired(30.5);
+  EXPECT_DOUBLE_EQ(trigger.next_timer_deadline(), 90.5);
+  EXPECT_FALSE(trigger.should_fire(90.499, 1));
+  EXPECT_TRUE(trigger.should_fire(90.5, 1));  // >=, not >: the boundary fires
+}
+
+TEST(Trigger, ThresholdFiringResetsTheTimer) {
+  ScheduleTrigger trigger(5, 60.0);
+  EXPECT_TRUE(trigger.should_fire(10.0, 5));  // threshold fire, timer not due
+  trigger.notify_fired(10.0);
+  EXPECT_FALSE(trigger.should_fire(69.9, 1));  // timer restarted at t=10
+  EXPECT_TRUE(trigger.should_fire(70.0, 1));
+}
+
+TEST(Trigger, NextTimerDeadlineTracksRepeatedCycles) {
+  ScheduleTrigger trigger(10, 120.0);
+  EXPECT_DOUBLE_EQ(trigger.next_timer_deadline(), 120.0);
+  trigger.notify_fired(50.0);
+  EXPECT_DOUBLE_EQ(trigger.next_timer_deadline(), 170.0);
+  trigger.notify_fired(250.0);  // a late threshold fire still resets fully
+  EXPECT_DOUBLE_EQ(trigger.next_timer_deadline(), 370.0);
+}
+
 TEST(Trigger, ValidatesParameters) {
   EXPECT_THROW(ScheduleTrigger(0, 120.0), std::invalid_argument);
   EXPECT_THROW(ScheduleTrigger(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ScheduleTrigger(10, -5.0), std::invalid_argument);
 }
 
 TEST(Classical, FilterRemovesOverCommittedNodes) {

@@ -1,0 +1,511 @@
+// Tests for the scheduler service subsystem (§7, Fig. 5): the bounded
+// PendingQueue, the SchedulerService driven by fake hooks (threshold and
+// timer cycles, shutdown flush, infeasible filtering), config validation
+// surfacing as typed INVALID_ARGUMENT, and the batch-scheduling serving
+// path end to end — a burst of concurrent invoke()s dispatched in multiple
+// hybrid-scheduler cycles, observed through getSchedulerStats and the
+// on_task_start observer, with the kImmediate fallback kept working.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/client.hpp"
+#include "circuit/library.hpp"
+#include "core/pending_queue.hpp"
+#include "core/scheduler_service.hpp"
+
+namespace qon::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<PendingQuantumTask> make_task(api::RunId run, int qubits,
+                                              std::size_t num_qpus) {
+  auto task = std::make_shared<PendingQuantumTask>();
+  task->run = run;
+  task->task_name = "task-" + std::to_string(run);
+  task->qubits = qubits;
+  task->shots = 100;
+  task->est_fidelity.assign(num_qpus, 0.9);
+  task->est_exec_seconds.assign(num_qpus, 2.0);
+  return task;
+}
+
+// ---- PendingQueue ------------------------------------------------------------
+
+TEST(PendingQueue, FifoOrderAndBatchCap) {
+  PendingQueue queue;
+  for (api::RunId r = 1; r <= 5; ++r) queue.push(make_task(r, 4, 2));
+  EXPECT_EQ(queue.size(), 5u);
+  EXPECT_EQ(queue.high_watermark(), 5u);
+
+  auto first = queue.take_batch(3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0]->run, 1u);
+  EXPECT_EQ(first[2]->run, 3u);
+
+  auto rest = queue.take_batch(0);  // 0 = everything
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0]->run, 4u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.high_watermark(), 5u);  // watermark survives the drain
+}
+
+TEST(PendingQueue, BoundedPushBlocksUntilTake) {
+  PendingQueue queue(2);
+  EXPECT_TRUE(queue.push(make_task(1, 4, 2)));
+  EXPECT_TRUE(queue.push(make_task(2, 4, 2)));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(make_task(3, 4, 2)));  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());  // still parked on the capacity bound
+
+  auto batch = queue.take_batch(1);  // frees one slot
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(PendingQueue, CloseRejectsPushesAndWakesBlockedProducers) {
+  PendingQueue queue(1);
+  EXPECT_TRUE(queue.push(make_task(1, 4, 2)));
+
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.push(make_task(2, 4, 2)));  // blocked, then rejected
+  });
+  std::this_thread::sleep_for(10ms);
+  queue.close();
+  producer.join();
+
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(make_task(3, 4, 2)));
+  EXPECT_EQ(queue.size(), 1u);  // the pre-close item is still drainable
+}
+
+TEST(PendingQueue, WaitWakesOnThreshold) {
+  PendingQueue queue;
+  std::thread producer([&] {
+    for (api::RunId r = 1; r <= 3; ++r) queue.push(make_task(r, 4, 2));
+  });
+  const auto wake = queue.wait_for_batch(3, 10s);
+  producer.join();
+  EXPECT_EQ(wake, PendingQueue::Wake::kThreshold);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(PendingQueue, WaitWakesOnLingerWithSubThresholdBatch) {
+  PendingQueue queue;
+  queue.push(make_task(1, 4, 2));
+  const auto wake = queue.wait_for_batch(100, 10ms);
+  EXPECT_EQ(wake, PendingQueue::Wake::kLinger);
+  EXPECT_EQ(queue.size(), 1u);  // single consumer: nothing vanished
+}
+
+TEST(PendingQueue, WaitReportsFlushThenClosed) {
+  PendingQueue queue;
+  queue.push(make_task(1, 4, 2));
+  queue.close();
+  EXPECT_EQ(queue.wait_for_batch(100, 10s), PendingQueue::Wake::kFlush);
+  queue.take_batch(0);
+  EXPECT_EQ(queue.wait_for_batch(100, 10s), PendingQueue::Wake::kClosed);
+}
+
+// ---- SchedulerService on fake hooks ------------------------------------------
+
+/// Fake engine: an atomic virtual clock plus a uniform fleet of `num_qpus`
+/// QPUs of `qpu_size` qubits.
+struct FakeEngine {
+  explicit FakeEngine(std::size_t num_qpus, int qpu_size = 27)
+      : num_qpus(num_qpus), qpu_size(qpu_size) {}
+
+  SchedulerServiceHooks hooks() {
+    SchedulerServiceHooks hooks;
+    hooks.now = [this] { return clock.load(); };
+    hooks.snapshot_qpus = [this](double advance_to) {
+      double seen = clock.load();
+      while (advance_to > seen && !clock.compare_exchange_weak(seen, advance_to)) {
+      }
+      std::vector<sched::QpuState> qpus;
+      for (std::size_t q = 0; q < num_qpus; ++q) {
+        qpus.push_back({"fake" + std::to_string(q), qpu_size, 0.0, true});
+      }
+      return qpus;
+    };
+    return hooks;
+  }
+
+  std::atomic<double> clock{0.0};
+  std::size_t num_qpus;
+  int qpu_size;
+};
+
+TEST(SchedulerService, ThresholdCycleFiresWithoutTimer) {
+  FakeEngine engine(2);
+  SchedulerServiceConfig config;
+  config.queue_threshold = 2;
+  config.linger = 10s;  // only the threshold can fire this fast
+  SchedulerService service(config, 7, {}, engine.hooks());
+
+  auto a = make_task(1, 4, 2);
+  auto b = make_task(2, 4, 2);
+  ASSERT_TRUE(service.enqueue(a));
+  ASSERT_TRUE(service.enqueue(b));
+  a->await();
+  b->await();
+
+  EXPECT_TRUE(a->error.ok()) << a->error.to_string();
+  EXPECT_TRUE(b->error.ok()) << b->error.to_string();
+  EXPECT_GE(a->assigned_qpu, 0);
+  EXPECT_LT(a->assigned_qpu, 2);
+  EXPECT_DOUBLE_EQ(a->dispatched_at, 0.0);  // no timer warp on a threshold fire
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cycles, 1u);
+  EXPECT_EQ(stats.jobs_scheduled, 2u);
+  ASSERT_EQ(stats.recent_cycles.size(), 1u);
+  EXPECT_EQ(stats.recent_cycles[0].trigger, api::CycleTrigger::kThreshold);
+  EXPECT_EQ(stats.recent_cycles[0].batch_size, 2u);
+  service.shutdown();
+}
+
+TEST(SchedulerService, TimerCycleAdvancesTheVirtualClockToTheDeadline) {
+  FakeEngine engine(2);
+  SchedulerServiceConfig config;
+  config.queue_threshold = 100;  // unreachable: only the timer can fire
+  config.interval_seconds = 60.0;
+  config.linger = 1ms;
+  SchedulerService service(config, 7, {}, engine.hooks());
+
+  auto task = make_task(1, 4, 2);
+  ASSERT_TRUE(service.enqueue(task));
+  task->await();
+
+  EXPECT_TRUE(task->error.ok()) << task->error.to_string();
+  // The linger elapsed in real time, so the cycle fired as the virtual
+  // timer running out: the fleet clock jumped to the 60 s deadline.
+  EXPECT_DOUBLE_EQ(task->dispatched_at, 60.0);
+  EXPECT_DOUBLE_EQ(engine.clock.load(), 60.0);
+
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.recent_cycles.size(), 1u);
+  EXPECT_EQ(stats.recent_cycles[0].trigger, api::CycleTrigger::kTimer);
+  EXPECT_DOUBLE_EQ(stats.recent_cycles[0].mean_queue_wait_seconds, 60.0);
+  service.shutdown();
+}
+
+TEST(SchedulerService, ShutdownFlushesTheFinalCycle) {
+  FakeEngine engine(2);
+  SchedulerServiceConfig config;
+  config.queue_threshold = 100;
+  config.linger = 10s;  // neither trigger can fire before the shutdown flush
+  SchedulerService service(config, 7, {}, engine.hooks());
+
+  std::vector<std::shared_ptr<PendingQuantumTask>> tasks;
+  for (api::RunId r = 1; r <= 3; ++r) {
+    tasks.push_back(make_task(r, 4, 2));
+    ASSERT_TRUE(service.enqueue(tasks.back()));
+  }
+  service.shutdown();  // must drain: close, flush one final cycle, join
+
+  for (const auto& task : tasks) {
+    task->await();  // already complete — returns immediately
+    EXPECT_TRUE(task->error.ok()) << task->error.to_string();
+    EXPECT_GE(task->assigned_qpu, 0);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs_scheduled, 3u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  ASSERT_EQ(stats.recent_cycles.size(), 1u);
+  // The drain is reported as a flush, not mislabeled as timer/threshold.
+  EXPECT_EQ(stats.recent_cycles[0].trigger, api::CycleTrigger::kFlush);
+  EXPECT_FALSE(service.enqueue(make_task(9, 4, 2)));  // closed for good
+}
+
+TEST(SchedulerService, InfeasibleTaskFailsResourceExhausted) {
+  FakeEngine engine(2, /*qpu_size=*/5);
+  SchedulerServiceConfig config;
+  config.queue_threshold = 2;
+  config.linger = 10s;
+  SchedulerService service(config, 7, {}, engine.hooks());
+
+  auto fits = make_task(1, 4, 2);
+  auto too_big = make_task(2, 20, 2);  // fits no 5-qubit QPU
+  ASSERT_TRUE(service.enqueue(fits));
+  ASSERT_TRUE(service.enqueue(too_big));
+  fits->await();
+  too_big->await();
+
+  EXPECT_TRUE(fits->error.ok());
+  EXPECT_GE(fits->assigned_qpu, 0);
+  EXPECT_EQ(too_big->error.code(), api::StatusCode::kResourceExhausted);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs_scheduled, 1u);
+  EXPECT_EQ(stats.jobs_filtered, 1u);
+  ASSERT_EQ(stats.recent_cycles.size(), 1u);
+  EXPECT_EQ(stats.recent_cycles[0].filtered, 1u);
+  service.shutdown();
+}
+
+TEST(SchedulerService, ValidatesConfigWithoutThrowing) {
+  SchedulerServiceConfig good;
+  EXPECT_TRUE(validate_scheduler_config(good).ok());
+
+  SchedulerServiceConfig zero_threshold;
+  zero_threshold.queue_threshold = 0;
+  EXPECT_EQ(validate_scheduler_config(zero_threshold).code(),
+            api::StatusCode::kInvalidArgument);
+
+  SchedulerServiceConfig bad_interval;
+  bad_interval.interval_seconds = 0.0;
+  EXPECT_EQ(validate_scheduler_config(bad_interval).code(),
+            api::StatusCode::kInvalidArgument);
+
+  SchedulerServiceConfig negative_linger;
+  negative_linger.linger = -1ms;
+  EXPECT_EQ(validate_scheduler_config(negative_linger).code(),
+            api::StatusCode::kInvalidArgument);
+
+  // A capacity below the threshold could never fire the threshold trigger.
+  SchedulerServiceConfig starved;
+  starved.queue_capacity = 50;
+  starved.queue_threshold = 100;
+  EXPECT_EQ(validate_scheduler_config(starved).code(),
+            api::StatusCode::kInvalidArgument);
+  SchedulerServiceConfig unbounded;
+  unbounded.queue_capacity = 0;  // unbounded queue is fine with any threshold
+  unbounded.queue_threshold = 100;
+  EXPECT_TRUE(validate_scheduler_config(unbounded).ok());
+
+  const auto view = to_config_view(good);
+  EXPECT_EQ(view.mode, api::SchedulingMode::kBatch);
+  EXPECT_EQ(view.queue_threshold, good.queue_threshold);
+  EXPECT_DOUBLE_EQ(view.interval_seconds, good.interval_seconds);
+  EXPECT_EQ(view.queue_capacity, good.queue_capacity);
+}
+
+// ---- the batch-scheduling serving path end to end ----------------------------
+
+workflow::ImageId deploy_quantum(api::QonductorClient& client, const std::string& name,
+                                 const circuit::Circuit& circ, int shots = 128) {
+  api::CreateWorkflowRequest create;
+  create.name = name;
+  create.tasks.push_back(workflow::HybridTask::quantum("ghz", circ, shots));
+  auto created = client.createWorkflow(std::move(create));
+  EXPECT_TRUE(created.ok()) << created.status().to_string();
+  api::DeployRequest deploy;
+  deploy.image = created->image;
+  auto deployed = client.deploy(deploy);
+  EXPECT_TRUE(deployed.ok()) << deployed.status().to_string();
+  return created->image;
+}
+
+void take_fleet_offline(api::QonductorClient& client) {
+  auto& monitor = client.backend().monitor();
+  for (const auto& name : monitor.qpu_names()) {
+    auto info = *monitor.qpu(name);
+    info.online = false;
+    monitor.update_qpu(info);
+  }
+}
+
+// The acceptance scenario: a burst of 100 concurrent invoke()s is
+// dispatched in >= 2 scheduling cycles whose per-cycle batches come from
+// the hybrid scheduler, observed through getSchedulerStats and the
+// on_task_start observer.
+TEST(BatchServing, BurstIsDispatchedInMultipleSchedulerCycles) {
+  constexpr std::size_t kRuns = 100;
+  QonductorConfig config;
+  config.num_qpus = 3;
+  config.seed = 77;
+  config.trajectory_width_limit = 8;
+  config.executor_threads = kRuns;  // every run can park a pending task at once
+  config.retention.max_terminal_runs = kRuns + 8;
+  config.scheduler_service.queue_threshold = 25;
+  config.scheduler_service.max_batch_size = 40;  // forces >= 3 cycles for 100 jobs
+  config.scheduler_service.linger = 200ms;
+  std::atomic<std::size_t> quantum_starts{0};
+  config.on_task_start = [&quantum_starts](RunId, const std::string& name) {
+    if (name == "ghz") quantum_starts.fetch_add(1);
+  };
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "burst", circuit::ghz(3));
+
+  std::vector<api::InvokeRequest> requests(kRuns);
+  for (auto& request : requests) request.image = image;
+  auto handles = client.invokeAll(requests);
+  ASSERT_TRUE(handles.ok()) << handles.status().to_string();
+  for (const auto& handle : *handles) {
+    EXPECT_EQ(handle.wait(), api::RunStatus::kCompleted);
+  }
+  EXPECT_EQ(quantum_starts.load(), kRuns);
+
+  auto stats_response = client.getSchedulerStats();
+  ASSERT_TRUE(stats_response.ok()) << stats_response.status().to_string();
+  const api::SchedulerStats& stats = stats_response->stats;
+  EXPECT_GE(stats.cycles, 2u);  // batched, not one-cycle-per-job and not one mega-cycle
+  EXPECT_EQ(stats.jobs_scheduled, kRuns);
+  EXPECT_EQ(stats.jobs_filtered, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_LE(stats.max_batch_size_seen, 40u);
+  EXPECT_GT(stats.max_batch_size_seen, 1u);
+
+  // Every job was dispatched through a cycle's hybrid-scheduler decision.
+  std::size_t batched = 0;
+  for (const auto& cycle : stats.recent_cycles) {
+    EXPECT_LE(cycle.batch_size, 40u);
+    EXPECT_EQ(cycle.scheduled + cycle.filtered, cycle.batch_size);
+    EXPECT_GE(cycle.optimize_seconds, 0.0);
+    batched += cycle.batch_size;
+  }
+  EXPECT_EQ(batched, kRuns);
+  EXPECT_EQ(stats.recent_queue_waits.size(), kRuns);
+
+  // The config view echoes the deployment's knobs.
+  EXPECT_EQ(stats_response->config.mode, api::SchedulingMode::kBatch);
+  EXPECT_EQ(stats_response->config.queue_threshold, 25u);
+  EXPECT_EQ(stats_response->config.max_batch_size, 40u);
+}
+
+TEST(BatchServing, OfflineFleetFailsRunsResourceExhausted) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 11;
+  config.scheduler_service.linger = 5ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "offline", circuit::ghz(3));
+  take_fleet_offline(client);
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  EXPECT_EQ(handle->wait(), api::RunStatus::kFailed);
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->error.code(), api::StatusCode::kResourceExhausted);
+
+  auto stats = client.getSchedulerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->stats.jobs_filtered, 1u);
+}
+
+TEST(BatchServing, ShutdownDrainsThePendingQueue) {
+  constexpr std::size_t kRuns = 8;
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 23;
+  config.trajectory_width_limit = 8;
+  config.executor_threads = kRuns;
+  // The threshold is unreachable and the linger long: when shutdown()
+  // arrives, the tasks are still parked and only the drain can finish them.
+  config.scheduler_service.queue_threshold = 100;
+  config.scheduler_service.linger = 150ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "drain", circuit::ghz(3));
+
+  std::vector<api::InvokeRequest> requests(kRuns);
+  for (auto& request : requests) request.image = image;
+  auto handles = client.invokeAll(requests);
+  ASSERT_TRUE(handles.ok()) << handles.status().to_string();
+
+  client.backend().shutdown();  // drains the executor AND the pending queue
+
+  for (const auto& handle : *handles) {
+    EXPECT_EQ(handle.poll(), api::RunStatus::kCompleted);
+  }
+  auto stats = client.getSchedulerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->stats.jobs_scheduled, kRuns);
+  EXPECT_EQ(stats->stats.queue_depth, 0u);
+
+  api::InvokeRequest late;
+  late.image = image;
+  auto rejected = client.invoke(late);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), api::StatusCode::kUnavailable);
+}
+
+TEST(BatchServing, ImmediateModeIsTheExplicitFallback) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 31;
+  config.trajectory_width_limit = 8;
+  config.scheduler_service.mode = SchedulingMode::kImmediate;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "immediate", circuit::ghz(3));
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  EXPECT_EQ(handle->wait(), api::RunStatus::kCompleted);
+
+  // No scheduler service runs: the stats surface answers with zero cycles.
+  auto stats = client.getSchedulerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->config.mode, api::SchedulingMode::kImmediate);
+  EXPECT_EQ(stats->stats.cycles, 0u);
+  EXPECT_EQ(stats->stats.jobs_scheduled, 0u);
+}
+
+TEST(BatchServing, ImmediateModeOfflineFleetIsTypedResourceExhausted) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 37;
+  config.scheduler_service.mode = SchedulingMode::kImmediate;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "immediate-offline", circuit::ghz(3));
+  take_fleet_offline(client);
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->wait(), api::RunStatus::kFailed);
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->error.code(), api::StatusCode::kResourceExhausted);
+}
+
+TEST(BatchServing, BadSchedulerKnobsSurfaceAsInvalidArgument) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.scheduler_service.queue_threshold = 0;  // ScheduleTrigger would throw
+  api::QonductorClient client(config);  // must not throw
+  const auto image = deploy_quantum(client, "bad-knobs", circuit::ghz(3));
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), api::StatusCode::kInvalidArgument);
+  auto batch = client.invokeAll({request});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), api::StatusCode::kInvalidArgument);
+
+  QonductorConfig bad_weight;
+  bad_weight.num_qpus = 2;
+  bad_weight.fidelity_weight = 1.5;  // schedule_cycle would throw
+  api::QonductorClient weight_client(bad_weight);
+  const auto weight_image = deploy_quantum(weight_client, "bad-weight", circuit::ghz(3));
+  api::InvokeRequest weight_request;
+  weight_request.image = weight_image;
+  auto weight_handle = weight_client.invoke(weight_request);
+  ASSERT_FALSE(weight_handle.ok());
+  EXPECT_EQ(weight_handle.status().code(), api::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace qon::core
