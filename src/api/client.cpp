@@ -109,6 +109,24 @@ Result<GetSchedulerStatsResponse> QonductorClient::getSchedulerStats(
   }
 }
 
+Result<ReserveQpuResponse> QonductorClient::reserveQpu(const ReserveQpuRequest& request) {
+  if (Status v = check_version(request.api_version, "reserveQpu"); !v.ok()) return v;
+  try {
+    return backend_->reserveQpu(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("reserveQpu: ") + e.what());
+  }
+}
+
+Result<ReleaseQpuResponse> QonductorClient::releaseQpu(const ReleaseQpuRequest& request) {
+  if (Status v = check_version(request.api_version, "releaseQpu"); !v.ok()) return v;
+  try {
+    return backend_->releaseQpu(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("releaseQpu: ") + e.what());
+  }
+}
+
 Result<ListImagesResponse> QonductorClient::listImages(const ListImagesRequest& request) const {
   if (Status v = check_version(request.api_version, "listImages"); !v.ok()) return v;
   try {

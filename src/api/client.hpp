@@ -53,10 +53,17 @@ class QonductorClient {
   /// run-id-ordered pagination).
   Result<ListRunsResponse> listRuns(const ListRunsRequest& request = {}) const;
   /// Effective scheduler-service config plus cycle/queue statistics: cycle
-  /// count, batch sizes, pending-queue depth and the Fig. 9c per-stage
-  /// timings of recent scheduling cycles.
+  /// count, batch sizes, pending-queue depth, per-priority queue waits and
+  /// the Fig. 9c per-stage timings of recent scheduling cycles.
   Result<GetSchedulerStatsResponse> getSchedulerStats(
       const GetSchedulerStatsRequest& request = {}) const;
+
+  // -- QPU reservations (§7) ----------------------------------------------------
+  /// Takes a QPU out of scheduling rotation; jobs already parked in the
+  /// pending queue avoid it from the very next cycle.
+  Result<ReserveQpuResponse> reserveQpu(const ReserveQpuRequest& request);
+  /// Returns a reserved QPU to rotation.
+  Result<ReleaseQpuResponse> releaseQpu(const ReleaseQpuRequest& request);
 
   // -- control-plane passthroughs (typed, non-throwing) -------------------------
   Result<estimator::PlanSet> estimateResources(const circuit::Circuit& circ) const;

@@ -29,9 +29,16 @@ Result<RunStatus> RunHandle::wait_for(std::chrono::milliseconds timeout) const {
 
 bool RunHandle::cancel() const {
   if (!state_) return false;
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  if (run_status_terminal(state_->status)) return false;
-  state_->cancel_requested = true;
+  std::function<void()> unpark;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (run_status_terminal(state_->status)) return false;
+    state_->cancel_requested = true;
+    unpark = state_->unpark;
+  }
+  // Outside the record lock: the hook fails the parked pending task and
+  // removes it from the scheduler service's queue, both self-synchronized.
+  if (unpark) unpark();
   return true;
 }
 
@@ -47,6 +54,7 @@ Result<RunInfo> RunHandle::info() const {
   RunInfo info;
   info.run = state_->id;
   info.image = state_->image;
+  info.preferences = state_->preferences;
   std::lock_guard<std::mutex> lock(state_->mutex);
   info.status = state_->status;
   info.submitted_at = state_->submitted_at;

@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -25,12 +26,21 @@ namespace qon::api {
 struct RunState {
   RunId id = 0;
   workflow::ImageId image = 0;
+  /// Effective QoS preferences (request values with fidelity_weight
+  /// resolved against the deployment default). Written once before the
+  /// record is shared; immutable afterwards.
+  JobPreferences preferences;
 
   mutable std::mutex mutex;
   mutable std::condition_variable cv;
   RunStatus status = RunStatus::kPending;
   bool cancel_requested = false;
   WorkflowResult result;  ///< stable once `status` is terminal
+  /// Set by the executor while the run's quantum task is parked in the
+  /// scheduler service's pending queue; cancel() invokes it (outside this
+  /// mutex) so a queued-then-cancelled run stops immediately instead of
+  /// waiting to be dispatched. Guarded by `mutex`.
+  std::function<void()> unpark;
   // Lifecycle timestamps on the fleet virtual clock; -1 until the phase
   // happens. Stamped by the orchestrator at each transition.
   double submitted_at = -1.0;
@@ -61,8 +71,10 @@ class RunHandle {
   Result<RunStatus> wait_for(std::chrono::milliseconds timeout) const;
 
   /// Requests cooperative cancellation: the executor stops before the next
-  /// task boundary and the run ends kCancelled. Returns false when the run
-  /// had already reached a terminal state (nothing to cancel).
+  /// task boundary and the run ends kCancelled. A quantum task parked in
+  /// the scheduler service's pending queue is pulled out immediately — the
+  /// run does not wait to be dispatched. Returns false when the run had
+  /// already reached a terminal state (nothing to cancel).
   bool cancel() const;
 
   /// Blocks until terminal, then returns the execution report. The report

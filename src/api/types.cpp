@@ -13,6 +13,15 @@ const char* run_status_name(RunStatus status) {
   return "?";
 }
 
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kBatch: return "batch";
+    case Priority::kStandard: return "standard";
+    case Priority::kInteractive: return "interactive";
+  }
+  return "?";
+}
+
 const char* cycle_trigger_name(CycleTrigger trigger) {
   switch (trigger) {
     case CycleTrigger::kThreshold: return "threshold";

@@ -8,6 +8,7 @@
 // live here too — they are part of the public surface, and qon::core
 // aliases them for the orchestrator internals.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -25,6 +26,33 @@ namespace qon::api {
 inline constexpr std::uint32_t kApiVersion = 1;
 
 using RunId = std::uint64_t;
+
+/// Scheduling priority class of one run. The pending queue forms batches
+/// in priority order — kInteractive jobs take a cycle's slots before
+/// kStandard, which take them before kBatch — FIFO within a class.
+enum class Priority { kBatch, kStandard, kInteractive };
+
+inline constexpr std::size_t kNumPriorities = 3;
+
+const char* priority_name(Priority priority);
+
+/// Per-job QoS preferences carried on InvokeRequest (Table 2's
+/// "customizable resource estimation" as an API, not a process-global
+/// knob). Every field defaults to the pre-existing behavior, so callers
+/// that omit the struct are unaffected.
+struct JobPreferences {
+  /// MCDM fidelity-vs-JCT preference in [0, 1] for this job's quantum
+  /// tasks: 1 = maximize fidelity, 0 = minimize completion time. Unset =
+  /// the deployment default (QonductorConfig::fidelity_weight).
+  std::optional<double> fidelity_weight;
+  /// Absolute deadline on the fleet virtual clock, in seconds. A quantum
+  /// task still parked in the pending queue when a scheduling cycle fires
+  /// past this instant fails DEADLINE_EXCEEDED instead of being scheduled
+  /// (it never consumes a QPU). Unset = no deadline.
+  std::optional<double> deadline_seconds;
+  /// Batch-formation priority class of the run's quantum tasks.
+  Priority priority = Priority::kStandard;
+};
 
 /// Lifecycle of an invoked workflow run. Terminal states are kCompleted,
 /// kFailed and kCancelled; RunHandle::wait() blocks until one is reached.
@@ -72,6 +100,9 @@ struct RunInfo {
   double started_at = -1.0;    ///< virtual clock at kPending -> kRunning
   double finished_at = -1.0;   ///< virtual clock at the terminal transition
   Status error;                ///< non-OK iff status is kFailed / kCancelled
+  /// The run's effective QoS preferences: what the request carried, with
+  /// fidelity_weight resolved against the deployment default.
+  JobPreferences preferences;
 };
 
 // ---- requests / responses ----------------------------------------------------
@@ -99,6 +130,10 @@ struct DeployResponse {
 struct InvokeRequest {
   std::uint32_t api_version = kApiVersion;
   workflow::ImageId image = 0;
+  /// Per-run QoS: MCDM preference, deadline and priority. Defaults
+  /// reproduce the pre-QoS behavior (config fidelity_weight, no deadline,
+  /// kStandard). Out-of-range values are rejected INVALID_ARGUMENT.
+  JobPreferences preferences;
 };
 
 struct WorkflowStatusRequest {
@@ -140,6 +175,11 @@ struct GetRunResponse {
   RunInfo info;
 };
 
+/// Largest page listRuns hands out; bigger requests are clamped to this
+/// bound (a page is materialized as typed RunInfo values, so the bound
+/// caps per-request work on a hot control plane).
+inline constexpr std::size_t kMaxListRunsPageSize = 1000;
+
 /// Query over the run table, in ascending run-id order. Runs evicted under
 /// the retention policy no longer appear (and getRun() on them is
 /// kNotFound) — the table is bounded by design.
@@ -151,7 +191,9 @@ struct ListRunsRequest {
   workflow::ImageId image = 0;
   /// Resume after this run id (the previous response's next_page_token).
   RunId page_token = 0;
-  /// Max runs per page; clamped to at least 1.
+  /// Max runs per page. 0 is rejected INVALID_ARGUMENT (it used to be
+  /// silently clamped to 1); values above kMaxListRunsPageSize are clamped
+  /// to that bound.
   std::size_t page_size = 100;
 };
 
@@ -159,6 +201,35 @@ struct ListRunsResponse {
   std::vector<RunInfo> runs;
   /// Pass as the next request's page_token; 0 when the listing is complete.
   RunId next_page_token = 0;
+};
+
+// ---- QPU reservations (§7) ---------------------------------------------------
+
+/// Takes a QPU out of scheduling rotation by setting the monitor's
+/// reservation flag (distinct from the `online` health flag): in-flight
+/// scheduling cycles snapshot both at cycle start, so a reservation made
+/// while jobs are parked is honored by the very next cycle.
+/// ALREADY_EXISTS when the QPU is already reserved; NOT_FOUND for
+/// unknown names.
+struct ReserveQpuRequest {
+  std::uint32_t api_version = kApiVersion;
+  std::string qpu;  ///< monitor name, e.g. "ibm_like_0"
+};
+
+struct ReserveQpuResponse {
+  std::string qpu;
+};
+
+/// Returns a reserved QPU to scheduling rotation (a QPU that is also
+/// offline for health reasons stays out). FAILED_PRECONDITION when the
+/// QPU was not reserved; NOT_FOUND for unknown names.
+struct ReleaseQpuRequest {
+  std::uint32_t api_version = kApiVersion;
+  std::string qpu;
+};
+
+struct ReleaseQpuResponse {
+  std::string qpu;
 };
 
 // ---- scheduler service (§7 job manager) --------------------------------------
@@ -198,6 +269,7 @@ struct SchedulerCycleInfo {
   std::size_t batch_size = 0;    ///< jobs handed to the hybrid scheduler
   std::size_t scheduled = 0;     ///< jobs assigned to a QPU
   std::size_t filtered = 0;      ///< infeasible jobs (failed RESOURCE_EXHAUSTED)
+  std::size_t expired = 0;       ///< parked past deadline (failed DEADLINE_EXCEEDED)
   std::size_t queue_depth_after = 0;  ///< pending jobs left behind
   double preprocess_seconds = 0.0;
   double optimize_seconds = 0.0;
@@ -212,11 +284,15 @@ struct SchedulerStats {
   std::uint64_t cycles = 0;
   std::uint64_t jobs_scheduled = 0;
   std::uint64_t jobs_filtered = 0;
+  std::uint64_t jobs_expired = 0;        ///< deadline-expired while parked
   std::size_t queue_depth = 0;           ///< pending jobs right now
   std::size_t queue_high_watermark = 0;  ///< Fig. 9b stability statistic
   std::size_t max_batch_size_seen = 0;
   std::vector<SchedulerCycleInfo> recent_cycles;  ///< oldest first, bounded
   std::vector<double> recent_queue_waits;         ///< per-job, bounded
+  /// Per-priority queue-wait histories, indexed by Priority cast to
+  /// size_t — the QoS-isolation view of recent_queue_waits.
+  std::array<std::vector<double>, kNumPriorities> recent_queue_waits_by_priority;
 };
 
 struct GetSchedulerStatsRequest {

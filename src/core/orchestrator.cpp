@@ -52,7 +52,7 @@ Qonductor::Qonductor(QonductorConfig config)
       advance_fleet_clock(advance_to);
       return snapshot_qpu_states_locked(fleet_clock_.load(std::memory_order_relaxed));
     };
-    scheduler_service_ = std::make_unique<SchedulerService>(
+    scheduler_service_ = std::make_shared<SchedulerService>(
         config_.scheduler_service, config_.seed ^ 0x5c4edULL, cycle_config,
         std::move(hooks));
   }
@@ -88,10 +88,10 @@ void Qonductor::publish_fleet_state() {
     info.queue_wait_seconds = qpu_available_at_[q];
     info.mean_gate_error_2q = backend.calibration().mean_gate_error_2q();
     info.calibration_cycle = backend.calibration().cycle;
-    // The online flag is owned by whoever reserves QPUs (§7) — republishing
-    // dynamic state must not silently bring a reserved QPU back.
-    info.online = monitor_.qpu(info.name).value_or(QpuInfo{}).online;
-    monitor_.update_qpu(info);
+    // Health and reservation are owned by set_qpu_online/set_qpu_reserved;
+    // the monitor merges them in atomically so a concurrent reserve or
+    // fault cannot be lost to this republish.
+    monitor_.publish_qpu_dynamic(info);
   }
 }
 
@@ -104,7 +104,9 @@ std::vector<sched::QpuState> Qonductor::snapshot_qpu_states_locked(
     state.name = fleet_.backends[q]->name();
     state.size = fleet_.backends[q]->num_qubits();
     state.queue_wait_seconds = std::max(0.0, qpu_available_at_[q] - reference);
-    state.online = monitor_.qpu(state.name).value_or(QpuInfo{}).online;
+    // A QPU is schedulable only when healthy AND not reserved (§7).
+    const QpuInfo info = monitor_.qpu(state.name).value_or(QpuInfo{});
+    state.online = info.online && !info.reserved;
     states.push_back(std::move(state));
   }
   return states;
@@ -165,8 +167,41 @@ api::Result<api::DeployResponse> Qonductor::deploy(const api::DeployRequest& req
   return response;
 }
 
+namespace {
+
+api::Status validate_preferences(const api::JobPreferences& preferences) {
+  // The negated comparisons also reject NaN.
+  if (preferences.fidelity_weight &&
+      !(*preferences.fidelity_weight >= 0.0 && *preferences.fidelity_weight <= 1.0)) {
+    return api::InvalidArgument(
+        "invoke: preferences.fidelity_weight must be in [0, 1]");
+  }
+  if (preferences.deadline_seconds && !(*preferences.deadline_seconds >= 0.0)) {
+    return api::InvalidArgument(
+        "invoke: preferences.deadline_seconds must be >= 0 (fleet virtual clock)");
+  }
+  // The priority later indexes kNumPriorities-sized lanes/stats arrays, so
+  // an enum value smuggled in from a wire layer must be rejected here.
+  if (static_cast<std::size_t>(preferences.priority) >= api::kNumPriorities) {
+    return api::InvalidArgument("invoke: preferences.priority is not a valid Priority");
+  }
+  return api::Status::Ok();
+}
+
+}  // namespace
+
+api::JobPreferences Qonductor::effective_preferences(
+    const api::JobPreferences& requested) const {
+  api::JobPreferences effective = requested;
+  if (!effective.fidelity_weight) effective.fidelity_weight = config_.fidelity_weight;
+  return effective;
+}
+
 api::Status Qonductor::validate_invoke(const api::InvokeRequest& request,
                                        const workflow::WorkflowImage** image_out) const {
+  if (api::Status status = validate_preferences(request.preferences); !status.ok()) {
+    return status;
+  }
   std::lock_guard<std::mutex> lock(registry_mutex_);
   const workflow::WorkflowImage* img = registry_.find(request.image);
   if (img == nullptr) {
@@ -181,9 +216,11 @@ api::Status Qonductor::validate_invoke(const api::InvokeRequest& request,
   return api::Status::Ok();
 }
 
-api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* image) {
+api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* image,
+                                                 api::JobPreferences preferences) {
   auto state = std::make_shared<api::RunState>();
   state->image = image->id;
+  state->preferences = std::move(preferences);
   state->submitted_at = fleetNow();
   const RunId run = run_table_.insert(state);
   monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kPending));
@@ -213,7 +250,7 @@ api::Result<api::RunHandle> Qonductor::invoke(const api::InvokeRequest& request)
   if (!init_status_.ok()) return init_status_;
   const workflow::WorkflowImage* img = nullptr;
   if (api::Status status = validate_invoke(request, &img); !status.ok()) return status;
-  return start_run(img);
+  return start_run(img, effective_preferences(request.preferences));
 }
 
 api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
@@ -231,7 +268,7 @@ api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
   std::vector<api::RunHandle> handles;
   handles.reserve(requests.size());
   for (std::size_t i = 0; i < images.size(); ++i) {
-    auto handle = start_run(images[i]);
+    auto handle = start_run(images[i], effective_preferences(requests[i].preferences));
     if (!handle.ok()) {
       // Only reachable when the executor shuts down mid-batch. Runs queued
       // before the failure keep executing and stay queryable by run id; the
@@ -266,7 +303,13 @@ api::Result<api::GetRunResponse> Qonductor::getRun(const api::GetRunRequest& req
 
 api::Result<api::ListRunsResponse> Qonductor::listRuns(
     const api::ListRunsRequest& request) const {
-  const std::size_t page_size = std::max<std::size_t>(1, request.page_size);
+  if (request.page_size == 0) {
+    // Used to be silently clamped to 1 — a caller asking for nothing got
+    // one run back. Reject malformed paging instead.
+    return api::InvalidArgument("listRuns: page_size must be >= 1 (at most " +
+                                std::to_string(api::kMaxListRunsPageSize) + ")");
+  }
+  const std::size_t page_size = std::min(request.page_size, api::kMaxListRunsPageSize);
   api::ListRunsResponse response;
   // The table is bounded by the retention policy, so snapshotting the tail
   // beyond the page token is cheap; filters apply to the live status.
@@ -290,6 +333,40 @@ api::Result<api::GetSchedulerStatsResponse> Qonductor::getSchedulerStats(
   api::GetSchedulerStatsResponse response;
   response.config = to_config_view(config_.scheduler_service);
   if (scheduler_service_) response.stats = scheduler_service_->stats();
+  return response;
+}
+
+api::Result<api::ReserveQpuResponse> Qonductor::reserveQpu(
+    const api::ReserveQpuRequest& request) {
+  // Atomic test-and-set on the monitor: cannot race publish_fleet_state,
+  // a device-manager health flip, or a concurrent reserve.
+  const auto previous = monitor_.set_qpu_reserved(request.qpu, true);
+  if (!previous) {
+    return api::NotFound("reserveQpu: unknown QPU '" + request.qpu + "'");
+  }
+  if (*previous) {
+    return api::AlreadyExists("reserveQpu: QPU '" + request.qpu +
+                              "' is already reserved");
+  }
+  api::ReserveQpuResponse response;
+  response.qpu = request.qpu;
+  return response;
+}
+
+api::Result<api::ReleaseQpuResponse> Qonductor::releaseQpu(
+    const api::ReleaseQpuRequest& request) {
+  // Clears only the reservation: a QPU the device manager took offline
+  // for health reasons stays out of rotation.
+  const auto previous = monitor_.set_qpu_reserved(request.qpu, false);
+  if (!previous) {
+    return api::NotFound("releaseQpu: unknown QPU '" + request.qpu + "'");
+  }
+  if (!*previous) {
+    return api::FailedPrecondition("releaseQpu: QPU '" + request.qpu +
+                                   "' is not reserved");
+  }
+  api::ReleaseQpuResponse response;
+  response.qpu = request.qpu;
   return response;
 }
 
@@ -394,9 +471,15 @@ void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
       // quantum task parks in the scheduler service's pending queue first,
       // and holding the lock across that wait would stall every cycle.
       api::Result<TaskResult> executed = task.kind == workflow::TaskKind::kQuantum
-                                             ? run_quantum_task(task, ready, run)
+                                             ? run_quantum_task(state, task, ready)
                                              : run_classical_task(task, ready);
       if (!executed.ok()) {
+        if (executed.status().code() == api::StatusCode::kCancelled) {
+          // The task was pulled out of the pending queue by cancel(): the
+          // run ends kCancelled, not kFailed.
+          cancelled = true;
+          break;
+        }
         result.status = api::RunStatus::kFailed;
         result.error = api::Status(executed.status().code(),
                                    "task '" + task.name + "' failed: " +
@@ -438,27 +521,71 @@ void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
   state->cv.notify_all();
 }
 
-Qonductor::QuantumTaskPrep Qonductor::prepare_quantum_task(
-    const workflow::HybridTask& task) const {
-  // Pure function of the (immutable) circuit and backends, so executors
-  // prepare concurrently without the engine lock and scheduling cycles get
-  // their estimate rows for free.
-  QuantumTaskPrep prep;
-  prep.transpiled.reserve(fleet_.backends.size());
+std::uint64_t Qonductor::calibration_fingerprint() const {
+  // FNV-style combine over per-backend calibration cycles: any single
+  // recalibration moves the fingerprint and invalidates the prep cache.
+  std::uint64_t fp = 1469598103934665603ULL;
   for (const auto& backend : fleet_.backends) {
-    prep.transpiled.push_back(transpiler::transpile(task.circ, *backend));
-    const auto& t = prep.transpiled.back();
+    fp ^= backend->calibration().cycle + 0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2);
+  }
+  return fp;
+}
+
+std::shared_ptr<const Qonductor::QuantumTaskPrep> Qonductor::prepare_quantum_task(
+    const workflow::HybridTask& task) const {
+  // Pure function of the (immutable) circuit, the backends and their
+  // calibrations — so a burst of runs of one image shares a single prep
+  // instead of re-transpiling per run. Keyed by the task's address: the
+  // registry is append-only, so task addresses are stable and unique.
+  const std::uint64_t fingerprint = calibration_fingerprint();
+  {
+    std::lock_guard<std::mutex> lock(prep_cache_mutex_);
+    if (fingerprint != prep_cache_fingerprint_) {
+      prep_cache_.clear();  // fleet recalibrated: every estimate is stale
+      prep_cache_order_.clear();
+      prep_cache_fingerprint_ = fingerprint;
+    }
+    const auto it = prep_cache_.find(&task);
+    if (it != prep_cache_.end()) {
+      prep_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  prep_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  auto prep = std::make_shared<QuantumTaskPrep>();
+  prep->transpiled.reserve(fleet_.backends.size());
+  for (const auto& backend : fleet_.backends) {
+    prep->transpiled.push_back(transpiler::transpile(task.circ, *backend));
+    const auto& t = prep->transpiled.back();
     const auto sig = mitigation::compute_signature(
         task.mitigation, static_cast<std::size_t>(task.circ.num_qubits()),
         static_cast<std::size_t>(t.circuit.depth()), t.circuit.two_qubit_gate_count(),
         static_cast<std::size_t>(t.circuit.num_clbits()),
         backend->calibration().mean_gate_error_2q(), task.accelerator);
-    prep.est_fidelity.push_back(estimator::predicted_fidelity(t.circuit, *backend, sig));
-    prep.est_exec_seconds.push_back(
+    prep->est_fidelity.push_back(estimator::predicted_fidelity(t.circuit, *backend, sig));
+    prep->est_exec_seconds.push_back(
         transpiler::job_quantum_runtime(t.schedule, task.shots, *backend) *
         sig.quantum_runtime_multiplier);
   }
-  return prep;
+
+  std::lock_guard<std::mutex> lock(prep_cache_mutex_);
+  if (fingerprint != prep_cache_fingerprint_) {
+    // Recalibrated while we were transpiling: serve this prep to the
+    // caller (its estimates matched the inputs it saw) but don't cache it.
+    return prep;
+  }
+  // Concurrent executors may have prepared the same task; keep the first.
+  const auto [it, inserted] = prep_cache_.emplace(&task, std::move(prep));
+  if (inserted) {
+    prep_cache_order_.push_back(&task);
+    while (prep_cache_.size() > kPrepCacheCapacity) {
+      // The registry is unbounded; the cache is not. Evict oldest first.
+      prep_cache_.erase(prep_cache_order_.front());
+      prep_cache_order_.pop_front();
+    }
+  }
+  return it->second;
 }
 
 TaskResult Qonductor::execute_quantum_locked(const workflow::HybridTask& task,
@@ -512,9 +639,13 @@ TaskResult Qonductor::execute_quantum_locked(const workflow::HybridTask& task,
   return result;
 }
 
-api::Result<TaskResult> Qonductor::run_quantum_task(const workflow::HybridTask& task,
-                                                    double ready_at, RunId run) {
-  const QuantumTaskPrep prep = prepare_quantum_task(task);
+api::Result<TaskResult> Qonductor::run_quantum_task(
+    const std::shared_ptr<api::RunState>& state, const workflow::HybridTask& task,
+    double ready_at) {
+  const RunId run = state->id;
+  // Effective per-run QoS: fidelity_weight was resolved at invoke().
+  const api::JobPreferences& prefs = state->preferences;
+  const std::shared_ptr<const QuantumTaskPrep> prep = prepare_quantum_task(task);
 
   if (scheduler_service_) {
     // Batch path (§7): park the task in the pending queue and wait for a
@@ -526,15 +657,51 @@ api::Result<TaskResult> Qonductor::run_quantum_task(const workflow::HybridTask& 
     pending->shots = task.shots;
     pending->ready_at = ready_at;
     pending->enqueued_at = fleetNow();
-    pending->est_fidelity = prep.est_fidelity;
-    pending->est_exec_seconds = prep.est_exec_seconds;
-    if (!scheduler_service_->enqueue(pending)) {
+    // Resolved by effective_preferences() at invoke(): always set here.
+    pending->fidelity_weight = *prefs.fidelity_weight;
+    pending->deadline_seconds = prefs.deadline_seconds;
+    pending->priority = prefs.priority;
+    pending->est_fidelity = prep->est_fidelity;
+    pending->est_exec_seconds = prep->est_exec_seconds;
+
+    // Expose the parked task to cancel(): failing it and pulling it out of
+    // the queue ends the run immediately instead of at dispatch. fail()
+    // is first-writer-wins, so a racing cycle completion is a no-op.
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->cancel_requested) {
+        return api::Cancelled("task '" + task.name +
+                              "' cancelled before entering the pending queue");
+      }
+      state->unpark = [service = std::weak_ptr<SchedulerService>(scheduler_service_),
+                       pending] {
+        pending->fail(api::Cancelled("run cancelled while parked in the pending queue"),
+                      pending->enqueued_at);
+        if (auto live = service.lock()) live->remove_pending(pending);
+      };
+    }
+    const bool queued = scheduler_service_->enqueue(pending);
+    if (queued && pending->settled()) {
+      // cancel() fired between installing the hook and the push, so its
+      // queue removal was a no-op and we just enqueued a settled ghost:
+      // reclaim the slot before it counts toward thresholds/capacity.
+      scheduler_service_->remove_pending(pending);
+    }
+    if (queued) pending->await();
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->unpark = nullptr;
+    }
+    if (!queued) {
+      // A concurrent cancel() may have settled the task while the closing
+      // queue rejected the push; the cancel verdict wins so the run ends
+      // kCancelled as cancel()'s true return promised.
+      if (pending->settled() && !pending->error.ok()) return pending->error;
       return api::Unavailable("run_quantum_task: scheduler service is shutting down");
     }
-    pending->await();
     if (!pending->error.ok()) return pending->error;
     std::lock_guard<std::mutex> lock(engine_mutex_);
-    return execute_quantum_locked(task, prep,
+    return execute_quantum_locked(task, *prep,
                                   static_cast<std::size_t>(pending->assigned_qpu),
                                   ready_at, pending->dispatched_at);
   }
@@ -542,14 +709,28 @@ api::Result<TaskResult> Qonductor::run_quantum_task(const workflow::HybridTask& 
   // Immediate fallback: a single-job scheduling cycle inline, with queue
   // waits measured relative to the task's own ready time.
   std::lock_guard<std::mutex> lock(engine_mutex_);
+  if (prefs.deadline_seconds) {
+    // Dispatch-time deadline check, mirroring the batch path: dispatch
+    // happens at the fleet frontier (or the task's ready time, whichever
+    // is later), and a task past its deadline must not consume a QPU.
+    const double dispatch_at =
+        std::max(ready_at, fleet_clock_.load(std::memory_order_relaxed));
+    if (*prefs.deadline_seconds < dispatch_at) {
+      return api::DeadlineExceeded(
+          "run_quantum_task: task '" + task.name + "' missed its deadline (t=" +
+          std::to_string(*prefs.deadline_seconds) + " s, dispatched at t=" +
+          std::to_string(dispatch_at) + " s)");
+    }
+  }
   sched::SchedulingInput input;
   input.qpus = snapshot_qpu_states_locked(ready_at);
   sched::QuantumJob job;
   job.id = run;
   job.qubits = task.circ.num_qubits();
   job.shots = task.shots;
-  job.est_fidelity = prep.est_fidelity;
-  job.est_exec_seconds = prep.est_exec_seconds;
+  job.fidelity_weight = *prefs.fidelity_weight;  // resolved at invoke()
+  job.est_fidelity = prep->est_fidelity;
+  job.est_exec_seconds = prep->est_exec_seconds;
   input.jobs.push_back(std::move(job));
 
   sched::SchedulerConfig scheduler;
@@ -560,7 +741,7 @@ api::Result<TaskResult> Qonductor::run_quantum_task(const workflow::HybridTask& 
     return api::ResourceExhausted("run_quantum_task: task '" + task.name +
                                   "' fits no online QPU in the fleet");
   }
-  return execute_quantum_locked(task, prep,
+  return execute_quantum_locked(task, *prep,
                                 static_cast<std::size_t>(decision.assignment[0]),
                                 ready_at, 0.0);
 }

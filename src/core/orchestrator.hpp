@@ -27,6 +27,13 @@
 // restores the old greedy per-task path. Tasks no online QPU can host fail
 // their run with the typed RESOURCE_EXHAUSTED.
 //
+// Every run carries api::JobPreferences (per-job MCDM fidelity weight, an
+// optional fleet-clock deadline, a priority class): batches form in
+// priority order, MCDM picks each job's Pareto point per its own weight,
+// and a task still parked when a cycle fires past its deadline fails
+// DEADLINE_EXCEEDED without consuming a QPU. reserveQpu/releaseQpu expose
+// the §7 reservation flag as a typed surface over the system monitor.
+//
 // Run records live in a bounded RunTable: terminal runs are garbage-
 // collected under QonductorConfig::retention (LRU + TTL), so a long-lived
 // orchestrator serving sustained traffic holds a bounded amount of run
@@ -35,6 +42,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -72,7 +80,9 @@ const char* workflow_status_name(WorkflowStatus status);
 struct QonductorConfig {
   std::size_t num_qpus = 4;
   std::uint64_t seed = 2025;
-  double fidelity_weight = 0.5;       ///< MCDM preference
+  /// Deployment-default MCDM preference; a run's
+  /// api::JobPreferences::fidelity_weight overrides it per job.
+  double fidelity_weight = 0.5;
   estimator::PlanConfig plan_config;
   bool replicated_monitor = false;    ///< Raft-backed system monitor
   std::size_t classical_standard_nodes = 8;
@@ -132,6 +142,16 @@ class Qonductor {
   /// kImmediate mode the stats are all-zero.
   api::Result<api::GetSchedulerStatsResponse> getSchedulerStats(
       const api::GetSchedulerStatsRequest& request) const;
+  /// Takes a QPU out of scheduling rotation (§7 reservations) via the
+  /// monitor's reservation flag — separate from the `online` health flag,
+  /// so reservations and device-manager faults compose. Scheduling
+  /// snapshots honor both, so jobs already parked in the pending queue
+  /// avoid the QPU from the very next cycle. kNotFound for unknown names;
+  /// kAlreadyExists when already reserved.
+  api::Result<api::ReserveQpuResponse> reserveQpu(const api::ReserveQpuRequest& request);
+  /// Returns a reserved QPU to rotation (an unhealthy QPU stays out).
+  /// kFailedPrecondition when the QPU was not reserved.
+  api::Result<api::ReleaseQpuResponse> releaseQpu(const api::ReleaseQpuRequest& request);
   /// Handle for an already-started run (e.g. a run id received over the
   /// wire); kNotFound for unknown ids.
   api::Result<api::RunHandle> runHandle(RunId run) const;
@@ -157,6 +177,14 @@ class Qonductor {
   /// Current frontier of the fleet's virtual clock, in seconds: the latest
   /// task-completion time any resource has reached.
   double fleetNow() const { return fleet_clock_.load(std::memory_order_acquire); }
+  /// Transpile/estimate cache effectiveness (see prepare_quantum_task):
+  /// hits are runs that re-used a burst sibling's per-backend prep.
+  std::uint64_t prepCacheHits() const {
+    return prep_cache_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t prepCacheMisses() const {
+    return prep_cache_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Per-backend transpilation + resource estimates for one quantum task —
@@ -170,14 +198,23 @@ class Qonductor {
 
   api::Status validate_invoke(const api::InvokeRequest& request,
                               const workflow::WorkflowImage** image_out) const;
-  api::Result<api::RunHandle> start_run(const workflow::WorkflowImage* image);
+  /// The request's preferences with fidelity_weight resolved against the
+  /// deployment default — what the run record stores and RunInfo echoes.
+  api::JobPreferences effective_preferences(const api::JobPreferences& requested) const;
+  api::Result<api::RunHandle> start_run(const workflow::WorkflowImage* image,
+                                        api::JobPreferences preferences);
   void execute_run(const std::shared_ptr<api::RunState>& state,
                    const workflow::WorkflowImage* image);
-  api::Result<TaskResult> run_quantum_task(const workflow::HybridTask& task,
-                                           double ready_at, RunId run);
+  api::Result<TaskResult> run_quantum_task(const std::shared_ptr<api::RunState>& state,
+                                           const workflow::HybridTask& task,
+                                           double ready_at);
   api::Result<TaskResult> run_classical_task(const workflow::HybridTask& task,
                                              double ready_at);
-  QuantumTaskPrep prepare_quantum_task(const workflow::HybridTask& task) const;
+  std::shared_ptr<const QuantumTaskPrep> prepare_quantum_task(
+      const workflow::HybridTask& task) const;
+  /// Hash of every backend's calibration cycle — the freshness half of the
+  /// prep-cache key (a recalibration invalidates all cached preps).
+  std::uint64_t calibration_fingerprint() const;
   /// Executes the prepared task on backend `q`; requires engine_mutex_.
   /// `not_before` floors the start time at the dispatching cycle's fire
   /// time (0 in immediate mode).
@@ -222,8 +259,24 @@ class Qonductor {
   /// The batch-scheduling job manager (null in kImmediate mode or when the
   /// config failed validation). Declared before executor_: runs draining
   /// through the pool during destruction still park tasks here, so the
-  /// service must outlive the pool.
-  std::unique_ptr<SchedulerService> scheduler_service_;
+  /// service must outlive the pool. Shared so a parked run's cancel hook
+  /// can hold a weak reference that outlives the orchestrator safely.
+  std::shared_ptr<SchedulerService> scheduler_service_;
+
+  /// Cache of per-backend transpilation + estimates keyed by task identity
+  /// (registry task addresses are stable — the registry is append-only)
+  /// and invalidated wholesale when the fleet calibration fingerprint
+  /// moves. A burst of runs of one image transpiles its circuits once.
+  /// Bounded: at most kPrepCacheCapacity tasks, oldest-inserted evicted
+  /// first — the registry is unbounded, so the cache must not mirror it.
+  static constexpr std::size_t kPrepCacheCapacity = 512;
+  mutable std::mutex prep_cache_mutex_;
+  mutable std::map<const workflow::HybridTask*, std::shared_ptr<const QuantumTaskPrep>>
+      prep_cache_;
+  mutable std::deque<const workflow::HybridTask*> prep_cache_order_;  ///< FIFO eviction
+  mutable std::uint64_t prep_cache_fingerprint_ = 0;  ///< guarded by prep_cache_mutex_
+  mutable std::atomic<std::uint64_t> prep_cache_hits_{0};
+  mutable std::atomic<std::uint64_t> prep_cache_misses_{0};
 
   /// Declared last so it is destroyed first: the destructor drains queued
   /// runs while every other member is still alive.

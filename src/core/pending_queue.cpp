@@ -7,6 +7,7 @@ namespace qon::core {
 void PendingQuantumTask::complete(int qpu, double now) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) return;  // already cancelled/expired: first writer won
     assigned_qpu = qpu;
     dispatched_at = now;
     done_ = true;
@@ -17,6 +18,7 @@ void PendingQuantumTask::complete(int qpu, double now) {
 void PendingQuantumTask::fail(api::Status status, double now) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) return;
     error = std::move(status);
     dispatched_at = now;
     done_ = true;
@@ -29,17 +31,28 @@ void PendingQuantumTask::await() {
   cv_.wait(lock, [this] { return done_; });
 }
 
+bool PendingQuantumTask::settled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
 PendingQueue::PendingQueue(std::size_t capacity) : capacity_(capacity) {}
+
+std::size_t PendingQueue::size_locked() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.size();
+  return total;
+}
 
 bool PendingQueue::push(Item item) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     producer_cv_.wait(lock, [this] {
-      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+      return closed_ || capacity_ == 0 || size_locked() < capacity_;
     });
     if (closed_) return false;
-    items_.push_back(std::move(item));
-    high_watermark_ = std::max(high_watermark_, items_.size());
+    lanes_[static_cast<std::size_t>(item->priority)].push_back(std::move(item));
+    high_watermark_ = std::max(high_watermark_, size_locked());
   }
   consumer_cv_.notify_one();
   return true;
@@ -50,15 +63,53 @@ std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t n =
-        (max == 0) ? items_.size() : std::min(max, items_.size());
+        (max == 0) ? size_locked() : std::min(max, size_locked());
     batch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(items_.front()));
-      items_.pop_front();
+    // Highest priority class first (kInteractive = last lane index).
+    for (std::size_t lane = lanes_.size(); lane-- > 0 && batch.size() < n;) {
+      auto& items = lanes_[lane];
+      while (!items.empty() && batch.size() < n) {
+        batch.push_back(std::move(items.front()));
+        items.pop_front();
+      }
     }
   }
   producer_cv_.notify_all();
   return batch;
+}
+
+std::vector<PendingQueue::Item> PendingQueue::take_expired(double now) {
+  std::vector<Item> expired;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& lane : lanes_) {
+      for (auto it = lane.begin(); it != lane.end();) {
+        if ((*it)->deadline_seconds && *(*it)->deadline_seconds < now) {
+          expired.push_back(std::move(*it));
+          it = lane.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  if (!expired.empty()) producer_cv_.notify_all();
+  return expired;
+}
+
+bool PendingQueue::remove(const Item& item) {
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& lane = lanes_[static_cast<std::size_t>(item->priority)];
+    const auto it = std::find(lane.begin(), lane.end(), item);
+    if (it != lane.end()) {
+      lane.erase(it);
+      removed = true;
+    }
+  }
+  if (removed) producer_cv_.notify_all();
+  return removed;
 }
 
 void PendingQueue::close() {
@@ -77,7 +128,7 @@ bool PendingQueue::closed() const {
 
 std::size_t PendingQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return items_.size();
+  return size_locked();
 }
 
 std::size_t PendingQueue::high_watermark() const {
@@ -88,20 +139,23 @@ std::size_t PendingQueue::high_watermark() const {
 PendingQueue::Wake PendingQueue::wait_for_batch(std::size_t threshold,
                                                 std::chrono::milliseconds linger) {
   std::unique_lock<std::mutex> lock(mutex_);
-  // Phase 1: sleep until there is any work at all (or the queue closes).
-  // An empty queue never fires a cycle, so there is no deadline here.
-  consumer_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
-  if (items_.empty()) return Wake::kClosed;
-  if (closed_) return Wake::kFlush;
-  if (items_.size() >= threshold) return Wake::kThreshold;
-  // Phase 2: give the batch `linger` to fill up to the threshold; the
-  // single-consumer invariant means items_ cannot shrink underneath us.
-  const auto deadline = std::chrono::steady_clock::now() + linger;
-  const bool woke = consumer_cv_.wait_until(lock, deadline, [this, threshold] {
-    return items_.size() >= threshold || closed_;
-  });
-  if (!woke) return Wake::kLinger;
-  return closed_ ? Wake::kFlush : Wake::kThreshold;
+  for (;;) {
+    // Phase 1: sleep until there is any work at all (or the queue closes).
+    // An empty queue never fires a cycle, so there is no deadline here.
+    consumer_cv_.wait(lock, [this] { return size_locked() > 0 || closed_; });
+    if (closed_) return size_locked() > 0 ? Wake::kFlush : Wake::kClosed;
+    if (size_locked() >= threshold) return Wake::kThreshold;
+    // Phase 2: give the batch `linger` to fill up to the threshold.
+    const auto deadline = std::chrono::steady_clock::now() + linger;
+    const bool woke = consumer_cv_.wait_until(lock, deadline, [this, threshold] {
+      return size_locked() >= threshold || closed_;
+    });
+    if (woke) return closed_ ? Wake::kFlush : Wake::kThreshold;
+    // remove() can drain the queue sideways while we linger (a cancelled
+    // run's task leaving before dispatch); an empty linger expiry is not a
+    // cycle — go back to sleeping for work.
+    if (size_locked() > 0) return Wake::kLinger;
+  }
 }
 
 }  // namespace qon::core

@@ -7,19 +7,28 @@
 // queue-size threshold, on a linger timeout with work waiting, or on
 // close() for the final shutdown flush.
 //
+// Batches form in priority order (api::Priority): kInteractive items take
+// a cycle's slots before kStandard, which take them before kBatch — FIFO
+// within one class. Parked items can also leave the queue sideways:
+// remove() pulls a cancelled run's task out before it is dispatched, and
+// take_expired() collects items whose QoS deadline passed so the cycle can
+// fail them DEADLINE_EXCEEDED instead of scheduling them.
+//
 // One producer-side executor thread pushes one PendingQuantumTask per
 // quantum task and blocks on it until the scheduler either assigns a QPU or
 // fails the task (typed api::Status, e.g. RESOURCE_EXHAUSTED when no online
 // QPU fits). There is exactly one consumer — the scheduler thread — so a
 // non-empty queue observed by wait_for_batch() stays non-empty until the
-// following take_batch().
+// following take_batch()/take_expired().
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,8 +40,9 @@ namespace qon::core {
 /// One quantum task parked between its run's executor and the scheduler
 /// service. The executor fills the request half before push() (the
 /// per-backend estimates are precomputed off-lock so scheduling cycles stay
-/// cheap), blocks in await(), and the scheduler completes exactly one of
-/// {assigned_qpu, error}.
+/// cheap), blocks in await(), and the first of {complete, fail} wins — a
+/// late completion of a task that was already cancelled or expired is a
+/// no-op.
 struct PendingQuantumTask {
   // ---- request half: written by the executor before push() -------------------
   api::RunId run = 0;
@@ -41,34 +51,44 @@ struct PendingQuantumTask {
   int shots = 0;
   double ready_at = 0.0;    ///< DAG-dependency ready time (fleet clock)
   double enqueued_at = 0.0; ///< fleet clock at push (queue-wait accounting)
+  // Per-job QoS (resolved by the orchestrator against config defaults).
+  double fidelity_weight = 0.5;            ///< MCDM preference for this job
+  std::optional<double> deadline_seconds;  ///< fleet-clock deadline, if any
+  api::Priority priority = api::Priority::kStandard;
   /// Per-backend estimates, indexed like Fleet::backends — the rows of the
   /// cycle's sched::SchedulingInput.
   std::vector<double> est_fidelity;
   std::vector<double> est_exec_seconds;
 
-  // ---- completion half: written once by the scheduler ------------------------
+  // ---- completion half: first writer wins ------------------------------------
   /// Assigns QPU `qpu` at virtual time `now` and wakes the executor.
+  /// No-op if the task already settled (e.g. cancelled while parked).
   void complete(int qpu, double now);
   /// Fails the task with `status` at virtual time `now` and wakes the
-  /// executor; the run ends kFailed carrying this status.
+  /// executor; the run ends carrying this status. No-op once settled.
   void fail(api::Status status, double now);
   /// Executor side: blocks until complete()/fail(). After it returns,
   /// assigned_qpu / dispatched_at / error are stable and safe to read
   /// without the lock.
   void await();
+  /// Whether complete()/fail() already happened. A settled item still
+  /// physically queued is skipped by the next cycle.
+  bool settled() const;
 
   int assigned_qpu = -1;      ///< valid iff error.ok()
   double dispatched_at = 0.0; ///< fleet clock when the cycle fired
   api::Status error;
 
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool done_ = false;
 };
 
-/// Bounded, thread-safe FIFO of pending quantum tasks. Thread-safety:
-/// any number of producers, one consumer (the scheduler thread).
+/// Bounded, thread-safe priority queue of pending quantum tasks: one FIFO
+/// lane per api::Priority, drained highest class first. Thread-safety: any
+/// number of producers, one consumer (the scheduler thread); remove() may
+/// be called from any thread.
 class PendingQueue {
  public:
   using Item = std::shared_ptr<PendingQuantumTask>;
@@ -85,12 +105,24 @@ class PendingQueue {
   /// unbounded.
   explicit PendingQueue(std::size_t capacity = 0);
 
-  /// Enqueues `item`, blocking while the queue is at capacity. Returns
-  /// false once close()d — the item was not queued and never will be.
+  /// Enqueues `item` in its priority lane, blocking while the queue is at
+  /// capacity. Returns false once close()d — the item was not queued and
+  /// never will be.
   bool push(Item item);
 
-  /// Pops up to `max` items in FIFO order (0 = everything queued).
+  /// Pops up to `max` items (0 = everything queued): kInteractive first,
+  /// then kStandard, then kBatch, FIFO within each lane.
   std::vector<Item> take_batch(std::size_t max = 0);
+
+  /// Removes and returns every item whose deadline_seconds lies strictly
+  /// before `now` — called at cycle start so expired jobs fail
+  /// DEADLINE_EXCEEDED instead of consuming batch slots and QPUs.
+  std::vector<Item> take_expired(double now);
+
+  /// Removes this exact item (pointer identity) if it is still queued;
+  /// false when it was already taken or never pushed. Frees a capacity
+  /// slot. The caller settles the item (fail) — the queue does not.
+  bool remove(const Item& item);
 
   /// Stops accepting pushes and wakes every waiter (producers and the
   /// scheduler). Idempotent.
@@ -110,11 +142,16 @@ class PendingQueue {
   Wake wait_for_batch(std::size_t threshold, std::chrono::milliseconds linger);
 
  private:
+  // Priority lanes, drained highest first. Indexed by api::Priority.
+  using Lanes = std::array<std::deque<Item>, api::kNumPriorities>;
+
+  std::size_t size_locked() const;
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable producer_cv_; ///< producers waiting for space
   std::condition_variable consumer_cv_; ///< the scheduler thread
-  std::deque<Item> items_;
+  Lanes lanes_;
   std::size_t high_watermark_ = 0;
   bool closed_ = false;
 };

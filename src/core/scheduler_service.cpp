@@ -54,6 +54,10 @@ bool SchedulerService::enqueue(const std::shared_ptr<PendingQuantumTask>& task) 
   return queue_.push(task);
 }
 
+bool SchedulerService::remove_pending(const std::shared_ptr<PendingQuantumTask>& task) {
+  return queue_.remove(task);
+}
+
 void SchedulerService::shutdown() {
   queue_.close();
   std::lock_guard<std::mutex> lock(join_mutex_);
@@ -97,10 +101,66 @@ void SchedulerService::run_loop() {
   }
 }
 
+void SchedulerService::fail_expired(const std::vector<PendingQueue::Item>& overdue,
+                                    double now) {
+  // Callers account the cycle in stats_ BEFORE this wakes any executor: a
+  // client that observes its run DEADLINE_EXCEEDED must already find the
+  // expiry in getSchedulerStats.
+  for (const auto& item : overdue) {
+    item->fail(api::DeadlineExceeded(
+                   "scheduling cycle: task '" + item->task_name + "' of run " +
+                       std::to_string(item->run) + " missed its deadline (t=" +
+                       std::to_string(*item->deadline_seconds) +
+                       " s, cycle dispatched at t=" + std::to_string(now) + " s)"),
+               now);
+  }
+}
+
+void SchedulerService::append_cycle_locked(api::SchedulerCycleInfo& info) {
+  info.cycle = ++stats_.cycles;
+  stats_.recent_cycles.push_back(info);
+  if (stats_.recent_cycles.size() > config_.stats_cycle_history) {
+    stats_.recent_cycles.erase(stats_.recent_cycles.begin());
+  }
+}
+
+void SchedulerService::record_empty_cycle(double fired_at, api::CycleTrigger fired_by,
+                                          std::size_t expired, double latency_seconds) {
+  trigger_.notify_fired(fired_at);
+  api::SchedulerCycleInfo info;
+  info.fired_at = fired_at;
+  info.trigger = fired_by;
+  info.expired = expired;
+  info.queue_depth_after = queue_.size();
+  info.cycle_latency_seconds = latency_seconds;
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.jobs_expired += expired;
+  append_cycle_locked(info);
+}
+
 void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
   Stopwatch cycle_clock;
+  // QoS deadlines are enforced before batch formation: a job that can no
+  // longer meet its deadline must not consume a batch slot or a QPU. The
+  // overdue items are only *failed* after the cycle is accounted below.
+  auto overdue = queue_.take_expired(fired_at);
   auto batch = queue_.take_batch(config_.max_batch_size);
-  if (batch.empty()) return;
+  // Items settled sideways (a cancelled run's task raced a cycle taking
+  // it) are dropped; their runs already carry a terminal status.
+  const auto settled = [](const PendingQueue::Item& item) { return item->settled(); };
+  batch.erase(std::remove_if(batch.begin(), batch.end(), settled), batch.end());
+  overdue.erase(std::remove_if(overdue.begin(), overdue.end(), settled), overdue.end());
+  if (batch.empty() && overdue.empty()) return;
+  if (batch.empty()) {
+    // Nothing to dispatch, but the cycle still happened: advance the
+    // fleet clock to the fire time (the snapshot is discarded) so expiry
+    // verdicts and later cycles observe a monotonic virtual clock — a run
+    // failed for missing t=10 must not finish at t=0.
+    hooks_.snapshot_qpus(fired_at);
+    record_empty_cycle(fired_at, fired_by, overdue.size(), cycle_clock.seconds());
+    fail_expired(overdue, fired_at);
+    return;
+  }
 
   // Advance the fleet clock to the fire time and snapshot the QPU states
   // (under the engine lock on the orchestrator side); the frontier may
@@ -109,6 +169,24 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
   input.qpus = hooks_.snapshot_qpus(fired_at);
   const double now = std::max(fired_at, hooks_.now());
 
+  // The fleet frontier may have advanced past fired_at while we
+  // snapshotted: a batch member whose deadline fell inside that window
+  // must fail now rather than execute past its deadline.
+  {
+    const auto overdue_begin = std::partition(
+        batch.begin(), batch.end(), [now](const PendingQueue::Item& item) {
+          return !(item->deadline_seconds && *item->deadline_seconds < now);
+        });
+    overdue.insert(overdue.end(), overdue_begin, batch.end());
+    batch.erase(overdue_begin, batch.end());
+    if (batch.empty()) {
+      record_empty_cycle(now, fired_by, overdue.size(), cycle_clock.seconds());
+      fail_expired(overdue, now);
+      return;
+    }
+  }
+  const std::size_t expired = overdue.size();
+
   input.jobs.reserve(batch.size());
   for (const auto& item : batch) {
     sched::QuantumJob job;
@@ -116,6 +194,9 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
     job.qubits = item->qubits;
     job.shots = item->shots;
     job.arrival_time = item->enqueued_at;
+    // Already resolved against the deployment default by the orchestrator:
+    // MCDM selects this job's Pareto point per its own preference.
+    job.fidelity_weight = item->fidelity_weight;
     job.est_fidelity = item->est_fidelity;
     job.est_exec_seconds = item->est_exec_seconds;
     input.jobs.push_back(std::move(job));
@@ -141,11 +222,13 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
   std::size_t filtered = 0;
   double wait_sum = 0.0;
   std::vector<double> waits;
+  std::array<std::vector<double>, api::kNumPriorities> waits_by_priority;
   waits.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const double wait = std::max(0.0, now - batch[i]->enqueued_at);
     wait_sum += wait;
     waits.push_back(wait);
+    waits_by_priority[static_cast<std::size_t>(batch[i]->priority)].push_back(wait);
     if (cycle_error.ok() && decision.assignment[i] >= 0) {
       ++scheduled;
     } else if (cycle_error.ok()) {
@@ -160,6 +243,7 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
   info.batch_size = batch.size();
   info.scheduled = scheduled;
   info.filtered = filtered;
+  info.expired = expired;
   info.queue_depth_after = queue_.size();
   info.preprocess_seconds = decision.preprocess_seconds;
   info.optimize_seconds = decision.optimize_seconds;
@@ -169,27 +253,31 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    info.cycle = ++stats_.cycles;
     stats_.jobs_scheduled += scheduled;
     stats_.jobs_filtered += filtered;
+    stats_.jobs_expired += expired;
     stats_.max_batch_size_seen = std::max(stats_.max_batch_size_seen, batch.size());
-    stats_.recent_cycles.push_back(info);
-    if (stats_.recent_cycles.size() > config_.stats_cycle_history) {
-      stats_.recent_cycles.erase(stats_.recent_cycles.begin());
-    }
-    stats_.recent_queue_waits.insert(stats_.recent_queue_waits.end(), waits.begin(),
-                                     waits.end());
-    if (stats_.recent_queue_waits.size() > config_.stats_wait_history) {
-      stats_.recent_queue_waits.erase(
-          stats_.recent_queue_waits.begin(),
-          stats_.recent_queue_waits.begin() +
-              static_cast<std::ptrdiff_t>(stats_.recent_queue_waits.size() -
-                                          config_.stats_wait_history));
+    append_cycle_locked(info);
+    const auto append_bounded = [limit = config_.stats_wait_history](
+                                    std::vector<double>& history,
+                                    const std::vector<double>& samples) {
+      history.insert(history.end(), samples.begin(), samples.end());
+      if (history.size() > limit) {
+        history.erase(history.begin(),
+                      history.begin() +
+                          static_cast<std::ptrdiff_t>(history.size() - limit));
+      }
+    };
+    append_bounded(stats_.recent_queue_waits, waits);
+    for (std::size_t p = 0; p < api::kNumPriorities; ++p) {
+      append_bounded(stats_.recent_queue_waits_by_priority[p], waits_by_priority[p]);
     }
   }
 
-  // Now wake the executors: assigned tasks proceed to their QPU, filtered
-  // jobs fail their run with the typed RESOURCE_EXHAUSTED.
+  // Now wake the executors: deadline-expired jobs fail DEADLINE_EXCEEDED,
+  // assigned tasks proceed to their QPU, filtered jobs fail their run
+  // with the typed RESOURCE_EXHAUSTED.
+  fail_expired(overdue, now);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (!cycle_error.ok()) {
       batch[i]->fail(cycle_error, now);

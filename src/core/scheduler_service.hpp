@@ -9,6 +9,12 @@
 // completes each pending task with its assigned QPU. Jobs the scheduler
 // filters as infeasible (no online QPU fits) fail with RESOURCE_EXHAUSTED.
 //
+// Per-job QoS (api::JobPreferences) is honored here: batches form in
+// priority order (kInteractive > kStandard > kBatch), each job carries its
+// own MCDM fidelity weight into the cycle, and a task still parked when a
+// cycle fires past its deadline fails DEADLINE_EXCEEDED at cycle start —
+// it never consumes a batch slot or a QPU.
+//
 // Virtual-vs-real time: the trigger's threshold and interval live on the
 // fleet virtual clock, but the service must make progress in real time even
 // when nothing advances that clock. `linger` is the real-time grace a
@@ -101,6 +107,12 @@ class SchedulerService {
   /// queued and never will be).
   bool enqueue(const std::shared_ptr<PendingQuantumTask>& task);
 
+  /// Pulls a parked task out of the pending queue (cancellation path).
+  /// The caller is expected to have settled the task already — fail() wins
+  /// over any later cycle completion — so this only frees the queue slot.
+  /// False when the task was never queued or a cycle already took it.
+  bool remove_pending(const std::shared_ptr<PendingQuantumTask>& task);
+
   /// Closes the queue, lets the scheduler thread flush the final cycle(s),
   /// and joins it. Idempotent and safe to call concurrently.
   void shutdown();
@@ -113,6 +125,18 @@ class SchedulerService {
  private:
   void run_loop();
   void run_cycle(double fired_at, api::CycleTrigger fired_by);
+  /// Fails every task in `overdue` with DEADLINE_EXCEEDED at virtual time
+  /// `now`. Callers must account the cycle in stats_ first — an executor
+  /// observing the failure is guaranteed to find it in getSchedulerStats.
+  void fail_expired(const std::vector<PendingQueue::Item>& overdue, double now);
+  /// Accounts a cycle that dispatched nothing (every taken job expired or
+  /// settled sideways): bumps the cycle counter and records the history
+  /// entry, without a scheduler call.
+  void record_empty_cycle(double fired_at, api::CycleTrigger fired_by,
+                          std::size_t expired, double latency_seconds);
+  /// Stamps the cycle index into `info` and appends it to the bounded
+  /// recent_cycles history. Requires stats_mutex_ to be held.
+  void append_cycle_locked(api::SchedulerCycleInfo& info);
 
   const SchedulerServiceConfig config_;
   const sched::SchedulerConfig cycle_config_;

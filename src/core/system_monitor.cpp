@@ -45,7 +45,7 @@ std::string serialize_qpu(const QpuInfo& info) {
   std::ostringstream oss;
   oss << info.qubits << "|" << info.queue_length << "|" << info.queue_wait_seconds << "|"
       << info.mean_gate_error_2q << "|" << info.calibration_cycle << "|"
-      << (info.online ? 1 : 0);
+      << (info.online ? 1 : 0) << "|" << (info.reserved ? 1 : 0);
   return oss.str();
 }
 
@@ -60,6 +60,9 @@ std::optional<QpuInfo> deserialize_qpu(const std::string& name, const std::strin
     return std::nullopt;
   }
   info.online = online != 0;
+  // Trailing reservation flag; absent in pre-reservation records.
+  int reserved = 0;
+  if (in >> sep >> reserved) info.reserved = reserved != 0;
   return info;
 }
 
@@ -71,6 +74,47 @@ void SystemMonitor::update_qpu(const QpuInfo& info) {
     qpu_names_.push_back(info.name);
   }
   put_unlocked("qpu/" + info.name, serialize_qpu(info));
+}
+
+void SystemMonitor::publish_qpu_dynamic(const QpuInfo& info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(qpu_names_.begin(), qpu_names_.end(), info.name) == qpu_names_.end()) {
+    qpu_names_.push_back(info.name);
+  }
+  QpuInfo merged = info;
+  if (const auto raw = get_unlocked("qpu/" + info.name)) {
+    if (const auto previous = deserialize_qpu(info.name, *raw)) {
+      // Health and reservation belong to set_qpu_online/set_qpu_reserved;
+      // republishing dynamic state must not flip either.
+      merged.online = previous->online;
+      merged.reserved = previous->reserved;
+    }
+  }
+  put_unlocked("qpu/" + info.name, serialize_qpu(merged));
+}
+
+std::optional<bool> SystemMonitor::set_qpu_online(const std::string& name, bool online) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto raw = get_unlocked("qpu/" + name);
+  if (!raw) return std::nullopt;
+  auto info = deserialize_qpu(name, *raw);
+  if (!info) return std::nullopt;
+  const bool previous = info->online;
+  info->online = online;
+  put_unlocked("qpu/" + name, serialize_qpu(*info));
+  return previous;
+}
+
+std::optional<bool> SystemMonitor::set_qpu_reserved(const std::string& name, bool reserved) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto raw = get_unlocked("qpu/" + name);
+  if (!raw) return std::nullopt;
+  auto info = deserialize_qpu(name, *raw);
+  if (!info) return std::nullopt;
+  const bool previous = info->reserved;
+  info->reserved = reserved;
+  put_unlocked("qpu/" + name, serialize_qpu(*info));
+  return previous;
 }
 
 std::optional<QpuInfo> SystemMonitor::qpu(const std::string& name) const {

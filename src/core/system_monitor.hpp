@@ -23,7 +23,13 @@ struct QpuInfo {
   double queue_wait_seconds = 0.0;
   double mean_gate_error_2q = 0.0;
   std::uint64_t calibration_cycle = 0;
+  /// Health: false means the device manager took the QPU down (faults,
+  /// maintenance). Distinct from `reserved` — releasing a reservation
+  /// must not bring a faulted QPU back into rotation.
   bool online = true;
+  /// §7 reservation (reserveQpu/releaseQpu). Scheduling snapshots offer a
+  /// QPU only when it is online AND not reserved.
+  bool reserved = false;
 };
 
 /// Thread-safe: workflow executors, device managers and control-plane
@@ -42,6 +48,18 @@ class SystemMonitor {
 
   // -- QPU state ---------------------------------------------------------------
   void update_qpu(const QpuInfo& info);
+  /// Publishes dynamic state (queue, calibration) while preserving the
+  /// stored health and reservation flags — atomic with the flag setters
+  /// below, unlike a read-modify-write through qpu()/update_qpu().
+  void publish_qpu_dynamic(const QpuInfo& info);
+  /// Atomically flips only the health flag; returns the previous value,
+  /// nullopt for unknown names. The blessed device-manager path: an
+  /// external qpu()→update_qpu() read-modify-write can lose concurrent
+  /// flag writes.
+  std::optional<bool> set_qpu_online(const std::string& name, bool online);
+  /// Atomically flips only the §7 reservation flag (reserveQpu/releaseQpu
+  /// sit on top); same contract as set_qpu_online.
+  std::optional<bool> set_qpu_reserved(const std::string& name, bool reserved);
   std::optional<QpuInfo> qpu(const std::string& name) const;
   std::vector<std::string> qpu_names() const;
 

@@ -38,15 +38,10 @@ std::vector<std::vector<double>> pseudo_weights(
   return weights;
 }
 
-std::size_t select_by_pseudo_weight(const std::vector<std::vector<double>>& front_objectives,
-                                    const std::vector<double>& preference) {
-  if (front_objectives.empty()) {
-    throw std::invalid_argument("select_by_pseudo_weight: empty front");
-  }
-  if (preference.size() != front_objectives[0].size()) {
-    throw std::invalid_argument("select_by_pseudo_weight: preference arity mismatch");
-  }
-  const auto weights = pseudo_weights(front_objectives);
+namespace {
+
+std::size_t nearest_by_weight(const std::vector<std::vector<double>>& weights,
+                              const std::vector<double>& preference) {
   std::size_t best = 0;
   double best_dist = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < weights.size(); ++i) {
@@ -60,6 +55,37 @@ std::size_t select_by_pseudo_weight(const std::vector<std::vector<double>>& fron
     }
   }
   return best;
+}
+
+}  // namespace
+
+std::size_t select_by_pseudo_weight(const std::vector<std::vector<double>>& front_objectives,
+                                    const std::vector<double>& preference) {
+  if (front_objectives.empty()) {
+    throw std::invalid_argument("select_by_pseudo_weight: empty front");
+  }
+  if (preference.size() != front_objectives[0].size()) {
+    throw std::invalid_argument("select_by_pseudo_weight: preference arity mismatch");
+  }
+  return nearest_by_weight(pseudo_weights(front_objectives), preference);
+}
+
+std::vector<std::size_t> select_each_by_pseudo_weight(
+    const std::vector<std::vector<double>>& front_objectives,
+    const std::vector<std::vector<double>>& preferences) {
+  if (front_objectives.empty()) {
+    throw std::invalid_argument("select_each_by_pseudo_weight: empty front");
+  }
+  const auto weights = pseudo_weights(front_objectives);
+  std::vector<std::size_t> picks;
+  picks.reserve(preferences.size());
+  for (const auto& preference : preferences) {
+    if (preference.size() != front_objectives[0].size()) {
+      throw std::invalid_argument("select_each_by_pseudo_weight: preference arity mismatch");
+    }
+    picks.push_back(nearest_by_weight(weights, preference));
+  }
+  return picks;
 }
 
 std::size_t select_by_pseudo_weight(const std::vector<Solution>& front,

@@ -22,6 +22,15 @@ std::vector<std::vector<double>> pseudo_weights(
 std::size_t select_by_pseudo_weight(const std::vector<std::vector<double>>& front_objectives,
                                     const std::vector<double>& preference);
 
+/// One selection per preference vector, sharing a single pseudo-weight
+/// computation over the front — the per-job MCDM of a scheduling cycle
+/// whose jobs carry heterogeneous preferences. Returns one front index per
+/// entry of `preferences`. Throws std::invalid_argument on an empty front
+/// or a preference arity mismatch.
+std::vector<std::size_t> select_each_by_pseudo_weight(
+    const std::vector<std::vector<double>>& front_objectives,
+    const std::vector<std::vector<double>>& preferences);
+
 /// Convenience overload for a Solution front.
 std::size_t select_by_pseudo_weight(const std::vector<Solution>& front,
                                     const std::vector<double>& preference);

@@ -36,6 +36,14 @@ ScheduleDecision schedule_cycle(const SchedulingInput& input, const SchedulerCon
   if (config.fidelity_weight < 0.0 || config.fidelity_weight > 1.0) {
     throw std::invalid_argument("schedule_cycle: fidelity_weight must be in [0, 1]");
   }
+  for (const auto& job : input.jobs) {
+    // Negated form so NaN is rejected too.
+    if (job.fidelity_weight &&
+        !(*job.fidelity_weight >= 0.0 && *job.fidelity_weight <= 1.0)) {
+      throw std::invalid_argument("schedule_cycle: job " + std::to_string(job.id) +
+                                  " fidelity_weight must be in [0, 1]");
+    }
+  }
   ScheduleDecision decision;
   decision.assignment.assign(input.jobs.size(), -1);
 
@@ -64,17 +72,50 @@ ScheduleDecision schedule_cycle(const SchedulingInput& input, const SchedulerCon
 
   // ---- stage (c): MCDM selection -------------------------------------------
   sw.reset();
-  // Preference vector over (JCT, error): fidelity_weight applies to the
-  // error objective, the rest to JCT.
-  const std::vector<double> preference = {1.0 - config.fidelity_weight,
-                                          config.fidelity_weight};
-  const std::size_t pick = moo::select_by_pseudo_weight(result.front, preference);
-  decision.select_seconds = sw.seconds();
+  // Preference vectors over (JCT, error): a job's fidelity_weight applies
+  // to the error objective, the rest to JCT. Jobs without their own weight
+  // use the cycle-wide default.
+  std::vector<double> job_weights;
+  job_weights.reserve(pre.compact.jobs.size());
+  bool uniform = true;
+  for (const auto& job : pre.compact.jobs) {
+    job_weights.push_back(job.fidelity_weight.value_or(config.fidelity_weight));
+    if (job_weights.back() != job_weights.front()) uniform = false;
+  }
 
-  const auto& chosen = result.front[pick];
-  decision.chosen.mean_jct = chosen.objectives[0];
-  decision.chosen.mean_error = chosen.objectives[1];
-  decision.chosen_mean_exec_seconds = problem.mean_execution_time(chosen.genome);
+  std::vector<int> chosen_genome(pre.compact.jobs.size(), 0);
+  if (uniform) {
+    // One preference for the whole batch: pick a single Pareto-optimal
+    // schedule (the pre-QoS behavior when every job uses the default).
+    const std::vector<double> preference = {1.0 - job_weights.front(),
+                                            job_weights.front()};
+    const std::size_t pick = moo::select_by_pseudo_weight(result.front, preference);
+    chosen_genome = result.front[pick].genome;
+    decision.chosen.mean_jct = result.front[pick].objectives[0];
+    decision.chosen.mean_error = result.front[pick].objectives[1];
+  } else {
+    // Heterogeneous preferences: each job takes its placement from the
+    // front schedule whose pseudo-weights sit closest to its own
+    // preference, so tenants in one cycle land on different Pareto points.
+    std::vector<std::vector<double>> objs;
+    objs.reserve(result.front.size());
+    for (const auto& sol : result.front) objs.push_back(sol.objectives);
+    std::vector<std::vector<double>> preferences;
+    preferences.reserve(job_weights.size());
+    for (const double w : job_weights) preferences.push_back({1.0 - w, w});
+    const auto picks = moo::select_each_by_pseudo_weight(objs, preferences);
+    for (std::size_t c = 0; c < chosen_genome.size(); ++c) {
+      chosen_genome[c] = result.front[picks[c]].genome[c];
+    }
+    // The composite is feasible per job (every front genome is) but need
+    // not coincide with a front member — evaluate it for the report.
+    std::vector<double> chosen_objectives;
+    problem.evaluate(chosen_genome, chosen_objectives);
+    decision.chosen.mean_jct = chosen_objectives[0];
+    decision.chosen.mean_error = chosen_objectives[1];
+  }
+  decision.select_seconds = sw.seconds();
+  decision.chosen_mean_exec_seconds = problem.mean_execution_time(chosen_genome);
 
   double min_exec = std::numeric_limits<double>::infinity();
   double max_exec = 0.0;
@@ -88,8 +129,8 @@ ScheduleDecision schedule_cycle(const SchedulingInput& input, const SchedulerCon
   decision.max_front_exec_seconds = max_exec;
 
   // Scatter the compact assignment back to original job positions.
-  for (std::size_t c = 0; c < chosen.genome.size(); ++c) {
-    decision.assignment[pre.kept_indices[c]] = chosen.genome[c];
+  for (std::size_t c = 0; c < chosen_genome.size(); ++c) {
+    decision.assignment[pre.kept_indices[c]] = chosen_genome[c];
   }
   return decision;
 }

@@ -2,8 +2,16 @@
 // The Qonductor hybrid scheduler (§7, Fig. 5): three stages —
 //   (a) job pre-processing: filter infeasible jobs, gather estimates;
 //   (b) optimization: NSGA-II over Eq. 1 produces a Pareto front;
-//   (c) selection: pseudo-weight MCDM picks one schedule per the caller's
-//       fidelity/JCT preference.
+//   (c) selection: pseudo-weight MCDM. With a uniform preference the whole
+//       batch takes one Pareto-optimal schedule; jobs carrying their own
+//       QuantumJob::fidelity_weight each take their placement from the
+//       front schedule closest to their preference, so one cycle serves
+//       heterogeneous fidelity/JCT tradeoffs. The composite is feasible
+//       per job but is a recombination NSGA-II never evaluated — several
+//       JCT-preferring jobs can pick the same fast QPU from different
+//       front schedules and serialize there; its objectives are
+//       re-evaluated for the report, and a repair/re-selection pass is a
+//       ROADMAP open item.
 // Per-stage wall-clock timings are recorded (Fig. 9c).
 
 #include <vector>

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,11 @@ struct QuantumJob {
   int qubits = 0;            ///< q_i: maximum qubits required
   int shots = 0;
   double arrival_time = 0.0; ///< [s] simulated submission time
+  /// Per-job MCDM preference in [0, 1] (1 = fidelity, 0 = JCT). Jobs in
+  /// one cycle may carry different preferences: selection then picks each
+  /// job's placement from the Pareto-front schedule closest to its own
+  /// preference. Unset = the cycle-wide SchedulerConfig::fidelity_weight.
+  std::optional<double> fidelity_weight;
 
   /// Per-QPU estimates, indexed by QPU position in SchedulingInput::qpus.
   /// Infeasible QPUs carry fidelity 0 / infinite time.
@@ -29,7 +35,9 @@ struct QpuState {
   std::string name;
   int size = 0;                 ///< s_x: number of qubits
   double queue_wait_seconds = 0.0;  ///< w_x: current approximate queue wait
-  bool online = true;           ///< reservations mark QPUs offline (§7)
+  /// Schedulable: the snapshot folds health AND §7 reservation into this
+  /// flag (a QPU is offered only when online and not reserved).
+  bool online = true;
 };
 
 /// A batch scheduling request (one scheduling cycle).

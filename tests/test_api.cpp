@@ -345,6 +345,95 @@ TEST(ApiErrors, UnknownRunIsNotFound) {
   EXPECT_EQ(results.status().code(), StatusCode::kNotFound);
 }
 
+TEST(ApiErrors, ListRunsZeroPageSizeIsInvalidArgument) {
+  QonductorClient client(small_config());
+  ListRunsRequest request;
+  request.page_size = 0;  // used to be silently clamped to 1
+  auto response = client.listRuns(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+
+  // Oversized pages are clamped to the documented bound, not rejected.
+  ListRunsRequest huge;
+  huge.page_size = kMaxListRunsPageSize + 1;
+  EXPECT_TRUE(client.listRuns(huge).ok());
+}
+
+// ---- per-job QoS preferences -------------------------------------------------
+
+TEST(Preferences, BadValuesAreInvalidArgument) {
+  QonductorClient client(small_config());
+  const auto image = deploy_classical(client, "qos-bad");
+
+  InvokeRequest request;
+  request.image = image;
+  request.preferences.fidelity_weight = 1.5;
+  auto handle = client.invoke(request);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+
+  request.preferences.fidelity_weight = -0.1;
+  EXPECT_EQ(client.invoke(request).status().code(), StatusCode::kInvalidArgument);
+
+  request.preferences.fidelity_weight.reset();
+  request.preferences.deadline_seconds = -1.0;
+  EXPECT_EQ(client.invoke(request).status().code(), StatusCode::kInvalidArgument);
+
+  // A priority smuggled past the enum (e.g. a wire layer) is rejected, not
+  // used as an out-of-bounds lane index.
+  request.preferences.deadline_seconds.reset();
+  request.preferences.priority = static_cast<Priority>(17);
+  EXPECT_EQ(client.invoke(request).status().code(), StatusCode::kInvalidArgument);
+  request.preferences.priority = Priority::kStandard;
+
+  // invokeAll validates the whole batch atomically: nothing starts.
+  std::vector<InvokeRequest> batch(2);
+  batch[0].image = image;
+  batch[1].image = image;
+  batch[1].preferences.fidelity_weight = 2.0;
+  auto handles = client.invokeAll(batch);
+  ASSERT_FALSE(handles.ok());
+  EXPECT_EQ(handles.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Preferences, EchoedInRunInfoWithResolvedDefault) {
+  auto config = small_config();
+  config.fidelity_weight = 0.25;
+  QonductorClient client(config);
+  const auto image = deploy_classical(client, "qos-echo");
+
+  // A request without preferences reproduces pre-QoS behavior: the echo
+  // shows the deployment default, no deadline, standard priority.
+  InvokeRequest plain;
+  plain.image = image;
+  auto plain_handle = client.invoke(plain);
+  ASSERT_TRUE(plain_handle.ok());
+  plain_handle->wait();
+  auto plain_info = client.getRun(plain_handle->id());
+  ASSERT_TRUE(plain_info.ok());
+  ASSERT_TRUE(plain_info->preferences.fidelity_weight.has_value());
+  EXPECT_DOUBLE_EQ(*plain_info->preferences.fidelity_weight, 0.25);
+  EXPECT_FALSE(plain_info->preferences.deadline_seconds.has_value());
+  EXPECT_EQ(plain_info->preferences.priority, Priority::kStandard);
+
+  InvokeRequest tuned;
+  tuned.image = image;
+  tuned.preferences.fidelity_weight = 0.9;
+  tuned.preferences.deadline_seconds = 1e6;
+  tuned.preferences.priority = Priority::kInteractive;
+  auto tuned_handle = client.invoke(tuned);
+  ASSERT_TRUE(tuned_handle.ok());
+  tuned_handle->wait();
+  auto info = tuned_handle->info();  // the handle echoes too, not just getRun
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(info->preferences.fidelity_weight.has_value());
+  EXPECT_DOUBLE_EQ(*info->preferences.fidelity_weight, 0.9);
+  ASSERT_TRUE(info->preferences.deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*info->preferences.deadline_seconds, 1e6);
+  EXPECT_EQ(info->preferences.priority, Priority::kInteractive);
+  EXPECT_STREQ(priority_name(Priority::kInteractive), "interactive");
+}
+
 TEST(ApiVersioning, UnsupportedVersionIsUnimplemented) {
   QonductorClient client(small_config());
   EXPECT_EQ(QonductorClient::version(), kApiVersion);

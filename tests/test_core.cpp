@@ -53,6 +53,31 @@ TEST(SystemMonitor, QpuRoundTrip) {
   EXPECT_FALSE(monitor.qpu("absent").has_value());
 }
 
+TEST(SystemMonitor, AtomicFlagSettersAndDynamicPublishCompose) {
+  SystemMonitor monitor(false);
+  QpuInfo info;
+  info.name = "mumbai";
+  info.qubits = 27;
+  monitor.update_qpu(info);
+
+  // Field-level setters return the previous value and touch nothing else.
+  EXPECT_EQ(monitor.set_qpu_reserved("mumbai", true), std::optional<bool>(false));
+  EXPECT_EQ(monitor.set_qpu_reserved("mumbai", true), std::optional<bool>(true));
+  EXPECT_EQ(monitor.set_qpu_online("mumbai", false), std::optional<bool>(true));
+  EXPECT_FALSE(monitor.set_qpu_online("absent", false).has_value());
+  EXPECT_FALSE(monitor.set_qpu_reserved("absent", true).has_value());
+
+  // Republishing dynamic state preserves both flags.
+  QpuInfo dynamic = info;
+  dynamic.queue_wait_seconds = 99.0;
+  monitor.publish_qpu_dynamic(dynamic);
+  const auto read = monitor.qpu("mumbai");
+  ASSERT_TRUE(read.has_value());
+  EXPECT_NEAR(read->queue_wait_seconds, 99.0, 1e-9);
+  EXPECT_FALSE(read->online);    // health flip survived the republish
+  EXPECT_TRUE(read->reserved);   // reservation survived the republish
+}
+
 TEST(SystemMonitor, WorkflowStatusRoundTrip) {
   SystemMonitor monitor(false);
   monitor.set_workflow_status(42, "running");

@@ -226,6 +226,22 @@ TEST(Mcdm, ValidatesInput) {
   EXPECT_THROW(select_by_pseudo_weight(front, {1.0}), std::invalid_argument);
 }
 
+TEST(Mcdm, SelectEachServesHeterogeneousPreferences) {
+  const std::vector<std::vector<double>> front = {
+      {0.0, 10.0},  // best JCT, worst error
+      {5.0, 5.0},
+      {10.0, 0.0},  // worst JCT, best error
+  };
+  // One shared pseudo-weight computation, one pick per preference — must
+  // agree with the single-preference selector on every row.
+  const auto picks = select_each_by_pseudo_weight(
+      front, {{1.0, 0.0}, {0.5, 0.5}, {0.0, 1.0}});
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0u, 1u, 2u}));
+  EXPECT_TRUE(select_each_by_pseudo_weight(front, {}).empty());
+  EXPECT_THROW(select_each_by_pseudo_weight({}, {{0.5, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(select_each_by_pseudo_weight(front, {{1.0}}), std::invalid_argument);
+}
+
 // Seed sweep: the scheduler's core engine must behave across seeds.
 class Nsga2SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -181,6 +181,69 @@ TEST(Scheduler, BalancedSitsBetweenExtremes) {
   EXPECT_LE(decision.chosen.mean_jct, max_jct + 1e-9);
 }
 
+// The per-job QoS acceptance scenario: the same batch submitted twice with
+// opposite per-job fidelity_weight preferences produces measurably
+// different placements — higher mean estimated fidelity / lower mean JCT
+// respectively.
+TEST(Scheduler, OppositePerJobPreferencesShiftPlacements) {
+  auto fid_input = make_input(60, 4, 11);
+  auto jct_input = fid_input;
+  for (auto& job : fid_input.jobs) job.fidelity_weight = 1.0;
+  for (auto& job : jct_input.jobs) job.fidelity_weight = 0.0;
+  SchedulerConfig config;  // the cycle default (0.5) is overridden per job
+  config.nsga2.seed = 5;
+  const auto fid_decision = schedule_cycle(fid_input, config);
+  const auto jct_decision = schedule_cycle(jct_input, config);
+  EXPECT_GT(fid_decision.chosen.mean_fidelity(), jct_decision.chosen.mean_fidelity());
+  EXPECT_LT(jct_decision.chosen.mean_jct, fid_decision.chosen.mean_jct);
+}
+
+// Heterogeneous preferences inside ONE cycle: each job takes its placement
+// from the Pareto point matching its own weight, so fidelity-preferring
+// tenants land on higher-fidelity QPUs than JCT-preferring tenants sharing
+// the batch.
+TEST(Scheduler, MixedPreferencesInOneCycleServePerJobTradeoffs) {
+  auto input = make_input(40, 4, 43);
+  for (std::size_t j = 0; j < input.jobs.size(); ++j) {
+    input.jobs[j].fidelity_weight = (j % 2 == 0) ? 0.95 : 0.05;
+  }
+  SchedulerConfig config;
+  config.nsga2.seed = 7;
+  const auto decision = schedule_cycle(input, config);
+  double fid_pref_mean = 0.0;
+  double jct_pref_mean = 0.0;
+  for (std::size_t j = 0; j < input.jobs.size(); ++j) {
+    ASSERT_GE(decision.assignment[j], 0);
+    const auto q = static_cast<std::size_t>(decision.assignment[j]);
+    (j % 2 == 0 ? fid_pref_mean : jct_pref_mean) += input.jobs[j].est_fidelity[q];
+  }
+  fid_pref_mean /= 20.0;
+  jct_pref_mean /= 20.0;
+  EXPECT_GT(fid_pref_mean, jct_pref_mean);
+}
+
+TEST(Scheduler, RejectsBadPerJobWeight) {
+  auto input = make_input(5, 2, 19);
+  input.jobs[2].fidelity_weight = 1.5;
+  SchedulerConfig config;
+  EXPECT_THROW(schedule_cycle(input, config), std::invalid_argument);
+}
+
+TEST(Scheduler, UniformPerJobWeightMatchesCycleGlobalWeight) {
+  // Jobs all carrying the config default must reproduce the pre-QoS
+  // decision bit for bit (the uniform fast path).
+  const auto plain = make_input(30, 4, 47);
+  auto tagged = plain;
+  for (auto& job : tagged.jobs) job.fidelity_weight = 0.5;
+  SchedulerConfig config;
+  config.fidelity_weight = 0.5;
+  config.nsga2.seed = 13;
+  const auto a = schedule_cycle(plain, config);
+  const auto b = schedule_cycle(tagged, config);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.chosen.mean_jct, b.chosen.mean_jct);
+}
+
 TEST(Scheduler, FiltersJobsThatFitNowhere) {
   auto input = make_input(10, 2, 17);
   input.jobs[3].qubits = 100;  // fits nothing

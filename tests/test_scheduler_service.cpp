@@ -26,13 +26,15 @@ namespace {
 
 using namespace std::chrono_literals;
 
-std::shared_ptr<PendingQuantumTask> make_task(api::RunId run, int qubits,
-                                              std::size_t num_qpus) {
+std::shared_ptr<PendingQuantumTask> make_task(
+    api::RunId run, int qubits, std::size_t num_qpus,
+    api::Priority priority = api::Priority::kStandard) {
   auto task = std::make_shared<PendingQuantumTask>();
   task->run = run;
   task->task_name = "task-" + std::to_string(run);
   task->qubits = qubits;
   task->shots = 100;
+  task->priority = priority;
   task->est_fidelity.assign(num_qpus, 0.9);
   task->est_exec_seconds.assign(num_qpus, 2.0);
   return task;
@@ -91,6 +93,71 @@ TEST(PendingQueue, CloseRejectsPushesAndWakesBlockedProducers) {
   EXPECT_TRUE(queue.closed());
   EXPECT_FALSE(queue.push(make_task(3, 4, 2)));
   EXPECT_EQ(queue.size(), 1u);  // the pre-close item is still drainable
+}
+
+TEST(PendingQueue, BatchesFormInPriorityOrder) {
+  PendingQueue queue;
+  queue.push(make_task(1, 4, 2, api::Priority::kBatch));
+  queue.push(make_task(2, 4, 2, api::Priority::kInteractive));
+  queue.push(make_task(3, 4, 2, api::Priority::kStandard));
+  queue.push(make_task(4, 4, 2, api::Priority::kInteractive));
+
+  auto first = queue.take_batch(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0]->run, 2u);  // the interactive lane drains first, FIFO within
+  EXPECT_EQ(first[1]->run, 4u);
+  auto rest = queue.take_batch(0);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0]->run, 3u);  // then standard, then batch
+  EXPECT_EQ(rest[1]->run, 1u);
+}
+
+TEST(PendingQueue, TakeExpiredPullsOnlyOverdueDeadlines) {
+  PendingQueue queue;
+  auto overdue = make_task(1, 4, 2);
+  overdue->deadline_seconds = 5.0;
+  auto future = make_task(2, 4, 2);
+  future->deadline_seconds = 50.0;
+  auto no_deadline = make_task(3, 4, 2);
+  queue.push(overdue);
+  queue.push(future);
+  queue.push(no_deadline);
+
+  auto expired = queue.take_expired(10.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0]->run, 1u);
+  EXPECT_EQ(queue.size(), 2u);
+  // The bound is strict: a cycle firing exactly at the deadline schedules.
+  EXPECT_TRUE(queue.take_expired(50.0).empty());
+  auto later = queue.take_expired(50.1);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_EQ(later[0]->run, 2u);
+}
+
+TEST(PendingQueue, RemoveFreesSlotAndIgnoresUnknownItems) {
+  PendingQueue queue(2);
+  auto a = make_task(1, 4, 2);
+  auto b = make_task(2, 4, 2);
+  queue.push(a);
+  queue.push(b);
+  EXPECT_TRUE(queue.remove(a));
+  EXPECT_FALSE(queue.remove(a));  // already gone
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_TRUE(queue.push(make_task(3, 4, 2)));  // the capacity slot was freed
+  auto batch = queue.take_batch(0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0]->run, 2u);
+}
+
+TEST(PendingQueue, FirstSettlementWins) {
+  auto task = make_task(1, 4, 2);
+  task->fail(api::Cancelled("cancelled while parked"), 1.0);
+  task->complete(0, 2.0);  // a racing cycle completion must be a no-op
+  task->await();
+  EXPECT_TRUE(task->settled());
+  EXPECT_EQ(task->error.code(), api::StatusCode::kCancelled);
+  EXPECT_LT(task->assigned_qpu, 0);
+  EXPECT_DOUBLE_EQ(task->dispatched_at, 1.0);
 }
 
 TEST(PendingQueue, WaitWakesOnThreshold) {
@@ -232,6 +299,78 @@ TEST(SchedulerService, ShutdownFlushesTheFinalCycle) {
   EXPECT_FALSE(service.enqueue(make_task(9, 4, 2)));  // closed for good
 }
 
+// The QoS-deadline acceptance scenario at the service level: a job parked
+// past its deadline fails DEADLINE_EXCEEDED at cycle start and never
+// consumes a batch slot or a QPU; its batch sibling is scheduled normally.
+TEST(SchedulerService, DeadlineExpiredParkedJobFailsAtCycleStart) {
+  FakeEngine engine(2);
+  SchedulerServiceConfig config;
+  config.queue_threshold = 100;  // unreachable: the timer fires, at t=60
+  config.interval_seconds = 60.0;
+  config.linger = 200ms;
+  SchedulerService service(config, 7, {}, engine.hooks());
+
+  auto expired = make_task(1, 4, 2);
+  expired->deadline_seconds = 10.0;  // passes before the timer cycle
+  auto alive = make_task(2, 4, 2);
+  alive->deadline_seconds = 120.0;  // still good at t=60
+  ASSERT_TRUE(service.enqueue(expired));
+  ASSERT_TRUE(service.enqueue(alive));
+  expired->await();
+  alive->await();
+
+  EXPECT_EQ(expired->error.code(), api::StatusCode::kDeadlineExceeded);
+  EXPECT_LT(expired->assigned_qpu, 0);  // no QPU consumed
+  EXPECT_TRUE(alive->error.ok()) << alive->error.to_string();
+  EXPECT_GE(alive->assigned_qpu, 0);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs_expired, 1u);
+  EXPECT_EQ(stats.jobs_scheduled, 1u);
+  EXPECT_EQ(stats.jobs_filtered, 0u);
+  std::size_t expired_in_cycles = 0;
+  for (const auto& cycle : stats.recent_cycles) expired_in_cycles += cycle.expired;
+  EXPECT_EQ(expired_in_cycles, 1u);
+  service.shutdown();
+}
+
+// Priority-ordered batch formation isolates queue waits: with a cycle cap
+// of 2, the interactive pair dispatches in the threshold cycle at t=0 and
+// the batch-class pair waits for the timer cycle at t=60.
+TEST(SchedulerService, PriorityOrderIsolatesQueueWaits) {
+  FakeEngine engine(2);
+  SchedulerServiceConfig config;
+  config.queue_threshold = 4;
+  config.max_batch_size = 2;
+  config.interval_seconds = 60.0;
+  config.linger = 200ms;
+  SchedulerService service(config, 7, {}, engine.hooks());
+
+  auto b1 = make_task(1, 4, 2, api::Priority::kBatch);
+  auto b2 = make_task(2, 4, 2, api::Priority::kBatch);
+  auto i1 = make_task(3, 4, 2, api::Priority::kInteractive);
+  auto i2 = make_task(4, 4, 2, api::Priority::kInteractive);
+  for (const auto& task : {b1, b2, i1, i2}) ASSERT_TRUE(service.enqueue(task));
+  for (const auto& task : {b1, b2, i1, i2}) task->await();
+
+  EXPECT_DOUBLE_EQ(i1->dispatched_at, 0.0);
+  EXPECT_DOUBLE_EQ(i2->dispatched_at, 0.0);
+  EXPECT_DOUBLE_EQ(b1->dispatched_at, 60.0);
+  EXPECT_DOUBLE_EQ(b2->dispatched_at, 60.0);
+
+  const auto stats = service.stats();
+  const auto& interactive_waits = stats.recent_queue_waits_by_priority[static_cast<
+      std::size_t>(api::Priority::kInteractive)];
+  const auto& batch_waits =
+      stats.recent_queue_waits_by_priority[static_cast<std::size_t>(api::Priority::kBatch)];
+  EXPECT_EQ(interactive_waits, (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(batch_waits, (std::vector<double>{60.0, 60.0}));
+  EXPECT_TRUE(stats.recent_queue_waits_by_priority[static_cast<std::size_t>(
+                  api::Priority::kStandard)]
+                  .empty());
+  service.shutdown();
+}
+
 TEST(SchedulerService, InfeasibleTaskFailsResourceExhausted) {
   FakeEngine engine(2, /*qpu_size=*/5);
   SchedulerServiceConfig config;
@@ -314,9 +453,7 @@ workflow::ImageId deploy_quantum(api::QonductorClient& client, const std::string
 void take_fleet_offline(api::QonductorClient& client) {
   auto& monitor = client.backend().monitor();
   for (const auto& name : monitor.qpu_names()) {
-    auto info = *monitor.qpu(name);
-    info.online = false;
-    monitor.update_qpu(info);
+    ASSERT_TRUE(monitor.set_qpu_online(name, false).has_value());
   }
 }
 
@@ -343,13 +480,22 @@ TEST(BatchServing, BurstIsDispatchedInMultipleSchedulerCycles) {
   const auto image = deploy_quantum(client, "burst", circuit::ghz(3));
 
   std::vector<api::InvokeRequest> requests(kRuns);
-  for (auto& request : requests) request.image = image;
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    requests[i].image = image;
+    // A mixed-tenant burst: priorities cycle through all three classes.
+    requests[i].preferences.priority = static_cast<api::Priority>(i % api::kNumPriorities);
+  }
   auto handles = client.invokeAll(requests);
   ASSERT_TRUE(handles.ok()) << handles.status().to_string();
   for (const auto& handle : *handles) {
     EXPECT_EQ(handle.wait(), api::RunStatus::kCompleted);
   }
   EXPECT_EQ(quantum_starts.load(), kRuns);
+
+  // Every run prepared its quantum task exactly once (cache or transpile);
+  // the burst re-uses cached preps once the first prep lands.
+  EXPECT_EQ(client.backend().prepCacheHits() + client.backend().prepCacheMisses(), kRuns);
+  EXPECT_GE(client.backend().prepCacheHits(), 1u);
 
   auto stats_response = client.getSchedulerStats();
   ASSERT_TRUE(stats_response.ok()) << stats_response.status().to_string();
@@ -371,11 +517,210 @@ TEST(BatchServing, BurstIsDispatchedInMultipleSchedulerCycles) {
   }
   EXPECT_EQ(batched, kRuns);
   EXPECT_EQ(stats.recent_queue_waits.size(), kRuns);
+  // Per-priority histories partition the overall wait history.
+  std::size_t by_priority = 0;
+  for (const auto& waits : stats.recent_queue_waits_by_priority) {
+    by_priority += waits.size();
+  }
+  EXPECT_EQ(by_priority, kRuns);
 
   // The config view echoes the deployment's knobs.
   EXPECT_EQ(stats_response->config.mode, api::SchedulingMode::kBatch);
   EXPECT_EQ(stats_response->config.queue_threshold, 25u);
   EXPECT_EQ(stats_response->config.max_batch_size, 40u);
+}
+
+// Regression for the ROADMAP open item: cancelling a run whose quantum
+// task is parked pulls the task out of the pending queue immediately — the
+// scheduling threshold is never reached, so only the cancel can end it.
+TEST(BatchServing, CancelPullsParkedTaskOutOfThePendingQueue) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 41;
+  config.scheduler_service.queue_threshold = 100;  // never reached
+  config.scheduler_service.linger = 10s;           // no timer rescue either
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "cancel-parked", circuit::ghz(3));
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  // Wait until the task is parked in the pending queue.
+  for (int i = 0; i < 5000; ++i) {
+    auto stats = client.getSchedulerStats();
+    ASSERT_TRUE(stats.ok());
+    if (stats->stats.queue_depth == 1) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(handle->cancel());
+  EXPECT_EQ(handle->wait(), api::RunStatus::kCancelled);
+
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->error.code(), api::StatusCode::kCancelled);
+  EXPECT_TRUE(result->tasks.empty());  // nothing executed
+  auto stats = client.getSchedulerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->stats.queue_depth, 0u);     // the slot was reclaimed
+  EXPECT_EQ(stats->stats.jobs_scheduled, 0u);  // no cycle ever dispatched it
+}
+
+// §7 reservations as a typed API: a QPU reserved while jobs are already
+// parked is honored by the in-flight cycle that dispatches them.
+TEST(BatchServing, MidCycleReservationIsHonoredByTheNextCycle) {
+  constexpr std::size_t kRuns = 6;
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 53;
+  config.trajectory_width_limit = 8;
+  config.executor_threads = kRuns;
+  config.retention.max_terminal_runs = kRuns + 8;
+  config.scheduler_service.queue_threshold = kRuns;  // fires on the last invoke
+  config.scheduler_service.linger = 10s;             // backstop only
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "reserve", circuit::ghz(3));
+
+  // Park all but one job: one short of the threshold, nothing dispatches.
+  std::vector<api::InvokeRequest> requests(kRuns - 1);
+  for (auto& request : requests) request.image = image;
+  auto handles = client.invokeAll(requests);
+  ASSERT_TRUE(handles.ok()) << handles.status().to_string();
+  for (int i = 0; i < 5000; ++i) {
+    auto stats = client.getSchedulerStats();
+    ASSERT_TRUE(stats.ok());
+    if (stats->stats.queue_depth == kRuns - 1) break;
+    std::this_thread::sleep_for(1ms);
+  }
+
+  // Reserve one of the two QPUs mid-cycle, while the jobs are parked.
+  const auto names = client.backend().monitor().qpu_names();
+  ASSERT_EQ(names.size(), 2u);
+  api::ReserveQpuRequest reserve;
+  reserve.qpu = names[0];
+  auto reserved = client.reserveQpu(reserve);
+  ASSERT_TRUE(reserved.ok()) << reserved.status().to_string();
+  EXPECT_EQ(reserved->qpu, names[0]);
+  EXPECT_EQ(client.reserveQpu(reserve).status().code(), api::StatusCode::kAlreadyExists);
+
+  // Trip the threshold: the firing cycle must route every job around the
+  // reserved QPU.
+  api::InvokeRequest last;
+  last.image = image;
+  auto last_handle = client.invoke(last);
+  ASSERT_TRUE(last_handle.ok()) << last_handle.status().to_string();
+
+  std::vector<api::RunHandle> all = *handles;
+  all.push_back(*last_handle);
+  for (const auto& handle : all) {
+    EXPECT_EQ(handle.wait(), api::RunStatus::kCompleted);
+    auto result = handle.result();
+    ASSERT_TRUE(result.ok());
+    for (const auto& task : result->tasks) {
+      if (task.kind == workflow::TaskKind::kQuantum) {
+        EXPECT_NE(task.resource, names[0]) << "scheduled onto a reserved QPU";
+      }
+    }
+  }
+
+  // Release returns it to rotation; the error paths are typed.
+  api::ReleaseQpuRequest release;
+  release.qpu = names[0];
+  ASSERT_TRUE(client.releaseQpu(release).ok());
+  EXPECT_EQ(client.releaseQpu(release).status().code(),
+            api::StatusCode::kFailedPrecondition);
+  api::ReserveQpuRequest unknown;
+  unknown.qpu = "no-such-qpu";
+  EXPECT_EQ(client.reserveQpu(unknown).status().code(), api::StatusCode::kNotFound);
+}
+
+// Reservation (§7) and health are independent bits: reserving a faulted
+// QPU is legal, and releasing the reservation must not bring it back into
+// rotation.
+TEST(BatchServing, ReservationDoesNotMaskQpuHealth) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 71;
+  api::QonductorClient client(config);
+  auto& monitor = client.backend().monitor();
+  const auto names = monitor.qpu_names();
+  ASSERT_EQ(names.size(), 2u);
+
+  // Device manager takes the QPU down for health reasons (atomic flag
+  // setter — a raw qpu()/update_qpu() read-modify-write could race a
+  // concurrent reservation).
+  ASSERT_TRUE(monitor.set_qpu_online(names[0], false).has_value());
+
+  // It is down, not reserved: reserve succeeds (it is not ALREADY_EXISTS).
+  api::ReserveQpuRequest reserve;
+  reserve.qpu = names[0];
+  ASSERT_TRUE(client.reserveQpu(reserve).ok());
+  // Releasing the reservation leaves the health flag alone.
+  api::ReleaseQpuRequest release;
+  release.qpu = names[0];
+  ASSERT_TRUE(client.releaseQpu(release).ok());
+  const auto after = *monitor.qpu(names[0]);
+  EXPECT_FALSE(after.online);    // still faulted
+  EXPECT_FALSE(after.reserved);  // no longer reserved
+}
+
+// End-to-end QoS deadline: a run whose task is parked past its deadline
+// fails with the typed DEADLINE_EXCEEDED and executes nothing.
+TEST(BatchServing, DeadlinePreferenceFailsTypedDeadlineExceeded) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 59;
+  config.scheduler_service.queue_threshold = 100;   // only the timer fires…
+  config.scheduler_service.interval_seconds = 120.0;  // …at t=120, past the deadline
+  config.scheduler_service.linger = 5ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "deadline", circuit::ghz(3));
+
+  api::InvokeRequest request;
+  request.image = image;
+  request.preferences.deadline_seconds = 10.0;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  EXPECT_EQ(handle->wait(), api::RunStatus::kFailed);
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->error.code(), api::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(result->tasks.empty());  // no QPU consumed
+
+  auto stats = client.getSchedulerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->stats.jobs_expired, 1u);
+  EXPECT_EQ(stats->stats.jobs_scheduled, 0u);
+
+  // The expiry cycle advanced the fleet clock: a run that missed t=10
+  // must not report finishing before t=10.
+  auto info = client.getRun(handle->id());
+  ASSERT_TRUE(info.ok());
+  EXPECT_GE(info->finished_at, 10.0);
+}
+
+// ROADMAP open item: a burst of runs of one image transpiles its circuits
+// once — every later run hits the (image task, calibration) prep cache.
+TEST(BatchServing, BurstHitsThePrepCache) {
+  constexpr std::size_t kRuns = 6;
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 67;
+  config.trajectory_width_limit = 8;
+  config.executor_threads = 1;  // sequential executors: deterministic hits
+  config.scheduler_service.mode = SchedulingMode::kImmediate;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "prep-cache", circuit::ghz(3));
+
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    api::InvokeRequest request;
+    request.image = image;
+    auto handle = client.invoke(request);
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ(handle->wait(), api::RunStatus::kCompleted);
+  }
+  EXPECT_EQ(client.backend().prepCacheMisses(), 1u);
+  EXPECT_EQ(client.backend().prepCacheHits(), kRuns - 1);
 }
 
 TEST(BatchServing, OfflineFleetFailsRunsResourceExhausted) {
