@@ -1,14 +1,18 @@
-// Async fan-out: the non-blocking half of the v1 API. A single client
-// submits a batch of workflow runs with invokeAll(), keeps the RunHandles,
-// does other work while the executor pool drains the batch, cancels one
-// run mid-flight, collects every result, and then audits the batch through
-// the run-table queries (listRuns / getRun) — the job-lifecycle pattern
-// (submit / poll / wait / cancel / list) a multi-tenant control plane
-// needs. The orchestrator's run table is bounded: terminal runs beyond the
-// retention policy are LRU-evicted, so a long-lived client can fan out
-// forever without leaking a record per run.
+// Async fan-out: the non-blocking half of the v1 API at run-engine scale.
+// A single client submits a 1000-run batch with invokeAll() — on an
+// orchestrator with only TWO engine workers. The event-driven run engine
+// decouples in-flight runs from threads: every run is live at once (the
+// peak live-run count prints below), quantum tasks park in the scheduler
+// service instead of blocking a worker, and scheduling cycles batch them
+// by the hundreds. The client cancels one run mid-flight, collects every
+// result, and audits the batch through the run-table queries (listRuns /
+// getRun) — the job-lifecycle pattern (submit / poll / wait / cancel /
+// list) a multi-tenant control plane needs. The run table is bounded:
+// terminal runs beyond the retention policy are LRU-evicted, so a
+// long-lived client can fan out forever without leaking a record per run.
 
 #include <iostream>
+#include <map>
 
 #include "api/client.hpp"
 #include "circuit/library.hpp"
@@ -20,8 +24,11 @@ int main() {
   core::QonductorConfig config;
   config.num_qpus = 4;
   config.seed = 58;
-  config.executor_threads = 4;       // four runs make progress concurrently
+  config.executor_threads = 2;        // two workers drive the whole fan-out
+  config.trajectory_width_limit = 0;  // analytic model keeps 1000 runs quick
   config.retention.max_terminal_runs = 6;  // keep only the 6 freshest results
+  config.scheduler_service.queue_threshold = 100;
+  config.scheduler_service.max_batch_size = 250;
   api::QonductorClient client(config);
 
   // --- package and deploy a small mitigated-GHZ workflow ----------------------
@@ -41,8 +48,8 @@ int main() {
     return 1;
   }
 
-  // --- fan out a batch of runs -------------------------------------------------
-  constexpr std::size_t kRuns = 8;
+  // --- fan out a burst of runs -------------------------------------------------
+  constexpr std::size_t kRuns = 1000;
   std::vector<api::InvokeRequest> requests(kRuns);
   for (auto& request : requests) request.image = created->image;
   const auto batch = client.invokeAll(requests);
@@ -50,7 +57,8 @@ int main() {
     std::cerr << "invokeAll failed: " << batch.status().to_string() << "\n";
     return 1;
   }
-  std::cout << kRuns << " runs submitted; invokeAll returned while they execute.\n";
+  std::cout << kRuns << " runs submitted; invokeAll returned while they execute on "
+            << client.backend().runEngine().workers() << " engine workers.\n";
 
   // The client is free here: poll a snapshot of the in-flight batch...
   std::size_t terminal = 0;
@@ -58,57 +66,68 @@ int main() {
     if (api::run_status_terminal(handle.poll())) ++terminal;
   }
   std::cout << "snapshot right after submit: " << terminal << "/" << kRuns
-            << " runs already terminal\n";
+            << " runs already terminal, "
+            << client.backend().runEngine().live_runs() << " live\n";
 
   // ...and cancel one run it no longer needs. Cancellation is cooperative
-  // (takes effect at the next task boundary), so a run that already
-  // finished just reports kCompleted.
+  // (a parked quantum task is pulled straight out of the pending queue), so
+  // a run that already finished just reports kCompleted.
   const auto& victim = (*batch)[kRuns - 1];
   const bool cancelled = victim.cancel();
   std::cout << "cancel(run " << victim.id() << ") "
             << (cancelled ? "requested" : "too late — already terminal") << "\n\n";
 
   // --- collect -----------------------------------------------------------------
-  TextTable table({"run", "status", "tasks", "makespan [s]", "min fidelity", "cost [$]"});
+  std::map<std::string, std::size_t> outcomes;
+  double total_cost = 0.0;
+  double worst_fidelity = 1.0;
   for (const auto& handle : *batch) {
     const auto report = handle.result();  // waits for this run to settle
     if (!report.ok()) {
       std::cerr << report.status().to_string() << "\n";
       return 1;
     }
-    table.add_row({std::to_string(report->run), api::run_status_name(report->status),
-                   std::to_string(report->tasks.size()),
-                   TextTable::num(report->makespan_seconds, 2),
-                   report->status == api::RunStatus::kCompleted
-                       ? TextTable::num(report->min_fidelity, 3)
-                       : "-",
-                   TextTable::num(report->total_cost_dollars, 3)});
+    ++outcomes[api::run_status_name(report->status)];
+    total_cost += report->total_cost_dollars;
+    if (report->status == api::RunStatus::kCompleted) {
+      worst_fidelity = std::min(worst_fidelity, report->min_fidelity);
+    }
   }
-  table.print(std::cout, "fan-out batch results");
+  TextTable table({"metric", "value"});
+  for (const auto& [status, count] : outcomes) {
+    table.add_row({"runs " + status, std::to_string(count)});
+  }
+  table.add_row({"peak live runs (2 workers)",
+                 std::to_string(client.backend().runEngine().peak_live_runs())});
+  table.add_row({"scheduling cycles",
+                 std::to_string(client.getSchedulerStats()->stats.cycles)});
+  table.add_row({"worst completed fidelity", TextTable::num(worst_fidelity, 3)});
+  table.add_row({"total cost [$]", TextTable::num(total_cost, 2)});
+  table.print(std::cout, "fan-out batch summary");
 
   // --- audit through the run table --------------------------------------------
   // listRuns() pages over what the control plane still remembers. With a
-  // retention budget of 6 terminal runs, the two runs that settled first
-  // have already been garbage-collected — their ids answer NOT_FOUND, even
-  // though the RunHandles above kept answering from the shared records.
+  // retention budget of 6 terminal runs, almost the whole burst has been
+  // garbage-collected — evicted ids answer NOT_FOUND, yet the RunHandles
+  // above kept answering from the shared records.
   const auto listed = client.listRuns();
   if (!listed.ok()) {
     std::cerr << listed.status().to_string() << "\n";
     return 1;
   }
   std::cout << "\nrun table after the batch (retention keeps "
-            << config.retention.max_terminal_runs << "):\n";
+            << config.retention.max_terminal_runs << " of " << kRuns << "):\n";
   for (const auto& info : listed->runs) {
     std::cout << "  run " << info.run << "  " << api::run_status_name(info.status)
               << "  submitted@" << TextTable::num(info.submitted_at, 2)
               << "s finished@" << TextTable::num(info.finished_at, 2) << "s\n";
   }
+  std::size_t evicted = 0;
   for (const auto& handle : *batch) {
-    if (const auto info = client.getRun(handle.id()); !info.ok()) {
-      std::cout << "getRun(run " << handle.id() << "): " << info.status().to_string()
-                << " — evicted, but the handle still answers: "
-                << api::run_status_name(handle.poll()) << "\n";
-    }
+    if (const auto info = client.getRun(handle.id()); !info.ok()) ++evicted;
   }
+  std::cout << evicted << " runs evicted from the table; their handles still answer "
+            << "(e.g. run " << (*batch)[0].id() << ": "
+            << api::run_status_name((*batch)[0].poll()) << ")\n";
   return 0;
 }

@@ -214,10 +214,20 @@ struct ListRunsResponse {
 struct ReserveQpuRequest {
   std::uint32_t api_version = kApiVersion;
   std::string qpu;  ///< monitor name, e.g. "ibm_like_0"
+  /// Reservation time window: when set (> 0, else INVALID_ARGUMENT), the
+  /// reservation auto-releases once a scheduling cycle fires at or after
+  /// `fleetNow() + duration_seconds` on the fleet virtual clock — the
+  /// releasing cycle already schedules onto the QPU. An explicit
+  /// releaseQpu() before the deadline ends the window early. Unset = the
+  /// reservation holds until releaseQpu() (pre-window behavior).
+  std::optional<double> duration_seconds;
 };
 
 struct ReserveQpuResponse {
   std::string qpu;
+  /// Fleet-clock instant the window expires; unset for an open-ended
+  /// reservation.
+  std::optional<double> release_at;
 };
 
 /// Returns a reserved QPU to scheduling rotation (a QPU that is also
@@ -252,6 +262,7 @@ struct SchedulerConfigView {
   double interval_seconds = 0.0;    ///< trigger: timer on the fleet clock
   std::size_t queue_capacity = 0;   ///< pending-queue bound; 0 = unbounded
   std::size_t max_batch_size = 0;   ///< jobs per cycle cap; 0 = no cap
+  double aging_seconds = 0.0;       ///< priority-aging budget; 0 = off
 };
 
 /// What fired a scheduling cycle: the queue-size threshold, the (virtual)

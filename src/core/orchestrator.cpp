@@ -22,9 +22,7 @@ Qonductor::Qonductor(QonductorConfig config)
                                    config.classical_highend_nodes,
                                    config.classical_fpga_nodes)),
       monitor_(config.replicated_monitor),
-      run_table_(config.retention),
-      executor_(std::make_unique<ThreadPool>(
-          std::max<std::size_t>(1, config.executor_threads))) {
+      run_table_(config.retention) {
   templates_ = fleet_.template_backends();
   qpu_available_at_.assign(fleet_.backends.size(), 0.0);
   // GC follows the record: when the run table evicts a terminal run, its
@@ -50,24 +48,35 @@ Qonductor::Qonductor(QonductorConfig config)
     hooks.snapshot_qpus = [this](double advance_to) {
       std::lock_guard<std::mutex> lock(engine_mutex_);
       advance_fleet_clock(advance_to);
-      return snapshot_qpu_states_locked(fleet_clock_.load(std::memory_order_relaxed));
+      const double now = fleet_clock_.load(std::memory_order_relaxed);
+      // Reservation time windows expire at cycle boundaries: release due
+      // QPUs before snapshotting so this very cycle schedules onto them.
+      expire_reservations(now);
+      return snapshot_qpu_states_locked(now);
     };
     scheduler_service_ = std::make_shared<SchedulerService>(
         config_.scheduler_service, config_.seed ^ 0x5c4edULL, cycle_config,
         std::move(hooks));
   }
+  // Last: the engine's workers call step_run, which uses every member
+  // above (including the scheduler service parked tasks resume through).
+  engine_ = std::make_unique<RunEngine>(
+      std::max<std::size_t>(1, config_.executor_threads),
+      [this](const std::shared_ptr<RunContinuation>& cont) { return step_run(cont); });
 }
 
-// Default: executor_ is declared last, so it is destroyed first and drains
-// in-flight runs while the scheduler service (declared just before it) is
-// still firing cycles for them; the service then flushes and joins.
+// Default: engine_ is declared last, so it is destroyed first and drains
+// every live run while the scheduler service (declared just before it) is
+// still firing the cycles their parked tasks resume through; the service
+// then flushes and joins.
 Qonductor::~Qonductor() = default;
 
 void Qonductor::shutdown() {
-  // Order matters: draining the executor first lets in-flight runs keep
-  // parking quantum tasks in the (still live) scheduler service; the
-  // service then drains its pending queue with a final flush cycle.
-  executor_->shutdown();
+  // Order matters: draining the engine first lets live runs keep parking
+  // quantum tasks in the (still live) scheduler service and resuming off
+  // its cycles; the service then drains its pending queue with a final
+  // flush cycle.
+  engine_->shutdown();
   if (scheduler_service_) scheduler_service_->shutdown();
 }
 
@@ -202,6 +211,23 @@ api::Status Qonductor::validate_invoke(const api::InvokeRequest& request,
   if (api::Status status = validate_preferences(request.preferences); !status.ok()) {
     return status;
   }
+  // Deadline-aware admission: a deadline at/before the fleet-clock
+  // frontier is dead on arrival — dispatch happens at or after the
+  // frontier, so such a deadline has zero scheduling slack (the boundary
+  // itself is rejected here by convention, while the dispatch-time checks
+  // treat dispatch exactly at the deadline as met). Rejecting at submit
+  // beats parking the job until a scheduling cycle discovers the miss.
+  // Part of validation, so invokeAll stays atomic: one dead-on-arrival
+  // deadline rejects the whole batch.
+  if (request.preferences.deadline_seconds) {
+    const double frontier = fleetNow();
+    if (*request.preferences.deadline_seconds <= frontier) {
+      return api::DeadlineExceeded(
+          "invoke: deadline t=" + std::to_string(*request.preferences.deadline_seconds) +
+          " s lies at/before the fleet clock frontier t=" + std::to_string(frontier) +
+          " s — unmeetable at submit time");
+    }
+  }
   std::lock_guard<std::mutex> lock(registry_mutex_);
   const workflow::WorkflowImage* img = registry_.find(request.image);
   if (img == nullptr) {
@@ -224,9 +250,14 @@ api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* 
   state->submitted_at = fleetNow();
   const RunId run = run_table_.insert(state);
   monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kPending));
-  auto queued = executor_->try_submit([this, state, image] { execute_run(state, image); });
-  if (!queued) {
-    // Executor rejected the run (shutdown). Retract the record and fail
+  auto cont = std::make_shared<RunContinuation>();
+  cont->state = state;
+  cont->image = image;
+  cont->order = image->dag.topological_order();
+  cont->finish.assign(image->dag.size(), 0.0);
+  cont->result.run = run;
+  if (!engine_->submit(std::move(cont))) {
+    // The engine rejected the run (shutdown). Retract the record and fail
     // the state so no waiter can block forever on a run that will never
     // execute.
     run_table_.erase(run);
@@ -240,7 +271,7 @@ api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* 
     }
     state->cv.notify_all();
     monitor_.erase_workflow_status(run);
-    return api::Unavailable("invoke: executor is shutting down, run " +
+    return api::Unavailable("invoke: run engine is shutting down, run " +
                             std::to_string(run) + " rejected");
   }
   return api::RunHandle(state);
@@ -338,8 +369,17 @@ api::Result<api::GetSchedulerStatsResponse> Qonductor::getSchedulerStats(
 
 api::Result<api::ReserveQpuResponse> Qonductor::reserveQpu(
     const api::ReserveQpuRequest& request) {
-  // Atomic test-and-set on the monitor: cannot race publish_fleet_state,
-  // a device-manager health flip, or a concurrent reserve.
+  if (request.duration_seconds && !(*request.duration_seconds > 0.0)) {
+    // The negated comparison also rejects NaN.
+    return api::InvalidArgument(
+        "reserveQpu: duration_seconds must be > 0 (omit for an open-ended reservation)");
+  }
+  // reservations_mutex_ spans the flag flip AND the window-map update, so
+  // the reservation epoch and its deadline change together: an expiry
+  // sweep can never observe (and release) a half-installed reservation.
+  // The monitor's own mutex nests inside; the flag flip itself stays
+  // atomic against publish_fleet_state and device-manager health writes.
+  std::lock_guard<std::mutex> lock(reservations_mutex_);
   const auto previous = monitor_.set_qpu_reserved(request.qpu, true);
   if (!previous) {
     return api::NotFound("reserveQpu: unknown QPU '" + request.qpu + "'");
@@ -350,13 +390,24 @@ api::Result<api::ReserveQpuResponse> Qonductor::reserveQpu(
   }
   api::ReserveQpuResponse response;
   response.qpu = request.qpu;
+  if (request.duration_seconds) {
+    // Time-windowed reservation: scheduled for auto-release by the first
+    // scheduling snapshot taken at/after the virtual deadline.
+    const double release_at = fleetNow() + *request.duration_seconds;
+    reservation_release_at_[request.qpu] = release_at;
+    response.release_at = release_at;
+  }
   return response;
 }
 
 api::Result<api::ReleaseQpuResponse> Qonductor::releaseQpu(
     const api::ReleaseQpuRequest& request) {
   // Clears only the reservation: a QPU the device manager took offline
-  // for health reasons stays out of rotation.
+  // for health reasons stays out of rotation. Under reservations_mutex_
+  // (see reserveQpu) so the flag and the window deadline change together —
+  // an explicit release ends any time window early, and a later
+  // reservation never inherits a stale deadline.
+  std::lock_guard<std::mutex> lock(reservations_mutex_);
   const auto previous = monitor_.set_qpu_reserved(request.qpu, false);
   if (!previous) {
     return api::NotFound("releaseQpu: unknown QPU '" + request.qpu + "'");
@@ -365,9 +416,27 @@ api::Result<api::ReleaseQpuResponse> Qonductor::releaseQpu(
     return api::FailedPrecondition("releaseQpu: QPU '" + request.qpu +
                                    "' is not reserved");
   }
+  reservation_release_at_.erase(request.qpu);
   api::ReleaseQpuResponse response;
   response.qpu = request.qpu;
   return response;
+}
+
+void Qonductor::expire_reservations(double now) {
+  // The flag write happens inside reservations_mutex_, like reserveQpu/
+  // releaseQpu: erasing the window and releasing the flag must be one
+  // atomic step, or a releaseQpu+reserveQpu pair interleaved between them
+  // would have its brand-new reservation silently released by this sweep.
+  std::lock_guard<std::mutex> lock(reservations_mutex_);
+  for (auto it = reservation_release_at_.begin();
+       it != reservation_release_at_.end();) {
+    if (it->second <= now) {
+      monitor_.set_qpu_reserved(it->first, false);
+      it = reservation_release_at_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 api::Result<api::WorkflowStatusResponse> Qonductor::workflowStatus(
@@ -416,101 +485,19 @@ std::vector<workflow::ImageId> Qonductor::listImages() const {
   return registry_.list();
 }
 
-// ---- data-plane execution ----------------------------------------------------
+// ---- data-plane execution (run-engine state machine) -------------------------
 
-void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
-                            const workflow::WorkflowImage* image) {
+StepOutcome Qonductor::settle_run(const std::shared_ptr<RunContinuation>& cont) {
+  const std::shared_ptr<api::RunState>& state = cont->state;
   const RunId run = state->id;
-  bool cancelled_before_start = false;
+  cont->result.run = run;
+  // The monitor write must precede mark_terminal: the instant the run is
+  // GC-eligible a concurrent eviction may erase the monitor entry, and a
+  // later write would resurrect it unerasable.
+  monitor_.set_workflow_status(run, api::run_status_name(cont->result.status));
   {
     std::lock_guard<std::mutex> lock(state->mutex);
-    if (state->cancel_requested) {
-      state->result.run = run;
-      state->result.status = api::RunStatus::kCancelled;
-      state->result.error = api::Cancelled("run cancelled before execution started");
-      state->status = api::RunStatus::kCancelled;
-      state->finished_at = fleetNow();
-      // The monitor write must precede mark_terminal: the instant the run
-      // is GC-eligible a concurrent eviction may erase the monitor entry,
-      // and a later write would resurrect it unerasable.
-      monitor_.set_workflow_status(run,
-                                   api::run_status_name(api::RunStatus::kCancelled));
-      // Inside the state lock so that any observer of the terminal status
-      // finds the table already treating the run as GC-eligible.
-      run_table_.mark_terminal(run);
-      cancelled_before_start = true;
-    } else {
-      state->status = api::RunStatus::kRunning;
-      state->started_at = fleetNow();
-    }
-  }
-  state->cv.notify_all();
-  if (cancelled_before_start) return;
-  monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kRunning));
-
-  WorkflowResult result;
-  result.run = run;
-  bool cancelled = false;
-  std::vector<double> finish(image->dag.size(), 0.0);
-  for (const workflow::TaskId t : image->dag.topological_order()) {
-    {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      if (state->cancel_requested) {
-        cancelled = true;
-      }
-    }
-    if (cancelled) break;
-    const auto& task = image->dag.task(t);
-    if (config_.on_task_start) config_.on_task_start(run, task.name);
-    double ready = 0.0;
-    for (const workflow::TaskId dep : image->dag.dependencies(t)) {
-      ready = std::max(ready, finish[dep]);
-    }
-    try {
-      // The task runners manage the engine lock themselves: in batch mode a
-      // quantum task parks in the scheduler service's pending queue first,
-      // and holding the lock across that wait would stall every cycle.
-      api::Result<TaskResult> executed = task.kind == workflow::TaskKind::kQuantum
-                                             ? run_quantum_task(state, task, ready)
-                                             : run_classical_task(task, ready);
-      if (!executed.ok()) {
-        if (executed.status().code() == api::StatusCode::kCancelled) {
-          // The task was pulled out of the pending queue by cancel(): the
-          // run ends kCancelled, not kFailed.
-          cancelled = true;
-          break;
-        }
-        result.status = api::RunStatus::kFailed;
-        result.error = api::Status(executed.status().code(),
-                                   "task '" + task.name + "' failed: " +
-                                       executed.status().message());
-        break;
-      }
-      TaskResult tr = *std::move(executed);
-      finish[t] = tr.end;
-      result.makespan_seconds = std::max(result.makespan_seconds, tr.end);
-      result.total_cost_dollars += tr.cost_dollars;
-      if (tr.kind == workflow::TaskKind::kQuantum) {
-        result.min_fidelity = std::min(result.min_fidelity, tr.fidelity);
-      }
-      result.tasks.push_back(std::move(tr));
-    } catch (const std::exception& e) {
-      result.status = api::RunStatus::kFailed;
-      result.error = api::Internal(std::string("task '") + task.name + "' failed: " + e.what());
-      break;
-    }
-  }
-  if (cancelled) {
-    result.status = api::RunStatus::kCancelled;
-    result.error = api::Cancelled("run cancelled by client");
-  } else if (result.status != api::RunStatus::kFailed) {
-    result.status = api::RunStatus::kCompleted;
-  }
-
-  monitor_.set_workflow_status(run, api::run_status_name(result.status));
-  {
-    std::lock_guard<std::mutex> lock(state->mutex);
-    state->result = std::move(result);
+    state->result = std::move(cont->result);
     state->status = state->result.status;
     state->finished_at = fleetNow();
     // Inside the state lock: a client that observes the terminal status
@@ -519,6 +506,143 @@ void Qonductor::execute_run(const std::shared_ptr<api::RunState>& state,
     run_table_.mark_terminal(run);
   }
   state->cv.notify_all();
+  return StepOutcome::kFinished;
+}
+
+StepOutcome Qonductor::settle_task_failure(const std::shared_ptr<RunContinuation>& cont,
+                                           const std::string& task_name,
+                                           const api::Status& status) {
+  if (status.code() == api::StatusCode::kCancelled) {
+    // The task was pulled out of the pending queue by cancel() (or refused
+    // to start): the run ends kCancelled, not kFailed.
+    cont->result.status = api::RunStatus::kCancelled;
+    cont->result.error = api::Cancelled("run cancelled by client");
+  } else {
+    cont->result.status = api::RunStatus::kFailed;
+    cont->result.error = api::Status(
+        status.code(), "task '" + task_name + "' failed: " + status.message());
+  }
+  return settle_run(cont);
+}
+
+void Qonductor::record_task_result(RunContinuation& cont, workflow::TaskId node,
+                                   TaskResult tr) {
+  cont.finish[node] = tr.end;
+  cont.result.makespan_seconds = std::max(cont.result.makespan_seconds, tr.end);
+  cont.result.total_cost_dollars += tr.cost_dollars;
+  if (tr.kind == workflow::TaskKind::kQuantum) {
+    cont.result.min_fidelity = std::min(cont.result.min_fidelity, tr.fidelity);
+  }
+  cont.result.tasks.push_back(std::move(tr));
+  ++cont.cursor;
+}
+
+StepOutcome Qonductor::step_run(const std::shared_ptr<RunContinuation>& cont) {
+  const std::shared_ptr<api::RunState>& state = cont->state;
+  const RunId run = state->id;
+
+  if (!cont->started) {
+    // First event: kPending -> kRunning, or cancel-before-start.
+    bool cancelled_before_start = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->cancel_requested) {
+        cancelled_before_start = true;
+      } else {
+        state->status = api::RunStatus::kRunning;
+        state->started_at = fleetNow();
+      }
+    }
+    if (cancelled_before_start) {
+      cont->result.status = api::RunStatus::kCancelled;
+      cont->result.error = api::Cancelled("run cancelled before execution started");
+      return settle_run(cont);
+    }
+    state->cv.notify_all();
+    monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kRunning));
+    cont->started = true;
+  }
+
+  if (cont->parked) {
+    // Resume event: collect the settled quantum task's verdict. The park
+    // context moves out first — whatever happens next, this continuation
+    // is no longer "mid-quantum-task".
+    const std::shared_ptr<PendingQuantumTask> pending = std::move(cont->parked);
+    const std::shared_ptr<const QuantumTaskPrep> prep = std::move(cont->parked_prep);
+    const double ready_at = cont->parked_ready;
+    cont->parked = nullptr;
+    cont->parked_prep = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->unpark = nullptr;
+    }
+    const workflow::TaskId node = cont->order[cont->cursor];
+    const auto& task = cont->image->dag.task(node);
+    if (!pending->error.ok()) {
+      // Resume-with-error: cancel ends the run kCancelled; a cycle verdict
+      // (DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED / UNAVAILABLE) ends it
+      // kFailed. Results of nodes that already ran stay in the report;
+      // this node contributes only the error.
+      return settle_task_failure(cont, task.name, pending->error);
+    }
+    try {
+      std::lock_guard<std::mutex> lock(engine_mutex_);
+      TaskResult tr = execute_quantum_locked(
+          task, *prep, static_cast<std::size_t>(pending->assigned_qpu), ready_at,
+          pending->dispatched_at);
+      record_task_result(*cont, node, std::move(tr));
+    } catch (const std::exception& e) {
+      return settle_task_failure(cont, task.name, api::Internal(e.what()));
+    }
+    return StepOutcome::kProgress;
+  }
+
+  // Completion is checked BEFORE cooperative cancellation: once the last
+  // node has executed there is no work left to cancel, and a cancel()
+  // that races the final bookkeeping event must not relabel a fully
+  // executed run kCancelled (the pre-engine loop never re-checked cancel
+  // after the last task either).
+  if (cont->cursor == cont->order.size()) {
+    cont->result.status = api::RunStatus::kCompleted;
+    return settle_run(cont);
+  }
+
+  // Cooperative cancellation at every remaining task boundary.
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    cancelled = state->cancel_requested;
+  }
+  if (cancelled) {
+    cont->result.status = api::RunStatus::kCancelled;
+    cont->result.error = api::Cancelled("run cancelled by client");
+    return settle_run(cont);
+  }
+
+  const workflow::TaskId node = cont->order[cont->cursor];
+  const auto& task = cont->image->dag.task(node);
+  if (config_.on_task_start) config_.on_task_start(run, task.name);
+  double ready = 0.0;
+  for (const workflow::TaskId dep : cont->image->dag.dependencies(node)) {
+    ready = std::max(ready, cont->finish[dep]);
+  }
+  try {
+    if (task.kind == workflow::TaskKind::kQuantum && scheduler_service_) {
+      // Batch path (§7): the task parks in the pending queue with a resume
+      // callback; no worker blocks on the scheduling cycle.
+      return park_quantum_task(cont, task, ready);
+    }
+    api::Result<TaskResult> executed = task.kind == workflow::TaskKind::kQuantum
+                                           ? run_quantum_immediate(state, task, ready)
+                                           : run_classical_task(task, ready);
+    if (!executed.ok()) {
+      return settle_task_failure(cont, task.name, executed.status());
+    }
+    record_task_result(*cont, node, *std::move(executed));
+  } catch (const std::exception& e) {
+    return settle_task_failure(cont, task.name, api::Internal(e.what()));
+  }
+  return StepOutcome::kProgress;
 }
 
 std::uint64_t Qonductor::calibration_fingerprint() const {
@@ -531,7 +655,7 @@ std::uint64_t Qonductor::calibration_fingerprint() const {
   return fp;
 }
 
-std::shared_ptr<const Qonductor::QuantumTaskPrep> Qonductor::prepare_quantum_task(
+std::shared_ptr<const QuantumTaskPrep> Qonductor::prepare_quantum_task(
     const workflow::HybridTask& task) const {
   // Pure function of the (immutable) circuit, the backends and their
   // calibrations — so a burst of runs of one image shares a single prep
@@ -639,40 +763,37 @@ TaskResult Qonductor::execute_quantum_locked(const workflow::HybridTask& task,
   return result;
 }
 
-api::Result<TaskResult> Qonductor::run_quantum_task(
-    const std::shared_ptr<api::RunState>& state, const workflow::HybridTask& task,
-    double ready_at) {
-  const RunId run = state->id;
+StepOutcome Qonductor::park_quantum_task(const std::shared_ptr<RunContinuation>& cont,
+                                         const workflow::HybridTask& task,
+                                         double ready_at) {
+  const std::shared_ptr<api::RunState>& state = cont->state;
   // Effective per-run QoS: fidelity_weight was resolved at invoke().
   const api::JobPreferences& prefs = state->preferences;
-  const std::shared_ptr<const QuantumTaskPrep> prep = prepare_quantum_task(task);
+  std::shared_ptr<const QuantumTaskPrep> prep = prepare_quantum_task(task);
 
-  if (scheduler_service_) {
-    // Batch path (§7): park the task in the pending queue and wait for a
-    // scheduling cycle to assign a QPU (or filter the job).
-    auto pending = std::make_shared<PendingQuantumTask>();
-    pending->run = run;
-    pending->task_name = task.name;
-    pending->qubits = task.circ.num_qubits();
-    pending->shots = task.shots;
-    pending->ready_at = ready_at;
-    pending->enqueued_at = fleetNow();
-    // Resolved by effective_preferences() at invoke(): always set here.
-    pending->fidelity_weight = *prefs.fidelity_weight;
-    pending->deadline_seconds = prefs.deadline_seconds;
-    pending->priority = prefs.priority;
-    pending->est_fidelity = prep->est_fidelity;
-    pending->est_exec_seconds = prep->est_exec_seconds;
+  auto pending = std::make_shared<PendingQuantumTask>();
+  pending->run = state->id;
+  pending->task_name = task.name;
+  pending->qubits = task.circ.num_qubits();
+  pending->shots = task.shots;
+  pending->ready_at = ready_at;
+  pending->enqueued_at = fleetNow();
+  // Resolved by effective_preferences() at invoke(): always set here.
+  pending->fidelity_weight = *prefs.fidelity_weight;
+  pending->deadline_seconds = prefs.deadline_seconds;
+  pending->priority = prefs.priority;
+  pending->est_fidelity = prep->est_fidelity;
+  pending->est_exec_seconds = prep->est_exec_seconds;
 
-    // Expose the parked task to cancel(): failing it and pulling it out of
-    // the queue ends the run immediately instead of at dispatch. fail()
-    // is first-writer-wins, so a racing cycle completion is a no-op.
-    {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      if (state->cancel_requested) {
-        return api::Cancelled("task '" + task.name +
-                              "' cancelled before entering the pending queue");
-      }
+  // Expose the parked task to cancel(): failing it and pulling it out of
+  // the queue resumes the run immediately instead of at dispatch. fail()
+  // is first-writer-wins, so a racing cycle completion is a no-op.
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->cancel_requested) {
+      cont->result.status = api::RunStatus::kCancelled;
+      cont->result.error = api::Cancelled("run cancelled by client");
+    } else {
       state->unpark = [service = std::weak_ptr<SchedulerService>(scheduler_service_),
                        pending] {
         pending->fail(api::Cancelled("run cancelled while parked in the pending queue"),
@@ -680,35 +801,50 @@ api::Result<TaskResult> Qonductor::run_quantum_task(
         if (auto live = service.lock()) live->remove_pending(pending);
       };
     }
-    const bool queued = scheduler_service_->enqueue(pending);
-    if (queued && pending->settled()) {
-      // cancel() fired between installing the hook and the push, so its
-      // queue removal was a no-op and we just enqueued a settled ghost:
-      // reclaim the slot before it counts toward thresholds/capacity.
-      scheduler_service_->remove_pending(pending);
-    }
-    if (queued) pending->await();
-    {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      state->unpark = nullptr;
-    }
-    if (!queued) {
-      // A concurrent cancel() may have settled the task while the closing
-      // queue rejected the push; the cancel verdict wins so the run ends
-      // kCancelled as cancel()'s true return promised.
-      if (pending->settled() && !pending->error.ok()) return pending->error;
-      return api::Unavailable("run_quantum_task: scheduler service is shutting down");
-    }
-    if (!pending->error.ok()) return pending->error;
-    std::lock_guard<std::mutex> lock(engine_mutex_);
-    return execute_quantum_locked(task, *prep,
-                                  static_cast<std::size_t>(pending->assigned_qpu),
-                                  ready_at, pending->dispatched_at);
   }
+  if (!cont->result.error.ok()) return settle_run(cont);
 
-  // Immediate fallback: a single-job scheduling cycle inline, with queue
-  // waits measured relative to the task's own ready time.
+  // Park context before the settlement callback goes live: the instant
+  // on_settled is registered, a racing settlement (cycle dispatch, cancel,
+  // queue close) may resume the continuation on another worker — nothing
+  // below this point may touch `cont` except through the engine.
+  cont->parked = pending;
+  cont->parked_prep = std::move(prep);
+  cont->parked_ready = ready_at;
+  pending->on_settled([this, cont] { engine_->resume(cont); });
+
+  if (!scheduler_service_->enqueue(pending)) {
+    // The closing queue rejected the push: settle the task sideways so the
+    // resume event fires. If a concurrent cancel() settled it first, the
+    // cancel verdict stands (first writer wins) and the run ends
+    // kCancelled as cancel()'s true return promised.
+    pending->fail(api::Unavailable("park_quantum_task: scheduler service is shutting down"),
+                  pending->enqueued_at);
+    return StepOutcome::kParked;
+  }
+  if (pending->settled()) {
+    // cancel() fired between installing the hook and the push, so its
+    // queue removal was a no-op and we just enqueued a settled ghost:
+    // reclaim the slot before it counts toward thresholds/capacity.
+    scheduler_service_->remove_pending(pending);
+  }
+  return StepOutcome::kParked;
+}
+
+api::Result<TaskResult> Qonductor::run_quantum_immediate(
+    const std::shared_ptr<api::RunState>& state, const workflow::HybridTask& task,
+    double ready_at) {
+  const RunId run = state->id;
+  // Effective per-run QoS: fidelity_weight was resolved at invoke().
+  const api::JobPreferences& prefs = state->preferences;
+  const std::shared_ptr<const QuantumTaskPrep> prep = prepare_quantum_task(task);
+
+  // A single-job scheduling cycle inline, with queue waits measured
+  // relative to the task's own ready time. Reservation windows expire
+  // against the monotone fleet-clock frontier only — one job's late DAG
+  // ready time must not release a window early for every concurrent run.
   std::lock_guard<std::mutex> lock(engine_mutex_);
+  expire_reservations(fleet_clock_.load(std::memory_order_relaxed));
   if (prefs.deadline_seconds) {
     // Dispatch-time deadline check, mirroring the batch path: dispatch
     // happens at the fleet frontier (or the task's ready time, whichever
@@ -717,7 +853,7 @@ api::Result<TaskResult> Qonductor::run_quantum_task(
         std::max(ready_at, fleet_clock_.load(std::memory_order_relaxed));
     if (*prefs.deadline_seconds < dispatch_at) {
       return api::DeadlineExceeded(
-          "run_quantum_task: task '" + task.name + "' missed its deadline (t=" +
+          "run_quantum_immediate: task '" + task.name + "' missed its deadline (t=" +
           std::to_string(*prefs.deadline_seconds) + " s, dispatched at t=" +
           std::to_string(dispatch_at) + " s)");
     }
@@ -738,7 +874,7 @@ api::Result<TaskResult> Qonductor::run_quantum_task(
   scheduler.nsga2.seed = rng_();
   const auto decision = sched::schedule_cycle(input, scheduler);
   if (decision.assignment.empty() || decision.assignment[0] < 0) {
-    return api::ResourceExhausted("run_quantum_task: task '" + task.name +
+    return api::ResourceExhausted("run_quantum_immediate: task '" + task.name +
                                   "' fits no online QPU in the fleet");
   }
   return execute_quantum_locked(task, *prep,

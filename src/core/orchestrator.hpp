@@ -13,11 +13,15 @@
 //   estimateResources — resource plans for a circuit             (CP->CP)
 //   generateSchedule  — hybrid schedule for a job batch          (CP->CP)
 //
-// Invocation is asynchronous: invoke() validates the request, enqueues the
-// run on the executor pool and returns an api::RunHandle immediately; the
-// workflow DAG executes off-thread against the fleet's virtual clock. All
-// error paths on the request/response surface return api::Status — no
-// exception crosses the API boundary.
+// Invocation is asynchronous: invoke() validates the request, submits the
+// run to the event-driven run engine (core/run_engine.hpp) and returns an
+// api::RunHandle immediately. Each run is a RunContinuation stepped one DAG
+// node per event by a small worker pool against the fleet's virtual clock;
+// a batch-mode quantum task parks in the scheduler service with a
+// completion callback instead of blocking a worker, so thousands of
+// in-flight runs ride on executor_threads workers. All error paths on the
+// request/response surface return api::Status — no exception crosses the
+// API boundary.
 //
 // Quantum dispatch is batch-scheduled (§7): by default each quantum task
 // parks in the scheduler service's pending queue, and a dedicated scheduler
@@ -53,7 +57,7 @@
 #include "api/result.hpp"
 #include "api/run_handle.hpp"
 #include "api/types.hpp"
-#include "common/thread_pool.hpp"
+#include "core/run_engine.hpp"
 #include "core/run_table.hpp"
 #include "core/scheduler_service.hpp"
 #include "core/system_monitor.hpp"
@@ -77,6 +81,16 @@ using SchedulingMode = api::SchedulingMode;
 
 const char* workflow_status_name(WorkflowStatus status);
 
+/// Per-backend transpilation + resource estimates for one quantum task —
+/// everything a scheduling cycle needs to know about the job, computed
+/// outside the engine lock (the inputs are immutable). Shared between the
+/// prep cache and parked continuations (run_engine.hpp forward-declares it).
+struct QuantumTaskPrep {
+  std::vector<transpiler::TranspileResult> transpiled;
+  std::vector<double> est_fidelity;
+  std::vector<double> est_exec_seconds;
+};
+
 struct QonductorConfig {
   std::size_t num_qpus = 4;
   std::uint64_t seed = 2025;
@@ -92,10 +106,10 @@ struct QonductorConfig {
   /// Trajectory-simulate quantum tasks whose active width fits (exact
   /// counts + Hellinger fidelity); larger tasks use the analytic model.
   int trajectory_width_limit = 12;
-  /// Executor pool width: how many workflow runs make progress in parallel.
-  /// In kBatch mode a run's executor thread parks while its quantum task
-  /// waits for a scheduling cycle, so this also bounds how many jobs can
-  /// sit in the pending queue at once.
+  /// Run-engine worker count: how many run state machines advance at any
+  /// instant. Unlike the pre-engine executor pool, this does NOT bound the
+  /// number of in-flight runs — a parked quantum task frees its worker, so
+  /// thousands of runs can wait on a scheduling cycle over two workers.
   std::size_t executor_threads = 2;
   /// The batch-scheduling job manager (mode, trigger thresholds, queue
   /// bound — see core::SchedulerServiceConfig). Invalid knobs surface as
@@ -124,7 +138,10 @@ class Qonductor {
   api::Result<api::CreateWorkflowResponse> createWorkflow(api::CreateWorkflowRequest request);
   api::Result<api::DeployResponse> deploy(const api::DeployRequest& request);
   /// Returns as soon as the run is queued; execution proceeds off-thread.
-  /// kUnavailable once shutdown() has begun.
+  /// kUnavailable once shutdown() has begun. Deadline-aware admission: a
+  /// preferences.deadline_seconds at/before the fleet-clock frontier is
+  /// rejected kDeadlineExceeded at submit time — the run is never parked
+  /// just so a scheduling cycle can discover the miss.
   api::Result<api::RunHandle> invoke(const api::InvokeRequest& request);
   /// Atomic batch: validates every request first, then queues all runs;
   /// on any validation error nothing is started.
@@ -146,8 +163,10 @@ class Qonductor {
   /// monitor's reservation flag — separate from the `online` health flag,
   /// so reservations and device-manager faults compose. Scheduling
   /// snapshots honor both, so jobs already parked in the pending queue
-  /// avoid the QPU from the very next cycle. kNotFound for unknown names;
-  /// kAlreadyExists when already reserved.
+  /// avoid the QPU from the very next cycle. An optional duration_seconds
+  /// opens a time window: the reservation auto-releases once a scheduling
+  /// cycle fires at/after fleetNow() + duration on the virtual clock.
+  /// kNotFound for unknown names; kAlreadyExists when already reserved.
   api::Result<api::ReserveQpuResponse> reserveQpu(const api::ReserveQpuRequest& request);
   /// Returns a reserved QPU to rotation (an unhealthy QPU stays out).
   /// kFailedPrecondition when the QPU was not reserved.
@@ -157,9 +176,11 @@ class Qonductor {
   api::Result<api::RunHandle> runHandle(RunId run) const;
 
   /// Stops accepting new runs (subsequent invoke() returns kUnavailable),
-  /// finishes every run already queued — including one final scheduling
-  /// cycle that drains the pending queue — and joins the executor pool and
-  /// the scheduler thread. Idempotent; queries keep working after shutdown.
+  /// drains every live run through the engine — parked quantum tasks
+  /// resume as the still-live scheduler service fires cycles, including
+  /// one final flush that empties the pending queue — and joins the
+  /// engine workers and the scheduler thread. Idempotent; queries keep
+  /// working after shutdown.
   void shutdown();
 
   // -- Table 2: control/data-plane operations ----------------------------------
@@ -174,6 +195,9 @@ class Qonductor {
   /// The run table backing getRun/listRuns (eviction counters, sweep()).
   /// Non-const like monitor(): mutating it is an owner-level operation.
   RunTable& runTable() { return run_table_; }
+  /// The event-driven run engine (live/peak run counts, event counter) —
+  /// the decoupling statistics bench_burst reports.
+  const RunEngine& runEngine() const { return *engine_; }
   /// Current frontier of the fleet's virtual clock, in seconds: the latest
   /// task-completion time any resource has reached.
   double fleetNow() const { return fleet_clock_.load(std::memory_order_acquire); }
@@ -187,15 +211,6 @@ class Qonductor {
   }
 
  private:
-  /// Per-backend transpilation + resource estimates for one quantum task —
-  /// everything a scheduling cycle needs to know about the job, computed
-  /// outside the engine lock (the inputs are immutable).
-  struct QuantumTaskPrep {
-    std::vector<transpiler::TranspileResult> transpiled;
-    std::vector<double> est_fidelity;
-    std::vector<double> est_exec_seconds;
-  };
-
   api::Status validate_invoke(const api::InvokeRequest& request,
                               const workflow::WorkflowImage** image_out) const;
   /// The request's preferences with fidelity_weight resolved against the
@@ -203,11 +218,38 @@ class Qonductor {
   api::JobPreferences effective_preferences(const api::JobPreferences& requested) const;
   api::Result<api::RunHandle> start_run(const workflow::WorkflowImage* image,
                                         api::JobPreferences preferences);
-  void execute_run(const std::shared_ptr<api::RunState>& state,
-                   const workflow::WorkflowImage* image);
-  api::Result<TaskResult> run_quantum_task(const std::shared_ptr<api::RunState>& state,
-                                           const workflow::HybridTask& task,
-                                           double ready_at);
+
+  // -- run-engine state machine (one call = one event) --------------------------
+  /// Advances a run by one DAG node: first event transitions kPending ->
+  /// kRunning, a resume event collects the parked quantum task's verdict
+  /// and executes on the assigned QPU, otherwise the cursor node runs
+  /// (classical / immediate quantum inline; batch quantum parks). Never
+  /// throws — task failures settle the run kFailed.
+  StepOutcome step_run(const std::shared_ptr<RunContinuation>& cont);
+  /// Writes the continuation's accumulated result into the run record,
+  /// stamps finished_at, publishes the terminal status to the monitor
+  /// (before mark_terminal, so a concurrent eviction can erase it) and
+  /// makes the run GC-eligible. Always returns kFinished.
+  StepOutcome settle_run(const std::shared_ptr<RunContinuation>& cont);
+  /// Routes a task's failure verdict into the run's terminal result and
+  /// settles it: kCancelled ends the run kCancelled (the task was pulled
+  /// out by cancel(), not a failure); anything else ends it kFailed with
+  /// the typed code and the task name prefixed onto the message.
+  StepOutcome settle_task_failure(const std::shared_ptr<RunContinuation>& cont,
+                                  const std::string& task_name,
+                                  const api::Status& status);
+  /// Hands the quantum task at the continuation's cursor to the scheduler
+  /// service with a settlement callback that posts the resume event.
+  /// Nothing may touch `cont` after the callback is registered — another
+  /// worker may already be resuming it.
+  StepOutcome park_quantum_task(const std::shared_ptr<RunContinuation>& cont,
+                                const workflow::HybridTask& task, double ready_at);
+  /// Books the finished node into the continuation and advances the cursor.
+  void record_task_result(RunContinuation& cont, workflow::TaskId node, TaskResult tr);
+  /// The kImmediate fallback: a single-job scheduling cycle inline.
+  api::Result<TaskResult> run_quantum_immediate(const std::shared_ptr<api::RunState>& state,
+                                                const workflow::HybridTask& task,
+                                                double ready_at);
   api::Result<TaskResult> run_classical_task(const workflow::HybridTask& task,
                                              double ready_at);
   std::shared_ptr<const QuantumTaskPrep> prepare_quantum_task(
@@ -224,6 +266,11 @@ class Qonductor {
   /// QPU states for a scheduling input (queue waits relative to
   /// `reference`, online flags from the monitor); requires engine_mutex_.
   std::vector<sched::QpuState> snapshot_qpu_states_locked(double reference) const;
+  /// Releases every windowed reservation whose deadline lies at/before
+  /// `now` on the fleet virtual clock. Called right before a scheduling
+  /// snapshot (batch cycle or immediate dispatch), so the snapshotting
+  /// cycle already schedules onto the released QPUs.
+  void expire_reservations(double now);
   void publish_fleet_state();
   void advance_fleet_clock(double up_to);
 
@@ -257,10 +304,11 @@ class Qonductor {
   /// typed status instead of an exception crossing the API boundary.
   api::Status init_status_;
   /// The batch-scheduling job manager (null in kImmediate mode or when the
-  /// config failed validation). Declared before executor_: runs draining
-  /// through the pool during destruction still park tasks here, so the
-  /// service must outlive the pool. Shared so a parked run's cancel hook
-  /// can hold a weak reference that outlives the orchestrator safely.
+  /// config failed validation). Declared before engine_: runs draining
+  /// through the engine during destruction still park tasks here — and
+  /// resume through its cycles — so the service must outlive the engine.
+  /// Shared so a parked run's cancel hook can hold a weak reference that
+  /// outlives the orchestrator safely.
   std::shared_ptr<SchedulerService> scheduler_service_;
 
   /// Cache of per-backend transpilation + estimates keyed by task identity
@@ -278,9 +326,15 @@ class Qonductor {
   mutable std::atomic<std::uint64_t> prep_cache_hits_{0};
   mutable std::atomic<std::uint64_t> prep_cache_misses_{0};
 
-  /// Declared last so it is destroyed first: the destructor drains queued
-  /// runs while every other member is still alive.
-  std::unique_ptr<ThreadPool> executor_;
+  /// Reservation time windows (§7): QPU name -> fleet-clock instant the
+  /// reservation auto-releases. Open-ended reservations have no entry.
+  std::mutex reservations_mutex_;
+  std::map<std::string, double> reservation_release_at_;
+
+  /// Declared last so it is destroyed first: the destructor drains every
+  /// live run while all other members — notably the scheduler service the
+  /// parked continuations resume through — are still alive.
+  std::unique_ptr<RunEngine> engine_;
 };
 
 }  // namespace qon::core

@@ -5,25 +5,46 @@
 namespace qon::core {
 
 void PendingQuantumTask::complete(int qpu, double now) {
+  std::function<void()> observer;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (done_) return;  // already cancelled/expired: first writer won
     assigned_qpu = qpu;
     dispatched_at = now;
     done_ = true;
+    observer = std::move(on_settled_);
   }
   cv_.notify_all();
+  // Outside the lock: the observer typically posts a run-engine resume
+  // event, which may step the run on another thread immediately.
+  if (observer) observer();
 }
 
 void PendingQuantumTask::fail(api::Status status, double now) {
+  std::function<void()> observer;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (done_) return;
     error = std::move(status);
     dispatched_at = now;
     done_ = true;
+    observer = std::move(on_settled_);
   }
   cv_.notify_all();
+  if (observer) observer();
+}
+
+void PendingQuantumTask::on_settled(std::function<void()> callback) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!done_) {
+      on_settled_ = std::move(callback);
+      return;
+    }
+  }
+  // Already settled (e.g. cancel raced the registration): fire immediately
+  // so the caller's resume event is never lost.
+  callback();
 }
 
 void PendingQuantumTask::await() {
@@ -58,19 +79,87 @@ bool PendingQueue::push(Item item) {
   return true;
 }
 
-std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max) {
+std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max, double now,
+                                                         double aging_seconds) {
   std::vector<Item> batch;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t n =
         (max == 0) ? size_locked() : std::min(max, size_locked());
     batch.reserve(n);
-    // Highest priority class first (kInteractive = last lane index).
-    for (std::size_t lane = lanes_.size(); lane-- > 0 && batch.size() < n;) {
-      auto& items = lanes_[lane];
-      while (!items.empty() && batch.size() < n) {
-        batch.push_back(std::move(items.front()));
-        items.pop_front();
+    // The aged-ranking path below costs a full-queue sort; use it only
+    // when some job actually exceeds the budget — the common steady state
+    // (aging enabled, nobody starved) stays on the cheap strict path,
+    // whose output would be identical.
+    bool any_aged = false;
+    if (aging_seconds > 0.0) {
+      for (std::size_t lane = 0; lane + 1 < lanes_.size() && !any_aged; ++lane) {
+        for (const auto& item : lanes_[lane]) {
+          if (now - item->enqueued_at > aging_seconds) {
+            any_aged = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!any_aged) {
+      // Strict priority order: highest class first (kInteractive = last
+      // lane index), FIFO within a lane.
+      for (std::size_t lane = lanes_.size(); lane-- > 0 && batch.size() < n;) {
+        auto& items = lanes_[lane];
+        while (!items.empty() && batch.size() < n) {
+          batch.push_back(std::move(items.front()));
+          items.pop_front();
+        }
+      }
+    } else {
+      // Aging on: rank every queued item by (effective lane desc, enqueue
+      // time asc). An item whose wait exceeds the aging budget is promoted
+      // one lane for this ranking only. The sort is stable over a
+      // lane-desc/FIFO collection order, so ties reproduce the no-aging
+      // order exactly.
+      struct Candidate {
+        std::size_t effective;
+        std::size_t lane;
+        std::size_t index;
+      };
+      std::vector<Candidate> candidates;
+      candidates.reserve(size_locked());
+      for (std::size_t lane = lanes_.size(); lane-- > 0;) {
+        for (std::size_t i = 0; i < lanes_[lane].size(); ++i) {
+          std::size_t effective = lane;
+          if (lane + 1 < lanes_.size() &&
+              now - lanes_[lane][i]->enqueued_at > aging_seconds) {
+            effective = lane + 1;
+          }
+          candidates.push_back({effective, lane, i});
+        }
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [this](const Candidate& a, const Candidate& b) {
+                         if (a.effective != b.effective) return a.effective > b.effective;
+                         return lanes_[a.lane][a.index]->enqueued_at <
+                                lanes_[b.lane][b.index]->enqueued_at;
+                       });
+      candidates.resize(n);
+      for (const auto& c : candidates) batch.push_back(lanes_[c.lane][c.index]);
+      // Compact each touched lane in one pass (middle-of-deque erases
+      // would make a big cycle quadratic under the queue lock).
+      std::array<std::vector<std::size_t>, api::kNumPriorities> taken;
+      for (const auto& c : candidates) taken[c.lane].push_back(c.index);
+      for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+        if (taken[lane].empty()) continue;
+        std::sort(taken[lane].begin(), taken[lane].end());
+        std::deque<Item> kept;
+        std::size_t next = 0;  // cursor into the sorted taken indices
+        for (std::size_t i = 0; i < lanes_[lane].size(); ++i) {
+          if (next < taken[lane].size() && taken[lane][next] == i) {
+            ++next;
+          } else {
+            kept.push_back(std::move(lanes_[lane][i]));
+          }
+        }
+        lanes_[lane] = std::move(kept);
       }
     }
   }

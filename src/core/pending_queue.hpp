@@ -71,6 +71,13 @@ struct PendingQuantumTask {
   /// assigned_qpu / dispatched_at / error are stable and safe to read
   /// without the lock.
   void await();
+  /// Non-blocking alternative to await(): registers an observer invoked
+  /// exactly once, outside the task's lock, by whichever of complete()/
+  /// fail() wins — or immediately in the caller's thread when the task has
+  /// already settled. After it fires, assigned_qpu / dispatched_at / error
+  /// are stable. The run engine uses this to post a resume event instead of
+  /// parking a thread. At most one callback may be registered per task.
+  void on_settled(std::function<void()> callback);
   /// Whether complete()/fail() already happened. A settled item still
   /// physically queued is skipped by the next cycle.
   bool settled() const;
@@ -82,6 +89,7 @@ struct PendingQuantumTask {
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::function<void()> on_settled_;  ///< armed until settlement fires it
   bool done_ = false;
 };
 
@@ -112,7 +120,16 @@ class PendingQueue {
 
   /// Pops up to `max` items (0 = everything queued): kInteractive first,
   /// then kStandard, then kBatch, FIFO within each lane.
-  std::vector<Item> take_batch(std::size_t max = 0);
+  ///
+  /// Priority aging (`aging_seconds` > 0): an item whose virtual wait at
+  /// `now` exceeds the aging budget competes one lane above its own for
+  /// this batch's slots — kBatch as kStandard, kStandard as kInteractive
+  /// (its `priority` field, and therefore the per-class stats, keep the
+  /// native class). Within one effective lane, older enqueue times win, so
+  /// an aged job beats a sustained stream of fresh native jobs instead of
+  /// joining the back of their lane. 0 disables aging (the default).
+  std::vector<Item> take_batch(std::size_t max = 0, double now = 0.0,
+                               double aging_seconds = 0.0);
 
   /// Removes and returns every item whose deadline_seconds lies strictly
   /// before `now` — called at cycle start so expired jobs fail

@@ -1,0 +1,105 @@
+#include "core/run_engine.hpp"
+
+#include <algorithm>
+
+namespace qon::core {
+
+RunEngine::RunEngine(std::size_t workers, Step step) : step_(std::move(step)) {
+  const std::size_t n = std::max<std::size_t>(1, workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RunEngine::~RunEngine() { shutdown(); }
+
+void RunEngine::post(std::shared_ptr<RunContinuation> run) {
+  // The notify happens under the lock on purpose: a resume posted by an
+  // external settlement callback may be the event that lets the engine
+  // drain and be destroyed, and a notify outside the lock could still be
+  // touching cv_ when the destructor tears it down. Under the lock, the
+  // worker cannot pop the event (and the run cannot finish) until this
+  // thread has fully left the engine.
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(std::move(run));
+  cv_.notify_one();
+}
+
+bool RunEngine::submit(std::shared_ptr<RunContinuation> run) {
+  std::lock_guard<std::mutex> lock(mutex_);  // see post() on the locked notify
+  if (closed_) return false;
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
+  queue_.push_back(std::move(run));
+  cv_.notify_one();
+  return true;
+}
+
+void RunEngine::resume(std::shared_ptr<RunContinuation> run) {
+  // Deliberately ignores closed_: a resume always belongs to a live run,
+  // and live runs must drain through shutdown, not get stranded by it.
+  post(std::move(run));
+}
+
+void RunEngine::worker_loop() {
+  for (;;) {
+    std::shared_ptr<RunContinuation> run;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Exit only when no event can ever arrive again: submissions are
+      // closed and every live run has finished (all events belong to live
+      // runs, so an empty queue then stays empty).
+      cv_.wait(lock, [this] { return !queue_.empty() || (closed_ && live_ == 0); });
+      if (queue_.empty()) return;
+      run = std::move(queue_.front());
+      queue_.pop_front();
+      ++events_;
+    }
+    const StepOutcome outcome = step_(run);
+    if (outcome == StepOutcome::kProgress) {
+      // Repost to the back of the queue: N runnable runs round-robin over
+      // the workers one node at a time instead of running to completion.
+      post(std::move(run));
+    } else if (outcome == StepOutcome::kFinished) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --live_;
+      if (closed_ && live_ == 0) {
+        cv_.notify_all();       // idle workers may now exit
+        drained_cv_.notify_all();
+      }
+    }
+    // kParked: the run's settlement callback will resume() it. Dropping our
+    // reference here is the whole point — the worker is free for other runs.
+  }
+}
+
+void RunEngine::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+    drained_cv_.wait(lock, [this] { return live_ == 0; });
+  }
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t RunEngine::live_runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+std::size_t RunEngine::peak_live_runs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_live_;
+}
+
+std::uint64_t RunEngine::events_dispatched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+}  // namespace qon::core

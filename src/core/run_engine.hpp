@@ -1,0 +1,148 @@
+#pragma once
+// Event-driven run engine: continuation-based DAG execution so thousands of
+// in-flight runs are driven by a handful of worker threads.
+//
+// The pre-engine executor dedicated one blocked thread to every in-flight
+// run: in batch mode the thread parked inside PendingQuantumTask::await()
+// until a scheduling cycle dispatched the task, so `executor_threads`
+// (default 2) bounded how many jobs a cycle could even see. The engine
+// inverts that model. Each run is an explicit state machine — a
+// RunContinuation holding the next-DAG-node cursor, per-node finish times
+// and the accumulated WorkflowResult — and a small worker pool drives those
+// machines through an event queue:
+//
+//   - submit() posts the run's first step event;
+//   - a worker pops an event and advances the run by one DAG node via the
+//     owner-provided step function;
+//   - a classical task (or an immediate-mode quantum task) executes inside
+//     the step and the worker reposts the continuation (kProgress), so
+//     concurrent runs interleave fairly instead of one run monopolizing a
+//     worker;
+//   - a batch-mode quantum task *registers a completion callback* with the
+//     scheduler service's pending queue and returns kParked — no thread
+//     blocks. When the scheduling cycle settles the task (dispatch, filter,
+//     deadline expiry, cancel), the callback posts a resume() event and any
+//     worker picks the run back up;
+//   - kFinished retires the run (the stepper has already settled its
+//     record).
+//
+// One event per run is in flight at a time: submit posts one, every step
+// posts at most one follow-up, and a parked run's only path back is the
+// single resume() its settlement callback fires — so a continuation is
+// never stepped concurrently and its fields need no lock of their own.
+//
+// Shutdown contract (mirrors the old executor pool): shutdown() closes
+// submissions — submit() returns false, the caller fails the run
+// UNAVAILABLE — then waits until every live run drains. Parked runs drain
+// too: the scheduler service stays up while the engine shuts down, its
+// linger/flush cycles settle the parked tasks, and the resulting resume
+// events run to completion on the still-live workers. Only then are the
+// workers joined.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/run_handle.hpp"
+#include "api/types.hpp"
+#include "core/pending_queue.hpp"
+#include "workflow/registry.hpp"
+
+namespace qon::core {
+
+// Per-backend transpile + estimate bundle (defined in orchestrator.hpp); a
+// parked continuation pins the prep its resume step will execute with.
+struct QuantumTaskPrep;
+
+/// What one step of a run's state machine did.
+enum class StepOutcome {
+  kProgress,  ///< one node finished; the engine reposts the continuation
+  kParked,    ///< waiting on an external completion; resume() brings it back
+  kFinished,  ///< the run reached a terminal state (stepper settled it)
+};
+
+/// The explicit state machine of one in-flight run. Owned by the engine's
+/// event queue between steps; only ever touched by the single in-flight
+/// event, so the fields are unsynchronized by design (see header comment).
+struct RunContinuation {
+  std::shared_ptr<api::RunState> state;
+  const workflow::WorkflowImage* image = nullptr;
+  std::vector<workflow::TaskId> order;  ///< topological execution order
+  std::size_t cursor = 0;               ///< next node in `order`
+  std::vector<double> finish;           ///< per-node finish times (fleet clock)
+  api::WorkflowResult result;           ///< accumulated execution report
+  bool started = false;                 ///< kPending -> kRunning happened
+
+  // Park context: set before the quantum task enters the pending queue and
+  // collected by the resume step. `parked` doubles as the "this step is a
+  // resume" flag.
+  std::shared_ptr<PendingQuantumTask> parked;
+  std::shared_ptr<const QuantumTaskPrep> parked_prep;
+  double parked_ready = 0.0;  ///< DAG-dependency ready time of the parked node
+};
+
+/// The worker pool + event queue driving every run's state machine. The
+/// step function is supplied by the owner (the orchestrator; tests use
+/// fakes) and must not throw — task-level failures are part of the run's
+/// state machine, not the engine's.
+class RunEngine {
+ public:
+  using Step = std::function<StepOutcome(const std::shared_ptr<RunContinuation>&)>;
+
+  /// Spawns `workers` threads (min 1) executing `step` on queued events.
+  RunEngine(std::size_t workers, Step step);
+  ~RunEngine();
+
+  RunEngine(const RunEngine&) = delete;
+  RunEngine& operator=(const RunEngine&) = delete;
+
+  /// Registers the run as live and posts its first step event. False once
+  /// shutdown() has begun — the run was not accepted and never will be.
+  bool submit(std::shared_ptr<RunContinuation> run);
+
+  /// Posts a resume event for a parked run. Accepted even during the
+  /// shutdown drain (a live run must always be able to come back) — only
+  /// new submissions are refused.
+  void resume(std::shared_ptr<RunContinuation> run);
+
+  /// Closes submissions, waits until every live run reaches kFinished
+  /// (parked runs return via resume() as their waits settle), and joins the
+  /// workers. Idempotent and safe to call concurrently.
+  void shutdown();
+
+  std::size_t workers() const { return workers_.size(); }
+  /// Runs submitted and not yet finished — parked runs count.
+  std::size_t live_runs() const;
+  /// Largest live_runs() ever observed: the decoupling statistic — with the
+  /// engine it can exceed the worker count by orders of magnitude.
+  std::size_t peak_live_runs() const;
+  /// Step events dispatched so far (submits + reposts + resumes).
+  std::uint64_t events_dispatched() const;
+
+ private:
+  void worker_loop();
+  void post(std::shared_ptr<RunContinuation> run);
+
+  const Step step_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;          ///< workers waiting for events
+  std::condition_variable drained_cv_;  ///< shutdown() waiting for live_ == 0
+  std::deque<std::shared_ptr<RunContinuation>> queue_;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+  std::uint64_t events_ = 0;
+  bool closed_ = false;
+
+  std::mutex join_mutex_;  ///< serializes concurrent shutdown() calls
+  /// Declared last: no member may be destroyed while a worker still runs.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qon::core

@@ -23,6 +23,10 @@ api::Status validate_scheduler_config(const SchedulerServiceConfig& config) {
     return api::InvalidArgument(
         "scheduler config: queue_capacity must be 0 (unbounded) or >= queue_threshold");
   }
+  if (!(config.aging_seconds >= 0.0)) {  // the negation also rejects NaN
+    return api::InvalidArgument(
+        "scheduler config: aging_seconds must be >= 0 (0 disables aging)");
+  }
   return api::Status::Ok();
 }
 
@@ -33,6 +37,7 @@ api::SchedulerConfigView to_config_view(const SchedulerServiceConfig& config) {
   view.interval_seconds = config.interval_seconds;
   view.queue_capacity = config.queue_capacity;
   view.max_batch_size = config.max_batch_size;
+  view.aging_seconds = config.aging_seconds;
   return view;
 }
 
@@ -144,7 +149,7 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
   // longer meet its deadline must not consume a batch slot or a QPU. The
   // overdue items are only *failed* after the cycle is accounted below.
   auto overdue = queue_.take_expired(fired_at);
-  auto batch = queue_.take_batch(config_.max_batch_size);
+  auto batch = queue_.take_batch(config_.max_batch_size, fired_at, config_.aging_seconds);
   // Items settled sideways (a cancelled run's task raced a cycle taking
   // it) are dropped; their runs already carry a terminal status.
   const auto settled = [](const PendingQueue::Item& item) { return item->settled(); };

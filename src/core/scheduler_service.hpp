@@ -63,6 +63,12 @@ struct SchedulerServiceConfig {
   /// Real-time grace for a sub-threshold batch to fill before the virtual
   /// timer fires (see the header comment on virtual-vs-real time).
   std::chrono::milliseconds linger{2};
+  /// Priority aging: a parked kBatch/kStandard job whose virtual queue
+  /// wait exceeds this many seconds competes one lane above its own for a
+  /// capped cycle's batch slots (PendingQueue::take_batch), so a sustained
+  /// interactive stream cannot starve the lower lanes indefinitely.
+  /// 0 = off (strict priority order, the default).
+  double aging_seconds = 0.0;
   /// How many per-cycle records getSchedulerStats retains (ring buffer).
   std::size_t stats_cycle_history = 256;
   /// How many per-job queue-wait samples getSchedulerStats retains.

@@ -206,6 +206,34 @@ TEST(AsyncInvoke, CancelMidRunStopsAtTaskBoundary) {
             "cancelled");
 }
 
+// A cancel that lands after the last task has executed must not relabel
+// the finished work: the run completes (the engine's final bookkeeping
+// event checks completion before cancellation, matching the pre-engine
+// loop, which never re-checked cancel after the last task).
+TEST(AsyncInvoke, CancelAfterLastTaskStillCompletes) {
+  auto gate = std::make_shared<TaskGate>();
+  QonductorClient client(gated_config(gate));
+  const auto image = deploy_classical(client, "late-cancel", /*num_tasks=*/1);
+
+  InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok());
+  gate->entered.get_future().wait();  // the only task is executing
+
+  EXPECT_TRUE(handle->cancel());  // not yet terminal, so cancel() is accepted
+  gate->release.set_value();
+
+  // The task finishes after the cancel request; with nothing left to
+  // cancel, the run reports the completed work instead of kCancelled.
+  EXPECT_EQ(handle->wait(), RunStatus::kCompleted);
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, RunStatus::kCompleted);
+  EXPECT_TRUE(result->error.ok());
+  EXPECT_EQ(result->tasks.size(), 1u);
+}
+
 TEST(AsyncInvoke, CancelWhileQueuedRunsNothing) {
   auto gate = std::make_shared<TaskGate>();
   auto config = gated_config(gate);
@@ -432,6 +460,61 @@ TEST(Preferences, EchoedInRunInfoWithResolvedDefault) {
   EXPECT_DOUBLE_EQ(*info->preferences.deadline_seconds, 1e6);
   EXPECT_EQ(info->preferences.priority, Priority::kInteractive);
   EXPECT_STREQ(priority_name(Priority::kInteractive), "interactive");
+}
+
+// Deadline-aware admission: a deadline at/before the fleet-clock frontier
+// can never be met, so invoke() rejects it DEADLINE_EXCEEDED at submit time
+// instead of parking the run until a scheduling cycle discovers the miss.
+TEST(Preferences, UnmeetableDeadlineIsRejectedAtSubmitTime) {
+  QonductorClient client(small_config());
+  const auto image = deploy_classical(client, "dead-on-arrival");
+
+  // The fleet clock starts at 0: a deadline of 0 lies AT the frontier.
+  InvokeRequest request;
+  request.image = image;
+  request.preferences.deadline_seconds = 0.0;
+  auto rejected = client.invoke(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Nothing was parked or recorded: the run table is still empty.
+  auto listed = client.listRuns();
+  ASSERT_TRUE(listed.ok());
+  EXPECT_TRUE(listed->runs.empty());
+
+  // Advance the frontier by completing a run, then submit a deadline the
+  // clock has already passed.
+  InvokeRequest plain;
+  plain.image = image;
+  auto first = client.invoke(plain);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->wait(), RunStatus::kCompleted);
+  const double frontier = client.backend().fleetNow();
+  ASSERT_GT(frontier, 0.0);
+
+  request.preferences.deadline_seconds = frontier / 2.0;
+  EXPECT_EQ(client.invoke(request).status().code(), StatusCode::kDeadlineExceeded);
+
+  // A deadline beyond the frontier is admitted normally.
+  request.preferences.deadline_seconds = frontier + 1e6;
+  auto admitted = client.invoke(request);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().to_string();
+  EXPECT_EQ(admitted->wait(), RunStatus::kCompleted);
+
+  // invokeAll stays atomic: one dead-on-arrival deadline rejects the whole
+  // batch before anything starts.
+  std::vector<InvokeRequest> batch(2);
+  batch[0].image = image;
+  batch[1].image = image;
+  batch[1].preferences.deadline_seconds = frontier / 2.0;
+  const auto runs_before = client.listRuns();
+  ASSERT_TRUE(runs_before.ok());
+  auto handles = client.invokeAll(batch);
+  ASSERT_FALSE(handles.ok());
+  EXPECT_EQ(handles.status().code(), StatusCode::kDeadlineExceeded);
+  const auto runs_after = client.listRuns();
+  ASSERT_TRUE(runs_after.ok());
+  EXPECT_EQ(runs_after->runs.size(), runs_before->runs.size());
 }
 
 TEST(ApiVersioning, UnsupportedVersionIsUnimplemented) {

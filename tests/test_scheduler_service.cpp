@@ -112,6 +112,43 @@ TEST(PendingQueue, BatchesFormInPriorityOrder) {
   EXPECT_EQ(rest[1]->run, 1u);
 }
 
+// Priority aging: a job whose virtual wait exceeds the budget competes one
+// lane above its own, ranked by enqueue time within the effective lane — so
+// an aged job beats a fresh stream instead of joining the back of its lane.
+TEST(PendingQueue, AgingPromotesLongWaitingJobsExactlyOneLane) {
+  PendingQueue queue;
+  auto batch_old = make_task(1, 4, 2, api::Priority::kBatch);        // waited 100 s
+  auto std_old = make_task(2, 4, 2, api::Priority::kStandard);       // waited 100 s
+  auto std_fresh = make_task(3, 4, 2, api::Priority::kStandard);
+  std_fresh->enqueued_at = 90.0;                                     // waited 10 s
+  auto inter_fresh = make_task(4, 4, 2, api::Priority::kInteractive);
+  inter_fresh->enqueued_at = 90.0;
+  for (const auto& task : {batch_old, std_old, std_fresh, inter_fresh}) {
+    queue.push(task);
+  }
+
+  // At t=100 with a 30 s budget: std_old is promoted to the interactive
+  // lane and outranks the fresher native interactive job; batch_old is
+  // promoted exactly ONE lane (to standard, never to interactive), so it
+  // loses the capped slots despite being the oldest item overall.
+  auto first = queue.take_batch(2, /*now=*/100.0, /*aging_seconds=*/30.0);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0]->run, 2u);  // aged standard, effective interactive
+  EXPECT_EQ(first[1]->run, 4u);  // native interactive
+  auto rest = queue.take_batch(0, 100.0, 30.0);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0]->run, 1u);  // aged batch, effective standard, older
+  EXPECT_EQ(rest[1]->run, 3u);  // native standard
+
+  // aging_seconds = 0 disables the rule: strict priority order.
+  queue.push(batch_old);
+  queue.push(inter_fresh);
+  auto strict = queue.take_batch(0, 100.0, 0.0);
+  ASSERT_EQ(strict.size(), 2u);
+  EXPECT_EQ(strict[0]->run, 4u);
+  EXPECT_EQ(strict[1]->run, 1u);
+}
+
 TEST(PendingQueue, TakeExpiredPullsOnlyOverdueDeadlines) {
   PendingQueue queue;
   auto overdue = make_task(1, 4, 2);
@@ -371,6 +408,53 @@ TEST(SchedulerService, PriorityOrderIsolatesQueueWaits) {
   service.shutdown();
 }
 
+// Starvation regression: with strict priority order a capped cycle hands
+// every slot to the higher lanes, so a parked batch-class job is passed
+// over; with aging_seconds set, its virtual wait promotes it into slot
+// competition and it dispatches in the first cycle.
+TEST(SchedulerService, AgingRescuesStarvedLowPriorityJob) {
+  for (const bool aging_on : {false, true}) {
+    FakeEngine engine(2);
+    SchedulerServiceConfig config;
+    config.queue_threshold = 3;   // fires when the fresh pair joins
+    config.max_batch_size = 2;    // the starved job must win a slot to go
+    config.interval_seconds = 60.0;
+    config.linger = 200ms;
+    config.aging_seconds = aging_on ? 30.0 : 0.0;
+    SchedulerService service(config, 7, {}, engine.hooks());
+
+    // The batch-class job has been parked since t=0…
+    auto starved = make_task(1, 4, 2, api::Priority::kBatch);
+    ASSERT_TRUE(service.enqueue(starved));
+    // …and at t=100 a fresh pair of standard jobs trips the threshold.
+    engine.clock.store(100.0);
+    auto fresh_a = make_task(2, 4, 2, api::Priority::kStandard);
+    fresh_a->enqueued_at = 100.0;
+    auto fresh_b = make_task(3, 4, 2, api::Priority::kStandard);
+    fresh_b->enqueued_at = 100.0;
+    ASSERT_TRUE(service.enqueue(fresh_a));
+    ASSERT_TRUE(service.enqueue(fresh_b));
+
+    starved->await();
+    fresh_a->await();
+    fresh_b->await();
+    service.shutdown();
+
+    if (aging_on) {
+      // Aged past the 30 s budget, the batch job competes as standard and
+      // its older enqueue time wins the first capped cycle at t=100.
+      EXPECT_DOUBLE_EQ(starved->dispatched_at, 100.0);
+      EXPECT_GT(std::max(fresh_a->dispatched_at, fresh_b->dispatched_at), 100.0);
+    } else {
+      // Strict priority: the standard pair takes both slots and the batch
+      // job waits for a later cycle — the starvation the knob closes.
+      EXPECT_DOUBLE_EQ(fresh_a->dispatched_at, 100.0);
+      EXPECT_DOUBLE_EQ(fresh_b->dispatched_at, 100.0);
+      EXPECT_GT(starved->dispatched_at, 100.0);
+    }
+  }
+}
+
 TEST(SchedulerService, InfeasibleTaskFailsResourceExhausted) {
   FakeEngine engine(2, /*qpu_size=*/5);
   SchedulerServiceConfig config;
@@ -427,11 +511,18 @@ TEST(SchedulerService, ValidatesConfigWithoutThrowing) {
   unbounded.queue_threshold = 100;
   EXPECT_TRUE(validate_scheduler_config(unbounded).ok());
 
+  SchedulerServiceConfig negative_aging;
+  negative_aging.aging_seconds = -1.0;
+  EXPECT_EQ(validate_scheduler_config(negative_aging).code(),
+            api::StatusCode::kInvalidArgument);
+
+  good.aging_seconds = 45.0;
   const auto view = to_config_view(good);
   EXPECT_EQ(view.mode, api::SchedulingMode::kBatch);
   EXPECT_EQ(view.queue_threshold, good.queue_threshold);
   EXPECT_DOUBLE_EQ(view.interval_seconds, good.interval_seconds);
   EXPECT_EQ(view.queue_capacity, good.queue_capacity);
+  EXPECT_DOUBLE_EQ(view.aging_seconds, 45.0);
 }
 
 // ---- the batch-scheduling serving path end to end ----------------------------
@@ -632,6 +723,75 @@ TEST(BatchServing, MidCycleReservationIsHonoredByTheNextCycle) {
   api::ReserveQpuRequest unknown;
   unknown.qpu = "no-such-qpu";
   EXPECT_EQ(client.reserveQpu(unknown).status().code(), api::StatusCode::kNotFound);
+}
+
+// §7 reservation time windows: a reservation with duration_seconds holds
+// against every scheduling snapshot mid-window, then auto-releases at the
+// first cycle firing at/after the virtual deadline — that very cycle
+// already schedules onto the released QPU.
+TEST(BatchServing, ReservationWindowAutoReleasesAtVirtualDeadline) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 83;
+  config.trajectory_width_limit = 8;
+  config.scheduler_service.queue_threshold = 100;  // timer-only cycles…
+  config.scheduler_service.interval_seconds = 60.0;  // …at t=60, 120, …
+  config.scheduler_service.linger = 5ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "window", circuit::ghz(3));
+  const auto names = client.backend().monitor().qpu_names();
+  ASSERT_EQ(names.size(), 2u);
+  // The window's QPU is the only healthy one: mid-window snapshots see an
+  // empty fleet, post-window snapshots see it again.
+  ASSERT_TRUE(client.backend().monitor().set_qpu_online(names[1], false).has_value());
+
+  // The duration is validated like every other preference.
+  api::ReserveQpuRequest bad;
+  bad.qpu = names[0];
+  bad.duration_seconds = 0.0;
+  EXPECT_EQ(client.reserveQpu(bad).status().code(), api::StatusCode::kInvalidArgument);
+
+  api::ReserveQpuRequest reserve;
+  reserve.qpu = names[0];
+  reserve.duration_seconds = 100.0;  // release_at t=100, between the cycles
+  auto reserved = client.reserveQpu(reserve);
+  ASSERT_TRUE(reserved.ok()) << reserved.status().to_string();
+  ASSERT_TRUE(reserved->release_at.has_value());
+  EXPECT_DOUBLE_EQ(*reserved->release_at, 100.0);
+
+  // Mid-window: the timer cycle at t=60 < 100 still honors the
+  // reservation — with the sibling offline, the job is filtered.
+  api::InvokeRequest request;
+  request.image = image;
+  auto mid_window = client.invoke(request);
+  ASSERT_TRUE(mid_window.ok()) << mid_window.status().to_string();
+  EXPECT_EQ(mid_window->wait(), api::RunStatus::kFailed);
+  auto mid_result = mid_window->result();
+  ASSERT_TRUE(mid_result.ok());
+  EXPECT_EQ(mid_result->error.code(), api::StatusCode::kResourceExhausted);
+
+  // Post-window: the next timer cycle fires at t=120 >= 100, auto-releases
+  // the window and schedules this very batch onto the released QPU.
+  auto post_window = client.invoke(request);
+  ASSERT_TRUE(post_window.ok()) << post_window.status().to_string();
+  EXPECT_EQ(post_window->wait(), api::RunStatus::kCompleted);
+  auto post_result = post_window->result();
+  ASSERT_TRUE(post_result.ok());
+  ASSERT_EQ(post_result->tasks.size(), 1u);
+  EXPECT_EQ(post_result->tasks[0].resource, names[0]);
+
+  // The flag is gone for good: releasing again is a typed precondition
+  // failure, and a fresh open-ended reservation starts from a clean slate.
+  api::ReleaseQpuRequest release;
+  release.qpu = names[0];
+  EXPECT_EQ(client.releaseQpu(release).status().code(),
+            api::StatusCode::kFailedPrecondition);
+  api::ReserveQpuRequest open_ended;
+  open_ended.qpu = names[0];
+  auto again = client.reserveQpu(open_ended);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->release_at.has_value());
+  ASSERT_TRUE(client.releaseQpu(release).ok());
 }
 
 // Reservation (§7) and health are independent bits: reserving a faulted
