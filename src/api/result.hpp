@@ -14,8 +14,11 @@
 
 namespace qon::api {
 
+/// [[nodiscard]] at class level: a dropped Result is a dropped error — the
+/// whole point of the no-exceptions API boundary is that every failure is
+/// visible at the call site.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Success. Implicit so functions can `return value;`.
   Result(T value) : value_(std::move(value)) {}

@@ -4,25 +4,27 @@ namespace qon::api {
 
 RunStatus RunHandle::poll() const {
   if (!state_) return RunStatus::kFailed;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->status;
 }
 
 RunStatus RunHandle::wait() const {
   if (!state_) return RunStatus::kFailed;
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [this] { return run_status_terminal(state_->status); });
+  MutexLock lock(state_->mutex);
+  while (!run_status_terminal(state_->status)) state_->cv.wait(state_->mutex);
   return state_->status;
 }
 
 Result<RunStatus> RunHandle::wait_for(std::chrono::milliseconds timeout) const {
   if (!state_) return NotFound("wait_for: empty run handle");
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  const bool done = state_->cv.wait_for(
-      lock, timeout, [this] { return run_status_terminal(state_->status); });
-  if (!done) {
-    return DeadlineExceeded("run " + std::to_string(state_->id) +
-                            " still in flight after timeout");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(state_->mutex);
+  while (!run_status_terminal(state_->status)) {
+    if (state_->cv.wait_until(state_->mutex, deadline) == std::cv_status::timeout &&
+        !run_status_terminal(state_->status)) {
+      return DeadlineExceeded("run " + std::to_string(state_->id) +
+                              " still in flight after timeout");
+    }
   }
   return state_->status;
 }
@@ -31,7 +33,7 @@ bool RunHandle::cancel() const {
   if (!state_) return false;
   std::function<void()> unpark;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (run_status_terminal(state_->status)) return false;
     state_->cancel_requested = true;
     unpark = state_->unpark;
@@ -44,8 +46,8 @@ bool RunHandle::cancel() const {
 
 Result<WorkflowResult> RunHandle::result() const {
   if (!state_) return NotFound("result: empty run handle");
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [this] { return run_status_terminal(state_->status); });
+  MutexLock lock(state_->mutex);
+  while (!run_status_terminal(state_->status)) state_->cv.wait(state_->mutex);
   return state_->result;
 }
 
@@ -55,7 +57,7 @@ Result<RunInfo> RunHandle::info() const {
   info.run = state_->id;
   info.image = state_->image;
   info.preferences = state_->preferences;
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   info.status = state_->status;
   info.submitted_at = state_->submitted_at;
   info.started_at = state_->started_at;

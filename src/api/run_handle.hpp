@@ -10,19 +10,18 @@
 //   auto result = handle.result();
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "api/result.hpp"
 #include "api/types.hpp"
+#include "common/thread_safety.hpp"
 
 namespace qon::api {
 
 /// Shared record of one run, written by the orchestrator's executor and
-/// read by any number of handles. All fields are guarded by `mutex`; `cv`
-/// is notified on every status transition.
+/// read by any number of handles. All mutable fields are guarded by
+/// `mutex`; `cv` is notified on every status transition.
 struct RunState {
   RunId id = 0;
   workflow::ImageId image = 0;
@@ -31,21 +30,21 @@ struct RunState {
   /// record is shared; immutable afterwards.
   JobPreferences preferences;
 
-  mutable std::mutex mutex;
-  mutable std::condition_variable cv;
-  RunStatus status = RunStatus::kPending;
-  bool cancel_requested = false;
-  WorkflowResult result;  ///< stable once `status` is terminal
+  mutable Mutex mutex{LockRank::kRunState, "RunState::mutex"};
+  mutable CondVar cv;
+  RunStatus status GUARDED_BY(mutex) = RunStatus::kPending;
+  bool cancel_requested GUARDED_BY(mutex) = false;
+  WorkflowResult result GUARDED_BY(mutex);  ///< stable once `status` is terminal
   /// Set by the executor while the run's quantum task is parked in the
   /// scheduler service's pending queue; cancel() invokes it (outside this
   /// mutex) so a queued-then-cancelled run stops immediately instead of
-  /// waiting to be dispatched. Guarded by `mutex`.
-  std::function<void()> unpark;
+  /// waiting to be dispatched.
+  std::function<void()> unpark GUARDED_BY(mutex);
   // Lifecycle timestamps on the fleet virtual clock; -1 until the phase
   // happens. Stamped by the orchestrator at each transition.
-  double submitted_at = -1.0;
-  double started_at = -1.0;
-  double finished_at = -1.0;
+  double submitted_at GUARDED_BY(mutex) = -1.0;
+  double started_at GUARDED_BY(mutex) = -1.0;
+  double finished_at GUARDED_BY(mutex) = -1.0;
 };
 
 class RunHandle {
@@ -74,8 +73,10 @@ class RunHandle {
   /// task boundary and the run ends kCancelled. A quantum task parked in
   /// the scheduler service's pending queue is pulled out immediately — the
   /// run does not wait to be dispatched. Returns false when the run had
-  /// already reached a terminal state (nothing to cancel).
-  bool cancel() const;
+  /// already reached a terminal state (nothing to cancel) — callers must
+  /// check, hence [[nodiscard]]: dropping the result hides a lost race
+  /// with completion.
+  [[nodiscard]] bool cancel() const;
 
   /// Blocks until terminal, then returns the execution report. The report
   /// of a failed/cancelled run is still a value — its `status` and `error`

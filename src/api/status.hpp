@@ -24,7 +24,9 @@ enum class StatusCode {
 
 const char* status_code_name(StatusCode code);
 
-class Status {
+/// [[nodiscard]] at class level: silently dropping a returned Status is
+/// exactly the failure mode the typed-error boundary exists to prevent.
+class [[nodiscard]] Status {
  public:
   /// Default-constructed status is OK.
   Status() = default;

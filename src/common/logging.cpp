@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/thread_safety.hpp"
 
 namespace qon {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_io_mutex;
+// Innermost leaf of the lock hierarchy: log() may be called while holding
+// any other lock in the system.
+Mutex g_io_mutex{LockRank::kLogging, "logging::g_io_mutex"};
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
@@ -33,7 +36,7 @@ const char* log_level_name(LogLevel level) {
 
 void Logger::log(LogLevel level, const std::string& msg) const {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_io_mutex);
+  MutexLock lock(g_io_mutex);
   std::cerr << "[" << log_level_name(level) << "] " << name_ << ": " << msg << "\n";
 }
 

@@ -18,11 +18,11 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
-  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  MutexLock join_lock(join_mutex_);
   if (joined_) return;
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
@@ -34,10 +34,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_relaxed) || !tasks_.empty();
-      });
+      MutexLock lock(mutex_);
+      while (!stopping_.load(std::memory_order_relaxed) && tasks_.empty()) {
+        cv_.wait(mutex_);
+      }
       if (tasks_.empty()) return;  // only reachable when stopping
       task = std::move(tasks_.front());
       tasks_.pop();

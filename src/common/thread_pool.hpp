@@ -8,16 +8,16 @@
 // trajectories and state-vector gate application.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_safety.hpp"
 
 namespace qon {
 
@@ -44,7 +44,7 @@ class ThreadPool {
 
   /// Stops accepting work, runs everything already queued, and joins the
   /// workers. Idempotent and safe to call concurrently with submissions.
-  void shutdown();
+  void shutdown() EXCLUDES(mutex_, join_mutex_);
 
   /// True once shutdown has begun; any subsequent submission is rejected.
   bool stopping() const { return stopping_.load(std::memory_order_acquire); }
@@ -53,12 +53,13 @@ class ThreadPool {
   /// task was rejected and will never run. The future yields the task's
   /// return value and rethrows any task exception.
   template <typename F>
-  std::optional<std::future<std::invoke_result_t<std::decay_t<F>>>> try_submit(F&& f) {
+  std::optional<std::future<std::invoke_result_t<std::decay_t<F>>>> try_submit(F&& f)
+      EXCLUDES(mutex_) {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_.load(std::memory_order_relaxed)) return std::nullopt;
       tasks_.push([task] { (*task)(); });
     }
@@ -69,24 +70,25 @@ class ThreadPool {
   /// try_submit() for call sites that treat a shut-down pool as a logic
   /// error: throws std::logic_error on rejection.
   template <typename F>
-  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& f) {
+  std::future<std::invoke_result_t<std::decay_t<F>>> submit(F&& f) EXCLUDES(mutex_) {
     auto fut = try_submit(std::forward<F>(f));
     if (!fut) throw std::logic_error("ThreadPool::submit after shutdown");
     return std::move(*fut);
   }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_{LockRank::kThreadPool, "ThreadPool::mutex_"};
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  CondVar cv_;
   /// Written under mutex_ (ordering vs. task acceptance); atomic so
   /// stopping() can be read without the lock.
   std::atomic<bool> stopping_{false};
-  std::mutex join_mutex_;  ///< serializes concurrent shutdown() calls
-  bool joined_ = false;    ///< guarded by join_mutex_
+  /// Serializes concurrent shutdown() calls.
+  Mutex join_mutex_{LockRank::kShutdownJoin, "ThreadPool::join_mutex_"};
+  bool joined_ GUARDED_BY(join_mutex_) = false;
 };
 
 /// Process-wide default pool (lazily constructed).

@@ -24,12 +24,19 @@ Qonductor::Qonductor(QonductorConfig config)
       monitor_(config.replicated_monitor),
       run_table_(config.retention) {
   templates_ = fleet_.template_backends();
-  qpu_available_at_.assign(fleet_.backends.size(), 0.0);
   // GC follows the record: when the run table evicts a terminal run, its
   // status entry leaves the system monitor too.
   run_table_.set_eviction_observer(
       [this](RunId run) { monitor_.erase_workflow_status(run); });
-  publish_fleet_state();
+  {
+    // Construction is single-threaded, but qpu_available_at_ and the fleet
+    // publish are engine-guarded state: taking the (uncontended) engine
+    // lock keeps the guarded_by/REQUIRES contract true at every call site
+    // instead of carving out a trust-me exception for the constructor.
+    MutexLock lock(engine_mutex_);
+    qpu_available_at_.assign(fleet_.backends.size(), 0.0);
+    publish_fleet_state();
+  }
 
   // Scheduler knobs are validated here, once, so the ScheduleTrigger's
   // std::invalid_argument never crosses the API boundary: a bad config
@@ -46,7 +53,7 @@ Qonductor::Qonductor(QonductorConfig config)
     SchedulerServiceHooks hooks;
     hooks.now = [this] { return fleetNow(); };
     hooks.snapshot_qpus = [this](double advance_to) {
-      std::lock_guard<std::mutex> lock(engine_mutex_);
+      MutexLock lock(engine_mutex_);
       advance_fleet_clock(advance_to);
       const double now = fleet_clock_.load(std::memory_order_relaxed);
       // Reservation time windows expire at cycle boundaries: release due
@@ -139,7 +146,7 @@ api::Result<api::CreateWorkflowResponse> Qonductor::createWorkflow(
   }
   api::CreateWorkflowResponse response;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     response.image = registry_.register_image(
         std::move(request.name), workflow::chain_workflow(std::move(request.tasks)),
         std::move(config));
@@ -148,7 +155,7 @@ api::Result<api::CreateWorkflowResponse> Qonductor::createWorkflow(
 }
 
 api::Result<api::DeployResponse> Qonductor::deploy(const api::DeployRequest& request) {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   const workflow::WorkflowImage* img = registry_.find(request.image);
   if (img == nullptr) {
     return api::NotFound("deploy: unknown image " + std::to_string(request.image));
@@ -228,7 +235,7 @@ api::Status Qonductor::validate_invoke(const api::InvokeRequest& request,
           " s — unmeetable at submit time");
     }
   }
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   const workflow::WorkflowImage* img = registry_.find(request.image);
   if (img == nullptr) {
     return api::NotFound("invoke: unknown image " + std::to_string(request.image));
@@ -247,7 +254,13 @@ api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* 
   auto state = std::make_shared<api::RunState>();
   state->image = image->id;
   state->preferences = std::move(preferences);
-  state->submitted_at = fleetNow();
+  {
+    // The record is not shared with any other thread until insert() below,
+    // but submitted_at is guarded state: the (uncontended) record lock
+    // keeps the guarded_by contract uniform outside the constructor.
+    MutexLock lock(state->mutex);
+    state->submitted_at = fleetNow();
+  }
   const RunId run = run_table_.insert(state);
   monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kPending));
   auto cont = std::make_shared<RunContinuation>();
@@ -262,7 +275,7 @@ api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* 
     // execute.
     run_table_.erase(run);
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->status = api::RunStatus::kFailed;
       state->finished_at = fleetNow();
       state->result.run = run;
@@ -379,7 +392,7 @@ api::Result<api::ReserveQpuResponse> Qonductor::reserveQpu(
   // sweep can never observe (and release) a half-installed reservation.
   // The monitor's own mutex nests inside; the flag flip itself stays
   // atomic against publish_fleet_state and device-manager health writes.
-  std::lock_guard<std::mutex> lock(reservations_mutex_);
+  MutexLock lock(reservations_mutex_);
   const auto previous = monitor_.set_qpu_reserved(request.qpu, true);
   if (!previous) {
     return api::NotFound("reserveQpu: unknown QPU '" + request.qpu + "'");
@@ -407,7 +420,7 @@ api::Result<api::ReleaseQpuResponse> Qonductor::releaseQpu(
   // (see reserveQpu) so the flag and the window deadline change together —
   // an explicit release ends any time window early, and a later
   // reservation never inherits a stale deadline.
-  std::lock_guard<std::mutex> lock(reservations_mutex_);
+  MutexLock lock(reservations_mutex_);
   const auto previous = monitor_.set_qpu_reserved(request.qpu, false);
   if (!previous) {
     return api::NotFound("releaseQpu: unknown QPU '" + request.qpu + "'");
@@ -427,7 +440,7 @@ void Qonductor::expire_reservations(double now) {
   // releaseQpu: erasing the window and releasing the flag must be one
   // atomic step, or a releaseQpu+reserveQpu pair interleaved between them
   // would have its brand-new reservation silently released by this sweep.
-  std::lock_guard<std::mutex> lock(reservations_mutex_);
+  MutexLock lock(reservations_mutex_);
   for (auto it = reservation_release_at_.begin();
        it != reservation_release_at_.end();) {
     if (it->second <= now) {
@@ -481,7 +494,7 @@ sched::ScheduleDecision Qonductor::generateSchedule(const sched::SchedulingInput
 }
 
 std::vector<workflow::ImageId> Qonductor::listImages() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   return registry_.list();
 }
 
@@ -496,7 +509,7 @@ StepOutcome Qonductor::settle_run(const std::shared_ptr<RunContinuation>& cont) 
   // later write would resurrect it unerasable.
   monitor_.set_workflow_status(run, api::run_status_name(cont->result.status));
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     state->result = std::move(cont->result);
     state->status = state->result.status;
     state->finished_at = fleetNow();
@@ -545,7 +558,7 @@ StepOutcome Qonductor::step_run(const std::shared_ptr<RunContinuation>& cont) {
     // First event: kPending -> kRunning, or cancel-before-start.
     bool cancelled_before_start = false;
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (state->cancel_requested) {
         cancelled_before_start = true;
       } else {
@@ -573,7 +586,7 @@ StepOutcome Qonductor::step_run(const std::shared_ptr<RunContinuation>& cont) {
     cont->parked = nullptr;
     cont->parked_prep = nullptr;
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->unpark = nullptr;
     }
     const workflow::TaskId node = cont->order[cont->cursor];
@@ -586,7 +599,7 @@ StepOutcome Qonductor::step_run(const std::shared_ptr<RunContinuation>& cont) {
       return settle_task_failure(cont, task.name, pending->error);
     }
     try {
-      std::lock_guard<std::mutex> lock(engine_mutex_);
+      MutexLock lock(engine_mutex_);
       TaskResult tr = execute_quantum_locked(
           task, *prep, static_cast<std::size_t>(pending->assigned_qpu), ready_at,
           pending->dispatched_at);
@@ -610,7 +623,7 @@ StepOutcome Qonductor::step_run(const std::shared_ptr<RunContinuation>& cont) {
   // Cooperative cancellation at every remaining task boundary.
   bool cancelled = false;
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     cancelled = state->cancel_requested;
   }
   if (cancelled) {
@@ -663,7 +676,7 @@ std::shared_ptr<const QuantumTaskPrep> Qonductor::prepare_quantum_task(
   // registry is append-only, so task addresses are stable and unique.
   const std::uint64_t fingerprint = calibration_fingerprint();
   {
-    std::lock_guard<std::mutex> lock(prep_cache_mutex_);
+    MutexLock lock(prep_cache_mutex_);
     if (fingerprint != prep_cache_fingerprint_) {
       prep_cache_.clear();  // fleet recalibrated: every estimate is stale
       prep_cache_order_.clear();
@@ -693,7 +706,7 @@ std::shared_ptr<const QuantumTaskPrep> Qonductor::prepare_quantum_task(
         sig.quantum_runtime_multiplier);
   }
 
-  std::lock_guard<std::mutex> lock(prep_cache_mutex_);
+  MutexLock lock(prep_cache_mutex_);
   if (fingerprint != prep_cache_fingerprint_) {
     // Recalibrated while we were transpiling: serve this prep to the
     // caller (its estimates matched the inputs it saw) but don't cache it.
@@ -789,7 +802,7 @@ StepOutcome Qonductor::park_quantum_task(const std::shared_ptr<RunContinuation>&
   // the queue resumes the run immediately instead of at dispatch. fail()
   // is first-writer-wins, so a racing cycle completion is a no-op.
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     if (state->cancel_requested) {
       cont->result.status = api::RunStatus::kCancelled;
       cont->result.error = api::Cancelled("run cancelled by client");
@@ -843,7 +856,7 @@ api::Result<TaskResult> Qonductor::run_quantum_immediate(
   // relative to the task's own ready time. Reservation windows expire
   // against the monotone fleet-clock frontier only — one job's late DAG
   // ready time must not release a window early for every concurrent run.
-  std::lock_guard<std::mutex> lock(engine_mutex_);
+  MutexLock lock(engine_mutex_);
   expire_reservations(fleet_clock_.load(std::memory_order_relaxed));
   if (prefs.deadline_seconds) {
     // Dispatch-time deadline check, mirroring the batch path: dispatch
@@ -898,7 +911,7 @@ api::Result<TaskResult> Qonductor::run_classical_task(const workflow::HybridTask
   result.cost_dollars = estimator::job_cost_dollars(0.0, result.end - result.start,
                                                     task.accelerator,
                                                     config_.plan_config.prices);
-  std::lock_guard<std::mutex> lock(engine_mutex_);
+  MutexLock lock(engine_mutex_);
   advance_fleet_clock(result.end);
   return result;
 }

@@ -50,11 +50,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/result.hpp"
+#include "common/thread_safety.hpp"
 #include "api/run_handle.hpp"
 #include "api/types.hpp"
 #include "core/run_engine.hpp"
@@ -257,36 +257,38 @@ class Qonductor {
   /// Hash of every backend's calibration cycle — the freshness half of the
   /// prep-cache key (a recalibration invalidates all cached preps).
   std::uint64_t calibration_fingerprint() const;
-  /// Executes the prepared task on backend `q`; requires engine_mutex_.
-  /// `not_before` floors the start time at the dispatching cycle's fire
-  /// time (0 in immediate mode).
+  /// Executes the prepared task on backend `q`. `not_before` floors the
+  /// start time at the dispatching cycle's fire time (0 in immediate mode).
   TaskResult execute_quantum_locked(const workflow::HybridTask& task,
                                     const QuantumTaskPrep& prep, std::size_t q,
-                                    double ready_at, double not_before);
+                                    double ready_at, double not_before)
+      REQUIRES(engine_mutex_);
   /// QPU states for a scheduling input (queue waits relative to
-  /// `reference`, online flags from the monitor); requires engine_mutex_.
-  std::vector<sched::QpuState> snapshot_qpu_states_locked(double reference) const;
+  /// `reference`, online flags from the monitor).
+  std::vector<sched::QpuState> snapshot_qpu_states_locked(double reference) const
+      REQUIRES(engine_mutex_);
   /// Releases every windowed reservation whose deadline lies at/before
   /// `now` on the fleet virtual clock. Called right before a scheduling
   /// snapshot (batch cycle or immediate dispatch), so the snapshotting
-  /// cycle already schedules onto the released QPUs.
-  void expire_reservations(double now);
-  void publish_fleet_state();
-  void advance_fleet_clock(double up_to);
+  /// cycle already schedules onto the released QPUs. Acquires
+  /// reservations_mutex_ (inside engine_mutex_ in the hierarchy).
+  void expire_reservations(double now) EXCLUDES(reservations_mutex_);
+  void publish_fleet_state() REQUIRES(engine_mutex_);
+  void advance_fleet_clock(double up_to) REQUIRES(engine_mutex_);
 
   QonductorConfig config_;
-  Rng rng_;
-  sim::HiddenNoise hidden_;
+  Rng rng_ GUARDED_BY(engine_mutex_);
+  sim::HiddenNoise hidden_ GUARDED_BY(engine_mutex_);
   qpu::Fleet fleet_;
   std::vector<qpu::Backend> templates_;
   std::vector<sched::ClassicalNode> nodes_;
-  workflow::WorkflowRegistry registry_;
-  std::map<workflow::ImageId, bool> deployed_;
+  workflow::WorkflowRegistry registry_ GUARDED_BY(registry_mutex_);
+  std::map<workflow::ImageId, bool> deployed_ GUARDED_BY(registry_mutex_);
   SystemMonitor monitor_;
   /// Owns the run records; mutable because lookups refresh LRU recency.
   /// Declared before executor_ so in-flight runs can use it during drain.
   mutable RunTable run_table_;
-  std::vector<double> qpu_available_at_;
+  std::vector<double> qpu_available_at_ GUARDED_BY(engine_mutex_);
   /// Monotone frontier of the virtual clock, advanced by the executor under
   /// engine_mutex_ and read lock-free when stamping run lifecycle times.
   std::atomic<double> fleet_clock_{0.0};
@@ -294,10 +296,12 @@ class Qonductor {
   /// Guards registry_ + deployed_. The registry is append-only, so image
   /// pointers obtained under this lock stay valid for the orchestrator's
   /// lifetime.
-  mutable std::mutex registry_mutex_;
+  mutable Mutex registry_mutex_{LockRank::kRegistry, "Qonductor::registry_mutex_"};
   /// Serializes data-plane task execution: the fleet virtual clock
   /// (qpu_available_at_), the shared RNG and the hidden-noise model.
-  std::mutex engine_mutex_;
+  /// Outermost lock of the hierarchy: execution takes the reservation,
+  /// monitor and thread-pool locks inside it.
+  Mutex engine_mutex_{LockRank::kEngine, "Qonductor::engine_mutex_"};
 
   /// Verdict of construction-time config validation; a non-OK value is
   /// returned by invoke()/invokeAll() so bad scheduler knobs surface as a
@@ -318,18 +322,20 @@ class Qonductor {
   /// Bounded: at most kPrepCacheCapacity tasks, oldest-inserted evicted
   /// first — the registry is unbounded, so the cache must not mirror it.
   static constexpr std::size_t kPrepCacheCapacity = 512;
-  mutable std::mutex prep_cache_mutex_;
+  mutable Mutex prep_cache_mutex_{LockRank::kPrepCache, "Qonductor::prep_cache_mutex_"};
   mutable std::map<const workflow::HybridTask*, std::shared_ptr<const QuantumTaskPrep>>
-      prep_cache_;
-  mutable std::deque<const workflow::HybridTask*> prep_cache_order_;  ///< FIFO eviction
-  mutable std::uint64_t prep_cache_fingerprint_ = 0;  ///< guarded by prep_cache_mutex_
+      prep_cache_ GUARDED_BY(prep_cache_mutex_);
+  /// FIFO eviction order.
+  mutable std::deque<const workflow::HybridTask*> prep_cache_order_
+      GUARDED_BY(prep_cache_mutex_);
+  mutable std::uint64_t prep_cache_fingerprint_ GUARDED_BY(prep_cache_mutex_) = 0;
   mutable std::atomic<std::uint64_t> prep_cache_hits_{0};
   mutable std::atomic<std::uint64_t> prep_cache_misses_{0};
 
   /// Reservation time windows (§7): QPU name -> fleet-clock instant the
   /// reservation auto-releases. Open-ended reservations have no entry.
-  std::mutex reservations_mutex_;
-  std::map<std::string, double> reservation_release_at_;
+  Mutex reservations_mutex_{LockRank::kReservations, "Qonductor::reservations_mutex_"};
+  std::map<std::string, double> reservation_release_at_ GUARDED_BY(reservations_mutex_);
 
   /// Declared last so it is destroyed first: the destructor drains every
   /// live run while all other members — notably the scheduler service the

@@ -7,7 +7,7 @@ namespace qon::core {
 void PendingQuantumTask::complete(int qpu, double now) {
   std::function<void()> observer;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (done_) return;  // already cancelled/expired: first writer won
     assigned_qpu = qpu;
     dispatched_at = now;
@@ -23,7 +23,7 @@ void PendingQuantumTask::complete(int qpu, double now) {
 void PendingQuantumTask::fail(api::Status status, double now) {
   std::function<void()> observer;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (done_) return;
     error = std::move(status);
     dispatched_at = now;
@@ -36,7 +36,7 @@ void PendingQuantumTask::fail(api::Status status, double now) {
 
 void PendingQuantumTask::on_settled(std::function<void()> callback) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!done_) {
       on_settled_ = std::move(callback);
       return;
@@ -48,12 +48,12 @@ void PendingQuantumTask::on_settled(std::function<void()> callback) {
 }
 
 void PendingQuantumTask::await() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mutex_);
+  while (!done_) cv_.wait(mutex_);
 }
 
 bool PendingQuantumTask::settled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return done_;
 }
 
@@ -67,10 +67,10 @@ std::size_t PendingQueue::size_locked() const {
 
 bool PendingQueue::push(Item item) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    producer_cv_.wait(lock, [this] {
-      return closed_ || capacity_ == 0 || size_locked() < capacity_;
-    });
+    MutexLock lock(mutex_);
+    while (!closed_ && capacity_ != 0 && size_locked() >= capacity_) {
+      producer_cv_.wait(mutex_);
+    }
     if (closed_) return false;
     lanes_[static_cast<std::size_t>(item->priority)].push_back(std::move(item));
     high_watermark_ = std::max(high_watermark_, size_locked());
@@ -83,7 +83,7 @@ std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max, double
                                                          double aging_seconds) {
   std::vector<Item> batch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::size_t n =
         (max == 0) ? size_locked() : std::min(max, size_locked());
     batch.reserve(n);
@@ -122,6 +122,7 @@ std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max, double
         std::size_t effective;
         std::size_t lane;
         std::size_t index;
+        double enqueued_at;  ///< copied so the comparator reads no guarded state
       };
       std::vector<Candidate> candidates;
       candidates.reserve(size_locked());
@@ -132,14 +133,13 @@ std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max, double
               now - lanes_[lane][i]->enqueued_at > aging_seconds) {
             effective = lane + 1;
           }
-          candidates.push_back({effective, lane, i});
+          candidates.push_back({effective, lane, i, lanes_[lane][i]->enqueued_at});
         }
       }
       std::stable_sort(candidates.begin(), candidates.end(),
-                       [this](const Candidate& a, const Candidate& b) {
+                       [](const Candidate& a, const Candidate& b) {
                          if (a.effective != b.effective) return a.effective > b.effective;
-                         return lanes_[a.lane][a.index]->enqueued_at <
-                                lanes_[b.lane][b.index]->enqueued_at;
+                         return a.enqueued_at < b.enqueued_at;
                        });
       candidates.resize(n);
       for (const auto& c : candidates) batch.push_back(lanes_[c.lane][c.index]);
@@ -170,7 +170,7 @@ std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max, double
 std::vector<PendingQueue::Item> PendingQueue::take_expired(double now) {
   std::vector<Item> expired;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& lane : lanes_) {
       for (auto it = lane.begin(); it != lane.end();) {
         if ((*it)->deadline_seconds && *(*it)->deadline_seconds < now) {
@@ -189,7 +189,7 @@ std::vector<PendingQueue::Item> PendingQueue::take_expired(double now) {
 bool PendingQueue::remove(const Item& item) {
   bool removed = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto& lane = lanes_[static_cast<std::size_t>(item->priority)];
     const auto it = std::find(lane.begin(), lane.end(), item);
     if (it != lane.end()) {
@@ -203,7 +203,7 @@ bool PendingQueue::remove(const Item& item) {
 
 void PendingQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   producer_cv_.notify_all();
@@ -211,35 +211,40 @@ void PendingQueue::close() {
 }
 
 bool PendingQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 
 std::size_t PendingQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return size_locked();
 }
 
 std::size_t PendingQueue::high_watermark() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return high_watermark_;
 }
 
 PendingQueue::Wake PendingQueue::wait_for_batch(std::size_t threshold,
                                                 std::chrono::milliseconds linger) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     // Phase 1: sleep until there is any work at all (or the queue closes).
     // An empty queue never fires a cycle, so there is no deadline here.
-    consumer_cv_.wait(lock, [this] { return size_locked() > 0 || closed_; });
+    while (size_locked() == 0 && !closed_) consumer_cv_.wait(mutex_);
     if (closed_) return size_locked() > 0 ? Wake::kFlush : Wake::kClosed;
     if (size_locked() >= threshold) return Wake::kThreshold;
     // Phase 2: give the batch `linger` to fill up to the threshold.
     const auto deadline = std::chrono::steady_clock::now() + linger;
-    const bool woke = consumer_cv_.wait_until(lock, deadline, [this, threshold] {
-      return size_locked() >= threshold || closed_;
-    });
-    if (woke) return closed_ ? Wake::kFlush : Wake::kThreshold;
+    bool timed_out = false;
+    while (size_locked() < threshold && !closed_) {
+      if (consumer_cv_.wait_until(mutex_, deadline) == std::cv_status::timeout &&
+          size_locked() < threshold && !closed_) {
+        timed_out = true;
+        break;
+      }
+    }
+    if (!timed_out) return closed_ ? Wake::kFlush : Wake::kThreshold;
     // remove() can drain the queue sideways while we linger (a cancelled
     // run's task leaving before dispatch); an empty linger expiry is not a
     // cycle — go back to sleeping for work.

@@ -23,17 +23,16 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "api/status.hpp"
 #include "api/types.hpp"
+#include "common/thread_safety.hpp"
 
 namespace qon::core {
 
@@ -82,15 +81,23 @@ struct PendingQuantumTask {
   /// physically queued is skipped by the next cycle.
   bool settled() const;
 
+  // The verdict fields are deliberately NOT guarded_by(mutex_): they are
+  // written exactly once, under mutex_, before done_ flips, and the await()/
+  // on_settled() contract (release on the settling unlock, acquire on the
+  // reader's lock/callback) makes them stable afterwards — readers access
+  // them lock-free only after settlement. Annotating them would force every
+  // post-settlement read through the lock for no added safety.
   int assigned_qpu = -1;      ///< valid iff error.ok()
   double dispatched_at = 0.0; ///< fleet clock when the cycle fired
   api::Status error;
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::function<void()> on_settled_;  ///< armed until settlement fires it
-  bool done_ = false;
+  mutable Mutex mutex_{LockRank::kPendingTask, "PendingQuantumTask::mutex_"};
+  CondVar cv_;
+  /// Armed until settlement fires it (outside mutex_ — it acquires the
+  /// run engine's lock).
+  std::function<void()> on_settled_ GUARDED_BY(mutex_);
+  bool done_ GUARDED_BY(mutex_) = false;
 };
 
 /// Bounded, thread-safe priority queue of pending quantum tasks: one FIFO
@@ -162,15 +169,15 @@ class PendingQueue {
   // Priority lanes, drained highest first. Indexed by api::Priority.
   using Lanes = std::array<std::deque<Item>, api::kNumPriorities>;
 
-  std::size_t size_locked() const;
+  std::size_t size_locked() const REQUIRES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable producer_cv_; ///< producers waiting for space
-  std::condition_variable consumer_cv_; ///< the scheduler thread
-  Lanes lanes_;
-  std::size_t high_watermark_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_{LockRank::kPendingQueue, "PendingQueue::mutex_"};
+  CondVar producer_cv_; ///< producers waiting for space
+  CondVar consumer_cv_; ///< the scheduler thread
+  Lanes lanes_ GUARDED_BY(mutex_);
+  std::size_t high_watermark_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qon::core

@@ -21,13 +21,13 @@ void RunEngine::post(std::shared_ptr<RunContinuation> run) {
   // touching cv_ when the destructor tears it down. Under the lock, the
   // worker cannot pop the event (and the run cannot finish) until this
   // thread has fully left the engine.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   queue_.push_back(std::move(run));
   cv_.notify_one();
 }
 
 bool RunEngine::submit(std::shared_ptr<RunContinuation> run) {
-  std::lock_guard<std::mutex> lock(mutex_);  // see post() on the locked notify
+  MutexLock lock(mutex_);  // see post() on the locked notify
   if (closed_) return false;
   ++live_;
   peak_live_ = std::max(peak_live_, live_);
@@ -46,11 +46,11 @@ void RunEngine::worker_loop() {
   for (;;) {
     std::shared_ptr<RunContinuation> run;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       // Exit only when no event can ever arrive again: submissions are
       // closed and every live run has finished (all events belong to live
       // runs, so an empty queue then stays empty).
-      cv_.wait(lock, [this] { return !queue_.empty() || (closed_ && live_ == 0); });
+      while (queue_.empty() && !(closed_ && live_ == 0)) cv_.wait(mutex_);
       if (queue_.empty()) return;
       run = std::move(queue_.front());
       queue_.pop_front();
@@ -62,7 +62,7 @@ void RunEngine::worker_loop() {
       // the workers one node at a time instead of running to completion.
       post(std::move(run));
     } else if (outcome == StepOutcome::kFinished) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --live_;
       if (closed_ && live_ == 0) {
         cv_.notify_all();       // idle workers may now exit
@@ -76,29 +76,29 @@ void RunEngine::worker_loop() {
 
 void RunEngine::shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
     cv_.notify_all();
-    drained_cv_.wait(lock, [this] { return live_ == 0; });
+    while (live_ != 0) drained_cv_.wait(mutex_);
   }
-  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  MutexLock join_lock(join_mutex_);
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }
 
 std::size_t RunEngine::live_runs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return live_;
 }
 
 std::size_t RunEngine::peak_live_runs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return peak_live_;
 }
 
 std::uint64_t RunEngine::events_dispatched() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 

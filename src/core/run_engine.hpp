@@ -39,17 +39,16 @@
 // events run to completion on the still-live workers. Only then are the
 // workers joined.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/run_handle.hpp"
+#include "common/thread_safety.hpp"
 #include "api/types.hpp"
 #include "core/pending_queue.hpp"
 #include "workflow/registry.hpp"
@@ -126,21 +125,23 @@ class RunEngine {
   std::uint64_t events_dispatched() const;
 
  private:
-  void worker_loop();
-  void post(std::shared_ptr<RunContinuation> run);
+  void worker_loop() EXCLUDES(mutex_);
+  void post(std::shared_ptr<RunContinuation> run) EXCLUDES(mutex_);
 
   const Step step_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;          ///< workers waiting for events
-  std::condition_variable drained_cv_;  ///< shutdown() waiting for live_ == 0
-  std::deque<std::shared_ptr<RunContinuation>> queue_;
-  std::size_t live_ = 0;
-  std::size_t peak_live_ = 0;
-  std::uint64_t events_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_{LockRank::kRunEngine, "RunEngine::mutex_"};
+  CondVar cv_;          ///< workers waiting for events
+  CondVar drained_cv_;  ///< shutdown() waiting for live_ == 0
+  std::deque<std::shared_ptr<RunContinuation>> queue_ GUARDED_BY(mutex_);
+  std::size_t live_ GUARDED_BY(mutex_) = 0;
+  std::size_t peak_live_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t events_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
 
-  std::mutex join_mutex_;  ///< serializes concurrent shutdown() calls
+  /// Serializes concurrent shutdown() calls; never held together with
+  /// mutex_ (the drain wait finishes before the join begins).
+  Mutex join_mutex_{LockRank::kShutdownJoin, "RunEngine::join_mutex_"};
   /// Declared last: no member may be destroyed while a worker still runs.
   std::vector<std::thread> workers_;
 };

@@ -19,7 +19,7 @@ RunTable::RunTable(RunRetentionPolicy policy) : policy_(std::move(policy)) {
 }
 
 void RunTable::set_eviction_observer(std::function<void(api::RunId)> on_evict) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   on_evict_ = std::move(on_evict);
 }
 
@@ -60,7 +60,7 @@ void RunTable::notify_evictions(const std::vector<api::RunId>& evicted) const {
   if (evicted.empty()) return;
   std::function<void(api::RunId)> observer;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     observer = on_evict_;
   }
   if (!observer) return;
@@ -71,7 +71,7 @@ api::RunId RunTable::insert(const std::shared_ptr<api::RunState>& state) {
   std::vector<api::RunId> evicted;
   api::RunId id = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     id = next_id_++;
     // Precondition: the record is not yet shared, so the id store needs no
     // state lock. Keeping the state lock out of the table's critical
@@ -92,7 +92,7 @@ std::shared_ptr<api::RunState> RunTable::find(api::RunId id) {
   std::vector<api::RunId> evicted;
   std::shared_ptr<api::RunState> state;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(id);
     if (it != entries_.end()) {
       // Only consult the clock when a TTL verdict is actually possible —
@@ -115,7 +115,7 @@ std::shared_ptr<api::RunState> RunTable::find(api::RunId id) {
 }
 
 bool RunTable::erase(api::RunId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(id);
   if (it == entries_.end()) return false;
   if (it->second.terminal) lru_.erase(it->second.lru);
@@ -126,7 +126,7 @@ bool RunTable::erase(api::RunId id) {
 void RunTable::mark_terminal(api::RunId id) {
   std::vector<api::RunId> evicted;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(id);
     if (it == entries_.end() || it->second.terminal) return;
     it->second.terminal = true;
@@ -140,7 +140,7 @@ void RunTable::mark_terminal(api::RunId id) {
 std::size_t RunTable::sweep() {
   std::vector<api::RunId> evicted;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     enforce_locked(evicted);
   }
   notify_evictions(evicted);
@@ -148,7 +148,7 @@ std::size_t RunTable::sweep() {
 }
 
 std::vector<std::shared_ptr<api::RunState>> RunTable::list_after(api::RunId after) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::shared_ptr<api::RunState>> out;
   for (auto it = entries_.upper_bound(after); it != entries_.end(); ++it) {
     out.push_back(it->second.state);
@@ -157,17 +157,17 @@ std::vector<std::shared_ptr<api::RunState>> RunTable::list_after(api::RunId afte
 }
 
 std::size_t RunTable::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t RunTable::terminal_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::uint64_t RunTable::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return evictions_;
 }
 

@@ -26,10 +26,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "api/run_handle.hpp"
+#include "common/thread_safety.hpp"
 
 namespace qon::core {
 
@@ -102,21 +102,23 @@ class RunTable {
     std::list<api::RunId>::iterator lru;   ///< valid iff terminal
   };
 
-  // The following helpers require mutex_ to be held.
-  bool expired_locked(const Entry& entry, double now) const;
+  bool expired_locked(const Entry& entry, double now) const REQUIRES(mutex_);
   void evict_locked(std::map<api::RunId, Entry>::iterator it,
-                    std::vector<api::RunId>& evicted);
-  void enforce_locked(std::vector<api::RunId>& evicted);
-  void notify_evictions(const std::vector<api::RunId>& evicted) const;
+                    std::vector<api::RunId>& evicted) REQUIRES(mutex_);
+  void enforce_locked(std::vector<api::RunId>& evicted) REQUIRES(mutex_);
+  /// Invokes the observer outside mutex_ — it may re-enter the table or
+  /// take the monitor lock.
+  void notify_evictions(const std::vector<api::RunId>& evicted) const EXCLUDES(mutex_);
 
   RunRetentionPolicy policy_;
-  std::function<void(api::RunId)> on_evict_;
 
-  mutable std::mutex mutex_;
-  std::map<api::RunId, Entry> entries_;
-  std::list<api::RunId> lru_;  ///< terminal runs, least recently used first
-  api::RunId next_id_ = 1;
-  std::uint64_t evictions_ = 0;
+  mutable Mutex mutex_{LockRank::kRunTable, "RunTable::mutex_"};
+  std::function<void(api::RunId)> on_evict_ GUARDED_BY(mutex_);
+  std::map<api::RunId, Entry> entries_ GUARDED_BY(mutex_);
+  /// Terminal runs, least recently used first.
+  std::list<api::RunId> lru_ GUARDED_BY(mutex_);
+  api::RunId next_id_ GUARDED_BY(mutex_) = 1;
+  std::uint64_t evictions_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qon::core

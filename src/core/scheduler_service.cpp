@@ -65,14 +65,14 @@ bool SchedulerService::remove_pending(const std::shared_ptr<PendingQuantumTask>&
 
 void SchedulerService::shutdown() {
   queue_.close();
-  std::lock_guard<std::mutex> lock(join_mutex_);
+  MutexLock lock(join_mutex_);
   if (thread_.joinable()) thread_.join();
 }
 
 api::SchedulerStats SchedulerService::stats() const {
   api::SchedulerStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     snapshot = stats_;
   }
   snapshot.queue_depth = queue_.size();
@@ -138,7 +138,7 @@ void SchedulerService::record_empty_cycle(double fired_at, api::CycleTrigger fir
   info.expired = expired;
   info.queue_depth_after = queue_.size();
   info.cycle_latency_seconds = latency_seconds;
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   stats_.jobs_expired += expired;
   append_cycle_locked(info);
 }
@@ -257,7 +257,7 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
   info.mean_queue_wait_seconds = wait_sum / static_cast<double>(batch.size());
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats_.jobs_scheduled += scheduled;
     stats_.jobs_filtered += filtered;
     stats_.jobs_expired += expired;

@@ -32,13 +32,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/status.hpp"
 #include "api/types.hpp"
 #include "common/rng.hpp"
+#include "common/thread_safety.hpp"
 #include "core/pending_queue.hpp"
 #include "sched/hybrid_scheduler.hpp"
 #include "sched/triggers.hpp"
@@ -141,8 +141,8 @@ class SchedulerService {
   void record_empty_cycle(double fired_at, api::CycleTrigger fired_by,
                           std::size_t expired, double latency_seconds);
   /// Stamps the cycle index into `info` and appends it to the bounded
-  /// recent_cycles history. Requires stats_mutex_ to be held.
-  void append_cycle_locked(api::SchedulerCycleInfo& info);
+  /// recent_cycles history.
+  void append_cycle_locked(api::SchedulerCycleInfo& info) REQUIRES(stats_mutex_);
 
   const SchedulerServiceConfig config_;
   const sched::SchedulerConfig cycle_config_;
@@ -155,10 +155,11 @@ class SchedulerService {
 
   PendingQueue queue_;
 
-  mutable std::mutex stats_mutex_;
-  api::SchedulerStats stats_;
+  mutable Mutex stats_mutex_{LockRank::kSchedulerStats, "SchedulerService::stats_mutex_"};
+  api::SchedulerStats stats_ GUARDED_BY(stats_mutex_);
 
-  std::mutex join_mutex_;  ///< serializes concurrent shutdown() calls
+  /// Serializes concurrent shutdown() calls.
+  Mutex join_mutex_{LockRank::kShutdownJoin, "SchedulerService::join_mutex_"};
   /// Declared last: no member may be destroyed while the thread still runs
   /// (the destructor shuts down and joins first).
   std::thread thread_;

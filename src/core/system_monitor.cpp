@@ -23,17 +23,17 @@ std::optional<std::string> SystemMonitor::get_unlocked(const std::string& key) c
 }
 
 bool SystemMonitor::put(const std::string& key, const std::string& value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return put_unlocked(key, value);
 }
 
 std::optional<std::string> SystemMonitor::get(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return get_unlocked(key);
 }
 
 bool SystemMonitor::erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (store_) return store_->erase(key);
   local_.erase(key);
   return true;
@@ -69,7 +69,7 @@ std::optional<QpuInfo> deserialize_qpu(const std::string& name, const std::strin
 }  // namespace
 
 void SystemMonitor::update_qpu(const QpuInfo& info) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (std::find(qpu_names_.begin(), qpu_names_.end(), info.name) == qpu_names_.end()) {
     qpu_names_.push_back(info.name);
   }
@@ -77,7 +77,7 @@ void SystemMonitor::update_qpu(const QpuInfo& info) {
 }
 
 void SystemMonitor::publish_qpu_dynamic(const QpuInfo& info) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (std::find(qpu_names_.begin(), qpu_names_.end(), info.name) == qpu_names_.end()) {
     qpu_names_.push_back(info.name);
   }
@@ -94,7 +94,7 @@ void SystemMonitor::publish_qpu_dynamic(const QpuInfo& info) {
 }
 
 std::optional<bool> SystemMonitor::set_qpu_online(const std::string& name, bool online) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto raw = get_unlocked("qpu/" + name);
   if (!raw) return std::nullopt;
   auto info = deserialize_qpu(name, *raw);
@@ -106,7 +106,7 @@ std::optional<bool> SystemMonitor::set_qpu_online(const std::string& name, bool 
 }
 
 std::optional<bool> SystemMonitor::set_qpu_reserved(const std::string& name, bool reserved) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto raw = get_unlocked("qpu/" + name);
   if (!raw) return std::nullopt;
   auto info = deserialize_qpu(name, *raw);
@@ -120,7 +120,7 @@ std::optional<bool> SystemMonitor::set_qpu_reserved(const std::string& name, boo
 std::optional<QpuInfo> SystemMonitor::qpu(const std::string& name) const {
   std::optional<std::string> raw;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     raw = get_unlocked("qpu/" + name);
   }
   if (!raw) return std::nullopt;
@@ -128,17 +128,17 @@ std::optional<QpuInfo> SystemMonitor::qpu(const std::string& name) const {
 }
 
 std::vector<std::string> SystemMonitor::qpu_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return qpu_names_;
 }
 
 void SystemMonitor::set_workflow_status(std::uint64_t run_id, const std::string& status) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   put_unlocked("workflow/" + std::to_string(run_id) + "/status", status);
 }
 
 std::optional<std::string> SystemMonitor::workflow_status(std::uint64_t run_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return get_unlocked("workflow/" + std::to_string(run_id) + "/status");
 }
 

@@ -6,11 +6,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "raft/kv_store.hpp"
 
 namespace qon::core {
@@ -70,18 +70,26 @@ class SystemMonitor {
   /// so the monitor's footprint stays bounded alongside it.
   void erase_workflow_status(std::uint64_t run_id);
 
-  bool replicated() const { return store_ != nullptr; }
+  bool replicated() const {
+    // store_ is immutable after construction, but the lock keeps the
+    // guarded_by contract uniform (this is a cold query path).
+    MutexLock lock(mutex_);
+    return store_ != nullptr;
+  }
 
  private:
   // Backend access with mutex_ already held.
-  bool put_unlocked(const std::string& key, const std::string& value);
-  std::optional<std::string> get_unlocked(const std::string& key) const;
+  bool put_unlocked(const std::string& key, const std::string& value) REQUIRES(mutex_);
+  std::optional<std::string> get_unlocked(const std::string& key) const
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  // Exactly one of these is active.
-  std::map<std::string, std::string> local_;
-  std::unique_ptr<raft::ReplicatedKvStore> store_;
-  std::vector<std::string> qpu_names_;  ///< registration order
+  mutable Mutex mutex_{LockRank::kMonitor, "SystemMonitor::mutex_"};
+  // Exactly one of these is active. The ReplicatedKvStore (and the whole
+  // raft:: simulation under it) is thread-compatible, not thread-safe —
+  // every access is serialized behind mutex_ here.
+  std::map<std::string, std::string> local_ GUARDED_BY(mutex_);
+  std::unique_ptr<raft::ReplicatedKvStore> store_ GUARDED_BY(mutex_);
+  std::vector<std::string> qpu_names_ GUARDED_BY(mutex_);  ///< registration order
 };
 
 }  // namespace qon::core

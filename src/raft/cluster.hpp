@@ -2,6 +2,10 @@
 // Raft cluster harness: 2f+1 nodes over a simulated network, driven in
 // lock-step ticks. Provides the fault-injection controls the §4.1 tests
 // exercise (crash the leader, partition nodes, heal).
+//
+// Thread-compatible, not thread-safe: the simulation is deterministic and
+// lock-free by design; callers serialize access externally (see
+// kv_store.hpp for the full contract).
 
 #include <memory>
 #include <optional>

@@ -3,6 +3,14 @@
 // monitor (§4.1). Commands are "set <key> <value>" / "del <key>"; the store
 // wraps a RaftCluster and exposes linearizable-ish writes (commit-gated)
 // plus local reads from any replica.
+//
+// Thread-compatibility contract: the whole raft:: layer (ReplicatedKvStore,
+// RaftCluster, RaftNode) is a deterministic single-threaded simulation and
+// holds NO locks of its own — even const reads mutate the materialized
+// views (catch_up). Callers must serialize every access externally; in the
+// serving path that caller is core::SystemMonitor, whose mutex_
+// (LockRank::kMonitor) guards the store_ pointer and therefore every call
+// into this layer.
 
 #include <map>
 #include <optional>

@@ -714,7 +714,9 @@ TEST(LifecycleProperty, StateSequencesArePrefixWalksAndTerminalQueriesAgree) {
       auto handle = client.invoke(request);
       ASSERT_TRUE(handle.ok()) << handle.status().to_string();
       const bool cancel = rng.bernoulli(0.3);
-      if (cancel) handle->cancel();
+      // The cancel may lose the race with completion — both outcomes are
+      // valid here, so the verdict is deliberately not asserted.
+      if (cancel) (void)handle->cancel();
       handles.push_back(*std::move(handle));
       asked_to_cancel.push_back(cancel);
     }

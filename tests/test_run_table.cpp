@@ -29,7 +29,7 @@ std::shared_ptr<api::RunState> make_state() {
 /// handle-level queries (poll/result) see a finished run.
 void finish_state(const std::shared_ptr<api::RunState>& state, api::RunStatus status) {
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     state->status = status;
     state->result.run = state->id;
     state->result.status = status;
@@ -274,8 +274,10 @@ TEST(RunTableStress, ConcurrentSubmitPollCancelEvict) {
         if (auto state = table.find(id)) {
           api::RunHandle handle(std::move(state));
           handle.poll();
-          handle.cancel();  // cooperative flag only: no executor involved
-          handle.info();
+          // Cooperative flag only (no executor involved); already-terminal
+          // records legitimately refuse, so the verdict is not asserted.
+          (void)handle.cancel();
+          (void)handle.info();
         }
         if (rng.bernoulli(0.2)) table.sweep();
         if (rng.bernoulli(0.2)) {
