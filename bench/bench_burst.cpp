@@ -115,7 +115,8 @@ int main() {
   }
   table.print(std::cout, "burst scaling on executor_threads = 2");
 
-  std::ofstream json("BENCH_burst.json");
+  const std::string json_path = bench::artifact_path("BENCH_burst.json");
+  std::ofstream json(json_path);
   json << "{\n  \"bench\": \"burst\",\n  \"executor_threads\": 2,\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const auto& s = scenarios[i];
@@ -131,7 +132,7 @@ int main() {
          << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
-  std::cout << "\nwrote BENCH_burst.json\n";
+  std::cout << "\nwrote " << json_path << "\n";
 
   std::size_t batch_5k_peak = 0;
   for (const auto& s : scenarios) {

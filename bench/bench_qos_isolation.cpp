@@ -99,7 +99,8 @@ int main() {
   summary.add_row({"burst wall time [s]", TextTable::num(wall_seconds, 2)});
   summary.print(std::cout, "mixed-priority burst");
 
-  std::ofstream json("BENCH_qos_isolation.json");
+  const std::string json_path = bench::artifact_path("BENCH_qos_isolation.json");
+  std::ofstream json(json_path);
   json << "{\n"
        << "  \"bench\": \"qos_isolation\",\n"
        << "  \"runs\": " << kRuns << ",\n"
@@ -115,7 +116,7 @@ int main() {
        << "  \"overall_wait_p95_s\": " << percentile(stats.recent_queue_waits, 95.0) << ",\n"
        << "  \"burst_wall_seconds\": " << wall_seconds << "\n"
        << "}\n";
-  std::cout << "\nwrote BENCH_qos_isolation.json\n";
+  std::cout << "\nwrote " << json_path << "\n";
 
   bench::print_comparison("priority classes shape who rides the early cycles",
                           "interactive p50 <= batch p50 (QoS isolation)",

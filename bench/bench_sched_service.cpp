@@ -97,7 +97,8 @@ int main() {
   table.print(std::cout, "batch serving path");
 
   // Machine-readable trajectory point for regression tracking.
-  std::ofstream json("BENCH_sched_service.json");
+  const std::string json_path = bench::artifact_path("BENCH_sched_service.json");
+  std::ofstream json(json_path);
   json << "{\n"
        << "  \"bench\": \"sched_service\",\n"
        << "  \"runs\": " << kRuns << ",\n"
@@ -116,7 +117,7 @@ int main() {
        << "  \"optimize_p50_s\": " << percentile(optimize_seconds, 50.0) << ",\n"
        << "  \"burst_wall_seconds\": " << wall_seconds << "\n"
        << "}\n";
-  std::cout << "\nwrote BENCH_sched_service.json\n";
+  std::cout << "\nwrote " << json_path << "\n";
 
   bench::print_comparison("batch scheduling amortizes cycles over the burst",
                           "queue bounded, cycles >= 2 (Fig. 9b trigger behaviour)",

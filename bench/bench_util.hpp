@@ -3,6 +3,7 @@
 // headers and "paper vs measured" comparison rows, so bench output can be
 // diffed against EXPERIMENTS.md.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -27,6 +28,17 @@ inline void print_comparison(const std::string& metric, const std::string& paper
 
 inline std::string pct(double fraction, int precision = 1) {
   return TextTable::num(100.0 * fraction, precision) + "%";
+}
+
+/// Where BENCH_*.json artifacts land: $QON_BENCH_DIR when set (CI points it
+/// at the artifact upload directory), else the working directory — so local
+/// runs keep their old behavior.
+inline std::string artifact_path(const std::string& name) {
+  const char* dir = std::getenv("QON_BENCH_DIR");
+  if (dir == nullptr || *dir == '\0') return name;
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  return path + name;
 }
 
 }  // namespace qon::bench

@@ -109,6 +109,16 @@ Result<GetSchedulerStatsResponse> QonductorClient::getSchedulerStats(
   }
 }
 
+Result<GetAdmissionStatsResponse> QonductorClient::getAdmissionStats(
+    const GetAdmissionStatsRequest& request) const {
+  if (Status v = check_version(request.api_version, "getAdmissionStats"); !v.ok()) return v;
+  try {
+    return backend_->getAdmissionStats(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("getAdmissionStats: ") + e.what());
+  }
+}
+
 Result<ReserveQpuResponse> QonductorClient::reserveQpu(const ReserveQpuRequest& request) {
   if (Status v = check_version(request.api_version, "reserveQpu"); !v.ok()) return v;
   try {

@@ -57,6 +57,11 @@ class QonductorClient {
   /// the Fig. 9c per-stage timings of recent scheduling cycles.
   Result<GetSchedulerStatsResponse> getSchedulerStats(
       const GetSchedulerStatsRequest& request = {}) const;
+  /// Front-door admission counters (accepted/shed per priority class, live
+  /// runs vs the configured bound) plus the pending queue's capacity-
+  /// waitlist statistics.
+  Result<GetAdmissionStatsResponse> getAdmissionStats(
+      const GetAdmissionStatsRequest& request = {}) const;
 
   // -- QPU reservations (§7) ----------------------------------------------------
   /// Takes a QPU out of scheduling rotation; jobs already parked in the

@@ -21,7 +21,11 @@ const char* status_code_name(StatusCode code) {
 
 std::string Status::to_string() const {
   if (ok()) return "OK";
-  return std::string(status_code_name(code_)) + ": " + message_;
+  std::string out = std::string(status_code_name(code_)) + ": " + message_;
+  if (retry_after_seconds_) {
+    out += " [retry after " + std::to_string(*retry_after_seconds_) + " s]";
+  }
+  return out;
 }
 
 Status InvalidArgument(std::string message) {

@@ -4,6 +4,7 @@
 // No exception crosses the qon::api boundary — every fallible operation
 // returns a Status or a Result<T> (result.hpp).
 
+#include <optional>
 #include <string>
 
 namespace qon::api {
@@ -39,16 +40,32 @@ class [[nodiscard]] Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "FAILED_PRECONDITION: image 3 is not deployed" (or "OK").
+  /// Retry-after detail: set on RESOURCE_EXHAUSTED shed responses from the
+  /// admission gate so clients can back off for a concrete interval instead
+  /// of guessing. Absent on every other status.
+  const std::optional<double>& retry_after_seconds() const {
+    return retry_after_seconds_;
+  }
+  /// Attaches the retry-after hint; returns *this so canonical constructors
+  /// compose: `ResourceExhausted(msg).set_retry_after(5.0)`.
+  Status& set_retry_after(double seconds) {
+    retry_after_seconds_ = seconds;
+    return *this;
+  }
+
+  /// "FAILED_PRECONDITION: image 3 is not deployed" (or "OK"); a retry-after
+  /// detail renders as a trailing " [retry after N s]".
   std::string to_string() const;
 
   friend bool operator==(const Status& a, const Status& b) {
-    return a.code_ == b.code_ && a.message_ == b.message_;
+    return a.code_ == b.code_ && a.message_ == b.message_ &&
+           a.retry_after_seconds_ == b.retry_after_seconds_;
   }
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  std::optional<double> retry_after_seconds_;
 };
 
 // Canonical constructors, one per non-OK code.

@@ -315,4 +315,29 @@ struct GetSchedulerStatsResponse {
   SchedulerStats stats;
 };
 
+// ---- admission control (overload shedding at invoke) -------------------------
+
+/// Counters of the front-door admission gate plus the pending queue's
+/// capacity waitlist. Per-class arrays are indexed by Priority cast to
+/// size_t, like the scheduler-stats histories.
+struct AdmissionStats {
+  std::array<std::uint64_t, kNumPriorities> accepted{};  ///< runs admitted
+  std::array<std::uint64_t, kNumPriorities> shed{};      ///< RESOURCE_EXHAUSTED at invoke
+  std::size_t live_runs = 0;      ///< non-terminal runs right now
+  std::size_t max_live_runs = 0;  ///< configured bound; 0 = gate disabled
+  /// Engine-side overload relief: quantum tasks parked on the pending
+  /// queue's capacity waitlist instead of blocking an engine worker.
+  std::size_t waitlist_depth = 0;           ///< parked right now
+  std::size_t waitlist_high_watermark = 0;  ///< deepest ever observed
+  std::uint64_t waitlist_parks = 0;         ///< total offers that waitlisted
+};
+
+struct GetAdmissionStatsRequest {
+  std::uint32_t api_version = kApiVersion;
+};
+
+struct GetAdmissionStatsResponse {
+  AdmissionStats stats;
+};
+
 }  // namespace qon::api

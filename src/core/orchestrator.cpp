@@ -13,6 +13,30 @@ const char* workflow_status_name(WorkflowStatus status) {
   return api::run_status_name(status);
 }
 
+api::Status validate_admission_config(const AdmissionConfig& config) {
+  if (config.max_live_runs == 0) return api::Status::Ok();  // gate disabled
+  // The negated comparisons also reject NaN.
+  if (!(config.shed_batch_at > 0.0 && config.shed_batch_at <= 1.0)) {
+    return api::InvalidArgument(
+        "admission config: shed_batch_at must be in (0, 1]");
+  }
+  if (!(config.shed_standard_at > 0.0 && config.shed_standard_at <= 1.0)) {
+    return api::InvalidArgument(
+        "admission config: shed_standard_at must be in (0, 1]");
+  }
+  if (config.shed_batch_at > config.shed_standard_at) {
+    // The shedding order IS the priority order: batch must never outlive
+    // standard under load.
+    return api::InvalidArgument(
+        "admission config: shed_batch_at must be <= shed_standard_at");
+  }
+  if (!(config.retry_after_seconds > 0.0)) {
+    return api::InvalidArgument(
+        "admission config: retry_after_seconds must be > 0");
+  }
+  return api::Status::Ok();
+}
+
 Qonductor::Qonductor(QonductorConfig config)
     : config_(config),
       rng_(config.seed),
@@ -42,6 +66,9 @@ Qonductor::Qonductor(QonductorConfig config)
   // std::invalid_argument never crosses the API boundary: a bad config
   // parks invoke()/invokeAll() on the stored INVALID_ARGUMENT instead.
   init_status_ = validate_scheduler_config(config_.scheduler_service);
+  if (init_status_.ok()) {
+    init_status_ = validate_admission_config(config_.admission);
+  }
   if (init_status_.ok() &&
       (config_.fidelity_weight < 0.0 || config_.fidelity_weight > 1.0)) {
     init_status_ = api::InvalidArgument(
@@ -220,10 +247,11 @@ api::Status Qonductor::validate_invoke(const api::InvokeRequest& request,
   }
   // Deadline-aware admission: a deadline at/before the fleet-clock
   // frontier is dead on arrival — dispatch happens at or after the
-  // frontier, so such a deadline has zero scheduling slack (the boundary
-  // itself is rejected here by convention, while the dispatch-time checks
-  // treat dispatch exactly at the deadline as met). Rejecting at submit
-  // beats parking the job until a scheduling cycle discovers the miss.
+  // frontier, so such a deadline has zero scheduling slack. Every
+  // dispatch-time check (take_expired, the mid-batch filter, the immediate
+  // path) uses the same inclusive boundary: dispatch exactly at the
+  // deadline is a miss. Rejecting at submit beats parking the job until a
+  // scheduling cycle discovers the miss.
   // Part of validation, so invokeAll stays atomic: one dead-on-arrival
   // deadline rejects the whole batch.
   if (request.preferences.deadline_seconds) {
@@ -290,11 +318,57 @@ api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* 
   return api::RunHandle(state);
 }
 
+std::size_t Qonductor::admission_limit(api::Priority priority) const {
+  const std::size_t max = config_.admission.max_live_runs;
+  const auto share = [max](double fraction) {
+    // Round to nearest, floored at 1: a tiny bound must still admit at
+    // least one run of every class when the system is idle.
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(fraction * static_cast<double>(max) + 0.5));
+  };
+  switch (priority) {
+    case api::Priority::kBatch: return share(config_.admission.shed_batch_at);
+    case api::Priority::kStandard: return share(config_.admission.shed_standard_at);
+    case api::Priority::kInteractive: break;
+  }
+  return max;  // interactive: only a fully loaded system sheds it
+}
+
+api::Status Qonductor::admit_run(api::Priority priority, std::size_t already_admitted) {
+  if (config_.admission.max_live_runs == 0) return api::Status::Ok();  // gate off
+  // `already_admitted` counts earlier entries of the same invokeAll batch:
+  // they are not live in the engine yet, but admitting the batch must not
+  // overshoot the bound by its own length.
+  const std::size_t live = engine_->live_runs() + already_admitted;
+  const std::size_t limit = admission_limit(priority);
+  if (live < limit) return api::Status::Ok();
+  admission_shed_[static_cast<std::size_t>(priority)].fetch_add(
+      1, std::memory_order_relaxed);
+  return api::ResourceExhausted(
+             "invoke: admission gate shed " +
+             std::string(api::priority_name(priority)) + "-class run (" +
+             std::to_string(live) + " live runs >= class limit " +
+             std::to_string(limit) + " of max " +
+             std::to_string(config_.admission.max_live_runs) + ")")
+      .set_retry_after(config_.admission.retry_after_seconds);
+}
+
 api::Result<api::RunHandle> Qonductor::invoke(const api::InvokeRequest& request) {
   if (!init_status_.ok()) return init_status_;
   const workflow::WorkflowImage* img = nullptr;
   if (api::Status status = validate_invoke(request, &img); !status.ok()) return status;
-  return start_run(img, effective_preferences(request.preferences));
+  // Overload shedding after validation: a malformed request stays a
+  // validation error even under load, and a shed response always means the
+  // request itself was viable.
+  if (api::Status status = admit_run(request.preferences.priority, 0); !status.ok()) {
+    return status;
+  }
+  auto handle = start_run(img, effective_preferences(request.preferences));
+  if (handle.ok()) {
+    admission_accepted_[static_cast<std::size_t>(request.preferences.priority)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  return handle;
 }
 
 api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
@@ -309,6 +383,20 @@ api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
                                             status.message());
     }
   }
+  // Second pre-flight pass: the batch is admitted atomically too, counting
+  // its own earlier entries against the bound so a 1000-run batch cannot
+  // blow through a 100-run gate in one call.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (api::Status status = admit_run(requests[i].preferences.priority, i);
+        !status.ok()) {
+      api::Status prefixed(status.code(), "invokeAll[" + std::to_string(i) +
+                                              "]: " + status.message());
+      if (status.retry_after_seconds()) {
+        prefixed.set_retry_after(*status.retry_after_seconds());
+      }
+      return prefixed;
+    }
+  }
   std::vector<api::RunHandle> handles;
   handles.reserve(requests.size());
   for (std::size_t i = 0; i < images.size(); ++i) {
@@ -320,6 +408,8 @@ api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
       return api::Status(handle.status().code(), "invokeAll[" + std::to_string(i) +
                                                      "]: " + handle.status().message());
     }
+    admission_accepted_[static_cast<std::size_t>(requests[i].preferences.priority)]
+        .fetch_add(1, std::memory_order_relaxed);
     handles.push_back(*std::move(handle));
   }
   return handles;
@@ -377,6 +467,24 @@ api::Result<api::GetSchedulerStatsResponse> Qonductor::getSchedulerStats(
   api::GetSchedulerStatsResponse response;
   response.config = to_config_view(config_.scheduler_service);
   if (scheduler_service_) response.stats = scheduler_service_->stats();
+  return response;
+}
+
+api::Result<api::GetAdmissionStatsResponse> Qonductor::getAdmissionStats(
+    const api::GetAdmissionStatsRequest&) const {
+  api::GetAdmissionStatsResponse response;
+  for (std::size_t p = 0; p < api::kNumPriorities; ++p) {
+    response.stats.accepted[p] = admission_accepted_[p].load(std::memory_order_relaxed);
+    response.stats.shed[p] = admission_shed_[p].load(std::memory_order_relaxed);
+  }
+  response.stats.live_runs = engine_->live_runs();
+  response.stats.max_live_runs = config_.admission.max_live_runs;
+  if (scheduler_service_) {
+    response.stats.waitlist_depth = scheduler_service_->waitlist_depth();
+    response.stats.waitlist_high_watermark =
+        scheduler_service_->waitlist_high_watermark();
+    response.stats.waitlist_parks = scheduler_service_->waitlist_parks();
+  }
   return response;
 }
 
@@ -826,8 +934,12 @@ StepOutcome Qonductor::park_quantum_task(const std::shared_ptr<RunContinuation>&
   cont->parked_ready = ready_at;
   pending->on_settled([this, cont] { engine_->resume(cont); });
 
-  if (!scheduler_service_->enqueue(pending)) {
-    // The closing queue rejected the push: settle the task sideways so the
+  // Non-blocking hand-off: a full queue waitlists the task (promoted into
+  // the queue FIFO-by-priority as cycles free capacity) instead of blocking
+  // this engine worker — one flooded queue must not convoy the whole
+  // event-driven engine.
+  if (scheduler_service_->offer(pending) == PendingQueue::Offer::kClosed) {
+    // The closing queue rejected the offer: settle the task sideways so the
     // resume event fires. If a concurrent cancel() settled it first, the
     // cancel verdict stands (first writer wins) and the run ends
     // kCancelled as cancel()'s true return promised.
@@ -861,10 +973,12 @@ api::Result<TaskResult> Qonductor::run_quantum_immediate(
   if (prefs.deadline_seconds) {
     // Dispatch-time deadline check, mirroring the batch path: dispatch
     // happens at the fleet frontier (or the task's ready time, whichever
-    // is later), and a task past its deadline must not consume a QPU.
+    // is later), and a task at or past its deadline must not consume a QPU
+    // — dispatching exactly at the deadline leaves zero slack, the same
+    // inclusive boundary the submit-time admission and cycle expiry use.
     const double dispatch_at =
         std::max(ready_at, fleet_clock_.load(std::memory_order_relaxed));
-    if (*prefs.deadline_seconds < dispatch_at) {
+    if (*prefs.deadline_seconds <= dispatch_at) {
       return api::DeadlineExceeded(
           "run_quantum_immediate: task '" + task.name + "' missed its deadline (t=" +
           std::to_string(*prefs.deadline_seconds) + " s, dispatched at t=" +

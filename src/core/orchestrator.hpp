@@ -44,6 +44,7 @@
 // state. In-flight runs are never evicted, and an api::RunHandle keeps
 // answering after its record ages out of the table.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -91,6 +92,29 @@ struct QuantumTaskPrep {
   std::vector<double> est_exec_seconds;
 };
 
+/// Front-door admission control: a live-run bound checked at invoke()/
+/// invokeAll() that sheds excess load by priority class with a typed
+/// RESOURCE_EXHAUSTED carrying a retry_after_seconds hint, instead of
+/// letting a flash crowd pile runs onto the engine until the pending queue
+/// convoys. Each class is admitted while live runs stay under its share of
+/// the bound — batch sheds first, standard next, interactive last (it may
+/// use the full bound).
+struct AdmissionConfig {
+  /// Hard bound on concurrently live (non-terminal) runs; 0 disables the
+  /// gate entirely (the default — existing deployments are unaffected).
+  std::size_t max_live_runs = 0;
+  /// kBatch is shed once live runs reach this fraction of max_live_runs.
+  double shed_batch_at = 0.5;
+  /// kStandard is shed once live runs reach this fraction of max_live_runs.
+  /// Must be >= shed_batch_at; kInteractive always gets the full bound.
+  double shed_standard_at = 0.75;
+  /// The back-off hint attached to every shed RESOURCE_EXHAUSTED.
+  double retry_after_seconds = 5.0;
+};
+
+/// Rejects out-of-range knobs with kInvalidArgument; kOk otherwise.
+api::Status validate_admission_config(const AdmissionConfig& config);
+
 struct QonductorConfig {
   std::size_t num_qpus = 4;
   std::uint64_t seed = 2025;
@@ -115,6 +139,9 @@ struct QonductorConfig {
   /// bound — see core::SchedulerServiceConfig). Invalid knobs surface as
   /// INVALID_ARGUMENT from invoke(), never as an exception.
   SchedulerServiceConfig scheduler_service;
+  /// Front-door overload shedding (see core::AdmissionConfig). Disabled by
+  /// default; invalid knobs surface as INVALID_ARGUMENT from invoke().
+  AdmissionConfig admission;
   /// Garbage collection of terminal run records (see core::RunTable).
   RunRetentionPolicy retention;
   /// Observer called by the executor right before each task runs (tracing,
@@ -159,6 +186,11 @@ class Qonductor {
   /// kImmediate mode the stats are all-zero.
   api::Result<api::GetSchedulerStatsResponse> getSchedulerStats(
       const api::GetSchedulerStatsRequest& request) const;
+  /// The admission gate's counters (accepted/shed per priority class, live
+  /// runs against the configured bound) plus the pending queue's capacity-
+  /// waitlist statistics. All-zero waitlist fields in kImmediate mode.
+  api::Result<api::GetAdmissionStatsResponse> getAdmissionStats(
+      const api::GetAdmissionStatsRequest& request) const;
   /// Takes a QPU out of scheduling rotation (§7 reservations) via the
   /// monitor's reservation flag — separate from the `online` health flag,
   /// so reservations and device-manager faults compose. Scheduling
@@ -201,6 +233,10 @@ class Qonductor {
   /// Current frontier of the fleet's virtual clock, in seconds: the latest
   /// task-completion time any resource has reached.
   double fleetNow() const { return fleet_clock_.load(std::memory_order_acquire); }
+  /// The batch-scheduling job manager, null in kImmediate mode. Non-const
+  /// like monitor(): owner-level access (tests use it to force shutdown
+  /// interleavings against in-flight runs).
+  SchedulerService* schedulerService() { return scheduler_service_.get(); }
   /// Transpile/estimate cache effectiveness (see prepare_quantum_task):
   /// hits are runs that re-used a burst sibling's per-backend prep.
   std::uint64_t prepCacheHits() const {
@@ -216,6 +252,15 @@ class Qonductor {
   /// The request's preferences with fidelity_weight resolved against the
   /// deployment default — what the run record stores and RunInfo echoes.
   api::JobPreferences effective_preferences(const api::JobPreferences& requested) const;
+  /// The live-run budget `priority` may fill before it is shed (its
+  /// configured fraction of max_live_runs, at least 1; kInteractive gets
+  /// the full bound). Only meaningful while the gate is enabled.
+  std::size_t admission_limit(api::Priority priority) const;
+  /// The front-door gate: admits while live runs (plus `already_admitted`
+  /// earlier entries of the same invokeAll batch) stay under the class
+  /// limit, otherwise sheds with RESOURCE_EXHAUSTED + retry-after and bumps
+  /// the per-class shed counter. Always Ok when the gate is disabled.
+  api::Status admit_run(api::Priority priority, std::size_t already_admitted);
   api::Result<api::RunHandle> start_run(const workflow::WorkflowImage* image,
                                         api::JobPreferences preferences);
 
@@ -331,6 +376,12 @@ class Qonductor {
   mutable std::uint64_t prep_cache_fingerprint_ GUARDED_BY(prep_cache_mutex_) = 0;
   mutable std::atomic<std::uint64_t> prep_cache_hits_{0};
   mutable std::atomic<std::uint64_t> prep_cache_misses_{0};
+
+  /// Admission-gate counters, indexed by api::Priority. Plain atomics: the
+  /// gate sits on the invoke() hot path and the counters feed a stats
+  /// endpoint, so relaxed increments are enough.
+  std::array<std::atomic<std::uint64_t>, api::kNumPriorities> admission_accepted_{};
+  std::array<std::atomic<std::uint64_t>, api::kNumPriorities> admission_shed_{};
 
   /// Reservation time windows (§7): QPU name -> fleet-clock instant the
   /// reservation auto-releases. Open-ended reservations have no entry.

@@ -79,6 +79,55 @@ bool PendingQueue::push(Item item) {
   return true;
 }
 
+PendingQueue::Offer PendingQueue::offer(Item item) {
+  bool queued = false;
+  {
+    MutexLock lock(mutex_);
+    if (closed_) return Offer::kClosed;
+    if (capacity_ == 0 || size_locked() < capacity_) {
+      lanes_[static_cast<std::size_t>(item->priority)].push_back(
+          std::move(item));
+      high_watermark_ = std::max(high_watermark_, size_locked());
+      queued = true;
+    } else {
+      // Full: park on the waitlist *while still holding the queue lock* —
+      // if we released it first, a racing take_batch() could drain both
+      // the queue and the (still-empty) waitlist before this item landed,
+      // stranding it forever (an empty queue never fires a cycle).
+      MutexLock wl(waitlist_mutex_);
+      waitlist_[static_cast<std::size_t>(item->priority)].push_back(
+          std::move(item));
+      ++waitlist_parks_;
+      std::size_t depth = 0;
+      for (const auto& lane : waitlist_) depth += lane.size();
+      waitlist_high_watermark_ = std::max(waitlist_high_watermark_, depth);
+    }
+  }
+  if (queued) consumer_cv_.notify_one();
+  return queued ? Offer::kQueued : Offer::kWaitlisted;
+}
+
+void PendingQueue::promote_waitlist_locked(bool ignore_capacity) {
+  bool promoted = false;
+  {
+    MutexLock wl(waitlist_mutex_);
+    // Highest class first (kInteractive = last lane index), FIFO within a
+    // class — the same drain order take_batch uses for the queue proper.
+    for (std::size_t lane = waitlist_.size(); lane-- > 0;) {
+      auto& waiters = waitlist_[lane];
+      while (!waiters.empty() &&
+             (ignore_capacity || capacity_ == 0 ||
+              size_locked() < capacity_)) {
+        lanes_[lane].push_back(std::move(waiters.front()));
+        waiters.pop_front();
+        high_watermark_ = std::max(high_watermark_, size_locked());
+        promoted = true;
+      }
+    }
+  }
+  if (promoted) consumer_cv_.notify_one();
+}
+
 std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max, double now,
                                                          double aging_seconds) {
   std::vector<Item> batch;
@@ -162,6 +211,9 @@ std::vector<PendingQueue::Item> PendingQueue::take_batch(std::size_t max, double
         lanes_[lane] = std::move(kept);
       }
     }
+    // Refill freed slots from the capacity waitlist before any blocked
+    // producer can race in — waitlisted offers arrived first.
+    promote_waitlist_locked();
   }
   producer_cv_.notify_all();
   return batch;
@@ -173,7 +225,10 @@ std::vector<PendingQueue::Item> PendingQueue::take_expired(double now) {
     MutexLock lock(mutex_);
     for (auto& lane : lanes_) {
       for (auto it = lane.begin(); it != lane.end();) {
-        if ((*it)->deadline_seconds && *(*it)->deadline_seconds < now) {
+        // Inclusive boundary: dispatch exactly at the deadline leaves zero
+        // slack, which the at/before contract counts as a miss — matching
+        // the submit-time admission check.
+        if ((*it)->deadline_seconds && *(*it)->deadline_seconds <= now) {
           expired.push_back(std::move(*it));
           it = lane.erase(it);
         } else {
@@ -181,6 +236,23 @@ std::vector<PendingQueue::Item> PendingQueue::take_expired(double now) {
         }
       }
     }
+    {
+      // A waitlisted job's deadline keeps ticking while it waits for a
+      // capacity slot — sweep the waitlist too so it fails DEADLINE_EXCEEDED
+      // this cycle instead of after an arbitrarily long park.
+      MutexLock wl(waitlist_mutex_);
+      for (auto& lane : waitlist_) {
+        for (auto it = lane.begin(); it != lane.end();) {
+          if ((*it)->deadline_seconds && *(*it)->deadline_seconds <= now) {
+            expired.push_back(std::move(*it));
+            it = lane.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    promote_waitlist_locked();
   }
   if (!expired.empty()) producer_cv_.notify_all();
   return expired;
@@ -195,6 +267,18 @@ bool PendingQueue::remove(const Item& item) {
     if (it != lane.end()) {
       lane.erase(it);
       removed = true;
+      promote_waitlist_locked();
+    } else {
+      // Not queued — a cancelled run's task may still be parked on the
+      // capacity waitlist. Pulling it from there frees no queue slot, so no
+      // promotion follows.
+      MutexLock wl(waitlist_mutex_);
+      auto& waiters = waitlist_[static_cast<std::size_t>(item->priority)];
+      const auto wit = std::find(waiters.begin(), waiters.end(), item);
+      if (wit != waiters.end()) {
+        waiters.erase(wit);
+        removed = true;
+      }
     }
   }
   if (removed) producer_cv_.notify_all();
@@ -205,6 +289,10 @@ void PendingQueue::close() {
   {
     MutexLock lock(mutex_);
     closed_ = true;
+    // Promote every waitlisted item regardless of capacity so the final
+    // shutdown flush drains them — each gets a terminal verdict (dispatch
+    // or typed failure) instead of vanishing with the queue.
+    promote_waitlist_locked(/*ignore_capacity=*/true);
   }
   producer_cv_.notify_all();
   consumer_cv_.notify_all();
@@ -223,6 +311,23 @@ std::size_t PendingQueue::size() const {
 std::size_t PendingQueue::high_watermark() const {
   MutexLock lock(mutex_);
   return high_watermark_;
+}
+
+std::size_t PendingQueue::waitlist_depth() const {
+  MutexLock wl(waitlist_mutex_);
+  std::size_t depth = 0;
+  for (const auto& lane : waitlist_) depth += lane.size();
+  return depth;
+}
+
+std::size_t PendingQueue::waitlist_high_watermark() const {
+  MutexLock wl(waitlist_mutex_);
+  return waitlist_high_watermark_;
+}
+
+std::uint64_t PendingQueue::waitlist_parks() const {
+  MutexLock wl(waitlist_mutex_);
+  return waitlist_parks_;
 }
 
 PendingQueue::Wake PendingQueue::wait_for_batch(std::size_t threshold,

@@ -2,10 +2,14 @@
 // The pending-job queue of the scheduler service (§7, Fig. 5): quantum
 // tasks from in-flight runs park here instead of executing immediately, and
 // the scheduler thread drains them in batches when a scheduling cycle
-// fires. The queue is bounded (producers block while it is full) and owns
-// the wait primitive the scheduler thread sleeps on: wake on reaching the
-// queue-size threshold, on a linger timeout with work waiting, or on
-// close() for the final shutdown flush.
+// fires. The queue is bounded with two producer disciplines: push() blocks
+// while the queue is full (legacy/synchronous producers), while offer() is
+// non-blocking — a full queue parks the item on a capacity waitlist that
+// drains FIFO-by-priority into freed slots, so an engine worker never
+// convoys on a flooded queue. The queue owns the wait primitive the
+// scheduler thread sleeps on: wake on reaching the queue-size threshold, on
+// a linger timeout with work waiting, or on close() for the final shutdown
+// flush.
 //
 // Batches form in priority order (api::Priority): kInteractive items take
 // a cycle's slots before kStandard, which take them before kBatch — FIFO
@@ -24,6 +28,7 @@
 #include <array>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -125,6 +130,23 @@ class PendingQueue {
   /// never will be.
   bool push(Item item);
 
+  /// Outcome of a non-blocking offer().
+  enum class Offer {
+    kQueued,     ///< enqueued in its priority lane, counts toward size()
+    kWaitlisted, ///< queue full: parked on the capacity waitlist
+    kClosed,     ///< the queue was close()d — the item was not accepted
+  };
+
+  /// Non-blocking push for engine workers: enqueues when a capacity slot is
+  /// free, otherwise parks the item on the capacity waitlist (it does NOT
+  /// count toward size()). Waitlisted items promote into the queue
+  /// FIFO-by-priority as take_batch()/take_expired()/remove() free slots —
+  /// the caller's on_settled observer fires when a later cycle dispatches
+  /// the promoted item, exactly as for a directly queued one. The full-check
+  /// and the waitlist insert are atomic under the queue lock, so an item can
+  /// never be stranded between an emptying queue and a not-yet-parked offer.
+  Offer offer(Item item);
+
   /// Pops up to `max` items (0 = everything queued): kInteractive first,
   /// then kStandard, then kBatch, FIFO within each lane.
   ///
@@ -138,14 +160,17 @@ class PendingQueue {
   std::vector<Item> take_batch(std::size_t max = 0, double now = 0.0,
                                double aging_seconds = 0.0);
 
-  /// Removes and returns every item whose deadline_seconds lies strictly
-  /// before `now` — called at cycle start so expired jobs fail
-  /// DEADLINE_EXCEEDED instead of consuming batch slots and QPUs.
+  /// Removes and returns every item (queued or waitlisted) whose
+  /// deadline_seconds lies at or before `now` — called at cycle start so
+  /// expired jobs fail DEADLINE_EXCEEDED instead of consuming batch slots
+  /// and QPUs. The boundary is inclusive: a job dispatched exactly at its
+  /// deadline has zero slack, which the at/before contract counts as a miss
+  /// (matching the submit-time admission check).
   std::vector<Item> take_expired(double now);
 
-  /// Removes this exact item (pointer identity) if it is still queued;
-  /// false when it was already taken or never pushed. Frees a capacity
-  /// slot. The caller settles the item (fail) — the queue does not.
+  /// Removes this exact item (pointer identity) if it is still queued or
+  /// waitlisted; false when it was already taken or never pushed. Frees a
+  /// capacity slot. The caller settles the item (fail) — the queue does not.
   bool remove(const Item& item);
 
   /// Stops accepting pushes and wakes every waiter (producers and the
@@ -159,6 +184,14 @@ class PendingQueue {
   /// Largest size() ever observed — the Fig. 9b stability statistic.
   std::size_t high_watermark() const;
 
+  /// Items currently parked on the capacity waitlist (not in size()).
+  std::size_t waitlist_depth() const;
+  /// Largest waitlist depth ever observed.
+  std::size_t waitlist_high_watermark() const;
+  /// Total offers that took the waitlist path since construction — the
+  /// "no engine worker ever blocked in push" overload-control statistic.
+  std::uint64_t waitlist_parks() const;
+
   /// Scheduler-side wait. Blocks until the queue holds at least
   /// `threshold` items (kThreshold), or is non-empty once `linger` has
   /// elapsed from the first item observed (kLinger), or close() happened
@@ -171,6 +204,13 @@ class PendingQueue {
 
   std::size_t size_locked() const REQUIRES(mutex_);
 
+  /// Moves waitlisted items into their queue lanes, highest class first and
+  /// FIFO within a class, while capacity allows (`ignore_capacity` lifts the
+  /// bound for the close() flush). Runs under the queue lock so a freed slot
+  /// and its refill are one atomic step; wakes the scheduler when anything
+  /// promotes.
+  void promote_waitlist_locked(bool ignore_capacity = false) REQUIRES(mutex_);
+
   const std::size_t capacity_;
   mutable Mutex mutex_{LockRank::kPendingQueue, "PendingQueue::mutex_"};
   CondVar producer_cv_; ///< producers waiting for space
@@ -178,6 +218,16 @@ class PendingQueue {
   Lanes lanes_ GUARDED_BY(mutex_);
   std::size_t high_watermark_ GUARDED_BY(mutex_) = 0;
   bool closed_ GUARDED_BY(mutex_) = false;
+
+  /// Capacity waitlist: offers that found the queue full park here instead
+  /// of blocking their thread. Its mutex ranks inside kPendingQueue (see
+  /// LockRank::kQueueWaitlist) — every access nests under mutex_ except the
+  /// three read-only accessors.
+  mutable Mutex waitlist_mutex_{LockRank::kQueueWaitlist,
+                                "PendingQueue::waitlist_mutex_"};
+  Lanes waitlist_ GUARDED_BY(waitlist_mutex_);
+  std::size_t waitlist_high_watermark_ GUARDED_BY(waitlist_mutex_) = 0;
+  std::uint64_t waitlist_parks_ GUARDED_BY(waitlist_mutex_) = 0;
 };
 
 }  // namespace qon::core

@@ -59,6 +59,11 @@ bool SchedulerService::enqueue(const std::shared_ptr<PendingQuantumTask>& task) 
   return queue_.push(task);
 }
 
+PendingQueue::Offer SchedulerService::offer(
+    const std::shared_ptr<PendingQuantumTask>& task) {
+  return queue_.offer(task);
+}
+
 bool SchedulerService::remove_pending(const std::shared_ptr<PendingQuantumTask>& task) {
   return queue_.remove(task);
 }
@@ -180,7 +185,9 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
   {
     const auto overdue_begin = std::partition(
         batch.begin(), batch.end(), [now](const PendingQueue::Item& item) {
-          return !(item->deadline_seconds && *item->deadline_seconds < now);
+          // Inclusive boundary, matching take_expired and the submit-time
+          // admission check: dispatch exactly at the deadline is a miss.
+          return !(item->deadline_seconds && *item->deadline_seconds <= now);
         });
     overdue.insert(overdue.end(), overdue_begin, batch.end());
     batch.erase(overdue_begin, batch.end());

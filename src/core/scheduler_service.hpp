@@ -12,8 +12,8 @@
 // Per-job QoS (api::JobPreferences) is honored here: batches form in
 // priority order (kInteractive > kStandard > kBatch), each job carries its
 // own MCDM fidelity weight into the cycle, and a task still parked when a
-// cycle fires past its deadline fails DEADLINE_EXCEEDED at cycle start —
-// it never consumes a batch slot or a QPU.
+// cycle fires at or past its deadline fails DEADLINE_EXCEEDED at cycle
+// start — it never consumes a batch slot or a QPU.
 //
 // Virtual-vs-real time: the trigger's threshold and interval live on the
 // fleet virtual clock, but the service must make progress in real time even
@@ -112,6 +112,19 @@ class SchedulerService {
   /// capacity. False when the service is shutting down (the task was not
   /// queued and never will be).
   bool enqueue(const std::shared_ptr<PendingQuantumTask>& task);
+
+  /// Non-blocking enqueue for engine workers: a full queue parks the task
+  /// on the capacity waitlist (promoted FIFO-by-priority as cycles free
+  /// slots) instead of blocking the calling thread. kClosed means the
+  /// service is shutting down and the task was not accepted.
+  PendingQueue::Offer offer(const std::shared_ptr<PendingQuantumTask>& task);
+
+  /// Capacity-waitlist introspection for getAdmissionStats.
+  std::size_t waitlist_depth() const { return queue_.waitlist_depth(); }
+  std::size_t waitlist_high_watermark() const {
+    return queue_.waitlist_high_watermark();
+  }
+  std::uint64_t waitlist_parks() const { return queue_.waitlist_parks(); }
 
   /// Pulls a parked task out of the pending queue (cancellation path).
   /// The caller is expected to have settled the task already — fail() wins

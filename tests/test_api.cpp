@@ -103,6 +103,24 @@ TEST(ResultT, HoldsValueOrStatus) {
   EXPECT_EQ(weird.status().code(), StatusCode::kInternal);
 }
 
+TEST(Status, RetryAfterDetailRidesTheStatus) {
+  Status shed = ResourceExhausted("admission gate shed batch-class run");
+  EXPECT_FALSE(shed.retry_after_seconds().has_value());
+
+  // set_retry_after composes with the canonical constructors…
+  shed = ResourceExhausted("admission gate shed batch-class run").set_retry_after(5.0);
+  ASSERT_TRUE(shed.retry_after_seconds().has_value());
+  EXPECT_DOUBLE_EQ(*shed.retry_after_seconds(), 5.0);
+  // …renders into the human form…
+  EXPECT_NE(shed.to_string().find("[retry after"), std::string::npos) << shed.to_string();
+  // …and participates in equality: same code+message, different hint.
+  const Status same_text = ResourceExhausted("admission gate shed batch-class run");
+  EXPECT_FALSE(shed == same_text);
+  EXPECT_TRUE(shed == Status(shed));
+  // OK statuses are unaffected.
+  EXPECT_EQ(Status::Ok().to_string(), "OK");
+}
+
 // ---- async lifecycle ---------------------------------------------------------
 
 TEST(AsyncInvoke, ReturnsBeforeExecutionCompletes) {
@@ -534,6 +552,19 @@ TEST(ApiVersioning, UnsupportedVersionIsUnimplemented) {
   auto handle = client.invoke(invoke_request);
   ASSERT_FALSE(handle.ok());
   EXPECT_EQ(handle.status().code(), StatusCode::kUnimplemented);
+
+  GetAdmissionStatsRequest admission_request;
+  admission_request.api_version = kApiVersion + 3;
+  auto admission = client.getAdmissionStats(admission_request);
+  ASSERT_FALSE(admission.ok());
+  EXPECT_EQ(admission.status().code(), StatusCode::kUnimplemented);
+
+  // The well-versioned default works even with the gate off: counters are
+  // zero and max_live_runs echoes "disabled".
+  auto stats = client.getAdmissionStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_EQ(stats->stats.max_live_runs, 0u);
+  for (const auto shed : stats->stats.shed) EXPECT_EQ(shed, 0u);
 }
 
 // ---- batched invocation ------------------------------------------------------

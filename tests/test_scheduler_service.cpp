@@ -164,11 +164,15 @@ TEST(PendingQueue, TakeExpiredPullsOnlyOverdueDeadlines) {
   ASSERT_EQ(expired.size(), 1u);
   EXPECT_EQ(expired[0]->run, 1u);
   EXPECT_EQ(queue.size(), 2u);
-  // The bound is strict: a cycle firing exactly at the deadline schedules.
-  EXPECT_TRUE(queue.take_expired(50.0).empty());
-  auto later = queue.take_expired(50.1);
-  ASSERT_EQ(later.size(), 1u);
-  EXPECT_EQ(later[0]->run, 2u);
+  // Just before the deadline the job still schedules…
+  EXPECT_TRUE(queue.take_expired(49.9).empty());
+  // …but the bound is inclusive: a cycle firing exactly at the deadline
+  // would dispatch with zero slack, which the at/before contract counts as
+  // a miss — the same boundary the submit-time admission check rejects.
+  auto boundary = queue.take_expired(50.0);
+  ASSERT_EQ(boundary.size(), 1u);
+  EXPECT_EQ(boundary[0]->run, 2u);
+  EXPECT_EQ(queue.size(), 1u);  // only the no-deadline job remains
 }
 
 TEST(PendingQueue, RemoveFreesSlotAndIgnoresUnknownItems) {
@@ -184,6 +188,180 @@ TEST(PendingQueue, RemoveFreesSlotAndIgnoresUnknownItems) {
   auto batch = queue.take_batch(0);
   ASSERT_EQ(batch.size(), 2u);
   EXPECT_EQ(batch[0]->run, 2u);
+}
+
+// All three drain paths — take_batch, take_expired, remove — must free a
+// capacity slot for a blocked producer, and none may distort the
+// high-watermark statistic past the bound.
+TEST(PendingQueue, BoundedPushFreedByTakeExpired) {
+  PendingQueue queue(2);
+  auto overdue = make_task(1, 4, 2);
+  overdue->deadline_seconds = 5.0;
+  queue.push(overdue);
+  queue.push(make_task(2, 4, 2));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(make_task(3, 4, 2)));  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());
+
+  auto expired = queue.take_expired(10.0);  // frees the overdue job's slot
+  ASSERT_EQ(expired.size(), 1u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.high_watermark(), 2u);  // never exceeded the bound
+}
+
+TEST(PendingQueue, BoundedPushFreedByRemove) {
+  PendingQueue queue(2);
+  auto cancelled = make_task(1, 4, 2);
+  queue.push(cancelled);
+  queue.push(make_task(2, 4, 2));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(make_task(3, 4, 2)));  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());
+
+  EXPECT_TRUE(queue.remove(cancelled));  // the cancellation path frees a slot
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.high_watermark(), 2u);
+}
+
+TEST(PendingQueue, HighWatermarkStableAcrossAllDrainPaths) {
+  PendingQueue queue(3);
+  auto expiring = make_task(1, 4, 2);
+  expiring->deadline_seconds = 1.0;
+  auto removable = make_task(2, 4, 2);
+  queue.push(expiring);
+  queue.push(removable);
+  queue.push(make_task(3, 4, 2));
+  EXPECT_EQ(queue.high_watermark(), 3u);
+
+  EXPECT_EQ(queue.take_expired(2.0).size(), 1u);
+  EXPECT_TRUE(queue.remove(removable));
+  EXPECT_EQ(queue.take_batch(0).size(), 1u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.high_watermark(), 3u);  // the drains never reset or inflate it
+}
+
+// ---- PendingQueue::offer — the non-blocking capacity waitlist ----------------
+
+TEST(PendingQueue, OfferQueuesWithCapacityAndWaitlistsWhenFull) {
+  PendingQueue queue(2);
+  EXPECT_EQ(queue.offer(make_task(1, 4, 2)), PendingQueue::Offer::kQueued);
+  EXPECT_EQ(queue.offer(make_task(2, 4, 2)), PendingQueue::Offer::kQueued);
+  // Full: the third offer returns immediately instead of blocking, parked
+  // on the waitlist — it does NOT count toward size().
+  EXPECT_EQ(queue.offer(make_task(3, 4, 2)), PendingQueue::Offer::kWaitlisted);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.waitlist_depth(), 1u);
+  EXPECT_EQ(queue.waitlist_parks(), 1u);
+  EXPECT_EQ(queue.waitlist_high_watermark(), 1u);
+  EXPECT_EQ(queue.high_watermark(), 2u);
+
+  // take_batch frees both slots and promotes the waitlisted item into its
+  // lane atomically under the queue lock.
+  auto batch = queue.take_batch(0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.waitlist_depth(), 0u);
+  auto promoted = queue.take_batch(0);
+  ASSERT_EQ(promoted.size(), 1u);
+  EXPECT_EQ(promoted[0]->run, 3u);
+  // The park statistics survive the promotion (they are cumulative).
+  EXPECT_EQ(queue.waitlist_parks(), 1u);
+  EXPECT_EQ(queue.waitlist_high_watermark(), 1u);
+}
+
+TEST(PendingQueue, WaitlistPromotesFifoByPriority) {
+  PendingQueue queue(2);
+  queue.offer(make_task(1, 4, 2));
+  queue.offer(make_task(2, 4, 2));
+  // Waitlisted in arrival order: batch, interactive, interactive, standard.
+  EXPECT_EQ(queue.offer(make_task(3, 4, 2, api::Priority::kBatch)),
+            PendingQueue::Offer::kWaitlisted);
+  EXPECT_EQ(queue.offer(make_task(4, 4, 2, api::Priority::kInteractive)),
+            PendingQueue::Offer::kWaitlisted);
+  EXPECT_EQ(queue.offer(make_task(5, 4, 2, api::Priority::kInteractive)),
+            PendingQueue::Offer::kWaitlisted);
+  EXPECT_EQ(queue.offer(make_task(6, 4, 2, api::Priority::kStandard)),
+            PendingQueue::Offer::kWaitlisted);
+  EXPECT_EQ(queue.waitlist_depth(), 4u);
+  EXPECT_EQ(queue.waitlist_high_watermark(), 4u);
+
+  // Draining the queue frees 2 slots: the waitlist promotes its highest
+  // class first (both interactive jobs, FIFO within the class) — the
+  // earlier-arrived batch job keeps waiting.
+  queue.take_batch(0);
+  EXPECT_EQ(queue.waitlist_depth(), 2u);
+  auto second = queue.take_batch(0);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0]->run, 4u);
+  EXPECT_EQ(second[1]->run, 5u);
+  // Next drain promotes standard before batch.
+  auto third = queue.take_batch(0);
+  ASSERT_EQ(third.size(), 2u);
+  EXPECT_EQ(third[0]->run, 6u);
+  EXPECT_EQ(third[1]->run, 3u);
+  EXPECT_EQ(queue.waitlist_depth(), 0u);
+}
+
+TEST(PendingQueue, TakeExpiredSweepsTheWaitlistToo) {
+  PendingQueue queue(1);
+  queue.offer(make_task(1, 4, 2));
+  auto waitlisted = make_task(2, 4, 2);
+  waitlisted->deadline_seconds = 5.0;
+  EXPECT_EQ(queue.offer(waitlisted), PendingQueue::Offer::kWaitlisted);
+
+  // The waitlisted job's deadline passes while it waits for a capacity
+  // slot: the expiry sweep must find it there, not only in the queue.
+  auto expired = queue.take_expired(5.0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0]->run, 2u);
+  EXPECT_EQ(queue.waitlist_depth(), 0u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(PendingQueue, RemovePullsWaitlistedItem) {
+  PendingQueue queue(1);
+  queue.offer(make_task(1, 4, 2));
+  auto waitlisted = make_task(2, 4, 2);
+  EXPECT_EQ(queue.offer(waitlisted), PendingQueue::Offer::kWaitlisted);
+
+  // A cancelled run's task leaves the waitlist sideways, exactly like a
+  // queued task leaves the queue.
+  EXPECT_TRUE(queue.remove(waitlisted));
+  EXPECT_FALSE(queue.remove(waitlisted));  // already gone
+  EXPECT_EQ(queue.waitlist_depth(), 0u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(PendingQueue, ClosePromotesWaitlistIntoTheFinalFlush) {
+  PendingQueue queue(1);
+  queue.offer(make_task(1, 4, 2));
+  EXPECT_EQ(queue.offer(make_task(2, 4, 2)), PendingQueue::Offer::kWaitlisted);
+
+  queue.close();
+  // The flush drain must see BOTH items: a waitlisted task still needs its
+  // terminal verdict, so close() promotes past the capacity bound.
+  EXPECT_EQ(queue.waitlist_depth(), 0u);
+  EXPECT_EQ(queue.wait_for_batch(100, 10s), PendingQueue::Wake::kFlush);
+  auto flush = queue.take_batch(0);
+  ASSERT_EQ(flush.size(), 2u);
+  EXPECT_EQ(queue.wait_for_batch(100, 10s), PendingQueue::Wake::kClosed);
+
+  // And after close, offers are rejected outright.
+  EXPECT_EQ(queue.offer(make_task(3, 4, 2)), PendingQueue::Offer::kClosed);
 }
 
 TEST(PendingQueue, FirstSettlementWins) {
@@ -1010,6 +1188,370 @@ TEST(BatchServing, BadSchedulerKnobsSurfaceAsInvalidArgument) {
   auto weight_handle = weight_client.invoke(weight_request);
   ASSERT_FALSE(weight_handle.ok());
   EXPECT_EQ(weight_handle.status().code(), api::StatusCode::kInvalidArgument);
+}
+
+// Deadline-boundary regression, site 2 of 3 (the mid-batch filter): the
+// fleet frontier can overshoot the cycle's fire time while the snapshot is
+// taken, landing exactly on a batched job's deadline. Dispatch at that
+// instant has zero slack — the job must fail DEADLINE_EXCEEDED, not
+// execute at its deadline (the old strict `<` let it through).
+TEST(SchedulerService, MidBatchFilterUsesInclusiveDeadlineBoundary) {
+  std::atomic<double> clock{0.0};
+  SchedulerServiceHooks hooks;
+  hooks.now = [&clock] { return clock.load(); };
+  hooks.snapshot_qpus = [&clock](double advance_to) {
+    // Overshoot: a concurrent dispatch advanced the frontier to t=70
+    // while this threshold cycle (fired at t=0) snapshotted.
+    clock.store(std::max(advance_to, 70.0));
+    std::vector<sched::QpuState> qpus;
+    for (int q = 0; q < 2; ++q) {
+      qpus.push_back({"fake" + std::to_string(q), 27, 0.0, true});
+    }
+    return qpus;
+  };
+  SchedulerServiceConfig config;
+  config.queue_threshold = 2;
+  config.linger = 10s;  // only the threshold fires
+  SchedulerService service(config, 7, {}, std::move(hooks));
+
+  auto boundary = make_task(1, 4, 2);
+  boundary->deadline_seconds = 70.0;  // == the post-snapshot frontier exactly
+  auto alive = make_task(2, 4, 2);
+  alive->deadline_seconds = 1000.0;
+  ASSERT_TRUE(service.enqueue(boundary));
+  ASSERT_TRUE(service.enqueue(alive));
+  boundary->await();
+  alive->await();
+
+  EXPECT_EQ(boundary->error.code(), api::StatusCode::kDeadlineExceeded);
+  EXPECT_LT(boundary->assigned_qpu, 0);  // never reached a QPU
+  EXPECT_TRUE(alive->error.ok()) << alive->error.to_string();
+  EXPECT_GE(alive->assigned_qpu, 0);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.jobs_expired, 1u);
+  EXPECT_EQ(stats.jobs_scheduled, 1u);
+  service.shutdown();
+}
+
+// Satellite regression: enqueue/offer against a closing queue. The service
+// must reject the hand-off — and the orchestrator call site settles the run
+// with a typed UNAVAILABLE (covered end to end below in
+// BatchServing.ShutdownRacingAnEngineStepFailsTheRunUnavailable).
+TEST(SchedulerService, OfferAfterShutdownIsRejectedAsClosed) {
+  FakeEngine engine(2);
+  SchedulerServiceConfig config;
+  SchedulerService service(config, 7, {}, engine.hooks());
+  service.shutdown();
+  EXPECT_FALSE(service.enqueue(make_task(1, 4, 2)));
+  EXPECT_EQ(service.offer(make_task(2, 4, 2)), PendingQueue::Offer::kClosed);
+}
+
+// Overload relief at the service level: offers beyond the queue capacity
+// waitlist (never block), the waitlist drains into later cycles, and every
+// task still gets a verdict.
+TEST(SchedulerService, OffersBeyondCapacityWaitlistAndDrainThroughCycles) {
+  FakeEngine engine(2);
+  SchedulerServiceConfig config;
+  config.queue_threshold = 2;
+  config.queue_capacity = 2;
+  config.max_batch_size = 2;
+  config.linger = 50ms;
+  SchedulerService service(config, 7, {}, engine.hooks());
+
+  // Six offers against a 2-slot queue, from this one thread: with blocking
+  // push this would deadlock (no consumer progress until we return); offer
+  // must return immediately for all six.
+  std::vector<std::shared_ptr<PendingQuantumTask>> tasks;
+  for (api::RunId r = 1; r <= 6; ++r) {
+    tasks.push_back(make_task(r, 4, 2));
+    ASSERT_NE(service.offer(tasks.back()), PendingQueue::Offer::kClosed);
+  }
+  for (const auto& task : tasks) {
+    task->await();
+    EXPECT_TRUE(task->error.ok()) << task->error.to_string();
+    EXPECT_GE(task->assigned_qpu, 0);
+  }
+  EXPECT_GE(service.waitlist_parks(), 1u);
+  EXPECT_EQ(service.waitlist_depth(), 0u);  // fully drained
+  service.shutdown();
+}
+
+// ---- admission control (the front-door gate) ---------------------------------
+
+TEST(AdmissionControl, ValidatesConfigWithoutThrowing) {
+  AdmissionConfig off;  // max_live_runs = 0: gate disabled, knobs ignored
+  off.shed_batch_at = -3.0;
+  EXPECT_TRUE(validate_admission_config(off).ok());
+
+  AdmissionConfig good;
+  good.max_live_runs = 100;
+  EXPECT_TRUE(validate_admission_config(good).ok());
+
+  AdmissionConfig bad_fraction = good;
+  bad_fraction.shed_batch_at = 0.0;
+  EXPECT_EQ(validate_admission_config(bad_fraction).code(),
+            api::StatusCode::kInvalidArgument);
+
+  AdmissionConfig inverted = good;
+  inverted.shed_batch_at = 0.9;
+  inverted.shed_standard_at = 0.5;  // batch would outlive standard under load
+  EXPECT_EQ(validate_admission_config(inverted).code(),
+            api::StatusCode::kInvalidArgument);
+
+  AdmissionConfig bad_retry = good;
+  bad_retry.retry_after_seconds = 0.0;
+  EXPECT_EQ(validate_admission_config(bad_retry).code(),
+            api::StatusCode::kInvalidArgument);
+
+  // A bad admission config surfaces as INVALID_ARGUMENT from invoke(),
+  // never as an exception from the constructor.
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.admission.max_live_runs = 10;
+  config.admission.retry_after_seconds = -1.0;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "bad-admission", circuit::ghz(3));
+  api::InvokeRequest request;
+  request.image = image;
+  EXPECT_EQ(client.invoke(request).status().code(), api::StatusCode::kInvalidArgument);
+}
+
+// The shedding staircase: with max_live_runs=4, batch sheds at 2 live
+// runs, standard at 3, interactive only at the full bound — each shed is a
+// typed RESOURCE_EXHAUSTED carrying the configured retry-after hint, and
+// the gate reopens as runs leave the system.
+TEST(AdmissionControl, ShedsByPriorityClassWithRetryAfter) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 97;
+  config.executor_threads = 8;
+  config.scheduler_service.queue_threshold = 100;  // parked runs stay live…
+  config.scheduler_service.linger = 10s;           // …for the whole test
+  config.admission.max_live_runs = 4;
+  config.admission.shed_batch_at = 0.5;     // batch limit: 2
+  config.admission.shed_standard_at = 0.75; // standard limit: 3
+  config.admission.retry_after_seconds = 2.5;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "shed", circuit::ghz(3));
+
+  const auto invoke_as = [&](api::Priority priority) {
+    api::InvokeRequest request;
+    request.image = image;
+    request.preferences.priority = priority;
+    return client.invoke(request);
+  };
+
+  // 2 batch runs fill the batch share; the third is shed.
+  std::vector<api::RunHandle> live;
+  for (int i = 0; i < 2; ++i) {
+    auto handle = invoke_as(api::Priority::kBatch);
+    ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+    live.push_back(*std::move(handle));
+  }
+  auto shed_batch = invoke_as(api::Priority::kBatch);
+  ASSERT_FALSE(shed_batch.ok());
+  EXPECT_EQ(shed_batch.status().code(), api::StatusCode::kResourceExhausted);
+  ASSERT_TRUE(shed_batch.status().retry_after_seconds().has_value());
+  EXPECT_DOUBLE_EQ(*shed_batch.status().retry_after_seconds(), 2.5);
+
+  // Standard still fits (limit 3)… once.
+  auto standard = invoke_as(api::Priority::kStandard);
+  ASSERT_TRUE(standard.ok()) << standard.status().to_string();
+  live.push_back(*std::move(standard));
+  auto shed_standard = invoke_as(api::Priority::kStandard);
+  ASSERT_FALSE(shed_standard.ok());
+  EXPECT_EQ(shed_standard.status().code(), api::StatusCode::kResourceExhausted);
+
+  // Interactive gets the full bound: one more admit, then even it sheds.
+  auto interactive = invoke_as(api::Priority::kInteractive);
+  ASSERT_TRUE(interactive.ok()) << interactive.status().to_string();
+  live.push_back(*std::move(interactive));
+  auto shed_interactive = invoke_as(api::Priority::kInteractive);
+  ASSERT_FALSE(shed_interactive.ok());
+  EXPECT_EQ(shed_interactive.status().code(), api::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(shed_interactive.status().retry_after_seconds().has_value());
+
+  auto stats = client.getAdmissionStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_EQ(stats->stats.accepted[static_cast<std::size_t>(api::Priority::kBatch)], 2u);
+  EXPECT_EQ(stats->stats.accepted[static_cast<std::size_t>(api::Priority::kStandard)], 1u);
+  EXPECT_EQ(stats->stats.accepted[static_cast<std::size_t>(api::Priority::kInteractive)], 1u);
+  EXPECT_EQ(stats->stats.shed[static_cast<std::size_t>(api::Priority::kBatch)], 1u);
+  EXPECT_EQ(stats->stats.shed[static_cast<std::size_t>(api::Priority::kStandard)], 1u);
+  EXPECT_EQ(stats->stats.shed[static_cast<std::size_t>(api::Priority::kInteractive)], 1u);
+  EXPECT_EQ(stats->stats.live_runs, 4u);
+  EXPECT_EQ(stats->stats.max_live_runs, 4u);
+
+  // Runs leaving the system reopen the gate.
+  for (auto& handle : live) {
+    EXPECT_TRUE(handle.cancel());
+    EXPECT_EQ(handle.wait(), api::RunStatus::kCancelled);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    auto drained = client.getAdmissionStats();
+    ASSERT_TRUE(drained.ok());
+    if (drained->stats.live_runs == 0) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  auto reopened = invoke_as(api::Priority::kBatch);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().to_string();
+  EXPECT_TRUE(reopened->cancel());
+}
+
+// invokeAll admits atomically, counting the batch's own entries against
+// the bound: one shed rejects the whole batch (nothing started) with the
+// index-prefixed message and the retry-after hint intact.
+TEST(AdmissionControl, InvokeAllShedsAtomically) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 89;
+  config.scheduler_service.queue_threshold = 100;
+  config.scheduler_service.linger = 10s;
+  config.admission.max_live_runs = 4;
+  config.admission.shed_batch_at = 0.5;  // batch limit: 2
+  config.admission.retry_after_seconds = 1.5;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "shed-all", circuit::ghz(3));
+
+  std::vector<api::InvokeRequest> requests(3);
+  for (auto& request : requests) {
+    request.image = image;
+    request.preferences.priority = api::Priority::kBatch;
+  }
+  auto handles = client.invokeAll(requests);
+  ASSERT_FALSE(handles.ok());
+  EXPECT_EQ(handles.status().code(), api::StatusCode::kResourceExhausted);
+  EXPECT_NE(handles.status().message().find("invokeAll[2]:"), std::string::npos)
+      << handles.status().message();
+  ASSERT_TRUE(handles.status().retry_after_seconds().has_value());
+  EXPECT_DOUBLE_EQ(*handles.status().retry_after_seconds(), 1.5);
+
+  // Atomic: nothing was admitted or started.
+  auto stats = client.getAdmissionStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->stats.live_runs, 0u);
+  for (const auto accepted : stats->stats.accepted) EXPECT_EQ(accepted, 0u);
+}
+
+// ---- more end-to-end serving-path coverage -----------------------------------
+
+// Deadline-boundary regression, site 3 of 3 (the immediate path): a
+// classical prep task advances the fleet clock to exactly the quantum
+// task's deadline, so dispatch would happen AT the deadline with zero
+// slack — the run must fail DEADLINE_EXCEEDED. (Submit-time admission
+// passes: the deadline lies beyond the frontier at invoke.)
+TEST(BatchServing, ImmediateDispatchExactlyAtDeadlineIsAMiss) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 101;
+  config.scheduler_service.mode = SchedulingMode::kImmediate;
+  api::QonductorClient client(config);
+
+  api::CreateWorkflowRequest create;
+  create.name = "boundary";
+  // chain_workflow wires prep -> ghz: the quantum task is ready at t=0.25.
+  create.tasks.push_back(workflow::HybridTask::classical("prep", 0.25));
+  create.tasks.push_back(workflow::HybridTask::quantum("ghz", circuit::ghz(3), 128));
+  auto created = client.createWorkflow(std::move(create));
+  ASSERT_TRUE(created.ok()) << created.status().to_string();
+  api::DeployRequest deploy;
+  deploy.image = created->image;
+  ASSERT_TRUE(client.deploy(deploy).ok());
+
+  api::InvokeRequest request;
+  request.image = created->image;
+  request.preferences.deadline_seconds = 0.25;  // == the dispatch instant
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  EXPECT_EQ(handle->wait(), api::RunStatus::kFailed);
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->error.code(), api::StatusCode::kDeadlineExceeded);
+}
+
+// Satellite regression: a scheduler-service shutdown racing a late engine
+// step. The on_task_start observer fires right before the quantum task
+// parks — shutting the service down there forces the offer to hit a closed
+// queue, and the run must settle with a typed UNAVAILABLE instead of the
+// task being silently dropped (which would leave the run in-flight
+// forever).
+TEST(BatchServing, ShutdownRacingAnEngineStepFailsTheRunUnavailable) {
+  QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 103;
+  config.scheduler_service.queue_threshold = 100;
+  config.scheduler_service.linger = 10s;
+  core::Qonductor* backend = nullptr;
+  std::atomic<bool> closed{false};
+  config.on_task_start = [&](RunId, const std::string& name) {
+    if (name == "ghz" && !closed.exchange(true)) {
+      backend->schedulerService()->shutdown();
+    }
+  };
+  api::QonductorClient client(config);
+  backend = &client.backend();
+  const auto image = deploy_quantum(client, "shutdown-race", circuit::ghz(3));
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  EXPECT_EQ(handle->wait(), api::RunStatus::kFailed);
+  auto result = handle->result();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->error.code(), api::StatusCode::kUnavailable);
+  EXPECT_NE(result->error.message().find("shutting down"), std::string::npos)
+      << result->error.message();
+  EXPECT_TRUE(closed.load());
+}
+
+// The overload acceptance scenario scaled to a test: a flood of runs
+// against a tiny queue completes with engine workers never blocking in
+// push — the surplus takes the waitlist path (asserted via waitlist_parks)
+// and drains FIFO-by-priority through later cycles.
+TEST(BatchServing, FloodAgainstTinyQueueRidesTheWaitlist) {
+  constexpr std::size_t kRuns = 64;
+  QonductorConfig config;
+  config.num_qpus = 4;
+  config.seed = 107;
+  config.trajectory_width_limit = 0;  // analytic model: fast flood
+  config.executor_threads = 4;
+  config.retention.max_terminal_runs = kRuns + 8;
+  config.scheduler_service.queue_threshold = 8;
+  config.scheduler_service.queue_capacity = 8;  // 64 runs vs 8 slots
+  config.scheduler_service.max_batch_size = 4;
+  config.scheduler_service.linger = 50ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "flood", circuit::ghz(3));
+
+  std::vector<api::InvokeRequest> requests(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    requests[i].image = image;
+    requests[i].preferences.priority =
+        static_cast<api::Priority>(i % api::kNumPriorities);
+  }
+  auto handles = client.invokeAll(requests);
+  ASSERT_TRUE(handles.ok()) << handles.status().to_string();
+  for (const auto& handle : *handles) {
+    EXPECT_EQ(handle.wait(), api::RunStatus::kCompleted);
+  }
+
+  auto admission = client.getAdmissionStats();
+  ASSERT_TRUE(admission.ok()) << admission.status().to_string();
+  // The flood overran the 8-slot queue: the surplus took the non-blocking
+  // waitlist path instead of convoying the 4 engine workers…
+  EXPECT_GE(admission->stats.waitlist_parks, 1u);
+  EXPECT_GE(admission->stats.waitlist_high_watermark, 1u);
+  // …and everything drained: no task is left parked anywhere.
+  EXPECT_EQ(admission->stats.waitlist_depth, 0u);
+  auto sched_stats = client.getSchedulerStats();
+  ASSERT_TRUE(sched_stats.ok());
+  EXPECT_EQ(sched_stats->stats.queue_depth, 0u);
+  EXPECT_EQ(sched_stats->stats.jobs_scheduled, kRuns);
+  // The queue itself never exceeded its bound pre-shutdown.
+  EXPECT_LE(sched_stats->stats.queue_high_watermark,
+            config.scheduler_service.queue_capacity);
 }
 
 }  // namespace
