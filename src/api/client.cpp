@@ -119,6 +119,26 @@ Result<GetAdmissionStatsResponse> QonductorClient::getAdmissionStats(
   }
 }
 
+Result<GetRunTraceResponse> QonductorClient::getRunTrace(
+    const GetRunTraceRequest& request) const {
+  if (Status v = check_version(request.api_version, "getRunTrace"); !v.ok()) return v;
+  try {
+    return backend_->getRunTrace(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("getRunTrace: ") + e.what());
+  }
+}
+
+Result<GetMetricsResponse> QonductorClient::getMetrics(
+    const GetMetricsRequest& request) const {
+  if (Status v = check_version(request.api_version, "getMetrics"); !v.ok()) return v;
+  try {
+    return backend_->getMetrics(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("getMetrics: ") + e.what());
+  }
+}
+
 Result<ReserveQpuResponse> QonductorClient::reserveQpu(const ReserveQpuRequest& request) {
   if (Status v = check_version(request.api_version, "reserveQpu"); !v.ok()) return v;
   try {

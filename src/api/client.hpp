@@ -63,6 +63,15 @@ class QonductorClient {
   Result<GetAdmissionStatsResponse> getAdmissionStats(
       const GetAdmissionStatsRequest& request = {}) const;
 
+  // -- observability ------------------------------------------------------------
+  /// The retained lifecycle trace of one run: ordered spans submit -> settle
+  /// stamped with the fleet virtual clock AND wall µs. kNotFound for unknown
+  /// or trace-retention-evicted ids; kFailedPrecondition with tracing off.
+  Result<GetRunTraceResponse> getRunTrace(const GetRunTraceRequest& request) const;
+  /// One coherent snapshot of every registered metric — feed it to
+  /// obs::render_prometheus / obs::render_json.
+  Result<GetMetricsResponse> getMetrics(const GetMetricsRequest& request = {}) const;
+
   // -- QPU reservations (§7) ----------------------------------------------------
   /// Takes a QPU out of scheduling rotation; jobs already parked in the
   /// pending queue avoid it from the very next cycle.

@@ -31,6 +31,15 @@ const char* cycle_trigger_name(CycleTrigger trigger) {
   return "?";
 }
 
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
 const char* scheduling_mode_name(SchedulingMode mode) {
   switch (mode) {
     case SchedulingMode::kBatch: return "batch";

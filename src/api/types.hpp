@@ -340,4 +340,83 @@ struct GetAdmissionStatsResponse {
   AdmissionStats stats;
 };
 
+// ---- observability: run-lifecycle traces (obs::Tracer) -----------------------
+
+/// One lifecycle edge of a run, stamped on BOTH clocks: the fleet virtual
+/// clock (simulated seconds) and the wall clock (microseconds since the
+/// tracer's construction, steady). Point events have start == end on both
+/// clocks. The span taxonomy (names and what each detail carries) is
+/// documented in ROADMAP.md "Observability".
+struct TraceSpan {
+  std::string name;    ///< e.g. "submit", "queue_wait", "qpu_exec", "settle"
+  std::string detail;  ///< free-form context: verdict, QPU, cycle index, ...
+  double virtual_start = 0.0;  ///< fleet virtual clock, seconds
+  double virtual_end = 0.0;
+  double wall_start_us = 0.0;  ///< wall clock, µs since the tracer epoch
+  double wall_end_us = 0.0;
+};
+
+/// The ring-buffered trace of one run: spans in record order (oldest
+/// first). When a run records more spans than the per-run ring holds, the
+/// oldest are dropped — `recorded` keeps the true total, so
+/// `dropped = recorded - spans.size()` tells a reader the trace is partial.
+struct RunTrace {
+  RunId run = 0;
+  std::vector<TraceSpan> spans;
+  std::uint64_t recorded = 0;  ///< spans ever recorded, including dropped
+  std::uint64_t dropped = 0;   ///< spans lost to ring wraparound
+};
+
+/// kNotFound for unknown ids and for traces evicted from the tracer's
+/// bounded retention window; kFailedPrecondition when tracing is disabled.
+struct GetRunTraceRequest {
+  std::uint32_t api_version = kApiVersion;
+  RunId run = 0;
+};
+
+struct GetRunTraceResponse {
+  RunTrace trace;
+};
+
+// ---- observability: metrics snapshot (obs::MetricsRegistry) ------------------
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// One metric as captured by a registry snapshot. Counters and gauges use
+/// `value`; histograms use the bucket/sum/count fields. `bucket_counts[i]`
+/// is the NON-cumulative count of observations with
+/// value <= bucket_bounds[i] (and > the previous bound) — the Prometheus
+/// renderer accumulates them into the exposition's cumulative `le` series.
+struct MetricValue {
+  std::string name;    ///< family name, e.g. "qon_admission_accepted_total"
+  std::string help;
+  std::string labels;  ///< pre-rendered label set, e.g. priority="batch"
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  ///< counter / gauge reading
+  std::vector<double> bucket_bounds;          ///< inclusive upper bounds (le)
+  std::vector<std::uint64_t> bucket_counts;   ///< per-bucket, non-cumulative
+  std::uint64_t inf_count = 0;  ///< observations above the last bound
+  double sum = 0.0;             ///< sum of all observations
+  std::uint64_t count = 0;      ///< total observations
+};
+
+/// Every registered metric read in ONE pass under the registry lock, so
+/// ratios computed from a single snapshot (prep-cache hit rate, shed
+/// fraction) are coherent with each other.
+struct MetricsSnapshot {
+  double taken_at_virtual = 0.0;  ///< fleet virtual clock, seconds
+  double taken_at_wall_us = 0.0;  ///< µs since the telemetry epoch
+  std::vector<MetricValue> metrics;  ///< registration order
+};
+
+struct GetMetricsRequest {
+  std::uint32_t api_version = kApiVersion;
+};
+
+struct GetMetricsResponse {
+  MetricsSnapshot snapshot;
+};
+
 }  // namespace qon::api

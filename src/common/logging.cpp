@@ -1,14 +1,34 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/thread_safety.hpp"
 
 namespace qon {
 
+LogLevel parse_log_level(const char* text, LogLevel fallback) {
+  if (text == nullptr) return fallback;
+  std::string lowered;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lowered += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  return fallback;
+}
+
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+/// Bootstrap: QON_LOG_LEVEL picks the initial gate (default kWarn), so a
+/// bench or example turns verbose without recompiling. set_log_level()
+/// overrides at runtime.
+std::atomic<int> g_level{
+    static_cast<int>(parse_log_level(std::getenv("QON_LOG_LEVEL"), LogLevel::kWarn))};
 // Innermost leaf of the lock hierarchy: log() may be called while holding
 // any other lock in the system.
 Mutex g_io_mutex{LockRank::kLogging, "logging::g_io_mutex"};
@@ -38,6 +58,20 @@ void Logger::log(LogLevel level, const std::string& msg) const {
   if (static_cast<int>(level) < g_level.load()) return;
   MutexLock lock(g_io_mutex);
   std::cerr << "[" << log_level_name(level) << "] " << name_ << ": " << msg << "\n";
+}
+
+void Logger::log(LogLevel level, const std::string& msg,
+                 std::initializer_list<LogField> fields) const {
+  if (static_cast<int>(level) < g_level.load()) return;
+  std::string line = msg;
+  for (const auto& field : fields) {
+    line += " ";
+    line += field.key;
+    line += "=";
+    line += field.value;
+  }
+  MutexLock lock(g_io_mutex);
+  std::cerr << "[" << log_level_name(level) << "] " << name_ << ": " << line << "\n";
 }
 
 }  // namespace qon

@@ -1,9 +1,27 @@
 #pragma once
-// Minimal leveled logger. Components log through a named Logger; the global
-// level gates output so benchmarks stay quiet by default.
+// Minimal leveled logger with structured context. Components log through a
+// named Logger; the global level gates output so benchmarks stay quiet by
+// default. Messages may carry key=value fields (run ids, verdicts,
+// counters) so log lines correlate with the obs tracer's spans:
+//
+//   logger.debug("run settled", {{"run", id}, {"status", "completed"}});
+//     -> [DEBUG] orchestrator: run settled run=42 status=completed
+//
+// Building a field list has real cost (std::to_string per numeric field),
+// so hot-path call sites guard with Logger::enabled(level) before
+// constructing the initializer list.
+//
+// Bootstrap: the global level initializes from the QON_LOG_LEVEL
+// environment variable (debug|info|warn|error|off, case-insensitive;
+// anything else keeps the kWarn default), so examples and benches can be
+// made verbose without recompiling. set_log_level() still overrides at
+// runtime.
 
+#include <initializer_list>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace qon {
 
@@ -16,6 +34,32 @@ LogLevel log_level();
 /// Converts a level to its display tag ("DEBUG", "INFO", ...).
 const char* log_level_name(LogLevel level);
 
+/// Parses a QON_LOG_LEVEL value (case-insensitive level name); `fallback`
+/// for null / unrecognized input.
+LogLevel parse_log_level(const char* text, LogLevel fallback);
+
+/// One key=value field of a structured log line. Arithmetic values are
+/// formatted on construction (integers exactly, floating point %g-style).
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  template <typename T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  LogField(std::string k, T v) : key(std::move(k)) {
+    if constexpr (std::is_same_v<T, bool>) {
+      value = v ? "true" : "false";
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream out;
+      out << v;
+      value = out.str();
+    } else {
+      value = std::to_string(v);
+    }
+  }
+};
+
 /// Named logger; cheap to construct, stateless apart from the name.
 class Logger {
  public:
@@ -26,8 +70,30 @@ class Logger {
   void warn(const std::string& msg) const { log(LogLevel::kWarn, msg); }
   void error(const std::string& msg) const { log(LogLevel::kError, msg); }
 
+  void debug(const std::string& msg, std::initializer_list<LogField> fields) const {
+    log(LogLevel::kDebug, msg, fields);
+  }
+  void info(const std::string& msg, std::initializer_list<LogField> fields) const {
+    log(LogLevel::kInfo, msg, fields);
+  }
+  void warn(const std::string& msg, std::initializer_list<LogField> fields) const {
+    log(LogLevel::kWarn, msg, fields);
+  }
+  void error(const std::string& msg, std::initializer_list<LogField> fields) const {
+    log(LogLevel::kError, msg, fields);
+  }
+
   /// Emits `msg` at `level` if it passes the global gate. Thread-safe.
   void log(LogLevel level, const std::string& msg) const;
+  /// Structured form: `msg key=value ...` — fields in argument order.
+  void log(LogLevel level, const std::string& msg,
+           std::initializer_list<LogField> fields) const;
+
+  /// Whether `level` would be emitted right now — guard field construction
+  /// on hot paths: `if (Logger::enabled(LogLevel::kDebug)) log.debug(...)`.
+  static bool enabled(LogLevel level) {
+    return static_cast<int>(level) >= static_cast<int>(log_level());
+  }
 
   const std::string& name() const { return name_; }
 

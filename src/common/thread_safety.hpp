@@ -135,6 +135,12 @@ enum class LockRank : int {
   /// core::SystemMonitor::mutex_ — serializes the KV backend. Inside
   /// kEngine, kReservations and kRunState (see above); a leaf otherwise.
   kMonitor = 500,
+  /// obs::MetricsRegistry::mutex_ — metric registration + snapshot. Must
+  /// rank BELOW kPendingQueue/kRunEngine/kSchedulerStats: snapshot() polls
+  /// callback gauges (queue depth, engine live runs) that acquire those
+  /// locks while the registry lock is held. Hot-path increments are
+  /// lock-free atomics and never touch this mutex.
+  kMetrics = 550,
   /// core::PendingQueue::mutex_ — the scheduler service's pending queue.
   /// Never held while settling a task (settlement happens after take).
   kPendingQueue = 600,
@@ -157,6 +163,16 @@ enum class LockRank : int {
   kRegistry = 800,
   /// Qonductor::prep_cache_mutex_ — transpile/estimate cache. Leaf.
   kPrepCache = 850,
+  /// obs::Tracer::mutex_ — the run-id -> trace-buffer map. Outside
+  /// kTraceBuffer: getRunTrace snapshots a buffer while holding the map
+  /// lock. High rank so lookups may run while holding any scheduler or
+  /// engine lock (none do today, but recording must never rank-invert).
+  kTracer = 860,
+  /// obs::RunTraceBuffer::mutex_ — one per-run span ring. Near-leaf:
+  /// spans are recorded from engine workers and the scheduler thread while
+  /// those components hold their own (lower-ranked) locks, and the only
+  /// lock ever taken inside it is kLogging.
+  kTraceBuffer = 880,
   /// ThreadPool::mutex_ — task queue of the worksharing pool. Inside
   /// kEngine: NSGA-II fitness evaluation and state-vector simulation
   /// parallel_for under the engine lock.

@@ -3,11 +3,32 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/logging.hpp"
 #include "estimator/execution_model.hpp"
 #include "simulator/metrics.hpp"
 #include "transpiler/transpiler.hpp"
 
 namespace qon::core {
+
+namespace {
+
+const Logger& orch_log() {
+  static const Logger log("orchestrator");
+  return log;
+}
+
+/// Run end-to-end latency bounds (virtual seconds): runs span sub-second
+/// interactive circuits to hour-scale batch workflows.
+std::vector<double> run_latency_bounds() {
+  return {1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0};
+}
+
+std::string priority_label(std::size_t p) {
+  return std::string("priority=\"") +
+         api::priority_name(static_cast<api::Priority>(p)) + "\"";
+}
+
+}  // namespace
 
 const char* workflow_status_name(WorkflowStatus status) {
   return api::run_status_name(status);
@@ -46,7 +67,8 @@ Qonductor::Qonductor(QonductorConfig config)
                                    config.classical_highend_nodes,
                                    config.classical_fpga_nodes)),
       monitor_(config.replicated_monitor),
-      run_table_(config.retention) {
+      run_table_(config.retention),
+      telemetry_(config.telemetry) {
   templates_ = fleet_.template_backends();
   // GC follows the record: when the run table evicts a terminal run, its
   // status entry leaves the system monitor too.
@@ -60,6 +82,42 @@ Qonductor::Qonductor(QonductorConfig config)
     MutexLock lock(engine_mutex_);
     qpu_available_at_.assign(fleet_.backends.size(), 0.0);
     publish_fleet_state();
+  }
+
+  // Registry instruments, registered family-by-family so the Prometheus
+  // renderer emits one HELP/TYPE header per family. The returned pointers
+  // are stable for the registry's lifetime; every hot-path update is a
+  // single relaxed atomic.
+  {
+    auto& registry = telemetry_.registry();
+    prep_cache_hits_ = registry.counter(
+        "qon_prep_cache_hits_total",
+        "Prep-cache lookups served from a cached per-backend transpile");
+    prep_cache_misses_ = registry.counter(
+        "qon_prep_cache_misses_total", "Prep-cache lookups that transpiled fresh");
+    for (std::size_t p = 0; p < api::kNumPriorities; ++p) {
+      admission_accepted_[p] = registry.counter(
+          "qon_admission_accepted_total",
+          "Runs admitted through the front-door gate", priority_label(p));
+    }
+    for (std::size_t p = 0; p < api::kNumPriorities; ++p) {
+      admission_shed_[p] = registry.counter(
+          "qon_admission_shed_total",
+          "Runs shed RESOURCE_EXHAUSTED by the front-door gate", priority_label(p));
+    }
+    for (std::size_t p = 0; p < api::kNumPriorities; ++p) {
+      run_latency_seconds_[p] = registry.histogram(
+          "qon_run_latency_seconds",
+          "Run end-to-end virtual latency, submit to settle",
+          run_latency_bounds(), priority_label(p));
+    }
+    for (const api::RunStatus status :
+         {api::RunStatus::kCompleted, api::RunStatus::kFailed,
+          api::RunStatus::kCancelled}) {
+      runs_finished_total_[static_cast<std::size_t>(status)] = registry.counter(
+          "qon_runs_finished_total", "Settled runs per terminal status",
+          std::string("status=\"") + api::run_status_name(status) + "\"");
+    }
   }
 
   // Scheduler knobs are validated here, once, so the ScheduleTrigger's
@@ -90,13 +148,25 @@ Qonductor::Qonductor(QonductorConfig config)
     };
     scheduler_service_ = std::make_shared<SchedulerService>(
         config_.scheduler_service, config_.seed ^ 0x5c4edULL, cycle_config,
-        std::move(hooks));
+        std::move(hooks), &telemetry_);
   }
   // Last: the engine's workers call step_run, which uses every member
   // above (including the scheduler service parked tasks resume through).
   engine_ = std::make_unique<RunEngine>(
       std::max<std::size_t>(1, config_.executor_threads),
       [this](const std::shared_ptr<RunContinuation>& cont) { return step_run(cont); });
+  // Engine gauges poll one coherent EngineStats sample each (the engine's
+  // lock ranks above kMetrics, so the poll nests legally under snapshot()).
+  telemetry_.registry().gauge_fn(
+      "qon_engine_live_runs", "In-flight (non-terminal) runs in the engine",
+      [this] { return static_cast<double>(engine_->stats().live_runs); });
+  telemetry_.registry().gauge_fn(
+      "qon_engine_peak_live_runs", "Largest live-run count ever observed",
+      [this] { return static_cast<double>(engine_->stats().peak_live_runs); });
+  telemetry_.registry().counter_fn(
+      "qon_engine_events_total",
+      "Step events dispatched (submits + reposts + resumes)",
+      [this] { return static_cast<double>(engine_->stats().events_dispatched); });
 }
 
 // Default: engine_ is declared last, so it is destroyed first and drains
@@ -279,15 +349,17 @@ api::Status Qonductor::validate_invoke(const api::InvokeRequest& request,
 
 api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* image,
                                                  api::JobPreferences preferences) {
+  const api::Priority priority = preferences.priority;
   auto state = std::make_shared<api::RunState>();
   state->image = image->id;
   state->preferences = std::move(preferences);
+  const double submitted_at = fleetNow();
   {
     // The record is not shared with any other thread until insert() below,
     // but submitted_at is guarded state: the (uncontended) record lock
     // keeps the guarded_by contract uniform outside the constructor.
     MutexLock lock(state->mutex);
-    state->submitted_at = fleetNow();
+    state->submitted_at = submitted_at;
   }
   const RunId run = run_table_.insert(state);
   monitor_.set_workflow_status(run, api::run_status_name(api::RunStatus::kPending));
@@ -297,6 +369,16 @@ api::Result<api::RunHandle> Qonductor::start_run(const workflow::WorkflowImage* 
   cont->order = image->dag.topological_order();
   cont->finish.assign(image->dag.size(), 0.0);
   cont->result.run = run;
+  if (telemetry_.tracing_enabled()) {
+    // The trace starts before the engine submit so the submit point is
+    // always the first span, even if the first engine step runs instantly.
+    cont->trace = telemetry_.tracer().start(run);
+    cont->trace->record(telemetry_.tracer().point(
+        "submit", submitted_at, "image=" + std::to_string(image->id)));
+    cont->trace->record(telemetry_.tracer().point(
+        "admitted", submitted_at,
+        std::string("priority=") + api::priority_name(priority)));
+  }
   if (!engine_->submit(std::move(cont))) {
     // The engine rejected the run (shutdown). Retract the record and fail
     // the state so no waiter can block forever on a run that will never
@@ -342,8 +424,12 @@ api::Status Qonductor::admit_run(api::Priority priority, std::size_t already_adm
   const std::size_t live = engine_->live_runs() + already_admitted;
   const std::size_t limit = admission_limit(priority);
   if (live < limit) return api::Status::Ok();
-  admission_shed_[static_cast<std::size_t>(priority)].fetch_add(
-      1, std::memory_order_relaxed);
+  admission_shed_[static_cast<std::size_t>(priority)]->inc();
+  if (Logger::enabled(LogLevel::kInfo)) {
+    orch_log().info("admission gate shed run", {{"priority", api::priority_name(priority)},
+                                                {"live", live},
+                                                {"limit", limit}});
+  }
   return api::ResourceExhausted(
              "invoke: admission gate shed " +
              std::string(api::priority_name(priority)) + "-class run (" +
@@ -365,8 +451,7 @@ api::Result<api::RunHandle> Qonductor::invoke(const api::InvokeRequest& request)
   }
   auto handle = start_run(img, effective_preferences(request.preferences));
   if (handle.ok()) {
-    admission_accepted_[static_cast<std::size_t>(request.preferences.priority)]
-        .fetch_add(1, std::memory_order_relaxed);
+    admission_accepted_[static_cast<std::size_t>(request.preferences.priority)]->inc();
   }
   return handle;
 }
@@ -408,8 +493,7 @@ api::Result<std::vector<api::RunHandle>> Qonductor::invokeAll(
       return api::Status(handle.status().code(), "invokeAll[" + std::to_string(i) +
                                                      "]: " + handle.status().message());
     }
-    admission_accepted_[static_cast<std::size_t>(requests[i].preferences.priority)]
-        .fetch_add(1, std::memory_order_relaxed);
+    admission_accepted_[static_cast<std::size_t>(requests[i].preferences.priority)]->inc();
     handles.push_back(*std::move(handle));
   }
   return handles;
@@ -473,9 +557,11 @@ api::Result<api::GetSchedulerStatsResponse> Qonductor::getSchedulerStats(
 api::Result<api::GetAdmissionStatsResponse> Qonductor::getAdmissionStats(
     const api::GetAdmissionStatsRequest&) const {
   api::GetAdmissionStatsResponse response;
+  // A view over the same registry counters getMetrics exports — shape and
+  // semantics unchanged from the pre-registry atomics.
   for (std::size_t p = 0; p < api::kNumPriorities; ++p) {
-    response.stats.accepted[p] = admission_accepted_[p].load(std::memory_order_relaxed);
-    response.stats.shed[p] = admission_shed_[p].load(std::memory_order_relaxed);
+    response.stats.accepted[p] = admission_accepted_[p]->value();
+    response.stats.shed[p] = admission_shed_[p]->value();
   }
   response.stats.live_runs = engine_->live_runs();
   response.stats.max_live_runs = config_.admission.max_live_runs;
@@ -485,6 +571,26 @@ api::Result<api::GetAdmissionStatsResponse> Qonductor::getAdmissionStats(
         scheduler_service_->waitlist_high_watermark();
     response.stats.waitlist_parks = scheduler_service_->waitlist_parks();
   }
+  return response;
+}
+
+api::Result<api::GetRunTraceResponse> Qonductor::getRunTrace(
+    const api::GetRunTraceRequest& request) const {
+  if (!telemetry_.tracing_enabled()) {
+    return api::FailedPrecondition(
+        "getRunTrace: tracing is disabled (QonductorConfig::telemetry.tracing)");
+  }
+  auto trace = telemetry_.tracer().trace(request.run);
+  if (!trace.ok()) return trace.status();
+  api::GetRunTraceResponse response;
+  response.trace = *std::move(trace);
+  return response;
+}
+
+api::Result<api::GetMetricsResponse> Qonductor::getMetrics(
+    const api::GetMetricsRequest&) const {
+  api::GetMetricsResponse response;
+  response.snapshot = telemetry_.snapshot(fleetNow());
   return response;
 }
 
@@ -611,22 +717,52 @@ std::vector<workflow::ImageId> Qonductor::listImages() const {
 StepOutcome Qonductor::settle_run(const std::shared_ptr<RunContinuation>& cont) {
   const std::shared_ptr<api::RunState>& state = cont->state;
   const RunId run = state->id;
+  const api::RunStatus terminal = cont->result.status;  // moved below
   cont->result.run = run;
   // The monitor write must precede mark_terminal: the instant the run is
   // GC-eligible a concurrent eviction may erase the monitor entry, and a
   // later write would resurrect it unerasable.
-  monitor_.set_workflow_status(run, api::run_status_name(cont->result.status));
+  monitor_.set_workflow_status(run, api::run_status_name(terminal));
+  double submitted_at = 0.0;
+  {
+    MutexLock lock(state->mutex);
+    submitted_at = state->submitted_at;
+  }
+  const double finished_at = fleetNow();
+  // Terminal telemetry BEFORE the status flip: a client returning from
+  // wait() (or polling the terminal status) is guaranteed the finished
+  // counter, the latency sample and the settle span are already recorded —
+  // a getMetrics/getRunTrace right after wait() never sees a settled run
+  // missing from the registry.
+  runs_finished_total_[static_cast<std::size_t>(terminal)]->inc();
+  if (telemetry_.metrics_enabled()) {
+    run_latency_seconds_[static_cast<std::size_t>(state->preferences.priority)]
+        ->observe(std::max(0.0, finished_at - submitted_at));
+  }
+  if (cont->trace) {
+    cont->trace->record(telemetry_.tracer().point("settle", finished_at,
+                                                  api::run_status_name(terminal)));
+  }
   {
     MutexLock lock(state->mutex);
     state->result = std::move(cont->result);
     state->status = state->result.status;
-    state->finished_at = fleetNow();
+    state->finished_at = finished_at;
     // Inside the state lock: a client that observes the terminal status
     // (poll/wait/result all take this lock) is guaranteed the run is
     // already GC-eligible in the table — listRuns/getRun never lag.
     run_table_.mark_terminal(run);
   }
   state->cv.notify_all();
+  if (cont->trace) {
+    // Outside all component locks, per the sink contract.
+    telemetry_.tracer().finalize(cont->trace);
+  }
+  if (Logger::enabled(LogLevel::kDebug)) {
+    orch_log().debug("run settled", {{"run", run},
+                                     {"status", api::run_status_name(terminal)},
+                                     {"latency_s", finished_at - submitted_at}});
+  }
   return StepOutcome::kFinished;
 }
 
@@ -659,6 +795,25 @@ void Qonductor::record_task_result(RunContinuation& cont, workflow::TaskId node,
 }
 
 StepOutcome Qonductor::step_run(const std::shared_ptr<RunContinuation>& cont) {
+  // Capture the context up front: after a parking step registers its
+  // settlement callback, `cont` may already be resuming on another worker
+  // and must not be dereferenced again (the span ring locks internally).
+  const obs::TraceContext trace = cont->trace;
+  if (!trace) return step_run_impl(cont);
+  const double virtual_start = fleetNow();
+  const double wall_start = telemetry_.tracer().wall_now_us();
+  const StepOutcome outcome = step_run_impl(cont);
+  if (outcome != StepOutcome::kFinished) {
+    // The finishing step's settle point stays the trace's last span (and
+    // the sink already exported it from settle_run).
+    trace->record(telemetry_.tracer().span(
+        "engine_step", virtual_start, fleetNow(), wall_start,
+        outcome == StepOutcome::kParked ? "parked" : "progress"));
+  }
+  return outcome;
+}
+
+StepOutcome Qonductor::step_run_impl(const std::shared_ptr<RunContinuation>& cont) {
   const std::shared_ptr<api::RunState>& state = cont->state;
   const RunId run = state->id;
 
@@ -706,11 +861,28 @@ StepOutcome Qonductor::step_run(const std::shared_ptr<RunContinuation>& cont) {
       // this node contributes only the error.
       return settle_task_failure(cont, task.name, pending->error);
     }
+    if (cont->trace) {
+      // The cycle's verdict fields are stable after settlement (see
+      // pending_queue.hpp) — stamp the dispatch edge at the cycle's own
+      // virtual fire time.
+      cont->trace->record(telemetry_.tracer().point(
+          "dispatch", pending->dispatched_at,
+          "qpu=" + std::to_string(pending->assigned_qpu)));
+    }
     try {
-      MutexLock lock(engine_mutex_);
-      TaskResult tr = execute_quantum_locked(
-          task, *prep, static_cast<std::size_t>(pending->assigned_qpu), ready_at,
-          pending->dispatched_at);
+      const double exec_wall_start =
+          cont->trace ? telemetry_.tracer().wall_now_us() : 0.0;
+      TaskResult tr;
+      {
+        MutexLock lock(engine_mutex_);
+        tr = execute_quantum_locked(
+            task, *prep, static_cast<std::size_t>(pending->assigned_qpu), ready_at,
+            pending->dispatched_at);
+      }
+      if (cont->trace) {
+        cont->trace->record(telemetry_.tracer().span(
+            "qpu_exec", tr.start, tr.end, exec_wall_start, "resource=" + tr.resource));
+      }
       record_task_result(*cont, node, std::move(tr));
     } catch (const std::exception& e) {
       return settle_task_failure(cont, task.name, api::Internal(e.what()));
@@ -753,11 +925,19 @@ StepOutcome Qonductor::step_run(const std::shared_ptr<RunContinuation>& cont) {
       // callback; no worker blocks on the scheduling cycle.
       return park_quantum_task(cont, task, ready);
     }
+    const double exec_wall_start =
+        cont->trace ? telemetry_.tracer().wall_now_us() : 0.0;
     api::Result<TaskResult> executed = task.kind == workflow::TaskKind::kQuantum
                                            ? run_quantum_immediate(state, task, ready)
                                            : run_classical_task(task, ready);
     if (!executed.ok()) {
       return settle_task_failure(cont, task.name, executed.status());
+    }
+    if (cont->trace) {
+      cont->trace->record(telemetry_.tracer().span(
+          task.kind == workflow::TaskKind::kQuantum ? "qpu_exec" : "task_classical",
+          executed->start, executed->end, exec_wall_start,
+          "resource=" + executed->resource));
     }
     record_task_result(*cont, node, *std::move(executed));
   } catch (const std::exception& e) {
@@ -792,11 +972,11 @@ std::shared_ptr<const QuantumTaskPrep> Qonductor::prepare_quantum_task(
     }
     const auto it = prep_cache_.find(&task);
     if (it != prep_cache_.end()) {
-      prep_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      prep_cache_hits_->inc();
       return it->second;
     }
   }
-  prep_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  prep_cache_misses_->inc();
 
   auto prep = std::make_shared<QuantumTaskPrep>();
   prep->transpiled.reserve(fleet_.backends.size());
@@ -905,6 +1085,22 @@ StepOutcome Qonductor::park_quantum_task(const std::shared_ptr<RunContinuation>&
   pending->priority = prefs.priority;
   pending->est_fidelity = prep->est_fidelity;
   pending->est_exec_seconds = prep->est_exec_seconds;
+  if (cont->trace) {
+    // Request-half fields: the scheduler thread reads them under the same
+    // happens-before as the rest (the queue's lock hand-off) and records
+    // queue_wait / cycle-stage spans into the ring before settlement.
+    pending->trace = cont->trace;
+    pending->enqueued_wall_us = telemetry_.tracer().wall_now_us();
+    cont->trace->record(telemetry_.tracer().point(
+        "park", pending->enqueued_at,
+        "task=" + task.name + " priority=" + api::priority_name(prefs.priority)));
+  }
+  if (Logger::enabled(LogLevel::kDebug)) {
+    orch_log().debug("quantum task parked",
+                     {{"run", state->id},
+                      {"task", task.name},
+                      {"priority", api::priority_name(prefs.priority)}});
+  }
 
   // Expose the parked task to cancel(): failing it and pulling it out of
   // the queue resumes the run immediately instead of at dispatch. fail()

@@ -61,6 +61,7 @@
 #include "core/run_engine.hpp"
 #include "core/run_table.hpp"
 #include "core/scheduler_service.hpp"
+#include "obs/telemetry.hpp"
 #include "core/system_monitor.hpp"
 #include "estimator/plans.hpp"
 #include "qpu/fleet.hpp"
@@ -144,6 +145,10 @@ struct QonductorConfig {
   AdmissionConfig admission;
   /// Garbage collection of terminal run records (see core::RunTable).
   RunRetentionPolicy retention;
+  /// Telemetry knobs (see obs::TelemetryConfig): run-lifecycle tracing,
+  /// histogram observations, trace retention, export sink. Counters backing
+  /// getSchedulerStats/getAdmissionStats/prepCacheHits are always on.
+  obs::TelemetryConfig telemetry;
   /// Observer called by the executor right before each task runs (tracing,
   /// test instrumentation). Must be thread-safe; called outside all locks.
   std::function<void(RunId, const std::string&)> on_task_start;
@@ -191,6 +196,17 @@ class Qonductor {
   /// waitlist statistics. All-zero waitlist fields in kImmediate mode.
   api::Result<api::GetAdmissionStatsResponse> getAdmissionStats(
       const api::GetAdmissionStatsRequest& request) const;
+  /// The retained lifecycle trace of one run: the ordered span set
+  /// submit -> settle, each span stamped with the fleet virtual clock AND
+  /// wall µs. kNotFound for unknown or retention-evicted run ids;
+  /// kFailedPrecondition when tracing is disabled in the config.
+  api::Result<api::GetRunTraceResponse> getRunTrace(
+      const api::GetRunTraceRequest& request) const;
+  /// One coherent pass over every registered instrument (counters, gauges,
+  /// histograms), stamped with both clocks. Feed it to
+  /// obs::render_prometheus / obs::render_json for export.
+  api::Result<api::GetMetricsResponse> getMetrics(
+      const api::GetMetricsRequest& request) const;
   /// Takes a QPU out of scheduling rotation (§7 reservations) via the
   /// monitor's reservation flag — separate from the `online` health flag,
   /// so reservations and device-manager faults compose. Scheduling
@@ -237,14 +253,16 @@ class Qonductor {
   /// like monitor(): owner-level access (tests use it to force shutdown
   /// interleavings against in-flight runs).
   SchedulerService* schedulerService() { return scheduler_service_.get(); }
+  /// The telemetry bundle (registry + tracer) every component records into.
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
   /// Transpile/estimate cache effectiveness (see prepare_quantum_task):
-  /// hits are runs that re-used a burst sibling's per-backend prep.
-  std::uint64_t prepCacheHits() const {
-    return prep_cache_hits_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t prepCacheMisses() const {
-    return prep_cache_misses_.load(std::memory_order_relaxed);
-  }
+  /// hits are runs that re-used a burst sibling's per-backend prep. Views
+  /// over the registry counters — for a hit RATIO coherent across both,
+  /// read qon_prep_cache_{hits,misses}_total from one getMetrics snapshot
+  /// instead of calling these back to back.
+  std::uint64_t prepCacheHits() const { return prep_cache_hits_->value(); }
+  std::uint64_t prepCacheMisses() const { return prep_cache_misses_->value(); }
 
  private:
   api::Status validate_invoke(const api::InvokeRequest& request,
@@ -265,12 +283,18 @@ class Qonductor {
                                         api::JobPreferences preferences);
 
   // -- run-engine state machine (one call = one event) --------------------------
+  /// Tracing wrapper around step_run_impl: records one "engine_step" span
+  /// per event (outcome in the detail). Captures the trace context BEFORE
+  /// stepping — after a parking step registers its settlement callback the
+  /// continuation may already be resuming on another worker and must not be
+  /// touched; the span ring itself locks internally.
+  StepOutcome step_run(const std::shared_ptr<RunContinuation>& cont);
   /// Advances a run by one DAG node: first event transitions kPending ->
   /// kRunning, a resume event collects the parked quantum task's verdict
   /// and executes on the assigned QPU, otherwise the cursor node runs
   /// (classical / immediate quantum inline; batch quantum parks). Never
   /// throws — task failures settle the run kFailed.
-  StepOutcome step_run(const std::shared_ptr<RunContinuation>& cont);
+  StepOutcome step_run_impl(const std::shared_ptr<RunContinuation>& cont);
   /// Writes the continuation's accumulated result into the run record,
   /// stamps finished_at, publishes the terminal status to the monitor
   /// (before mark_terminal, so a concurrent eviction can erase it) and
@@ -348,6 +372,12 @@ class Qonductor {
   /// monitor and thread-pool locks inside it.
   Mutex engine_mutex_{LockRank::kEngine, "Qonductor::engine_mutex_"};
 
+  /// The telemetry bundle (registry + tracer). Declared before the
+  /// scheduler service and the engine: runs draining through either during
+  /// destruction still record spans and bump counters, so the bundle must
+  /// be destroyed after both.
+  obs::Telemetry telemetry_;
+
   /// Verdict of construction-time config validation; a non-OK value is
   /// returned by invoke()/invokeAll() so bad scheduler knobs surface as a
   /// typed status instead of an exception crossing the API boundary.
@@ -374,14 +404,22 @@ class Qonductor {
   mutable std::deque<const workflow::HybridTask*> prep_cache_order_
       GUARDED_BY(prep_cache_mutex_);
   mutable std::uint64_t prep_cache_fingerprint_ GUARDED_BY(prep_cache_mutex_) = 0;
-  mutable std::atomic<std::uint64_t> prep_cache_hits_{0};
-  mutable std::atomic<std::uint64_t> prep_cache_misses_{0};
+  /// Registry counters (qon_prep_cache_{hits,misses}_total): lock-free
+  /// relaxed increments on the prepare path, read coherently by snapshot().
+  obs::Counter* prep_cache_hits_ = nullptr;
+  obs::Counter* prep_cache_misses_ = nullptr;
 
-  /// Admission-gate counters, indexed by api::Priority. Plain atomics: the
-  /// gate sits on the invoke() hot path and the counters feed a stats
-  /// endpoint, so relaxed increments are enough.
-  std::array<std::atomic<std::uint64_t>, api::kNumPriorities> admission_accepted_{};
-  std::array<std::atomic<std::uint64_t>, api::kNumPriorities> admission_shed_{};
+  /// Admission-gate counters, indexed by api::Priority — registry-backed
+  /// (qon_admission_{accepted,shed}_total{priority=...}): the gate sits on
+  /// the invoke() hot path, so increments stay single relaxed atomics.
+  std::array<obs::Counter*, api::kNumPriorities> admission_accepted_{};
+  std::array<obs::Counter*, api::kNumPriorities> admission_shed_{};
+
+  /// Run end-to-end virtual latency (submit -> settle) per priority class,
+  /// observed at settle when metrics are enabled.
+  std::array<obs::Histogram*, api::kNumPriorities> run_latency_seconds_{};
+  /// Settled runs per terminal status, indexed by api::RunStatus.
+  std::array<obs::Counter*, 5> runs_finished_total_{};
 
   /// Reservation time windows (§7): QPU name -> fleet-clock instant the
   /// reservation auto-releases. Open-ended reservations have no entry.

@@ -39,6 +39,10 @@
 #include "api/types.hpp"
 #include "common/thread_safety.hpp"
 
+namespace qon::obs {
+class RunTraceBuffer;  // obs/trace.hpp — opaque here, see `trace` below
+}  // namespace qon::obs
+
 namespace qon::core {
 
 /// One quantum task parked between its run's executor and the scheduler
@@ -63,6 +67,15 @@ struct PendingQuantumTask {
   /// cycle's sched::SchedulingInput.
   std::vector<double> est_fidelity;
   std::vector<double> est_exec_seconds;
+  /// The run's span ring (null when tracing is off). Part of the request
+  /// half — written before the task is offered, so the scheduler thread
+  /// reads it under the same happens-before the other request fields ride
+  /// (the queue's lock hand-off). The cycle records queue_wait / stage
+  /// spans into it BEFORE settling the task.
+  std::shared_ptr<obs::RunTraceBuffer> trace;
+  /// Wall clock (tracer µs) at offer time — the wall start of the
+  /// queue_wait span, paired with the virtual `enqueued_at`.
+  double enqueued_wall_us = 0.0;
 
   // ---- completion half: first writer wins ------------------------------------
   /// Assigns QPU `qpu` at virtual time `now` and wakes the executor.

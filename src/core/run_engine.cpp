@@ -102,4 +102,9 @@ std::uint64_t RunEngine::events_dispatched() const {
   return events_;
 }
 
+RunEngine::EngineStats RunEngine::stats() const {
+  MutexLock lock(mutex_);
+  return EngineStats{live_, peak_live_, events_};
+}
+
 }  // namespace qon::core

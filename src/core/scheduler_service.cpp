@@ -1,11 +1,28 @@
 #include "core/scheduler_service.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "common/logging.hpp"
 #include "common/stopwatch.hpp"
 
 namespace qon::core {
+
+namespace {
+
+const Logger& scheduler_log() {
+  static const Logger log("scheduler");
+  return log;
+}
+
+/// Stage/latency histogram bounds: scheduling cycles run 0.1 ms – seconds
+/// depending on batch size and NSGA-II generations.
+std::vector<double> stage_bounds() {
+  return {0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0};
+}
+
+}  // namespace
 
 api::Status validate_scheduler_config(const SchedulerServiceConfig& config) {
   if (config.queue_threshold == 0) {
@@ -43,13 +60,54 @@ api::SchedulerConfigView to_config_view(const SchedulerServiceConfig& config) {
 
 SchedulerService::SchedulerService(SchedulerServiceConfig config, std::uint64_t seed,
                                    sched::SchedulerConfig cycle_config,
-                                   SchedulerServiceHooks hooks)
+                                   SchedulerServiceHooks hooks, obs::Telemetry* telemetry)
     : config_(config),
       cycle_config_(cycle_config),
       hooks_(std::move(hooks)),
+      owned_telemetry_(telemetry ? nullptr : std::make_unique<obs::Telemetry>()),
+      telemetry_(telemetry ? telemetry : owned_telemetry_.get()),
+      cycles_total_(telemetry_->registry().counter(
+          "qon_sched_cycles_total", "Scheduling cycles fired (any trigger)")),
+      jobs_scheduled_total_(telemetry_->registry().counter(
+          "qon_sched_jobs_scheduled_total", "Jobs assigned a QPU by a cycle")),
+      jobs_filtered_total_(telemetry_->registry().counter(
+          "qon_sched_jobs_filtered_total", "Jobs rejected as fitting no online QPU")),
+      jobs_expired_total_(telemetry_->registry().counter(
+          "qon_sched_jobs_expired_total", "Jobs failed DEADLINE_EXCEEDED while parked")),
+      cycle_preprocess_seconds_(telemetry_->registry().histogram(
+          "qon_sched_cycle_preprocess_seconds",
+          "Wall time of the cycle's preprocessing (filter) stage", stage_bounds())),
+      cycle_optimize_seconds_(telemetry_->registry().histogram(
+          "qon_sched_cycle_optimize_seconds",
+          "Wall time of the cycle's NSGA-II optimization stage", stage_bounds())),
+      cycle_select_seconds_(telemetry_->registry().histogram(
+          "qon_sched_cycle_select_seconds",
+          "Wall time of the cycle's MCDM selection stage", stage_bounds())),
+      cycle_latency_seconds_(telemetry_->registry().histogram(
+          "qon_sched_cycle_latency_seconds",
+          "End-to-end wall time of one scheduling cycle", stage_bounds())),
       trigger_(config.queue_threshold, config.interval_seconds),
       rng_(seed),
       queue_(config.queue_capacity) {
+  // Callback gauges poll component state behind its own lock at snapshot
+  // time; legal because kPendingQueue/kQueueWaitlist rank above kMetrics.
+  // `this` outlives the registry only in the owned-bundle case, but the
+  // orchestrator destroys its Telemetry after the service either way.
+  auto& registry = telemetry_->registry();
+  registry.gauge_fn("qon_sched_queue_depth", "Pending-queue depth right now",
+                    [this] { return static_cast<double>(queue_.size()); });
+  registry.gauge_fn("qon_sched_queue_high_watermark",
+                    "Largest pending-queue depth ever observed",
+                    [this] { return static_cast<double>(queue_.high_watermark()); });
+  registry.gauge_fn("qon_sched_waitlist_depth",
+                    "Capacity-waitlist depth right now",
+                    [this] { return static_cast<double>(queue_.waitlist_depth()); });
+  registry.gauge_fn("qon_sched_waitlist_high_watermark",
+                    "Largest capacity-waitlist depth ever observed",
+                    [this] { return static_cast<double>(queue_.waitlist_high_watermark()); });
+  registry.counter_fn("qon_sched_waitlist_parks_total",
+                      "Offers parked on the capacity waitlist",
+                      [this] { return static_cast<double>(queue_.waitlist_parks()); });
   thread_ = std::thread([this] { run_loop(); });
 }
 
@@ -80,6 +138,14 @@ api::SchedulerStats SchedulerService::stats() const {
     MutexLock lock(stats_mutex_);
     snapshot = stats_;
   }
+  // The aggregate totals live in the metrics registry now; this surface is
+  // a view over the same instruments getMetrics exports. Counters are
+  // bumped under stats_mutex_ together with the ring appends, so a reader
+  // woken by a settlement still finds the settling cycle here.
+  snapshot.cycles = cycles_total_->value();
+  snapshot.jobs_scheduled = jobs_scheduled_total_->value();
+  snapshot.jobs_filtered = jobs_filtered_total_->value();
+  snapshot.jobs_expired = jobs_expired_total_->value();
   snapshot.queue_depth = queue_.size();
   snapshot.queue_high_watermark = queue_.high_watermark();
   return snapshot;
@@ -111,12 +177,26 @@ void SchedulerService::run_loop() {
   }
 }
 
+void SchedulerService::record_queue_wait(const PendingQueue::Item& item, double now,
+                                         std::string verdict) const {
+  if (!item->trace) return;
+  api::TraceSpan span;
+  span.name = "queue_wait";
+  span.detail = std::move(verdict);
+  span.virtual_start = item->enqueued_at;
+  span.virtual_end = now;
+  span.wall_start_us = item->enqueued_wall_us;
+  span.wall_end_us = telemetry_->tracer().wall_now_us();
+  item->trace->record(std::move(span));
+}
+
 void SchedulerService::fail_expired(const std::vector<PendingQueue::Item>& overdue,
                                     double now) {
   // Callers account the cycle in stats_ BEFORE this wakes any executor: a
   // client that observes its run DEADLINE_EXCEEDED must already find the
   // expiry in getSchedulerStats.
   for (const auto& item : overdue) {
+    record_queue_wait(item, now, "expired");
     item->fail(api::DeadlineExceeded(
                    "scheduling cycle: task '" + item->task_name + "' of run " +
                        std::to_string(item->run) + " missed its deadline (t=" +
@@ -127,7 +207,8 @@ void SchedulerService::fail_expired(const std::vector<PendingQueue::Item>& overd
 }
 
 void SchedulerService::append_cycle_locked(api::SchedulerCycleInfo& info) {
-  info.cycle = ++stats_.cycles;
+  cycles_total_->inc();
+  info.cycle = cycles_total_->value();
   stats_.recent_cycles.push_back(info);
   if (stats_.recent_cycles.size() > config_.stats_cycle_history) {
     stats_.recent_cycles.erase(stats_.recent_cycles.begin());
@@ -143,8 +224,11 @@ void SchedulerService::record_empty_cycle(double fired_at, api::CycleTrigger fir
   info.expired = expired;
   info.queue_depth_after = queue_.size();
   info.cycle_latency_seconds = latency_seconds;
+  if (telemetry_->metrics_enabled()) {
+    cycle_latency_seconds_->observe(latency_seconds);
+  }
   MutexLock lock(stats_mutex_);
-  stats_.jobs_expired += expired;
+  jobs_expired_total_->inc(expired);
   append_cycle_locked(info);
 }
 
@@ -265,9 +349,9 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
 
   {
     MutexLock lock(stats_mutex_);
-    stats_.jobs_scheduled += scheduled;
-    stats_.jobs_filtered += filtered;
-    stats_.jobs_expired += expired;
+    jobs_scheduled_total_->inc(scheduled);
+    jobs_filtered_total_->inc(filtered);
+    jobs_expired_total_->inc(expired);
     stats_.max_batch_size_seen = std::max(stats_.max_batch_size_seen, batch.size());
     append_cycle_locked(info);
     const auto append_bounded = [limit = config_.stats_wait_history](
@@ -286,11 +370,67 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
     }
   }
 
+  if (telemetry_->metrics_enabled()) {
+    cycle_preprocess_seconds_->observe(decision.preprocess_seconds);
+    cycle_optimize_seconds_->observe(decision.optimize_seconds);
+    cycle_select_seconds_->observe(decision.select_seconds);
+    cycle_latency_seconds_->observe(info.cycle_latency_seconds);
+  }
+  if (Logger::enabled(LogLevel::kDebug)) {
+    scheduler_log().debug("cycle complete",
+                          {{"cycle", info.cycle},
+                           {"trigger", api::cycle_trigger_name(fired_by)},
+                           {"batch", batch.size()},
+                           {"scheduled", scheduled},
+                           {"filtered", filtered},
+                           {"expired", expired}});
+  }
+
+  // Cycle-stage wall window, reconstructed backwards from this instant:
+  // MCDM selection just ended, NSGA-II before it, preprocessing first. Each
+  // batch member gets the stage spans of the cycle that decided it — the
+  // stages happened at one virtual instant (`now`), so only the wall clock
+  // spreads them out.
+  const double stages_end_us = telemetry_->tracer().wall_now_us();
+  const double select_us = decision.select_seconds * 1e6;
+  const double optimize_us = decision.optimize_seconds * 1e6;
+  const double preprocess_us = decision.preprocess_seconds * 1e6;
+  const std::string cycle_tag = "cycle=" + std::to_string(info.cycle);
+  const auto stage_span = [&](const char* name, double wall_start,
+                              double wall_end) {
+    api::TraceSpan span;
+    span.name = name;
+    span.detail = cycle_tag;
+    span.virtual_start = now;
+    span.virtual_end = now;
+    span.wall_start_us = wall_start;
+    span.wall_end_us = wall_end;
+    return span;
+  };
+
   // Now wake the executors: deadline-expired jobs fail DEADLINE_EXCEEDED,
   // assigned tasks proceed to their QPU, filtered jobs fail their run
-  // with the typed RESOURCE_EXHAUSTED.
+  // with the typed RESOURCE_EXHAUSTED. Spans are recorded per item BEFORE
+  // its settlement — the settlement edge publishes them to the resume step.
   fail_expired(overdue, now);
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i]->trace && cycle_error.ok()) {
+      const bool dispatched = decision.assignment[i] >= 0;
+      record_queue_wait(batch[i], now,
+                        dispatched ? "dispatched qpu=" +
+                                         std::to_string(decision.assignment[i])
+                                   : "filtered");
+      batch[i]->trace->record(stage_span(
+          "cycle_preprocess", stages_end_us - select_us - optimize_us - preprocess_us,
+          stages_end_us - select_us - optimize_us));
+      batch[i]->trace->record(stage_span("cycle_optimize",
+                                         stages_end_us - select_us - optimize_us,
+                                         stages_end_us - select_us));
+      batch[i]->trace->record(
+          stage_span("cycle_select", stages_end_us - select_us, stages_end_us));
+    } else if (batch[i]->trace) {
+      record_queue_wait(batch[i], now, "failed: " + cycle_error.message());
+    }
     if (!cycle_error.ok()) {
       batch[i]->fail(cycle_error, now);
     } else if (decision.assignment[i] < 0) {
@@ -299,6 +439,11 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
                                             "' fits no online QPU in the fleet"),
                      now);
     } else {
+      if (Logger::enabled(LogLevel::kDebug)) {
+        scheduler_log().debug("task dispatched", {{"run", batch[i]->run},
+                                                  {"task", batch[i]->task_name},
+                                                  {"qpu", decision.assignment[i]}});
+      }
       batch[i]->complete(decision.assignment[i], now);
     }
   }

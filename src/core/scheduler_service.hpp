@@ -40,6 +40,7 @@
 #include "common/rng.hpp"
 #include "common/thread_safety.hpp"
 #include "core/pending_queue.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/hybrid_scheduler.hpp"
 #include "sched/triggers.hpp"
 
@@ -100,9 +101,13 @@ class SchedulerService {
   /// Precondition: validate_scheduler_config(config).ok() — the trigger
   /// constructed here throws on bad knobs. `cycle_config` carries the MCDM
   /// preference and NSGA-II parameters; its nsga2.seed is re-rolled from
-  /// `seed` every cycle.
+  /// `seed` every cycle. `telemetry`, when given, must outlive the service
+  /// (the orchestrator declares its Telemetry before the service); null
+  /// falls back to a private bundle so standalone/unit-test construction
+  /// keeps working.
   SchedulerService(SchedulerServiceConfig config, std::uint64_t seed,
-                   sched::SchedulerConfig cycle_config, SchedulerServiceHooks hooks);
+                   sched::SchedulerConfig cycle_config, SchedulerServiceHooks hooks,
+                   obs::Telemetry* telemetry = nullptr);
   ~SchedulerService();
 
   SchedulerService(const SchedulerService&) = delete;
@@ -136,10 +141,18 @@ class SchedulerService {
   /// and joins it. Idempotent and safe to call concurrently.
   void shutdown();
 
-  /// Snapshot of the aggregate counters + bounded histories.
+  /// Snapshot of the aggregate counters + bounded histories. The aggregate
+  /// totals (cycles / scheduled / filtered / expired, queue depth and
+  /// watermark) are views over the metrics-registry instruments; the
+  /// bounded rings stay local. Shape and semantics are unchanged from the
+  /// pre-registry implementation.
   api::SchedulerStats stats() const;
 
   const SchedulerServiceConfig& config() const { return config_; }
+
+  /// The registry/tracer this service records into (the orchestrator's
+  /// bundle, or the private fallback).
+  obs::Telemetry& telemetry() const { return *telemetry_; }
 
  private:
   void run_loop();
@@ -154,12 +167,37 @@ class SchedulerService {
   void record_empty_cycle(double fired_at, api::CycleTrigger fired_by,
                           std::size_t expired, double latency_seconds);
   /// Stamps the cycle index into `info` and appends it to the bounded
-  /// recent_cycles history.
+  /// recent_cycles history. Bumps the cycle counter — the index IS the
+  /// counter value (single scheduler thread, so the read-after-inc is the
+  /// incremented value).
   void append_cycle_locked(api::SchedulerCycleInfo& info) REQUIRES(stats_mutex_);
+  /// Records the queue_wait span (enqueue -> verdict, both clocks) into a
+  /// settling item's trace ring. Must run BEFORE complete()/fail() — the
+  /// settlement edge is what publishes the span to the resuming run.
+  void record_queue_wait(const PendingQueue::Item& item, double now,
+                         std::string verdict) const;
 
   const SchedulerServiceConfig config_;
   const sched::SchedulerConfig cycle_config_;
   const SchedulerServiceHooks hooks_;
+
+  /// Fallback bundle when the constructor got no external telemetry;
+  /// telemetry_ is the one every record site uses. Declared before the
+  /// instruments and the thread: both reference it.
+  const std::unique_ptr<obs::Telemetry> owned_telemetry_;
+  obs::Telemetry* const telemetry_;
+
+  // Registry instruments (stable pointers; see obs/metrics.hpp). The
+  // counters back stats() and are always maintained; the stage histograms
+  // are gated on Telemetry::metrics_enabled().
+  obs::Counter* const cycles_total_;
+  obs::Counter* const jobs_scheduled_total_;
+  obs::Counter* const jobs_filtered_total_;
+  obs::Counter* const jobs_expired_total_;
+  obs::Histogram* const cycle_preprocess_seconds_;
+  obs::Histogram* const cycle_optimize_seconds_;
+  obs::Histogram* const cycle_select_seconds_;
+  obs::Histogram* const cycle_latency_seconds_;
 
   // Owned by the scheduler thread once it starts: the trigger's last-fire
   // state and the RNG feeding per-cycle NSGA-II seeds.

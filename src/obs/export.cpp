@@ -1,0 +1,168 @@
+#include "obs/export.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/thread_safety.hpp"
+
+namespace qon::obs {
+
+namespace {
+
+/// Minimal JSON string escape: the span/metric names and details are
+/// code-authored, but a detail may legitimately carry quotes or backslashes
+/// (e.g. a status message).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_number(double value) {
+  std::ostringstream out;
+  out << value;  // %g-style: compact, round-trips the magnitudes we emit
+  return out.str();
+}
+
+/// `name{labels}` or `name{labels,extra}` — merging the pre-rendered label
+/// set with a renderer-added label (the histogram `le`).
+std::string series(const std::string& name, const std::string& labels,
+                   const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name + "{" + labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra + "}";
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const api::MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  std::string last_family;  // one HELP/TYPE header per family
+  for (const auto& metric : snapshot.metrics) {
+    if (metric.name != last_family) {
+      out << "# HELP " << metric.name << " " << metric.help << "\n";
+      out << "# TYPE " << metric.name << " " << api::metric_kind_name(metric.kind)
+          << "\n";
+      last_family = metric.name;
+    }
+    switch (metric.kind) {
+      case api::MetricKind::kCounter:
+      case api::MetricKind::kGauge:
+        out << series(metric.name, metric.labels) << " " << format_number(metric.value)
+            << "\n";
+        break;
+      case api::MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < metric.bucket_bounds.size(); ++i) {
+          cumulative += metric.bucket_counts[i];
+          out << series(metric.name + "_bucket", metric.labels,
+                        "le=\"" + format_number(metric.bucket_bounds[i]) + "\"")
+              << " " << cumulative << "\n";
+        }
+        out << series(metric.name + "_bucket", metric.labels, "le=\"+Inf\"") << " "
+            << metric.count << "\n";
+        out << series(metric.name + "_sum", metric.labels) << " "
+            << format_number(metric.sum) << "\n";
+        out << series(metric.name + "_count", metric.labels) << " " << metric.count
+            << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string render_json(const api::MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"taken_at_virtual_s\": " << format_number(snapshot.taken_at_virtual)
+      << ",\n  \"taken_at_wall_us\": " << format_number(snapshot.taken_at_wall_us)
+      << ",\n  \"metrics\": [\n";
+  for (std::size_t m = 0; m < snapshot.metrics.size(); ++m) {
+    const auto& metric = snapshot.metrics[m];
+    out << "    {\"name\": \"" << json_escape(metric.name) << "\", \"kind\": \""
+        << api::metric_kind_name(metric.kind) << "\"";
+    if (!metric.labels.empty()) {
+      out << ", \"labels\": \"" << json_escape(metric.labels) << "\"";
+    }
+    if (metric.kind == api::MetricKind::kHistogram) {
+      out << ", \"sum\": " << format_number(metric.sum) << ", \"count\": " << metric.count
+          << ", \"buckets\": [";
+      for (std::size_t i = 0; i < metric.bucket_bounds.size(); ++i) {
+        out << (i != 0 ? ", " : "") << "{\"le\": " << format_number(metric.bucket_bounds[i])
+            << ", \"n\": " << metric.bucket_counts[i] << "}";
+      }
+      out << (metric.bucket_bounds.empty() ? "" : ", ")
+          << "{\"le\": \"+Inf\", \"n\": " << metric.inf_count << "}]";
+    } else {
+      out << ", \"value\": " << format_number(metric.value);
+    }
+    out << "}" << (m + 1 < snapshot.metrics.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string chrome_trace_events(const api::RunTrace& trace) {
+  std::ostringstream out;
+  for (const auto& span : trace.spans) {
+    const bool instant = span.wall_end_us <= span.wall_start_us;
+    out << "{\"name\": \"" << json_escape(span.name) << "\", \"ph\": \""
+        << (instant ? "i" : "X") << "\", \"ts\": " << format_number(span.wall_start_us);
+    if (instant) {
+      out << ", \"s\": \"t\"";  // thread-scoped instant
+    } else {
+      out << ", \"dur\": " << format_number(span.wall_end_us - span.wall_start_us);
+    }
+    out << ", \"pid\": 1, \"tid\": " << trace.run << ", \"args\": {\"virtual_start_s\": "
+        << format_number(span.virtual_start)
+        << ", \"virtual_end_s\": " << format_number(span.virtual_end);
+    if (!span.detail.empty()) {
+      out << ", \"detail\": \"" << json_escape(span.detail) << "\"";
+    }
+    out << "}}\n";
+  }
+  return out.str();
+}
+
+TraceSink make_jsonl_file_sink(std::string path) {
+  // Settles happen on concurrent engine workers, so the file appends are
+  // serialized by a sink-owned lock. Unranked leaf: the sink is invoked
+  // outside all component locks (finalize's contract) and takes none.
+  struct SinkState {
+    Mutex mutex{LockRank::kUnranked, "jsonl_file_sink"};
+    std::ofstream file;
+  };
+  auto state = std::make_shared<SinkState>();
+  state->file.open(path, std::ios::out | std::ios::trunc);
+  return [state](const api::RunTrace& trace) {
+    const std::string events = chrome_trace_events(trace);
+    MutexLock lock(state->mutex);
+    state->file << events;
+    state->file.flush();
+  };
+}
+
+}  // namespace qon::obs

@@ -1,0 +1,38 @@
+#pragma once
+// Exporters — the third pillar of the telemetry subsystem. Pure renderers
+// over the typed api snapshots (no locks, no registry access), so they can
+// run anywhere: the v1 getMetrics response feeds render_prometheus /
+// render_json, and a finished run's api::RunTrace feeds the Chrome
+// trace_event JSONL writer (load the file's events as a JSON array in
+// chrome://tracing or Perfetto).
+
+#include <string>
+
+#include "api/types.hpp"
+#include "obs/trace.hpp"
+
+namespace qon::obs {
+
+/// Prometheus text exposition (version 0.0.4): one HELP/TYPE header per
+/// family, counters/gauges as single samples, histograms as cumulative
+/// `le`-labeled buckets plus `_sum` / `_count`.
+std::string render_prometheus(const api::MetricsSnapshot& snapshot);
+
+/// The snapshot as a JSON document (CI artifact format): clocks plus one
+/// object per metric in registration order.
+std::string render_json(const api::MetricsSnapshot& snapshot);
+
+/// The trace as Chrome trace_event JSONL: one event object per line —
+/// complete ("X") events for closed spans, instant ("i") events for point
+/// spans — with ts/dur in wall µs, pid 1 and the run id as tid. Wrap the
+/// concatenated lines in [...] (make_jsonl_file_sink does not; a consumer
+/// joins lines with commas) to get a Chrome-loadable array. The fleet
+/// virtual clock rides along in each event's args.
+std::string chrome_trace_events(const api::RunTrace& trace);
+
+/// A TraceSink appending chrome_trace_events() of every finished run to
+/// `path` (created on first write). Internally serialized — settle runs on
+/// concurrent engine workers.
+TraceSink make_jsonl_file_sink(std::string path);
+
+}  // namespace qon::obs

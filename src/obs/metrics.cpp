@@ -1,0 +1,135 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace qon::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  // First bucket whose inclusive upper bound admits the value — the
+  // Prometheus `le` convention (value == bound lands IN the bucket).
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  if (it == bounds_.end()) {
+    inf_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+void Histogram::read(api::MetricValue& out) const {
+  out.bucket_bounds = bounds_;
+  out.bucket_counts.resize(bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    out.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out.inf_count = inf_.load(std::memory_order_relaxed);
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(const std::string& name,
+                                                     const std::string& labels) {
+  for (auto& entry : entries_) {
+    if (entry.name == name && entry.labels == labels) return &entry;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const std::string& labels) {
+  MutexLock lock(mutex_);
+  if (Entry* existing = find_locked(name, labels)) return existing->counter.get();
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.help = help;
+  entry.labels = labels;
+  entry.kind = api::MetricKind::kCounter;
+  entry.counter = std::make_unique<Counter>();
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  MutexLock lock(mutex_);
+  if (Entry* existing = find_locked(name, labels)) return existing->gauge.get();
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.help = help;
+  entry.labels = labels;
+  entry.kind = api::MetricKind::kGauge;
+  entry.gauge = std::make_unique<Gauge>();
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      std::vector<double> bounds,
+                                      const std::string& labels) {
+  MutexLock lock(mutex_);
+  if (Entry* existing = find_locked(name, labels)) return existing->histogram.get();
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.help = help;
+  entry.labels = labels;
+  entry.kind = api::MetricKind::kHistogram;
+  entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return entry.histogram.get();
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name, const std::string& help,
+                               std::function<double()> fn, const std::string& labels) {
+  MutexLock lock(mutex_);
+  if (find_locked(name, labels) != nullptr) return;
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.help = help;
+  entry.labels = labels;
+  entry.kind = api::MetricKind::kGauge;
+  entry.poll = std::move(fn);
+}
+
+void MetricsRegistry::counter_fn(const std::string& name, const std::string& help,
+                                 std::function<double()> fn, const std::string& labels) {
+  MutexLock lock(mutex_);
+  if (find_locked(name, labels) != nullptr) return;
+  Entry& entry = entries_.emplace_back();
+  entry.name = name;
+  entry.help = help;
+  entry.labels = labels;
+  entry.kind = api::MetricKind::kCounter;
+  entry.poll = std::move(fn);
+}
+
+api::MetricsSnapshot MetricsRegistry::snapshot() const {
+  api::MetricsSnapshot out;
+  MutexLock lock(mutex_);
+  out.metrics.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    api::MetricValue value;
+    value.name = entry.name;
+    value.help = entry.help;
+    value.labels = entry.labels;
+    value.kind = entry.kind;
+    if (entry.poll) {
+      value.value = entry.poll();
+    } else if (entry.counter) {
+      value.value = static_cast<double>(entry.counter->value());
+    } else if (entry.gauge) {
+      value.value = entry.gauge->value();
+    } else if (entry.histogram) {
+      entry.histogram->read(value);
+    }
+    out.metrics.push_back(std::move(value));
+  }
+  return out;
+}
+
+}  // namespace qon::obs

@@ -1,0 +1,150 @@
+#pragma once
+// Central metrics registry — the second pillar of the telemetry subsystem.
+//
+// Components register named counters, gauges and fixed-bucket histograms
+// once (at construction, behind the ranked registry mutex) and keep the
+// returned stable pointer; every hot-path update is then a lock-free atomic
+// on the instrument itself — an increment on the invoke() or settle path
+// never touches a mutex. Callback instruments (gauge_fn / counter_fn) wrap
+// values that already live behind a component's own lock (queue depth,
+// engine live runs): they are polled only at snapshot time, and the
+// registry's rank (LockRank::kMetrics) sits BELOW those component locks so
+// the poll nests legally.
+//
+// snapshot() reads every instrument in one pass under the registry lock,
+// which is what makes ratios computed from a single getMetrics call
+// (prep-cache hit rate, per-class shed fraction) coherent with each other —
+// the satellite fix for the previously scattered accessors that each read
+// their counter at a different instant.
+//
+// Naming convention (see ROADMAP.md "Observability"): families are
+// `qon_<component>_<noun>[_total|_seconds]`, labels are pre-rendered
+// `key="value"` strings (e.g. priority="batch") — one instrument per label
+// set, registered adjacently so the Prometheus renderer emits one
+// HELP/TYPE header per family.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/types.hpp"
+#include "common/thread_safety.hpp"
+
+namespace qon::obs {
+
+/// Adds `delta` to an atomic double via a CAS loop (fetch_add on
+/// floating-point atomics is C++20 but not reliably lowered everywhere).
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotone event counter. inc() is a single relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value that can move both ways.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) { atomic_add(value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: an observation
+/// lands in the FIRST bucket whose (inclusive) upper bound is >= the value;
+/// observations above the last bound count toward +Inf. Buckets are chosen
+/// at registration and never change, so observe() is a bucket search plus
+/// three relaxed atomics — no lock.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper bounds, sorted + deduplicated here.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Fills the bucket/sum/count fields of `out` (non-cumulative buckets).
+  void read(api::MetricValue& out) const;
+
+ private:
+  std::vector<double> bounds_;
+  /// One slot per bound; unique_ptr-owned array because std::atomic is not
+  /// movable and the bucket count is a runtime value.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> inf_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The registry: owns every instrument, hands out stable pointers, and
+/// serves the one-pass snapshot. Registration is idempotent on
+/// (name, labels): re-registering returns the existing instrument, so two
+/// components describing the same series share it instead of colliding.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// `labels` is the pre-rendered label set (e.g. `priority="batch"`),
+  /// empty for an unlabeled series. Pointers stay valid for the registry's
+  /// lifetime.
+  Counter* counter(const std::string& name, const std::string& help,
+                   const std::string& labels = "");
+  Gauge* gauge(const std::string& name, const std::string& help,
+               const std::string& labels = "");
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, const std::string& labels = "");
+
+  /// Callback instruments: `fn` is invoked at snapshot time under the
+  /// registry lock, so it may acquire component locks ranked above
+  /// LockRank::kMetrics (queue, engine, scheduler stats) but nothing below.
+  /// The callback must outlive the registry or never be polled after its
+  /// component dies (the orchestrator destroys the registry last).
+  void gauge_fn(const std::string& name, const std::string& help,
+                std::function<double()> fn, const std::string& labels = "");
+  void counter_fn(const std::string& name, const std::string& help,
+                  std::function<double()> fn, const std::string& labels = "");
+
+  /// Every instrument read in one pass, in registration order. The caller
+  /// (obs::Telemetry) stamps the snapshot's clocks.
+  api::MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    std::string labels;
+    api::MetricKind kind = api::MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> poll;  ///< callback instruments only
+  };
+
+  Entry* find_locked(const std::string& name, const std::string& labels)
+      REQUIRES(mutex_);
+
+  mutable Mutex mutex_{LockRank::kMetrics, "MetricsRegistry::mutex_"};
+  /// deque: grows without invalidating Entry addresses (instruments are
+  /// unique_ptr-owned anyway, but the poll callbacks live in the Entry).
+  std::deque<Entry> entries_ GUARDED_BY(mutex_);
+};
+
+}  // namespace qon::obs

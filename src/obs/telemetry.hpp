@@ -1,0 +1,72 @@
+#pragma once
+// The telemetry bundle: one MetricsRegistry + one Tracer + the knobs that
+// gate them, owned by the orchestrator (declared early, so it outlives the
+// engine and the scheduler service whose draining runs still record into
+// it). Components receive a Telemetry& / Telemetry* and register their
+// instruments at construction; the config gates the optional surfaces:
+//
+//   - tracing:  off -> no TraceContext is ever created, every record site
+//               short-circuits on the null pointer; getRunTrace returns
+//               FAILED_PRECONDITION.
+//   - metrics:  gates the OPTIONAL observations (latency/stage histograms).
+//               Counters and callback gauges backing the pre-existing stats
+//               surfaces (getSchedulerStats / getAdmissionStats /
+//               prepCacheHits) are ALWAYS maintained — those surfaces must
+//               not change behavior with telemetry off.
+
+#include <cstddef>
+
+#include "api/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace qon::obs {
+
+struct TelemetryConfig {
+  /// Per-run lifecycle tracing (spans + getRunTrace).
+  bool tracing = true;
+  /// Histogram observations (run latency, cycle stages). Counters backing
+  /// the legacy stats surfaces are unaffected by this knob.
+  bool metrics = true;
+  /// How many run traces the tracer retains (oldest-started evicted first).
+  std::size_t trace_runs = 1024;
+  /// Span-ring capacity per run; older spans drop once exceeded.
+  std::size_t trace_spans_per_run = 128;
+  /// Invoked with each finished run's trace at settle time, outside all
+  /// locks (e.g. obs::make_jsonl_file_sink). Must be thread-safe.
+  TraceSink trace_sink;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {})
+      : config_(std::move(config)),
+        tracer_(config_.trace_runs, config_.trace_spans_per_run, config_.trace_sink) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  const TelemetryConfig& config() const { return config_; }
+  bool tracing_enabled() const { return config_.tracing; }
+  bool metrics_enabled() const { return config_.metrics; }
+
+  /// One-pass registry snapshot stamped with both clocks.
+  api::MetricsSnapshot snapshot(double virtual_now) const {
+    api::MetricsSnapshot out = registry_.snapshot();
+    out.taken_at_virtual = virtual_now;
+    out.taken_at_wall_us = tracer_.wall_now_us();
+    return out;
+  }
+
+ private:
+  const TelemetryConfig config_;
+  MetricsRegistry registry_;
+  Tracer tracer_;
+};
+
+}  // namespace qon::obs

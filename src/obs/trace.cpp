@@ -1,0 +1,94 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qon::obs {
+
+RunTraceBuffer::RunTraceBuffer(api::RunId run, std::size_t capacity)
+    : run_(run), capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void RunTraceBuffer::record(api::TraceSpan span) {
+  MutexLock lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    // Wrapped: overwrite the oldest slot and advance the ring head.
+    ring_[next_] = std::move(span);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+api::RunTrace RunTraceBuffer::snapshot() const {
+  api::RunTrace out;
+  out.run = run_;
+  MutexLock lock(mutex_);
+  out.recorded = recorded_;
+  out.dropped = recorded_ - ring_.size();
+  out.spans.reserve(ring_.size());
+  // Oldest-first: from the ring head around; before wrap, next_ is 0 and
+  // this is a plain copy.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.spans.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+Tracer::Tracer(std::size_t max_runs, std::size_t spans_per_run, TraceSink sink)
+    : max_runs_(std::max<std::size_t>(1, max_runs)),
+      spans_per_run_(spans_per_run),
+      sink_(std::move(sink)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceContext Tracer::start(api::RunId run) {
+  auto buffer = std::make_shared<RunTraceBuffer>(run, spans_per_run_);
+  MutexLock lock(mutex_);
+  traces_[run] = buffer;
+  order_.push_back(run);
+  while (traces_.size() > max_runs_) {
+    traces_.erase(order_.front());
+    order_.pop_front();
+  }
+  return buffer;
+}
+
+void Tracer::finalize(const TraceContext& trace) const {
+  if (sink_ && trace) sink_(trace->snapshot());
+}
+
+api::Result<api::RunTrace> Tracer::trace(api::RunId run) const {
+  MutexLock lock(mutex_);
+  const auto it = traces_.find(run);
+  if (it == traces_.end()) {
+    return api::NotFound("getRunTrace: no trace for run " + std::to_string(run) +
+                         " (unknown id, or evicted from the trace retention window)");
+  }
+  return it->second->snapshot();
+}
+
+api::TraceSpan Tracer::point(const char* name, double virtual_now,
+                             std::string detail) const {
+  api::TraceSpan span;
+  span.name = name;
+  span.detail = std::move(detail);
+  span.virtual_start = virtual_now;
+  span.virtual_end = virtual_now;
+  span.wall_start_us = wall_now_us();
+  span.wall_end_us = span.wall_start_us;
+  return span;
+}
+
+api::TraceSpan Tracer::span(const char* name, double virtual_start, double virtual_end,
+                            double wall_start_us, std::string detail) const {
+  api::TraceSpan span;
+  span.name = name;
+  span.detail = std::move(detail);
+  span.virtual_start = virtual_start;
+  span.virtual_end = virtual_end;
+  span.wall_start_us = wall_start_us;
+  span.wall_end_us = wall_now_us();
+  return span;
+}
+
+}  // namespace qon::obs

@@ -1,0 +1,116 @@
+#pragma once
+// Run-lifecycle tracing — the first pillar of the telemetry subsystem.
+//
+// Every run carries a TraceContext (a shared_ptr to its RunTraceBuffer) on
+// its RunContinuation and on each parked PendingQuantumTask; a null context
+// means tracing is off and every record call is skipped at the call site.
+// Spans stamp BOTH clocks — the fleet virtual clock (simulated seconds) and
+// a steady wall clock (µs since the tracer's construction) — so a reader
+// can answer "where did run 4711's 90 ms go?" in either domain.
+//
+// Writer model: a span is recorded either by the engine worker currently
+// driving the run (one event per run is in flight at a time) or by the
+// scheduler thread BEFORE it settles the run's parked task — the
+// settlement happens-before edge then orders those writes against the
+// resume step's. The per-buffer mutex therefore mostly guards writers
+// against concurrent READERS (getRunTrace, the export sink); the one
+// genuine writer/writer window — a parking step's trailing engine_step
+// span racing the resume on another worker — interleaves safely under it.
+//
+// Each buffer is a bounded ring: a run recording more spans than the ring
+// holds drops the oldest and counts them, so a pathological run cannot grow
+// memory without bound. The tracer itself retains at most `max_runs`
+// traces, evicting oldest-started first — getRunTrace on an evicted (or
+// never-traced) id is NOT_FOUND, mirroring the run table's retention
+// contract.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "api/result.hpp"
+#include "api/types.hpp"
+#include "common/thread_safety.hpp"
+
+namespace qon::obs {
+
+/// The bounded span ring of one run.
+class RunTraceBuffer {
+ public:
+  RunTraceBuffer(api::RunId run, std::size_t capacity);
+
+  /// Appends a span, dropping the oldest once `capacity` is exceeded.
+  void record(api::TraceSpan span);
+
+  /// The retained spans in record order, plus the drop accounting.
+  api::RunTrace snapshot() const;
+
+  api::RunId run() const { return run_; }
+
+ private:
+  const api::RunId run_;
+  const std::size_t capacity_;
+  mutable Mutex mutex_{LockRank::kTraceBuffer, "RunTraceBuffer::mutex_"};
+  /// Ring storage: `next_` is the oldest slot once the ring has wrapped.
+  std::vector<api::TraceSpan> ring_ GUARDED_BY(mutex_);
+  std::size_t next_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t recorded_ GUARDED_BY(mutex_) = 0;
+};
+
+/// Carried on RunContinuation / PendingQuantumTask; null = tracing off.
+using TraceContext = std::shared_ptr<RunTraceBuffer>;
+
+/// Invoked with a finished run's trace at settle time (outside all locks).
+using TraceSink = std::function<void(const api::RunTrace&)>;
+
+/// Owns every live trace buffer and the bounded retention window.
+class Tracer {
+ public:
+  /// Retains at most `max_runs` traces (oldest-started evicted first);
+  /// each ring holds `spans_per_run` spans. `sink`, when set, receives each
+  /// finished run's trace from finalize().
+  Tracer(std::size_t max_runs, std::size_t spans_per_run, TraceSink sink = nullptr);
+
+  /// Creates + registers the buffer for `run`, evicting the oldest trace
+  /// beyond the retention bound (an evicted in-flight run keeps recording
+  /// into its buffer through the shared_ptr; only the lookup is gone).
+  TraceContext start(api::RunId run);
+
+  /// Feeds the finished trace to the sink (if configured). The trace stays
+  /// queryable until evicted by later start() calls.
+  void finalize(const TraceContext& trace) const;
+
+  /// The retained trace of `run`; kNotFound for unknown / evicted ids.
+  api::Result<api::RunTrace> trace(api::RunId run) const;
+
+  /// Wall clock in µs since this tracer was constructed (steady).
+  double wall_now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// A point span (start == end on both clocks) stamped `virtual_now` /
+  /// wall-now. Convenience for the lifecycle-edge call sites.
+  api::TraceSpan point(const char* name, double virtual_now,
+                       std::string detail = "") const;
+  /// A closed span: [virtual_start, virtual_end] × [wall_start_us, wall-now].
+  api::TraceSpan span(const char* name, double virtual_start, double virtual_end,
+                      double wall_start_us, std::string detail = "") const;
+
+ private:
+  const std::size_t max_runs_;
+  const std::size_t spans_per_run_;
+  const TraceSink sink_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable Mutex mutex_{LockRank::kTracer, "Tracer::mutex_"};
+  std::unordered_map<api::RunId, TraceContext> traces_ GUARDED_BY(mutex_);
+  std::deque<api::RunId> order_ GUARDED_BY(mutex_);  ///< start order, oldest first
+};
+
+}  // namespace qon::obs

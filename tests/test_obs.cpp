@@ -1,0 +1,506 @@
+// Tests for the telemetry subsystem (src/obs/): metrics-registry instrument
+// semantics (Prometheus le-inclusive histogram buckets, counter/gauge
+// concurrency, idempotent registration), trace ring wraparound and tracer
+// retention, the Prometheus/JSON renderers, the end-to-end run-lifecycle
+// trace surface (batch AND immediate mode, both clocks on every span), the
+// getRunTrace error contract, and the stats-surface coherence guarantee:
+// getSchedulerStats / getAdmissionStats / prepCacheHits are views over the
+// same registry instruments one getMetrics snapshot exports.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/client.hpp"
+#include "circuit/library.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace qon {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- Histogram: Prometheus le-inclusive bucket semantics ---------------------
+
+TEST(ObsHistogram, LeInclusiveBucketBoundaries) {
+  obs::Histogram hist({1.0, 2.0});
+  hist.observe(1.0);  // == bound 1 -> bucket 0 (le is inclusive)
+  hist.observe(1.5);  // -> bucket 1
+  hist.observe(2.0);  // == bound 2 -> bucket 1
+  hist.observe(2.1);  // above the last bound -> +Inf
+
+  api::MetricValue value;
+  hist.read(value);
+  ASSERT_EQ(value.bucket_bounds.size(), 2u);
+  EXPECT_EQ(value.bucket_counts[0], 1u);
+  EXPECT_EQ(value.bucket_counts[1], 2u);
+  EXPECT_EQ(value.inf_count, 1u);
+  EXPECT_EQ(value.count, 4u);
+  EXPECT_DOUBLE_EQ(value.sum, 1.0 + 1.5 + 2.0 + 2.1);
+}
+
+TEST(ObsHistogram, BoundsAreSortedAndDeduplicated) {
+  obs::Histogram hist({5.0, 1.0, 5.0, 3.0});
+  ASSERT_EQ(hist.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(hist.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(hist.bounds()[2], 5.0);
+}
+
+// ---- Counter / Gauge: lock-free updates stay exact under contention ----------
+
+TEST(ObsMetrics, CounterAndGaugeConcurrency) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.counter("t_events_total", "test");
+  obs::Gauge* gauge = registry.gauge("t_level", "test");
+  obs::Histogram* hist = registry.histogram("t_latency", "test", {0.5});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->inc();
+        gauge->add(1.0);
+        hist->observe(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter->value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(gauge->value(), static_cast<double>(kThreads * kPerThread));
+  api::MetricValue value;
+  hist->read(value);
+  EXPECT_EQ(value.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(value.bucket_counts[0], value.inf_count);  // even/odd split
+}
+
+TEST(ObsMetrics, RegistrationIsIdempotentPerLabelSet) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.counter("t_total", "test", "priority=\"batch\"");
+  obs::Counter* b = registry.counter("t_total", "test", "priority=\"batch\"");
+  obs::Counter* c = registry.counter("t_total", "test", "priority=\"standard\"");
+  EXPECT_EQ(a, b);    // same (name, labels) -> same instrument
+  EXPECT_NE(a, c);    // different label set -> distinct series
+  a->inc(3);
+  c->inc(1);
+
+  registry.gauge_fn("t_cb", "test", [] { return 7.0; });
+  const api::MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.metrics.size(), 3u);  // two series + the callback gauge
+  EXPECT_DOUBLE_EQ(snapshot.metrics[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(snapshot.metrics[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.metrics[2].value, 7.0);
+}
+
+// ---- RunTraceBuffer: bounded ring with drop accounting -----------------------
+
+TEST(ObsTrace, RingWrapsAndCountsDrops) {
+  obs::RunTraceBuffer buffer(42, 4);
+  for (int i = 0; i < 10; ++i) {
+    api::TraceSpan span;
+    span.name = "span-" + std::to_string(i);
+    span.virtual_start = span.virtual_end = static_cast<double>(i);
+    buffer.record(std::move(span));
+  }
+  const api::RunTrace trace = buffer.snapshot();
+  EXPECT_EQ(trace.run, 42u);
+  ASSERT_EQ(trace.spans.size(), 4u);
+  EXPECT_EQ(trace.recorded, 10u);
+  EXPECT_EQ(trace.dropped, 6u);
+  // Oldest retained first: spans 6..9 survive in record order.
+  EXPECT_EQ(trace.spans.front().name, "span-6");
+  EXPECT_EQ(trace.spans.back().name, "span-9");
+}
+
+TEST(ObsTrace, TracerEvictsOldestBeyondRetention) {
+  obs::Tracer tracer(/*max_runs=*/2, /*spans_per_run=*/8);
+  tracer.start(1);
+  tracer.start(2);
+  tracer.start(3);  // evicts run 1
+  EXPECT_EQ(tracer.trace(1).status().code(), api::StatusCode::kNotFound);
+  EXPECT_TRUE(tracer.trace(2).ok());
+  EXPECT_TRUE(tracer.trace(3).ok());
+  EXPECT_EQ(tracer.trace(99).status().code(), api::StatusCode::kNotFound);
+}
+
+TEST(ObsTrace, FinalizeFeedsSinkOutsideTheMapLock) {
+  std::vector<api::RunTrace> finished;
+  obs::Tracer tracer(4, 8, [&finished](const api::RunTrace& trace) {
+    finished.push_back(trace);
+  });
+  const obs::TraceContext trace = tracer.start(7);
+  trace->record(tracer.point("submit", 0.0));
+  tracer.finalize(trace);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0].run, 7u);
+  ASSERT_EQ(finished[0].spans.size(), 1u);
+  EXPECT_EQ(finished[0].spans[0].name, "submit");
+}
+
+// ---- Exporters ---------------------------------------------------------------
+
+TEST(ObsExport, PrometheusRendersCumulativeBucketsAndOneHeaderPerFamily) {
+  obs::MetricsRegistry registry;
+  registry.counter("t_total", "counted", "priority=\"batch\"")->inc(2);
+  registry.counter("t_total", "counted", "priority=\"standard\"")->inc(5);
+  obs::Histogram* hist = registry.histogram("t_seconds", "timed", {1.0, 2.0});
+  hist->observe(0.5);
+  hist->observe(1.5);
+  hist->observe(9.0);
+
+  const std::string text = obs::render_prometheus(registry.snapshot());
+  // One HELP/TYPE header per family even with two label sets.
+  EXPECT_EQ(text.find("# HELP t_total counted"), text.rfind("# HELP t_total counted"));
+  EXPECT_NE(text.find("t_total{priority=\"batch\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("t_total{priority=\"standard\"} 5"), std::string::npos);
+  // Cumulative le series: 1 at le=1, 2 at le=2, 3 at +Inf == _count.
+  EXPECT_NE(text.find("t_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("t_seconds_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("t_seconds_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("t_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("t_seconds_sum 11"), std::string::npos);
+}
+
+TEST(ObsExport, ChromeTraceEventsEmitOneJsonObjectPerSpan) {
+  api::RunTrace trace;
+  trace.run = 11;
+  api::TraceSpan closed;
+  closed.name = "qpu_exec";
+  closed.wall_start_us = 10.0;
+  closed.wall_end_us = 250.0;
+  trace.spans.push_back(closed);
+  api::TraceSpan instant;
+  instant.name = "settle";
+  instant.wall_start_us = instant.wall_end_us = 300.0;
+  trace.spans.push_back(instant);
+
+  const std::string jsonl = obs::chrome_trace_events(trace);
+  EXPECT_NE(jsonl.find("\"ph\": \"X\""), std::string::npos);  // closed span
+  EXPECT_NE(jsonl.find("\"dur\": 240"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ph\": \"i\""), std::string::npos);  // point span
+  EXPECT_NE(jsonl.find("\"tid\": 11"), std::string::npos);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+}
+
+// ---- the run-lifecycle trace surface end to end ------------------------------
+
+workflow::ImageId deploy_quantum(api::QonductorClient& client, const std::string& name) {
+  api::CreateWorkflowRequest create;
+  create.name = name;
+  create.tasks.push_back(workflow::HybridTask::quantum("ghz", circuit::ghz(3), 64));
+  auto created = client.createWorkflow(std::move(create));
+  EXPECT_TRUE(created.ok()) << created.status().to_string();
+  api::DeployRequest deploy;
+  deploy.image = created->image;
+  auto deployed = client.deploy(deploy);
+  EXPECT_TRUE(deployed.ok()) << deployed.status().to_string();
+  return created->image;
+}
+
+std::ptrdiff_t span_index(const api::RunTrace& trace, const std::string& name) {
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    if (trace.spans[i].name == name) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+TEST(ObsEndToEnd, BatchModeTraceCoversSubmitToSettleOnBothClocks) {
+  core::QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 11;
+  config.trajectory_width_limit = 0;  // analytic model: fast
+  config.scheduler_service.queue_threshold = 1;
+  config.scheduler_service.linger = 5ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "trace-batch");
+
+  api::InvokeRequest request;
+  request.image = image;
+  request.preferences.priority = api::Priority::kInteractive;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  ASSERT_EQ(handle->wait(), api::RunStatus::kCompleted);
+
+  api::GetRunTraceRequest trace_request;
+  trace_request.run = handle->id();
+  auto response = client.getRunTrace(trace_request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  const api::RunTrace& trace = response->trace;
+  EXPECT_EQ(trace.run, handle->id());
+  EXPECT_EQ(trace.dropped, 0u);
+
+  // The full batch-mode lifecycle, in record order: admission, park into
+  // the pending queue, the cycle's queue-wait + stage spans, dispatch,
+  // execution, settlement.
+  const std::vector<std::string> expected = {
+      "submit",         "admitted",       "park",    "queue_wait",
+      "cycle_preprocess", "cycle_optimize", "cycle_select", "dispatch",
+      "qpu_exec",       "settle"};
+  std::ptrdiff_t previous = -1;
+  for (const auto& name : expected) {
+    const std::ptrdiff_t index = span_index(trace, name);
+    ASSERT_GE(index, 0) << "missing span " << name;
+    EXPECT_GT(index, previous) << "span " << name << " out of order";
+    previous = index;
+  }
+  // Every span carries both clocks, well-formed.
+  for (const auto& span : trace.spans) {
+    EXPECT_GE(span.virtual_end, span.virtual_start) << span.name;
+    EXPECT_GE(span.wall_end_us, span.wall_start_us) << span.name;
+  }
+  // The queue-wait span carries the dispatch verdict.
+  const auto& wait = trace.spans[static_cast<std::size_t>(span_index(trace, "queue_wait"))];
+  EXPECT_NE(wait.detail.find("dispatched qpu="), std::string::npos) << wait.detail;
+  // The settle point sits at the run's terminal virtual time.
+  const auto& settle = trace.spans[static_cast<std::size_t>(span_index(trace, "settle"))];
+  EXPECT_EQ(settle.detail, "completed");
+}
+
+TEST(ObsEndToEnd, ImmediateModeRunsAreTracedToo) {
+  core::QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 12;
+  config.trajectory_width_limit = 0;
+  config.scheduler_service.mode = api::SchedulingMode::kImmediate;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "trace-immediate");
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  ASSERT_EQ(handle->wait(), api::RunStatus::kCompleted);
+
+  api::GetRunTraceRequest trace_request;
+  trace_request.run = handle->id();
+  auto response = client.getRunTrace(trace_request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  // No park/queue_wait in immediate mode — but the lifecycle frame and the
+  // execution span are all there, ordered.
+  std::ptrdiff_t previous = -1;
+  for (const auto& name : {"submit", "qpu_exec", "settle"}) {
+    const std::ptrdiff_t index = span_index(response->trace, name);
+    ASSERT_GE(index, 0) << "missing span " << name;
+    EXPECT_GT(index, previous);
+    previous = index;
+  }
+  EXPECT_EQ(span_index(response->trace, "park"), -1);
+}
+
+TEST(ObsEndToEnd, GetRunTraceErrorContract) {
+  core::QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 13;
+  config.trajectory_width_limit = 0;
+  config.telemetry.trace_runs = 1;  // retention window of a single run
+  config.scheduler_service.queue_threshold = 1;
+  config.scheduler_service.linger = 5ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "trace-evict");
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto first = client.invoke(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->wait(), api::RunStatus::kCompleted);
+  auto second = client.invoke(request);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->wait(), api::RunStatus::kCompleted);
+
+  // Unknown id -> NOT_FOUND.
+  api::GetRunTraceRequest unknown;
+  unknown.run = 424242;
+  EXPECT_EQ(client.getRunTrace(unknown).status().code(), api::StatusCode::kNotFound);
+  // The first run's trace was evicted by the second (retention = 1).
+  api::GetRunTraceRequest evicted;
+  evicted.run = first->id();
+  EXPECT_EQ(client.getRunTrace(evicted).status().code(), api::StatusCode::kNotFound);
+  api::GetRunTraceRequest retained;
+  retained.run = second->id();
+  EXPECT_TRUE(client.getRunTrace(retained).ok());
+
+  // Tracing disabled -> FAILED_PRECONDITION (and no spans are recorded).
+  core::QonductorConfig off_config = config;
+  off_config.telemetry.tracing = false;
+  api::QonductorClient off(off_config);
+  const auto off_image = deploy_quantum(off, "trace-off");
+  api::InvokeRequest off_request;
+  off_request.image = off_image;
+  auto off_handle = off.invoke(off_request);
+  ASSERT_TRUE(off_handle.ok());
+  ASSERT_EQ(off_handle->wait(), api::RunStatus::kCompleted);
+  api::GetRunTraceRequest off_trace;
+  off_trace.run = off_handle->id();
+  EXPECT_EQ(off.getRunTrace(off_trace).status().code(),
+            api::StatusCode::kFailedPrecondition);
+}
+
+// ---- stats surfaces as registry views ----------------------------------------
+
+double metric_value(const api::MetricsSnapshot& snapshot, const std::string& name,
+                    const std::string& labels = "") {
+  for (const auto& metric : snapshot.metrics) {
+    if (metric.name == name && metric.labels == labels) return metric.value;
+  }
+  ADD_FAILURE() << "metric not found: " << name << "{" << labels << "}";
+  return -1.0;
+}
+
+TEST(ObsEndToEnd, LegacyStatsSurfacesMatchOneRegistrySnapshot) {
+  constexpr std::size_t kRuns = 12;
+  core::QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 14;
+  config.trajectory_width_limit = 0;
+  config.retention.max_terminal_runs = kRuns + 8;
+  config.scheduler_service.queue_threshold = 4;
+  config.scheduler_service.linger = 5ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "stats-view");
+
+  std::vector<api::InvokeRequest> requests(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    requests[i].image = image;
+    requests[i].preferences.priority =
+        static_cast<api::Priority>(i % api::kNumPriorities);
+  }
+  auto handles = client.invokeAll(requests);
+  ASSERT_TRUE(handles.ok()) << handles.status().to_string();
+  for (auto& handle : *handles) ASSERT_EQ(handle.wait(), api::RunStatus::kCompleted);
+  // wait() returns when the terminal status is published; the engine worker
+  // retires the finishing continuation just after. Drain to quiescence so
+  // the live-run gauge assertion below is deterministic.
+  auto& backend = client.backend();
+  for (int i = 0; i < 2000 && backend.runEngine().stats().live_runs != 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  // Quiescent system: the legacy surfaces and a registry snapshot must
+  // agree exactly — they are views over the same instruments.
+  auto metrics = client.getMetrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().to_string();
+  const api::MetricsSnapshot& snapshot = metrics->snapshot;
+
+  auto sched = client.getSchedulerStats();
+  ASSERT_TRUE(sched.ok());
+  EXPECT_EQ(static_cast<double>(sched->stats.cycles),
+            metric_value(snapshot, "qon_sched_cycles_total"));
+  EXPECT_EQ(static_cast<double>(sched->stats.jobs_scheduled),
+            metric_value(snapshot, "qon_sched_jobs_scheduled_total"));
+  EXPECT_EQ(sched->stats.jobs_scheduled, kRuns);
+  EXPECT_EQ(static_cast<double>(sched->stats.jobs_filtered),
+            metric_value(snapshot, "qon_sched_jobs_filtered_total"));
+  EXPECT_EQ(static_cast<double>(sched->stats.jobs_expired),
+            metric_value(snapshot, "qon_sched_jobs_expired_total"));
+
+  auto admission = client.getAdmissionStats();
+  ASSERT_TRUE(admission.ok());
+  double accepted_total = 0.0;
+  for (std::size_t p = 0; p < api::kNumPriorities; ++p) {
+    const std::string label =
+        std::string("priority=\"") +
+        api::priority_name(static_cast<api::Priority>(p)) + "\"";
+    EXPECT_EQ(static_cast<double>(admission->stats.accepted[p]),
+              metric_value(snapshot, "qon_admission_accepted_total", label));
+    accepted_total += static_cast<double>(admission->stats.accepted[p]);
+  }
+  EXPECT_EQ(accepted_total, static_cast<double>(kRuns));
+
+  // The satellite fix: hit/miss ratio from ONE snapshot is coherent — and
+  // the accessor pair agrees with it on a quiescent system.
+  EXPECT_EQ(static_cast<double>(backend.prepCacheHits()),
+            metric_value(snapshot, "qon_prep_cache_hits_total"));
+  EXPECT_EQ(static_cast<double>(backend.prepCacheMisses()),
+            metric_value(snapshot, "qon_prep_cache_misses_total"));
+  EXPECT_EQ(backend.prepCacheHits() + backend.prepCacheMisses(), kRuns);
+
+  EXPECT_EQ(static_cast<double>(backend.runEngine().peak_live_runs()),
+            metric_value(snapshot, "qon_engine_peak_live_runs"));
+  EXPECT_EQ(metric_value(snapshot, "qon_engine_live_runs"), 0.0);
+  EXPECT_EQ(metric_value(snapshot, "qon_runs_finished_total", "status=\"completed\""),
+            static_cast<double>(kRuns));
+
+  // Histograms observed: one run-latency sample per settled run.
+  std::uint64_t latency_samples = 0;
+  for (const auto& metric : snapshot.metrics) {
+    if (metric.name == "qon_run_latency_seconds") latency_samples += metric.count;
+  }
+  EXPECT_EQ(latency_samples, kRuns);
+}
+
+TEST(ObsEndToEnd, MetricsKnobOffStillServesLegacySurfaces) {
+  core::QonductorConfig config;
+  config.num_qpus = 2;
+  config.seed = 15;
+  config.trajectory_width_limit = 0;
+  config.telemetry.metrics = false;  // gates ONLY histogram observations
+  config.scheduler_service.queue_threshold = 1;
+  config.scheduler_service.linger = 5ms;
+  api::QonductorClient client(config);
+  const auto image = deploy_quantum(client, "metrics-off");
+
+  api::InvokeRequest request;
+  request.image = image;
+  auto handle = client.invoke(request);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_EQ(handle->wait(), api::RunStatus::kCompleted);
+
+  auto sched = client.getSchedulerStats();
+  ASSERT_TRUE(sched.ok());
+  EXPECT_GE(sched->stats.cycles, 1u);      // counters stay maintained
+  EXPECT_EQ(sched->stats.jobs_scheduled, 1u);
+
+  auto metrics = client.getMetrics();
+  ASSERT_TRUE(metrics.ok());
+  std::uint64_t histogram_samples = 0;
+  for (const auto& metric : metrics->snapshot.metrics) {
+    if (metric.kind == api::MetricKind::kHistogram) histogram_samples += metric.count;
+  }
+  EXPECT_EQ(histogram_samples, 0u);  // observations gated off
+}
+
+TEST(ObsEndToEnd, JsonlTraceSinkReceivesEveryFinishedRun) {
+  const std::string path = ::testing::TempDir() + "qon_trace_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    core::QonductorConfig config;
+    config.num_qpus = 2;
+    config.seed = 16;
+    config.trajectory_width_limit = 0;
+    config.telemetry.trace_sink = obs::make_jsonl_file_sink(path);
+    config.scheduler_service.queue_threshold = 1;
+    config.scheduler_service.linger = 5ms;
+    api::QonductorClient client(config);
+    const auto image = deploy_quantum(client, "sink");
+    api::InvokeRequest request;
+    request.image = image;
+    auto handle = client.invoke(request);
+    ASSERT_TRUE(handle.ok());
+    ASSERT_EQ(handle->wait(), api::RunStatus::kCompleted);
+  }
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  const std::string text = content.str();
+  EXPECT_NE(text.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(text.find("\"settle\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qon
