@@ -1,0 +1,89 @@
+#pragma once
+// Seeded arrival-process generators — the one source of truth for every
+// workload arrival model in the tree. The cloudsim load generator
+// (cloudsim/workload.cpp) and the campaign driver (campaign/driver.cpp)
+// both draw their arrival instants here, so a profile that says
+// "diurnal, 1500 jobs/hour" produces the same seeded trace whether it
+// feeds the standalone discrete-event simulation or the real orchestrator.
+//
+// Four processes:
+//   kPoisson     — homogeneous Poisson at rate_per_hour.
+//   kDiurnal     — inhomogeneous Poisson via thinning, sinusoid between
+//                  diurnal_low_ratio and diurnal_high_ratio of the base
+//                  rate (defaults reproduce the measured IBM 1100-2050 j/h
+//                  band around a 1500 mean, period 24 h — §8.2).
+//   kPareto      — heavy-tailed renewal process: Pareto inter-arrival gaps
+//                  with shape pareto_alpha (> 1), scaled so the MEAN rate
+//                  matches rate_per_hour. Produces the bursty long-tail
+//                  traffic the million-run campaigns stress.
+//   kFlashCrowd  — Poisson baseline with a spike window multiplying the
+//                  rate (thinning, like kDiurnal): the overload scenario.
+//
+// RNG consumption is part of the contract (seeded workloads reproduce
+// bit-for-bit, and cloudsim's pre-existing traces must not move): one gap
+// draw per candidate, plus one bernoulli per thinning test on candidates
+// inside the horizon; a candidate at/past the horizon consumes no
+// thinning draw.
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace qon::campaign {
+
+enum class ArrivalKind { kPoisson, kDiurnal, kPareto, kFlashCrowd };
+
+const char* arrival_kind_name(ArrivalKind kind);
+
+/// Declarative description of one arrival process (the `arrivals:` section
+/// of a campaign profile).
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Base (kPoisson/kFlashCrowd), band-center-defining (kDiurnal) or mean
+  /// (kPareto) arrival rate.
+  double rate_per_hour = 1500.0;
+  /// Diurnal band as ratios of rate_per_hour. The defaults reproduce the
+  /// measured IBM band: 1100..2050 jobs/hour around a 1500 mean.
+  double diurnal_low_ratio = 1100.0 / 1500.0;
+  double diurnal_high_ratio = 2050.0 / 1500.0;
+  double period_hours = 24.0;
+  /// Pareto shape; must be > 1 so the mean inter-arrival gap is finite
+  /// (the scale is derived from rate_per_hour). Smaller = heavier tail.
+  double pareto_alpha = 1.5;
+  /// Flash-crowd spike window [start, start + duration) on the virtual
+  /// clock, multiplying the base rate by spike_multiplier inside it.
+  double spike_start_hours = 1.0;
+  double spike_duration_hours = 0.25;
+  double spike_multiplier = 8.0;
+};
+
+/// One arrival process. Stateless between calls — the caller owns the
+/// current time and the Rng, so two processes built from the same spec are
+/// interchangeable.
+class ArrivalProcess {
+ public:
+  /// Throws std::invalid_argument on out-of-range spec knobs; the campaign
+  /// profile parser validates first and returns a typed INVALID_ARGUMENT.
+  explicit ArrivalProcess(ArrivalSpec spec);
+
+  const ArrivalSpec& spec() const { return spec_; }
+
+  /// Instantaneous arrival rate (jobs/hour) at virtual time `t_seconds`.
+  double rate_at(double t_seconds) const;
+
+  /// The peak of rate_at over all t — the rate the thinning loop draws
+  /// candidate gaps at.
+  double max_rate_per_hour() const;
+
+  /// The next accepted arrival strictly after `t` (seconds); a returned
+  /// value >= `horizon` means the process produced no further arrival
+  /// inside the horizon. See the header comment for the RNG contract.
+  double next(double t, double horizon, Rng& rng) const;
+
+ private:
+  ArrivalSpec spec_;
+  bool thinned_ = false;     ///< kDiurnal / kFlashCrowd draw a bernoulli per candidate
+  double pareto_scale_ = 0.0;  ///< x_m of the Pareto gap distribution, seconds
+};
+
+}  // namespace qon::campaign

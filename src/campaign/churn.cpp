@@ -1,0 +1,44 @@
+#include "campaign/churn.hpp"
+
+#include <algorithm>
+
+namespace qon::campaign {
+
+ChurnInjector::ChurnInjector(std::vector<ChurnEvent> events)
+    : events_(std::move(events)) {}
+
+api::Status ChurnInjector::validate(core::Qonductor& orchestrator) const {
+  const std::vector<std::string> names = orchestrator.monitor().qpu_names();
+  for (const ChurnEvent& event : events_) {
+    if (event.action == ChurnAction::kRecalibrate) continue;
+    if (std::find(names.begin(), names.end(), event.qpu) == names.end()) {
+      return api::InvalidArgument("campaign churn: unknown qpu '" + event.qpu +
+                                  "' in " + std::string(churn_action_name(event.action)) +
+                                  " event at t=" + std::to_string(event.at_seconds) + " s");
+    }
+  }
+  return api::Status::Ok();
+}
+
+std::size_t ChurnInjector::apply_due(double now, core::Qonductor& orchestrator) {
+  std::size_t fired = 0;
+  while (next_ < events_.size() && events_[next_].at_seconds <= now) {
+    const ChurnEvent& event = events_[next_];
+    switch (event.action) {
+      case ChurnAction::kQpuOffline:
+        orchestrator.monitor().set_qpu_online(event.qpu, false);
+        break;
+      case ChurnAction::kQpuOnline:
+        orchestrator.monitor().set_qpu_online(event.qpu, true);
+        break;
+      case ChurnAction::kRecalibrate:
+        orchestrator.recalibrateFleet();
+        break;
+    }
+    ++next_;
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace qon::campaign

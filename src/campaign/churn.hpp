@@ -1,0 +1,35 @@
+#pragma once
+// Fleet churn injection: applies a profile's scheduled QPU events
+// (offline / online / fleet recalibration) as the campaign's virtual clock
+// sweeps past their instants. Events fire in at_seconds order from the
+// driver's pacing loop — single-threaded, deterministic.
+
+#include <vector>
+
+#include "campaign/profile.hpp"
+#include "core/orchestrator.hpp"
+
+namespace qon::campaign {
+
+class ChurnInjector {
+ public:
+  /// `events` must be sorted by at_seconds (the profile parser sorts).
+  explicit ChurnInjector(std::vector<ChurnEvent> events);
+
+  /// Validates every referenced QPU name against the live fleet.
+  /// INVALID_ARGUMENT naming the offending event otherwise — checked once
+  /// at campaign start so a typo fails before a million runs, not at hour 40.
+  api::Status validate(core::Qonductor& orchestrator) const;
+
+  /// Applies every event with at_seconds <= now; returns how many fired.
+  std::size_t apply_due(double now, core::Qonductor& orchestrator);
+
+  std::size_t applied() const { return next_; }
+  std::size_t remaining() const { return events_.size() - next_; }
+
+ private:
+  std::vector<ChurnEvent> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace qon::campaign

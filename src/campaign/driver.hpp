@@ -1,0 +1,57 @@
+#pragma once
+// The campaign driver: loads a CampaignProfile, stands up the REAL
+// api::QonductorClient / orchestrator / scheduler-service stack, and
+// drives profile arrivals through it on the fleet virtual clock — a
+// million runs of virtual time in minutes of wall time, with per-interval
+// stats streaming to a JSONL/CSV sink and a final CampaignReport.
+//
+// Pacing modes (see PacingMode in profile.hpp):
+//
+//   lockstep — the determinism contract. One engine worker, arrivals
+//     admitted in groups of exactly queue_threshold parked tasks; after
+//     each admitted run the driver waits for the park to land in the
+//     pending queue, and after the group's threshold cycle fires it waits
+//     every member to settle before advancing the clock again. Every
+//     scheduling cycle is a threshold cycle at a deterministic virtual
+//     instant, so two campaigns with the same profile produce
+//     byte-identical stats streams and identical (wall-excluded) reports.
+//
+//   windowed — throughput mode. Arrivals stream with a bounded window of
+//     outstanding runs; real-time cycle races make outcomes vary run to
+//     run. Use it to measure, not to reproduce.
+//
+// Memory stays bounded regardless of campaign length: the run table keeps
+// max_terminal_runs terminal records, tracing is off, stats stream out
+// through the batched sink, and latency distributions accumulate into
+// fixed-size log-bucket grids.
+
+#include <string>
+
+#include "api/result.hpp"
+#include "campaign/profile.hpp"
+#include "campaign/report.hpp"
+#include "campaign/sink.hpp"
+
+namespace qon::campaign {
+
+struct CampaignOptions {
+  /// Per-interval stats stream destination; empty = no stream.
+  std::string stats_path;
+  StatsFormat stats_format = StatsFormat::kJsonl;
+  /// Rows buffered per sink write (COutput-style batching).
+  std::size_t sink_batch_rows = 64;
+  /// Coarse progress lines on stderr (wall-clock side channel; never
+  /// touches the stats stream).
+  bool print_progress = false;
+};
+
+/// The streamed row schema, in column order (all cells numeric).
+const std::vector<std::string>& campaign_stats_columns();
+
+/// Runs the campaign described by `profile` end to end. INVALID_ARGUMENT
+/// for churn events naming unknown QPUs; INTERNAL when the stack fails to
+/// stand up; otherwise the final report.
+api::Result<CampaignReport> run_campaign(const CampaignProfile& profile,
+                                         const CampaignOptions& options = {});
+
+}  // namespace qon::campaign

@@ -1,0 +1,172 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/table.hpp"
+
+namespace qon::campaign {
+
+namespace {
+
+constexpr double kGridLow = 1e-3;       // seconds
+constexpr double kGridHigh = 1e6;       // seconds
+constexpr int kBucketsPerDecade = 32;
+constexpr int kDecades = 9;             // 1e-3 .. 1e6
+constexpr std::size_t kNumBuckets =
+    static_cast<std::size_t>(kBucketsPerDecade * kDecades) + 2;  // under/overflow
+
+/// Lower bound of bucket `i` (i in [1, kNumBuckets-1]); bucket 0 is the
+/// underflow bucket [0, kGridLow).
+double bucket_low(std::size_t i) {
+  return kGridLow * std::pow(10.0, static_cast<double>(i - 1) / kBucketsPerDecade);
+}
+
+std::string format_double(double value, int precision = 6) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+LatencyAccumulator::LatencyAccumulator() : buckets_(kNumBuckets, 0) {}
+
+std::size_t LatencyAccumulator::bucket_index(double seconds) const {
+  if (!(seconds >= kGridLow)) return 0;  // underflow (and NaN) land low
+  if (seconds >= kGridHigh) return kNumBuckets - 1;
+  const std::size_t i = 1 + static_cast<std::size_t>(std::floor(
+                                std::log10(seconds / kGridLow) * kBucketsPerDecade));
+  return std::min(i, kNumBuckets - 2);
+}
+
+void LatencyAccumulator::observe(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  if (count_ == 0) {
+    min_ = seconds;
+    max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+  ++buckets_[bucket_index(seconds)];
+}
+
+double LatencyAccumulator::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // The quantile lands in bucket i: interpolate geometrically between the
+    // bucket bounds, clamped to the exactly-tracked global min/max.
+    double low = i == 0 ? min_ : bucket_low(i);
+    double high = i + 1 >= buckets_.size() ? max_ : bucket_low(i + 1);
+    low = std::max(low, min_);
+    high = std::min(high, max_);
+    if (!(high > low)) return low;
+    const double within =
+        (target - static_cast<double>(before)) / static_cast<double>(buckets_[i]);
+    return low * std::pow(high / low, std::clamp(within, 0.0, 1.0));
+  }
+  return max_;
+}
+
+double LatencyAccumulator::fraction_below(double seconds) const {
+  if (count_ == 0) return 1.0;
+  if (seconds >= max_) return 1.0;
+  if (seconds < min_) return 0.0;
+  const std::size_t target = bucket_index(seconds);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < target; ++i) below += buckets_[i];
+  // Partial credit inside the landing bucket, geometric interpolation.
+  double low = target == 0 ? min_ : bucket_low(target);
+  double high = target + 1 >= buckets_.size() ? max_ : bucket_low(target + 1);
+  low = std::max(low, min_);
+  high = std::min(high, max_);
+  double within = 1.0;
+  if (high > low && seconds < high) {
+    within = std::log(std::max(seconds, low) / low) / std::log(high / low);
+  }
+  const double partial = static_cast<double>(buckets_[target]) * std::clamp(within, 0.0, 1.0);
+  return (static_cast<double>(below) + partial) / static_cast<double>(count_);
+}
+
+void write_report_json(const CampaignReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_report_json: cannot open '" + path + "'");
+  }
+  out << "{\n";
+  out << "  \"profile\": \"" << report.profile_name << "\",\n";
+  out << "  \"seed\": " << report.seed << ",\n";
+  out << "  \"pacing\": \"" << report.pacing << "\",\n";
+  out << "  \"arrival_process\": \"" << report.arrival_process << "\",\n";
+  out << "  \"arrivals\": " << report.arrivals << ",\n";
+  out << "  \"admitted\": " << report.admitted << ",\n";
+  out << "  \"shed\": " << report.shed << ",\n";
+  out << "  \"rejected\": " << report.rejected << ",\n";
+  out << "  \"completed\": " << report.completed << ",\n";
+  out << "  \"failed\": " << report.failed << ",\n";
+  out << "  \"cancelled\": " << report.cancelled << ",\n";
+  out << "  \"jobs_expired\": " << report.jobs_expired << ",\n";
+  out << "  \"jobs_filtered\": " << report.jobs_filtered << ",\n";
+  out << "  \"sched_cycles\": " << report.sched_cycles << ",\n";
+  out << "  \"churn_applied\": " << report.churn_applied << ",\n";
+  out << "  \"stats_rows\": " << report.stats_rows << ",\n";
+  out << "  \"stats_path\": \"" << report.stats_path << "\",\n";
+  out << "  \"virtual_duration_seconds\": "
+      << format_double(report.virtual_duration_seconds) << ",\n";
+  // Keep every wall-derived number on a line containing "wall": CI diffs
+  // two same-seed reports with `grep -v wall`.
+  out << "  \"wall_seconds\": " << format_double(report.wall_seconds) << ",\n";
+  out << "  \"classes\": [";
+  for (std::size_t i = 0; i < report.classes.size(); ++i) {
+    const ClassReport& cls = report.classes[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\n";
+    out << "      \"priority\": \"" << api::priority_name(cls.priority) << "\",\n";
+    out << "      \"completed\": " << cls.completed << ",\n";
+    out << "      \"mean_latency_seconds\": "
+        << format_double(cls.mean_latency_seconds) << ",\n";
+    out << "      \"p50_seconds\": " << format_double(cls.p50_seconds) << ",\n";
+    out << "      \"p90_seconds\": " << format_double(cls.p90_seconds) << ",\n";
+    out << "      \"p99_seconds\": " << format_double(cls.p99_seconds) << ",\n";
+    out << "      \"slo_seconds\": " << format_double(cls.slo_seconds) << ",\n";
+    out << "      \"slo_attainment\": " << format_double(cls.slo_attainment) << "\n";
+    out << "    }";
+  }
+  out << (report.classes.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  if (!out) throw std::runtime_error("write_report_json: write to '" + path + "' failed");
+}
+
+void print_slo_table(std::ostream& os, const CampaignReport& report) {
+  TextTable table({"class", "completed", "mean_s", "p50_s", "p90_s", "p99_s",
+                   "slo_s", "attained"});
+  for (const ClassReport& cls : report.classes) {
+    table.add_row({api::priority_name(cls.priority), std::to_string(cls.completed),
+                   TextTable::num(cls.mean_latency_seconds, 2),
+                   TextTable::num(cls.p50_seconds, 2), TextTable::num(cls.p90_seconds, 2),
+                   TextTable::num(cls.p99_seconds, 2),
+                   cls.slo_seconds > 0.0 ? TextTable::num(cls.slo_seconds, 0) : "-",
+                   cls.slo_seconds > 0.0
+                       ? TextTable::num(100.0 * cls.slo_attainment, 1) + "%"
+                       : "-"});
+  }
+  table.print(os, "campaign " + report.profile_name + " — per-class latency / SLO");
+}
+
+}  // namespace qon::campaign

@@ -1,0 +1,103 @@
+#pragma once
+// Campaign result assembly: streaming latency accumulators (fixed-size
+// log-spaced bucket grids — a million observations cost the same memory as
+// ten), the final per-class report with SLO attainment, and the
+// BENCH_campaign_<profile>.json writer.
+//
+// Determinism note for the JSON artifact: every wall-clock-derived value
+// is emitted on a line whose text contains "wall", so CI can compare two
+// same-seed reports with `grep -v wall | diff`. Everything else is a pure
+// function of the profile.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/types.hpp"
+#include "campaign/profile.hpp"
+
+namespace qon::campaign {
+
+/// Streaming latency distribution: O(1) per observation, fixed memory.
+/// Observations land in geometric buckets spanning [1 ms, 1e6 s] at 32
+/// buckets per decade (~7.5% relative resolution); quantiles interpolate
+/// geometrically inside the landing bucket.
+class LatencyAccumulator {
+ public:
+  LatencyAccumulator();
+
+  void observe(double seconds);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// The q-quantile (q in [0, 1]) by bucket interpolation; exact at the
+  /// observed min/max ends. 0 when empty.
+  double quantile(double q) const;
+
+  /// Fraction of observations <= seconds (bucket-interpolated) — the SLO
+  /// attainment measure. 1 when empty (a vacuous SLO holds).
+  double fraction_below(double seconds) const;
+
+ private:
+  std::size_t bucket_index(double seconds) const;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One priority class's end-to-end latency outcome.
+struct ClassReport {
+  api::Priority priority = api::Priority::kStandard;
+  std::uint64_t completed = 0;
+  double mean_latency_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double slo_seconds = 0.0;    ///< 0 = no target configured
+  double slo_attainment = 1.0; ///< fraction of completions within the SLO
+};
+
+struct CampaignReport {
+  std::string profile_name;
+  std::uint64_t seed = 0;
+  std::string pacing;
+  std::string arrival_process;
+
+  // Totals over the whole campaign (virtual-domain, deterministic).
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;              ///< RESOURCE_EXHAUSTED at the gate
+  std::uint64_t rejected = 0;          ///< other invoke-time failures
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;            ///< terminal kFailed (incl. expiries)
+  std::uint64_t cancelled = 0;
+  std::uint64_t jobs_expired = 0;      ///< DEADLINE_EXCEEDED while parked
+  std::uint64_t jobs_filtered = 0;     ///< fit no online QPU
+  std::uint64_t sched_cycles = 0;
+  std::uint64_t churn_applied = 0;
+  std::uint64_t stats_rows = 0;
+  std::string stats_path;
+
+  double virtual_duration_seconds = 0.0;  ///< final fleet-clock frontier
+  double wall_seconds = 0.0;              ///< real elapsed driver time
+
+  std::vector<ClassReport> classes;       ///< one per priority with traffic
+};
+
+/// Writes the report as pretty-printed JSON. Throws std::runtime_error
+/// when the file cannot be written.
+void write_report_json(const CampaignReport& report, const std::string& path);
+
+/// Renders the per-class SLO table (the campaign_quickstart output).
+void print_slo_table(std::ostream& os, const CampaignReport& report);
+
+}  // namespace qon::campaign

@@ -1,0 +1,81 @@
+#include "campaign/sink.hpp"
+
+#include <stdexcept>
+
+namespace qon::campaign {
+
+const char* stats_format_name(StatsFormat format) {
+  switch (format) {
+    case StatsFormat::kJsonl: return "jsonl";
+    case StatsFormat::kCsv: return "csv";
+  }
+  return "?";
+}
+
+StatsSink::StatsSink(const std::string& path, StatsFormat format,
+                     std::vector<std::string> columns, std::size_t batch_rows)
+    : path_(path),
+      format_(format),
+      columns_(std::move(columns)),
+      batch_rows_(batch_rows == 0 ? 1 : batch_rows),
+      out_(path, std::ios::out | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("StatsSink: cannot open '" + path + "' for writing");
+  }
+  if (columns_.empty()) {
+    throw std::runtime_error("StatsSink: at least one column is required");
+  }
+  if (format_ == StatsFormat::kCsv) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i != 0) buffer_ += ',';
+      buffer_ += columns_[i];
+    }
+    buffer_ += '\n';
+  }
+}
+
+StatsSink::~StatsSink() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor must not throw; a failed final flush surfaces as a short
+    // file, which the determinism cmp in CI catches.
+  }
+}
+
+void StatsSink::append(const std::vector<std::string>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::runtime_error("StatsSink: row has " + std::to_string(values.size()) +
+                             " cells, schema has " + std::to_string(columns_.size()));
+  }
+  if (format_ == StatsFormat::kJsonl) {
+    buffer_ += '{';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) buffer_ += ',';
+      buffer_ += '"';
+      buffer_ += columns_[i];
+      buffer_ += "\":";
+      buffer_ += values[i];
+    }
+    buffer_ += "}\n";
+  } else {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) buffer_ += ',';
+      buffer_ += values[i];
+    }
+    buffer_ += '\n';
+  }
+  ++rows_written_;
+  if (++buffered_rows_ >= batch_rows_) flush();
+}
+
+void StatsSink::flush() {
+  if (buffer_.empty()) return;
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out_.flush();
+  if (!out_) throw std::runtime_error("StatsSink: write to '" + path_ + "' failed");
+  buffer_.clear();
+  buffered_rows_ = 0;
+}
+
+}  // namespace qon::campaign

@@ -1,0 +1,62 @@
+#pragma once
+// Streaming per-interval stats sink: append-only JSONL or CSV with batched
+// buffered writes (the gacspp COutput shape — rows accumulate in a small
+// in-memory batch and hit the file in one write() per batch, never one
+// syscall per row, never an unbounded in-memory ring).
+//
+// The sink is deliberately dumb: callers pass every cell pre-formatted as
+// a string and the sink emits it verbatim (all campaign columns are
+// numeric, so JSONL rows need no quoting/escaping). Formatting at the
+// call site is what makes the determinism contract checkable — two runs
+// of the same seed produce byte-identical files, which CI asserts with
+// cmp(1).
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qon::campaign {
+
+enum class StatsFormat { kJsonl, kCsv };
+
+const char* stats_format_name(StatsFormat format);
+
+/// Single-writer streaming sink. Not thread-safe — the campaign driver is
+/// the only producer and appends from its pacing loop.
+class StatsSink {
+ public:
+  /// Opens `path` for truncating write. `columns` fixes the row schema:
+  /// JSONL keys / the CSV header line. Throws std::runtime_error when the
+  /// file cannot be opened.
+  StatsSink(const std::string& path, StatsFormat format,
+            std::vector<std::string> columns, std::size_t batch_rows = 64);
+  ~StatsSink();
+
+  StatsSink(const StatsSink&) = delete;
+  StatsSink& operator=(const StatsSink&) = delete;
+
+  /// Appends one row; `values` must match columns() in size and order and
+  /// is inserted verbatim (pre-formatted, numeric). Buffered until
+  /// batch_rows rows accumulate.
+  void append(const std::vector<std::string>& values);
+
+  /// Flushes the current batch to the file.
+  void flush();
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::string& path() const { return path_; }
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::string path_;
+  StatsFormat format_;
+  std::vector<std::string> columns_;
+  std::size_t batch_rows_;
+  std::ofstream out_;
+  std::string buffer_;           ///< pending batch, pre-rendered
+  std::size_t buffered_rows_ = 0;
+  std::size_t rows_written_ = 0;
+};
+
+}  // namespace qon::campaign

@@ -4,16 +4,30 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "campaign/arrivals.hpp"
+
 namespace qon::cloudsim {
 
+namespace {
+
+/// The campaign arrival process matching a WorkloadConfig: homogeneous
+/// Poisson, or the diurnal band (the campaign defaults ARE the measured
+/// IBM band this generator always used).
+campaign::ArrivalSpec arrival_spec(const WorkloadConfig& config) {
+  campaign::ArrivalSpec spec;
+  spec.kind = config.diurnal ? campaign::ArrivalKind::kDiurnal
+                             : campaign::ArrivalKind::kPoisson;
+  spec.rate_per_hour = config.jobs_per_hour;
+  return spec;
+}
+
+}  // namespace
+
 double diurnal_rate(double t_seconds, double base_jobs_per_hour) {
-  // Sinusoid spanning [1100/1500, 2050/1500] of the base rate, period 24 h.
-  const double lo = 1100.0 / 1500.0;
-  const double hi = 2050.0 / 1500.0;
-  const double mid = 0.5 * (lo + hi);
-  const double amp = 0.5 * (hi - lo);
-  const double phase = 2.0 * M_PI * t_seconds / (24.0 * 3600.0);
-  return base_jobs_per_hour * (mid + amp * std::sin(phase));
+  campaign::ArrivalSpec spec;
+  spec.kind = campaign::ArrivalKind::kDiurnal;
+  spec.rate_per_hour = base_jobs_per_hour;
+  return campaign::ArrivalProcess(spec).rate_at(t_seconds);
 }
 
 std::vector<HybridApp> generate_workload(const WorkloadConfig& config) {
@@ -23,23 +37,17 @@ std::vector<HybridApp> generate_workload(const WorkloadConfig& config) {
   Rng rng(config.seed);
   const auto families = circuit::all_benchmark_families();
   const auto menu = mitigation::standard_mitigation_menu();
+  // Arrival instants come from the shared campaign generator; its RNG
+  // contract (one gap draw per candidate, one thinning bernoulli per
+  // in-horizon diurnal candidate) keeps pre-existing seeded traces
+  // bit-for-bit identical.
+  const campaign::ArrivalProcess arrivals(arrival_spec(config));
 
   std::vector<HybridApp> apps;
   const double horizon = config.duration_hours * 3600.0;
   double t = 0.0;
   std::uint64_t id = 0;
-  while (true) {
-    // Thinning for the diurnal profile: draw at the max rate, accept
-    // proportionally to the instantaneous rate.
-    const double max_rate =
-        config.diurnal ? config.jobs_per_hour * (2050.0 / 1500.0) : config.jobs_per_hour;
-    t += rng.exponential(max_rate / 3600.0);
-    if (t >= horizon) break;
-    if (config.diurnal) {
-      const double accept = diurnal_rate(t, config.jobs_per_hour) / max_rate;
-      if (!rng.bernoulli(accept)) continue;
-    }
-
+  while ((t = arrivals.next(t, horizon, rng)) < horizon) {
     HybridApp app;
     app.id = id++;
     app.arrival_time = t;

@@ -192,6 +192,17 @@ void Qonductor::advance_fleet_clock(double up_to) {
   }
 }
 
+void Qonductor::advanceFleetClock(double up_to) {
+  MutexLock lock(engine_mutex_);
+  advance_fleet_clock(up_to);
+}
+
+void Qonductor::recalibrateFleet() {
+  MutexLock lock(engine_mutex_);
+  fleet_.recalibrate_all(rng_, fleet_clock_.load(std::memory_order_relaxed));
+  publish_fleet_state();
+}
+
 void Qonductor::publish_fleet_state() {
   for (std::size_t q = 0; q < fleet_.backends.size(); ++q) {
     const auto& backend = *fleet_.backends[q];
@@ -728,7 +739,17 @@ StepOutcome Qonductor::settle_run(const std::shared_ptr<RunContinuation>& cont) 
     MutexLock lock(state->mutex);
     submitted_at = state->submitted_at;
   }
-  const double finished_at = fleetNow();
+  // The run's terminal virtual instant derives from its OWN events — the
+  // task makespan for executed nodes, the cycle-verdict instant for a task
+  // failed in scheduling — never from the fleet frontier: the frontier
+  // advances with unrelated runs' executions, so reading it here would make
+  // finished_at (and the latency histogram) depend on how many other runs'
+  // engine events happened to be processed first. Runs that settle without
+  // any virtual event of their own (cancelled before start, submit-time
+  // failures) fall back to the frontier.
+  double finished_at = std::max(cont->result.makespan_seconds, cont->settle_hint);
+  if (finished_at <= 0.0) finished_at = fleetNow();
+  finished_at = std::max(finished_at, submitted_at);
   // Terminal telemetry BEFORE the status flip: a client returning from
   // wait() (or polling the terminal status) is guaranteed the finished
   // counter, the latency sample and the settle span are already recorded —
@@ -858,7 +879,9 @@ StepOutcome Qonductor::step_run_impl(const std::shared_ptr<RunContinuation>& con
       // Resume-with-error: cancel ends the run kCancelled; a cycle verdict
       // (DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED / UNAVAILABLE) ends it
       // kFailed. Results of nodes that already ran stay in the report;
-      // this node contributes only the error.
+      // this node contributes only the error. The verdict instant becomes
+      // the run's virtual finish time (no task executed to move makespan).
+      cont->settle_hint = std::max(cont->settle_hint, pending->dispatched_at);
       return settle_task_failure(cont, task.name, pending->error);
     }
     if (cont->trace) {

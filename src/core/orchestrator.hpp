@@ -249,6 +249,16 @@ class Qonductor {
   /// Current frontier of the fleet's virtual clock, in seconds: the latest
   /// task-completion time any resource has reached.
   double fleetNow() const { return fleet_clock_.load(std::memory_order_acquire); }
+  /// Advances the fleet virtual clock to at least `up_to` seconds
+  /// (monotonic max — a smaller value is a no-op). The campaign driver
+  /// uses this to pace profile arrival instants onto the same clock the
+  /// scheduler stamps submissions and deadlines against.
+  void advanceFleetClock(double up_to) EXCLUDES(engine_mutex_);
+  /// Re-draws calibration for the whole fleet at the current virtual
+  /// instant and republishes QPU state — the campaign `recalibrate` churn
+  /// event. The calibration fingerprint moves, so the transpile/prep cache
+  /// invalidates itself on the next run.
+  void recalibrateFleet() EXCLUDES(engine_mutex_);
   /// The batch-scheduling job manager, null in kImmediate mode. Non-const
   /// like monitor(): owner-level access (tests use it to force shutdown
   /// interleavings against in-flight runs).

@@ -97,6 +97,13 @@ struct RunContinuation {
   std::shared_ptr<PendingQuantumTask> parked;
   std::shared_ptr<const QuantumTaskPrep> parked_prep;
   double parked_ready = 0.0;  ///< DAG-dependency ready time of the parked node
+
+  /// Latest virtual instant produced by the run's own events that is not
+  /// already covered by result.makespan_seconds — e.g. the scheduling-cycle
+  /// verdict time of a task that failed without executing. settle_run()
+  /// derives finished_at from the run's own events instead of the fleet
+  /// frontier, which moves with unrelated runs' executions.
+  double settle_hint = 0.0;
 };
 
 /// The worker pool + event queue driving every run's state machine. The

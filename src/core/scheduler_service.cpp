@@ -74,6 +74,12 @@ SchedulerService::SchedulerService(SchedulerServiceConfig config, std::uint64_t 
           "qon_sched_jobs_filtered_total", "Jobs rejected as fitting no online QPU")),
       jobs_expired_total_(telemetry_->registry().counter(
           "qon_sched_jobs_expired_total", "Jobs failed DEADLINE_EXCEEDED while parked")),
+      stats_cycles_dropped_total_(telemetry_->registry().counter(
+          "qon_sched_stats_cycles_dropped_total",
+          "Cycle records evicted from the bounded recent_cycles ring")),
+      stats_waits_dropped_total_(telemetry_->registry().counter(
+          "qon_sched_stats_waits_dropped_total",
+          "Queue-wait samples evicted from the bounded recent_queue_waits rings")),
       cycle_preprocess_seconds_(telemetry_->registry().histogram(
           "qon_sched_cycle_preprocess_seconds",
           "Wall time of the cycle's preprocessing (filter) stage", stage_bounds())),
@@ -212,6 +218,7 @@ void SchedulerService::append_cycle_locked(api::SchedulerCycleInfo& info) {
   stats_.recent_cycles.push_back(info);
   if (stats_.recent_cycles.size() > config_.stats_cycle_history) {
     stats_.recent_cycles.erase(stats_.recent_cycles.begin());
+    stats_cycles_dropped_total_->inc();
   }
 }
 
@@ -354,14 +361,16 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
     jobs_expired_total_->inc(expired);
     stats_.max_batch_size_seen = std::max(stats_.max_batch_size_seen, batch.size());
     append_cycle_locked(info);
-    const auto append_bounded = [limit = config_.stats_wait_history](
+    const auto append_bounded = [limit = config_.stats_wait_history,
+                                 dropped = stats_waits_dropped_total_](
                                     std::vector<double>& history,
                                     const std::vector<double>& samples) {
       history.insert(history.end(), samples.begin(), samples.end());
       if (history.size() > limit) {
-        history.erase(history.begin(),
-                      history.begin() +
-                          static_cast<std::ptrdiff_t>(history.size() - limit));
+        const std::size_t evicted = history.size() - limit;
+        history.erase(history.begin(), history.begin() +
+                                           static_cast<std::ptrdiff_t>(evicted));
+        dropped->inc(evicted);
       }
     };
     append_bounded(stats_.recent_queue_waits, waits);

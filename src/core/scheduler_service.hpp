@@ -131,6 +131,11 @@ class SchedulerService {
   }
   std::uint64_t waitlist_parks() const { return queue_.waitlist_parks(); }
 
+  /// Current pending-queue depth. Cheap (one lock, no ring copies) —
+  /// the campaign driver's lockstep pacing polls this per admitted run,
+  /// where stats() with its bounded-history copies would dominate.
+  std::size_t queue_depth() const { return queue_.size(); }
+
   /// Pulls a parked task out of the pending queue (cancellation path).
   /// The caller is expected to have settled the task already — fail() wins
   /// over any later cycle completion — so this only frees the queue slot.
@@ -194,6 +199,11 @@ class SchedulerService {
   obs::Counter* const jobs_scheduled_total_;
   obs::Counter* const jobs_filtered_total_;
   obs::Counter* const jobs_expired_total_;
+  // No-silent-caps: the bounded stats rings drop their oldest entries once
+  // full; these count every drop so a reader of recent_cycles /
+  // recent_queue_waits can tell a quiet system from a saturated ring.
+  obs::Counter* const stats_cycles_dropped_total_;
+  obs::Counter* const stats_waits_dropped_total_;
   obs::Histogram* const cycle_preprocess_seconds_;
   obs::Histogram* const cycle_optimize_seconds_;
   obs::Histogram* const cycle_select_seconds_;

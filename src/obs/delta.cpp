@@ -1,0 +1,71 @@
+#include "obs/delta.hpp"
+
+#include <unordered_map>
+
+namespace qon::obs {
+
+namespace {
+
+std::string metric_key(const api::MetricValue& metric) {
+  return metric.name + '{' + metric.labels + '}';
+}
+
+}  // namespace
+
+api::MetricsSnapshot snapshot_delta(const api::MetricsSnapshot& prev,
+                                    const api::MetricsSnapshot& cur) {
+  std::unordered_map<std::string, const api::MetricValue*> prev_by_key;
+  prev_by_key.reserve(prev.metrics.size());
+  for (const auto& metric : prev.metrics) prev_by_key[metric_key(metric)] = &metric;
+
+  api::MetricsSnapshot delta;
+  delta.taken_at_virtual = cur.taken_at_virtual;
+  delta.taken_at_wall_us = cur.taken_at_wall_us;
+  delta.metrics.reserve(cur.metrics.size());
+  for (const auto& metric : cur.metrics) {
+    api::MetricValue d = metric;
+    const auto it = prev_by_key.find(metric_key(metric));
+    if (it != prev_by_key.end()) {
+      const api::MetricValue& before = *it->second;
+      switch (metric.kind) {
+        case api::MetricKind::kCounter:
+          d.value = metric.value - before.value;
+          break;
+        case api::MetricKind::kGauge:
+          break;  // gauges are instantaneous: keep the current reading
+        case api::MetricKind::kHistogram: {
+          for (std::size_t i = 0;
+               i < d.bucket_counts.size() && i < before.bucket_counts.size(); ++i) {
+            d.bucket_counts[i] -= before.bucket_counts[i];
+          }
+          d.inf_count = metric.inf_count - before.inf_count;
+          d.sum = metric.sum - before.sum;
+          d.count = metric.count - before.count;
+          break;
+        }
+      }
+    }
+    delta.metrics.push_back(std::move(d));
+  }
+  return delta;
+}
+
+const api::MetricValue* find_metric(const api::MetricsSnapshot& snapshot,
+                                    const std::string& name,
+                                    const std::string& labels) {
+  for (const auto& metric : snapshot.metrics) {
+    if (metric.name == name && metric.labels == labels) return &metric;
+  }
+  return nullptr;
+}
+
+double sum_metric_family(const api::MetricsSnapshot& snapshot,
+                         const std::string& name) {
+  double total = 0.0;
+  for (const auto& metric : snapshot.metrics) {
+    if (metric.name == name) total += metric.value;
+  }
+  return total;
+}
+
+}  // namespace qon::obs

@@ -1,0 +1,33 @@
+#pragma once
+// Snapshot arithmetic for periodic metric streaming: interval deltas
+// between two api::MetricsSnapshot readings and lookup by (name, labels).
+// The campaign driver samples the registry once per stats interval and
+// streams the *differences* — counters and histogram buckets subtract,
+// gauges pass through — so long campaigns never accumulate per-run state.
+
+#include <string>
+
+#include "api/types.hpp"
+
+namespace qon::obs {
+
+/// The change from `prev` to `cur`: counters, histogram bucket counts,
+/// sums and counts are subtracted; gauges take the current reading.
+/// Metrics are matched by (name, labels); a metric present only in `cur`
+/// (registered mid-interval) contributes its full current value. Metrics
+/// present only in `prev` are dropped (registrations never disappear in
+/// practice — the registry hands out stable pointers).
+api::MetricsSnapshot snapshot_delta(const api::MetricsSnapshot& prev,
+                                    const api::MetricsSnapshot& cur);
+
+/// Finds a metric by exact (name, labels) match; nullptr when absent.
+const api::MetricValue* find_metric(const api::MetricsSnapshot& snapshot,
+                                    const std::string& name,
+                                    const std::string& labels = "");
+
+/// Sums `value` over every metric in the family `name`, across all label
+/// sets — e.g. total runs finished regardless of terminal status.
+double sum_metric_family(const api::MetricsSnapshot& snapshot,
+                         const std::string& name);
+
+}  // namespace qon::obs

@@ -41,7 +41,11 @@ class Telemetry {
  public:
   explicit Telemetry(TelemetryConfig config = {})
       : config_(std::move(config)),
-        tracer_(config_.trace_runs, config_.trace_spans_per_run, config_.trace_sink) {}
+        // registry_ precedes tracer_ in declaration order, so handing the
+        // tracer a registry counter here is construction-order safe.
+        tracer_(config_.trace_runs, config_.trace_spans_per_run, config_.trace_sink,
+                registry_.counter("qon_trace_spans_dropped_total",
+                                  "Trace spans dropped from full per-run rings")) {}
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace qon::obs {
 
-RunTraceBuffer::RunTraceBuffer(api::RunId run, std::size_t capacity)
-    : run_(run), capacity_(std::max<std::size_t>(1, capacity)) {}
+RunTraceBuffer::RunTraceBuffer(api::RunId run, std::size_t capacity,
+                               Counter* drop_counter)
+    : run_(run),
+      capacity_(std::max<std::size_t>(1, capacity)),
+      drop_counter_(drop_counter) {}
 
 void RunTraceBuffer::record(api::TraceSpan span) {
   MutexLock lock(mutex_);
@@ -16,6 +21,7 @@ void RunTraceBuffer::record(api::TraceSpan span) {
     // Wrapped: overwrite the oldest slot and advance the ring head.
     ring_[next_] = std::move(span);
     next_ = (next_ + 1) % capacity_;
+    if (drop_counter_ != nullptr) drop_counter_->inc();
   }
   ++recorded_;
 }
@@ -35,14 +41,17 @@ api::RunTrace RunTraceBuffer::snapshot() const {
   return out;
 }
 
-Tracer::Tracer(std::size_t max_runs, std::size_t spans_per_run, TraceSink sink)
+Tracer::Tracer(std::size_t max_runs, std::size_t spans_per_run, TraceSink sink,
+               Counter* span_drop_counter)
     : max_runs_(std::max<std::size_t>(1, max_runs)),
       spans_per_run_(spans_per_run),
       sink_(std::move(sink)),
+      span_drop_counter_(span_drop_counter),
       epoch_(std::chrono::steady_clock::now()) {}
 
 TraceContext Tracer::start(api::RunId run) {
-  auto buffer = std::make_shared<RunTraceBuffer>(run, spans_per_run_);
+  auto buffer =
+      std::make_shared<RunTraceBuffer>(run, spans_per_run_, span_drop_counter_);
   MutexLock lock(mutex_);
   traces_[run] = buffer;
   order_.push_back(run);

@@ -38,10 +38,15 @@
 
 namespace qon::obs {
 
+class Counter;
+
 /// The bounded span ring of one run.
 class RunTraceBuffer {
  public:
-  RunTraceBuffer(api::RunId run, std::size_t capacity);
+  /// `drop_counter`, when set, counts spans evicted from the full ring
+  /// (no-silent-caps: qon_trace_spans_dropped_total in the registry).
+  RunTraceBuffer(api::RunId run, std::size_t capacity,
+                 Counter* drop_counter = nullptr);
 
   /// Appends a span, dropping the oldest once `capacity` is exceeded.
   void record(api::TraceSpan span);
@@ -54,6 +59,7 @@ class RunTraceBuffer {
  private:
   const api::RunId run_;
   const std::size_t capacity_;
+  Counter* const drop_counter_;  ///< null = uncounted (standalone buffers)
   mutable Mutex mutex_{LockRank::kTraceBuffer, "RunTraceBuffer::mutex_"};
   /// Ring storage: `next_` is the oldest slot once the ring has wrapped.
   std::vector<api::TraceSpan> ring_ GUARDED_BY(mutex_);
@@ -72,8 +78,10 @@ class Tracer {
  public:
   /// Retains at most `max_runs` traces (oldest-started evicted first);
   /// each ring holds `spans_per_run` spans. `sink`, when set, receives each
-  /// finished run's trace from finalize().
-  Tracer(std::size_t max_runs, std::size_t spans_per_run, TraceSink sink = nullptr);
+  /// finished run's trace from finalize(). `span_drop_counter`, when set,
+  /// counts ring-evicted spans across every buffer this tracer creates.
+  Tracer(std::size_t max_runs, std::size_t spans_per_run, TraceSink sink = nullptr,
+         Counter* span_drop_counter = nullptr);
 
   /// Creates + registers the buffer for `run`, evicting the oldest trace
   /// beyond the retention bound (an evicted in-flight run keeps recording
@@ -106,6 +114,7 @@ class Tracer {
   const std::size_t max_runs_;
   const std::size_t spans_per_run_;
   const TraceSink sink_;
+  Counter* const span_drop_counter_;
   const std::chrono::steady_clock::time_point epoch_;
 
   mutable Mutex mutex_{LockRank::kTracer, "Tracer::mutex_"};
