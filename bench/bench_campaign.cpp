@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
       bench::artifact_path("BENCH_campaign_" + profile->name + "_stats.jsonl");
   options.stats_format = campaign::StatsFormat::kJsonl;
   options.print_progress = true;
+  // Only written when the profile has an `alerts:` section.
+  options.alerts_path =
+      bench::artifact_path("BENCH_campaign_" + profile->name + "_alerts.jsonl");
 
   const auto report = campaign::run_campaign(*profile, options);
   if (!report.ok()) {

@@ -53,6 +53,16 @@ Scenario run_burst(bool telemetry_on, bool export_artifacts) {
   config.telemetry.tracing = telemetry_on;
   config.telemetry.metrics = telemetry_on;
   config.telemetry.trace_runs = kRuns + 8;  // retain the whole burst
+  if (telemetry_on) {
+    // The health pillar rides the telemetry-on arm so the 5% budget also
+    // covers watchdog heartbeats and per-settle SLO recording.
+    config.health.slo_seconds[static_cast<std::size_t>(api::Priority::kStandard)] =
+        3600.0;
+    obs::SloRule rule;
+    rule.name = "standard-burn";
+    rule.priority = api::Priority::kStandard;
+    config.health.alert_rules.push_back(std::move(rule));
+  }
   api::QonductorClient client(config);
 
   api::CreateWorkflowRequest create;
@@ -110,6 +120,13 @@ Scenario run_burst(bool telemetry_on, bool export_artifacts) {
       const std::string path = bench::artifact_path("BENCH_obs_metrics.json");
       std::ofstream out(path);
       out << obs::render_json(metrics->snapshot);
+      std::cout << "wrote " << path << "\n";
+    }
+    const auto health = client.getHealth();
+    if (health.ok()) {
+      const std::string path = bench::artifact_path("BENCH_obs_health.json");
+      std::ofstream out(path);
+      out << obs::render_health_json(*health);
       std::cout << "wrote " << path << "\n";
     }
     api::GetRunTraceRequest trace_request;

@@ -139,6 +139,16 @@ Result<GetMetricsResponse> QonductorClient::getMetrics(
   }
 }
 
+Result<GetHealthResponse> QonductorClient::getHealth(
+    const GetHealthRequest& request) const {
+  if (Status v = check_version(request.api_version, "getHealth"); !v.ok()) return v;
+  try {
+    return backend_->getHealth(request);
+  } catch (const std::exception& e) {
+    return Internal(std::string("getHealth: ") + e.what());
+  }
+}
+
 Result<ReserveQpuResponse> QonductorClient::reserveQpu(const ReserveQpuRequest& request) {
   if (Status v = check_version(request.api_version, "reserveQpu"); !v.ok()) return v;
   try {

@@ -71,6 +71,11 @@ class QonductorClient {
   /// One coherent snapshot of every registered metric — feed it to
   /// obs::render_prometheus / obs::render_json.
   Result<GetMetricsResponse> getMetrics(const GetMetricsRequest& request = {}) const;
+  /// Aggregated live health: per-component liveness verdicts and SLO
+  /// burn-rate alert states rolled up into kHealthy/kDegraded/kUnhealthy.
+  /// Never blocks on a wedged component (verdicts derive from heartbeat
+  /// age) — feed it to obs::render_health_json.
+  Result<GetHealthResponse> getHealth(const GetHealthRequest& request = {}) const;
 
   // -- QPU reservations (§7) ----------------------------------------------------
   /// Takes a QPU out of scheduling rotation; jobs already parked in the

@@ -40,6 +40,25 @@ const char* metric_kind_name(MetricKind kind) {
   return "?";
 }
 
+const char* health_status_name(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kHealthy: return "healthy";
+    case HealthStatus::kDegraded: return "degraded";
+    case HealthStatus::kUnhealthy: return "unhealthy";
+  }
+  return "?";
+}
+
+const char* alert_state_name(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive: return "inactive";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+    case AlertState::kResolved: return "resolved";
+  }
+  return "?";
+}
+
 const char* scheduling_mode_name(SchedulingMode mode) {
   switch (mode) {
     case SchedulingMode::kBatch: return "batch";

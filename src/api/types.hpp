@@ -419,4 +419,53 @@ struct GetMetricsResponse {
   MetricsSnapshot snapshot;
 };
 
+// ---- observability: health (obs::HealthMonitor / obs::SloMonitor) ------------
+
+/// Severity-ordered: aggregation takes the numeric worst across components,
+/// so the enumerator order IS the severity order.
+enum class HealthStatus { kHealthy, kDegraded, kUnhealthy };
+
+const char* health_status_name(HealthStatus status);
+
+/// Lifecycle of one SLO burn-rate alert rule:
+/// kInactive -> kPending (fast window breached) -> kFiring (fast AND slow
+/// breached) -> kResolved (fast back under the clear threshold) -> kInactive.
+enum class AlertState { kInactive, kPending, kFiring, kResolved };
+
+const char* alert_state_name(AlertState state);
+
+/// One component's verdict as derived by the health monitor at check time.
+struct ComponentHealth {
+  std::string component;  ///< e.g. "scheduler", "engine", "queue", "fleet"
+  HealthStatus status = HealthStatus::kHealthy;
+  std::string detail;  ///< human-readable reason, names the component on stall
+  std::uint64_t heartbeats = 0;  ///< lifetime beat count (0 for probes)
+  /// Wall seconds since the last heartbeat; negative = never beaten or not
+  /// a watchdog-backed component.
+  double heartbeat_age_seconds = -1.0;
+};
+
+/// One burn-rate rule's live state, with burns as of the evaluation instant.
+struct AlertInfo {
+  std::string rule;
+  Priority priority = Priority::kStandard;
+  AlertState state = AlertState::kInactive;
+  double fast_burn = 0.0;  ///< budget-burn multiple over the fast window
+  double slow_burn = 0.0;  ///< budget-burn multiple over the slow window
+  double since_virtual = 0.0;  ///< virtual instant of the last transition
+};
+
+struct GetHealthRequest {
+  std::uint32_t api_version = kApiVersion;
+};
+
+/// Aggregated live-health view: worst component severity (raised to at
+/// least kDegraded while any alert is firing), the per-component verdicts,
+/// and the current alert states.
+struct GetHealthResponse {
+  HealthStatus status = HealthStatus::kHealthy;
+  std::vector<ComponentHealth> components;
+  std::vector<AlertInfo> alerts;
+};
+
 }  // namespace qon::api

@@ -17,6 +17,7 @@
 #include "circuit/library.hpp"
 #include "common/rng.hpp"
 #include "obs/delta.hpp"
+#include "obs/slo.hpp"
 #include "workflow/task.hpp"
 
 namespace qon::campaign {
@@ -43,6 +44,10 @@ std::string format_count(double value) {
   return std::to_string(static_cast<std::uint64_t>(std::llround(value)));
 }
 
+/// Sink cells are inserted verbatim, so string-valued alert cells must be
+/// pre-quoted to stay valid JSON in the JSONL stream.
+std::string quoted(const std::string& text) { return "\"" + text + "\""; }
+
 double counter_value(const api::MetricsSnapshot& snapshot, const std::string& name,
                      const std::string& labels = "") {
   const api::MetricValue* metric = obs::find_metric(snapshot, name, labels);
@@ -61,6 +66,12 @@ struct Totals {
 };
 
 }  // namespace
+
+const std::vector<std::string>& campaign_alert_columns() {
+  static const std::vector<std::string> kColumns = {
+      "row", "t_virtual", "rule", "priority", "state", "fast_burn", "slow_burn"};
+  return kColumns;
+}
 
 const std::vector<std::string>& campaign_stats_columns() {
   static const std::vector<std::string> kColumns = {
@@ -124,6 +135,25 @@ api::Result<CampaignReport> run_campaign(const CampaignProfile& profile,
                                        options.sink_batch_rows);
   }
 
+  // -- SLO burn-rate alert timeline ---------------------------------------------
+  // The driver owns its own monitor (distinct from the orchestrator's live
+  // one) fed from the deterministic reap order below, so the alert timeline
+  // is byte-identical across same-profile lockstep runs.
+  std::unique_ptr<obs::SloMonitor> slo;
+  std::unique_ptr<StatsSink> alert_sink;
+  if (!profile.alerts.empty()) {
+    slo = std::make_unique<obs::SloMonitor>(profile.slo_seconds, profile.alerts);
+    if (!options.alerts_path.empty()) {
+      alert_sink = std::make_unique<StatsSink>(
+          options.alerts_path, options.stats_format, campaign_alert_columns(),
+          options.sink_batch_rows);
+    }
+  }
+  std::uint64_t alert_rows = 0;
+  std::uint64_t alerts_fired = 0;
+  std::uint64_t alerts_resolved = 0;
+  std::uint64_t alert_transitions = 0;
+
   Totals totals;
   std::uint64_t churn_applied = 0;
   std::array<std::uint64_t, api::kNumPriorities> admitted_by_priority{};
@@ -135,9 +165,32 @@ api::Result<CampaignReport> run_campaign(const CampaignProfile& profile,
   std::uint64_t rows = 0;
 
   const auto emit_row = [&](bool force) {
-    if (!sink) return;
+    if (!sink && !slo) return;
     const double now_v = backend.fleetNow();
     if (!force && now_v - last_row_t < profile.stats_interval_seconds) return;
+    last_row_t = now_v;
+    if (slo) {
+      // Burn rules advance on the same virtual-time cadence as the stats
+      // rows; each state transition streams as one timeline row.
+      for (const obs::AlertTransition& tr : slo->evaluate(now_v)) {
+        ++alert_transitions;
+        if (tr.state == api::AlertState::kFiring) ++alerts_fired;
+        if (tr.state == api::AlertState::kResolved) ++alerts_resolved;
+        if (alert_sink) {
+          alert_sink->append({
+              std::to_string(alert_rows),
+              format_fixed(tr.at_virtual, 3),
+              quoted(tr.rule),
+              quoted(api::priority_name(tr.priority)),
+              quoted(api::alert_state_name(tr.state)),
+              format_fixed(tr.fast_burn, 6),
+              format_fixed(tr.slow_burn, 6),
+          });
+        }
+        ++alert_rows;
+      }
+    }
+    if (!sink) return;
     api::MetricsSnapshot cur = backend.telemetry().snapshot(now_v);
     const api::MetricsSnapshot delta = obs::snapshot_delta(prev_snapshot, cur);
     double latency_count = 0.0;
@@ -175,7 +228,6 @@ api::Result<CampaignReport> run_campaign(const CampaignProfile& profile,
     ++rows;
     prev_snapshot = std::move(cur);
     row_base = totals;
-    last_row_t = now_v;
   };
 
   const auto reap = [&](const api::RunHandle& handle) {
@@ -201,6 +253,15 @@ api::Result<CampaignReport> run_campaign(const CampaignProfile& profile,
       default:
         ++totals.failed;  // wait() only returns terminal states
         break;
+    }
+    if (slo) {
+      // Every terminal run is an SLI sample at its terminal virtual
+      // instant: failed/cancelled runs burn budget, completions burn only
+      // when late.
+      slo->record(info->preferences.priority,
+                  std::max(0.0, info->finished_at - info->submitted_at),
+                  info->finished_at,
+                  info->status == api::RunStatus::kCompleted);
     }
   };
 
@@ -265,6 +326,10 @@ api::Result<CampaignReport> run_campaign(const CampaignProfile& profile,
       } else {
         ++totals.rejected;
       }
+      // Request-level SLI: a refused request (admission shed, dead-on-
+      // arrival deadline) burns the class error budget at the refusal
+      // instant — the fleet frontier, the same timeline settles land on.
+      if (slo) slo->record(tenant.priority, 0.0, backend.fleetNow(), false);
     } else {
       ++totals.admitted;
       ++admitted_by_priority[static_cast<std::size_t>(tenant.priority)];
@@ -305,6 +370,7 @@ api::Result<CampaignReport> run_campaign(const CampaignProfile& profile,
 
   emit_row(true);  // the stream always ends with a final (partial) row
   if (sink) sink->flush();
+  if (alert_sink) alert_sink->flush();
 
   // -- report -------------------------------------------------------------------
   const api::MetricsSnapshot final_snapshot =
@@ -330,6 +396,10 @@ api::Result<CampaignReport> run_campaign(const CampaignProfile& profile,
   report.churn_applied = churn_applied;
   report.stats_rows = rows;
   report.stats_path = options.stats_path;
+  report.alerts_fired = alerts_fired;
+  report.alerts_resolved = alerts_resolved;
+  report.alert_transitions = alert_transitions;
+  if (alert_sink) report.alerts_stats_path = options.alerts_path;
   report.virtual_duration_seconds = backend.fleetNow();
   report.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)

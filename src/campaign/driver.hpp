@@ -43,10 +43,18 @@ struct CampaignOptions {
   /// Coarse progress lines on stderr (wall-clock side channel; never
   /// touches the stats stream).
   bool print_progress = false;
+  /// Alert-timeline stream destination (one row per SLO alert state
+  /// transition, same format as the stats stream); empty = no stream.
+  /// Only written when the profile configures `alerts:` rules.
+  std::string alerts_path;
 };
 
 /// The streamed row schema, in column order (all cells numeric).
 const std::vector<std::string>& campaign_stats_columns();
+
+/// The alert-timeline row schema, in column order (rule/priority/state
+/// cells are JSON strings, the rest numeric).
+const std::vector<std::string>& campaign_alert_columns();
 
 /// Runs the campaign described by `profile` end to end. INVALID_ARGUMENT
 /// for churn events naming unknown QPUs; INTERNAL when the stack fails to

@@ -62,12 +62,13 @@ ArrivalKind parse_arrival_kind(const std::string& name) {
        "' (expected poisson | diurnal | pareto | flash_crowd)");
 }
 
-api::Priority parse_priority(const std::string& name) {
+api::Priority parse_priority(const std::string& name,
+                             const std::string& section = "tenant") {
   for (const api::Priority p : {api::Priority::kBatch, api::Priority::kStandard,
                                 api::Priority::kInteractive}) {
     if (name == api::priority_name(p)) return p;
   }
-  fail("tenant: unknown priority '" + name +
+  fail(section + ": unknown priority '" + name +
        "' (expected batch | standard | interactive)");
 }
 
@@ -261,6 +262,33 @@ void parse_churn_section(const yaml::Node& node, CampaignProfile& profile) {
                    });
 }
 
+void parse_alerts_section(const yaml::Node& node, CampaignProfile& profile) {
+  if (!node.is_sequence()) fail("alerts: expected a sequence");
+  for (const auto& entry : node.items()) {
+    check_keys(entry,
+               {"name", "priority", "attainment_target", "fast_window_seconds",
+                "slow_window_seconds", "burn_threshold", "clear_threshold",
+                "min_samples"},
+               "alert");
+    obs::SloRule rule;
+    rule.name = get_string(entry, "name", "");
+    if (rule.name.empty()) fail("alert: name must be non-empty");
+    rule.priority = parse_priority(get_string(entry, "priority", "standard"),
+                                   "alert '" + rule.name + "'");
+    rule.attainment_target =
+        get_double(entry, "attainment_target", rule.attainment_target);
+    rule.fast_window_seconds =
+        get_double(entry, "fast_window_seconds", rule.fast_window_seconds);
+    rule.slow_window_seconds =
+        get_double(entry, "slow_window_seconds", rule.slow_window_seconds);
+    rule.burn_threshold = get_double(entry, "burn_threshold", rule.burn_threshold);
+    rule.clear_threshold =
+        get_double(entry, "clear_threshold", rule.clear_threshold);
+    rule.min_samples = get_size(entry, "min_samples", rule.min_samples, "alert");
+    profile.alerts.push_back(std::move(rule));
+  }
+}
+
 void validate_profile(const CampaignProfile& profile) {
   if (profile.name.empty()) fail("campaign: name must be non-empty");
   for (const char c : profile.name) {
@@ -286,6 +314,29 @@ void validate_profile(const CampaignProfile& profile) {
   const api::Status admission_status =
       core::validate_admission_config(profile.admission);
   if (!admission_status.ok()) fail(admission_status.message());
+  for (const obs::SloRule& rule : profile.alerts) {
+    const std::string where = "alert '" + rule.name + "': ";
+    if (profile.slo_seconds[static_cast<std::size_t>(rule.priority)] <= 0.0) {
+      // A burn rule without a latency target has no good/bad verdict to
+      // burn against; require the slo: section to cover the class.
+      fail(where + "priority class '" + api::priority_name(rule.priority) +
+           "' has no slo target (set slo." +
+           api::priority_name(rule.priority) + "_seconds)");
+    }
+    if (!(rule.attainment_target > 0.0 && rule.attainment_target < 1.0)) {
+      fail(where + "attainment_target must be in (0, 1)");
+    }
+    if (!(rule.fast_window_seconds > 0.0) || !(rule.slow_window_seconds > 0.0)) {
+      fail(where + "windows must be > 0");
+    }
+    if (rule.fast_window_seconds > rule.slow_window_seconds) {
+      fail(where + "fast_window_seconds must be <= slow_window_seconds");
+    }
+    if (!(rule.burn_threshold > 0.0)) fail(where + "burn_threshold must be > 0");
+    if (rule.clear_threshold < 0.0 || rule.clear_threshold > rule.burn_threshold) {
+      fail(where + "clear_threshold must be in [0, burn_threshold]");
+    }
+  }
   if (profile.pacing == PacingMode::kLockstep) {
     // The determinism contract: one engine worker serializes park order,
     // and a full-queue cycle leaves nothing behind for a racy timer fire.
@@ -339,7 +390,7 @@ api::Result<CampaignProfile> parse_profile(const std::string& text) {
     }
     check_keys(root,
                {"campaign", "arrivals", "fleet", "scheduler", "admission",
-                "tenants", "slo", "churn"},
+                "tenants", "slo", "churn", "alerts"},
                "profile");
     CampaignProfile profile;
     if (root.has("campaign")) parse_campaign_section(root.at("campaign"), profile);
@@ -350,6 +401,7 @@ api::Result<CampaignProfile> parse_profile(const std::string& text) {
     if (root.has("tenants")) parse_tenants_section(root.at("tenants"), profile);
     if (root.has("slo")) parse_slo_section(root.at("slo"), profile);
     if (root.has("churn")) parse_churn_section(root.at("churn"), profile);
+    if (root.has("alerts")) parse_alerts_section(root.at("alerts"), profile);
     validate_profile(profile);
     return profile;
   } catch (const std::exception& e) {

@@ -48,6 +48,10 @@
 //     - at_hours: 10
 //       action: qpu_offline       # qpu_offline | qpu_online | recalibrate
 //       qpu: auckland
+//   alerts:                       # SLO burn-rate rules (see CampaignProfile)
+//     - name: interactive-burn
+//       priority: interactive
+//       attainment_target: 0.9
 //
 // Determinism contract: with `pacing: lockstep` the whole campaign is a
 // pure function of the profile (see campaign/driver.hpp), which the parser
@@ -139,6 +143,23 @@ struct CampaignProfile {
   /// Per-class end-to-end latency SLO, indexed by api::Priority; 0 = no
   /// target for that class.
   std::array<double, api::kNumPriorities> slo_seconds{};
+
+  /// SLO burn-rate alert rules (`alerts:` section), evaluated by the
+  /// driver at each stats interval on the virtual clock — the alert
+  /// timeline is part of the deterministic byte-identical contract. Each
+  /// rule's priority class must have a non-zero slo_seconds target.
+  ///
+  /// YAML schema (all fields except `name`/`priority` optional):
+  ///   alerts:
+  ///     - name: interactive-burn
+  ///       priority: interactive
+  ///       attainment_target: 0.9   # error budget = 1 - target
+  ///       fast_window_seconds: 600
+  ///       slow_window_seconds: 3600
+  ///       burn_threshold: 2.0      # fire at >= this budget-burn multiple
+  ///       clear_threshold: 1.0     # resolve below this (hysteresis)
+  ///       min_samples: 20          # fast-window floor before any verdict
+  std::vector<obs::SloRule> alerts;
 };
 
 /// Parses and validates profile text. Every failure — yamlite parse

@@ -127,6 +127,12 @@ void write_report_json(const CampaignReport& report, const std::string& path) {
   out << "  \"churn_applied\": " << report.churn_applied << ",\n";
   out << "  \"stats_rows\": " << report.stats_rows << ",\n";
   out << "  \"stats_path\": \"" << report.stats_path << "\",\n";
+  out << "  \"alerts_fired\": " << report.alerts_fired << ",\n";
+  out << "  \"alerts_resolved\": " << report.alerts_resolved << ",\n";
+  out << "  \"alert_transitions\": " << report.alert_transitions << ",\n";
+  // "alerts_stats_path" contains "stats_path", so the CI report diff
+  // (grep -v 'wall\|stats_path') excludes it like the stats path above.
+  out << "  \"alerts_stats_path\": \"" << report.alerts_stats_path << "\",\n";
   out << "  \"virtual_duration_seconds\": "
       << format_double(report.virtual_duration_seconds) << ",\n";
   // Keep every wall-derived number on a line containing "wall": CI diffs

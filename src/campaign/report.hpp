@@ -87,6 +87,12 @@ struct CampaignReport {
   std::uint64_t stats_rows = 0;
   std::string stats_path;
 
+  // SLO burn-rate alert timeline (virtual-domain, deterministic).
+  std::uint64_t alerts_fired = 0;      ///< transitions into kFiring
+  std::uint64_t alerts_resolved = 0;   ///< transitions into kResolved
+  std::uint64_t alert_transitions = 0; ///< all state transitions
+  std::string alerts_stats_path;
+
   double virtual_duration_seconds = 0.0;  ///< final fleet-clock frontier
   double wall_seconds = 0.0;              ///< real elapsed driver time
 

@@ -17,6 +17,8 @@
 // made verbose without recompiling. set_log_level() still overrides at
 // runtime.
 
+#include <atomic>
+#include <cstdint>
 #include <initializer_list>
 #include <sstream>
 #include <string>
@@ -99,6 +101,43 @@ class Logger {
 
  private:
   std::string name_;
+};
+
+/// Sampling guard for hot-path log sites: lets one call through out of
+/// every `every` and reports how many were suppressed since the last
+/// emission, so an overload flood (thousands of admission sheds per
+/// second) cannot convoy every worker on the kLogging mutex:
+///
+///   static LogRateLimiter limiter(100);
+///   if (std::uint64_t skipped = 0; limiter.allow(&skipped)) {
+///     log.warn("admission gate shed run", {..., {"suppressed", skipped}});
+///   }
+///
+/// Wait-free: one relaxed fetch_add per call. Deliberately count-based
+/// rather than time-based so suppression is deterministic under test.
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(std::uint64_t every) : every_(every > 0 ? every : 1) {}
+
+  /// True on calls 1, every+1, 2*every+1, ...; when true, `*suppressed`
+  /// (if given) is the number of calls swallowed since the last allowed one
+  /// (0 on the first).
+  bool allow(std::uint64_t* suppressed = nullptr) {
+    const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    if (n % every_ != 0) {
+      return false;
+    }
+    if (suppressed != nullptr) {
+      *suppressed = n == 0 ? 0 : every_ - 1;
+    }
+    return true;
+  }
+
+  std::uint64_t total() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::uint64_t every_;
+  std::atomic<std::uint64_t> count_{0};
 };
 
 }  // namespace qon

@@ -141,6 +141,17 @@ enum class LockRank : int {
   /// locks while the registry lock is held. Hot-path increments are
   /// lock-free atomics and never touch this mutex.
   kMetrics = 550,
+  /// obs::SloMonitor::mutex_ — SLI bucket rings + alert rule states.
+  /// Above kMetrics so a registry snapshot's callback gauges may read SLO
+  /// state under the registry lock; below the component locks so record()
+  /// from the settle path (which holds none of them) stays a leaf in
+  /// practice.
+  kSlo = 560,
+  /// obs::HealthMonitor::mutex_ — the watchdog/probe entry list. Held only
+  /// for registration and the entry-list copy; verdict callbacks run
+  /// OUTSIDE it (the fleet probe takes kMonitor=500, which would otherwise
+  /// rank-invert).
+  kHealth = 570,
   /// core::PendingQueue::mutex_ — the scheduler service's pending queue.
   /// Never held while settling a task (settlement happens after take).
   kPendingQueue = 600,

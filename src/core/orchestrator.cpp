@@ -138,6 +138,11 @@ Qonductor::Qonductor(QonductorConfig config)
     SchedulerServiceHooks hooks;
     hooks.now = [this] { return fleetNow(); };
     hooks.snapshot_qpus = [this](double advance_to) {
+      // The test-only wedge-injection point: BEFORE the engine lock, so a
+      // blocked hook wedges only the scheduler thread, not the data plane.
+      if (config_.health.scheduler_fault_injection) {
+        config_.health.scheduler_fault_injection();
+      }
       MutexLock lock(engine_mutex_);
       advance_fleet_clock(advance_to);
       const double now = fleet_clock_.load(std::memory_order_relaxed);
@@ -148,13 +153,75 @@ Qonductor::Qonductor(QonductorConfig config)
     };
     scheduler_service_ = std::make_shared<SchedulerService>(
         config_.scheduler_service, config_.seed ^ 0x5c4edULL, cycle_config,
-        std::move(hooks), &telemetry_);
+        std::move(hooks), &telemetry_, &health_);
   }
+
+  // Live-health wiring: the SLO monitor (when targets/rules configure one),
+  // the engine watchdog, and the probe-backed components. Registered before
+  // the engine exists is fine — verdicts are only derived at check() time,
+  // and the busy probe handles the (momentary) null engine.
+  {
+    bool track_slo = !config_.health.alert_rules.empty();
+    for (const double target : config_.health.slo_seconds) {
+      track_slo = track_slo || target > 0.0;
+    }
+    if (track_slo) {
+      slo_ = std::make_unique<obs::SloMonitor>(config_.health.slo_seconds,
+                                               config_.health.alert_rules);
+    }
+    obs::HealthMonitor::WatchdogOptions engine_dog;
+    engine_dog.stall_budget_seconds = config_.health.engine_stall_budget_seconds;
+    engine_dog.busy = [this] {
+      return engine_ != nullptr && engine_->stats().queue_depth > 0;
+    };
+    health_.watch("engine", &engine_beat_, std::move(engine_dog));
+    health_.probe("admission", [this] {
+      api::ComponentHealth verdict;
+      if (config_.admission.max_live_runs == 0) {
+        verdict.detail = "gate disabled";
+        return verdict;
+      }
+      const std::size_t live = engine_ ? engine_->stats().live_runs : 0;
+      const std::size_t limit = config_.admission.max_live_runs;
+      verdict.detail = "live " + std::to_string(live) + " / limit " +
+                       std::to_string(limit);
+      if (live >= limit) verdict.status = api::HealthStatus::kDegraded;
+      return verdict;
+    });
+    health_.probe("fleet", [this] {
+      api::ComponentHealth verdict;
+      std::size_t online = 0;
+      std::size_t reserved = 0;
+      for (const auto& backend : fleet_.backends) {
+        const auto qpu = monitor_.qpu(backend->name());
+        if (qpu && qpu->reserved) ++reserved;
+        if (qpu && qpu->online && !qpu->reserved) ++online;
+      }
+      const std::size_t total = fleet_.backends.size();
+      verdict.detail = std::to_string(online) + "/" + std::to_string(total) +
+                       " QPUs schedulable (" + std::to_string(reserved) +
+                       " reserved)";
+      if (online == 0) {
+        verdict.status = api::HealthStatus::kUnhealthy;
+        verdict.detail = "fleet has no schedulable QPU: " + verdict.detail;
+      } else if (online + reserved < total) {
+        verdict.status = api::HealthStatus::kDegraded;
+      }
+      return verdict;
+    });
+    telemetry_.registry().counter_fn(
+        "qon_health_heartbeats_total",
+        "Liveness heartbeats stamped by the engine workers",
+        [this] { return static_cast<double>(engine_beat_.count()); },
+        R"(component="engine")");
+  }
+
   // Last: the engine's workers call step_run, which uses every member
   // above (including the scheduler service parked tasks resume through).
   engine_ = std::make_unique<RunEngine>(
       std::max<std::size_t>(1, config_.executor_threads),
-      [this](const std::shared_ptr<RunContinuation>& cont) { return step_run(cont); });
+      [this](const std::shared_ptr<RunContinuation>& cont) { return step_run(cont); },
+      [this] { engine_beat_.beat(); });
   // Engine gauges poll one coherent EngineStats sample each (the engine's
   // lock ranks above kMetrics, so the poll nests legally under snapshot()).
   telemetry_.registry().gauge_fn(
@@ -436,10 +503,16 @@ api::Status Qonductor::admit_run(api::Priority priority, std::size_t already_adm
   const std::size_t limit = admission_limit(priority);
   if (live < limit) return api::Status::Ok();
   admission_shed_[static_cast<std::size_t>(priority)]->inc();
-  if (Logger::enabled(LogLevel::kInfo)) {
+  // Rate-limited: during a flash crowd every rejected invoke lands here, and
+  // thousands of identical lines would convoy the callers on the logging
+  // mutex. One line per 100 sheds, carrying the suppressed count.
+  static LogRateLimiter shed_limiter(100);
+  if (std::uint64_t suppressed = 0;
+      Logger::enabled(LogLevel::kInfo) && shed_limiter.allow(&suppressed)) {
     orch_log().info("admission gate shed run", {{"priority", api::priority_name(priority)},
                                                 {"live", live},
-                                                {"limit", limit}});
+                                                {"limit", limit},
+                                                {"suppressed", suppressed}});
   }
   return api::ResourceExhausted(
              "invoke: admission gate shed " +
@@ -605,6 +678,38 @@ api::Result<api::GetMetricsResponse> Qonductor::getMetrics(
   return response;
 }
 
+api::Result<api::GetHealthResponse> Qonductor::getHealth(
+    const api::GetHealthRequest&) const {
+  api::GetHealthResponse response;
+  response.components = health_.check();
+  response.status = obs::HealthMonitor::overall(response.components);
+  if (slo_) {
+    const double now = fleetNow();
+    // Advancing the alert state machines here makes getHealth the live
+    // evaluation point (the campaign driver runs its own monitor on its
+    // stats cadence instead, for determinism).
+    for (const obs::AlertTransition& transition : slo_->evaluate(now)) {
+      orch_log().warn("slo alert transition",
+                      {{"rule", transition.rule},
+                       {"priority", api::priority_name(transition.priority)},
+                       {"state", api::alert_state_name(transition.state)},
+                       {"t", transition.at_virtual},
+                       {"fast_burn", transition.fast_burn},
+                       {"slow_burn", transition.slow_burn}});
+    }
+    response.alerts = slo_->alerts(now);
+    for (const api::AlertInfo& alert : response.alerts) {
+      if (alert.state == api::AlertState::kFiring &&
+          response.status == api::HealthStatus::kHealthy) {
+        // A firing burn-rate alert is trouble even when every component
+        // beats: the service is alive but not meeting its SLOs.
+        response.status = api::HealthStatus::kDegraded;
+      }
+    }
+  }
+  return response;
+}
+
 api::Result<api::ReserveQpuResponse> Qonductor::reserveQpu(
     const api::ReserveQpuRequest& request) {
   if (request.duration_seconds && !(*request.duration_seconds > 0.0)) {
@@ -759,6 +864,13 @@ StepOutcome Qonductor::settle_run(const std::shared_ptr<RunContinuation>& cont) 
   if (telemetry_.metrics_enabled()) {
     run_latency_seconds_[static_cast<std::size_t>(state->preferences.priority)]
         ->observe(std::max(0.0, finished_at - submitted_at));
+  }
+  if (slo_) {
+    // The SLI feed: every terminal run, at its own terminal instant on the
+    // virtual clock. Failed/cancelled runs burn budget regardless of speed.
+    slo_->record(state->preferences.priority,
+                 std::max(0.0, finished_at - submitted_at), finished_at,
+                 terminal == api::RunStatus::kCompleted);
   }
   if (cont->trace) {
     cont->trace->record(telemetry_.tracer().point("settle", finished_at,
@@ -1157,7 +1269,8 @@ StepOutcome Qonductor::park_quantum_task(const std::shared_ptr<RunContinuation>&
   // the queue FIFO-by-priority as cycles free capacity) instead of blocking
   // this engine worker — one flooded queue must not convoy the whole
   // event-driven engine.
-  if (scheduler_service_->offer(pending) == PendingQueue::Offer::kClosed) {
+  const PendingQueue::Offer offer = scheduler_service_->offer(pending);
+  if (offer == PendingQueue::Offer::kClosed) {
     // The closing queue rejected the offer: settle the task sideways so the
     // resume event fires. If a concurrent cancel() settled it first, the
     // cancel verdict stands (first writer wins) and the run ends
@@ -1165,6 +1278,19 @@ StepOutcome Qonductor::park_quantum_task(const std::shared_ptr<RunContinuation>&
     pending->fail(api::Unavailable("park_quantum_task: scheduler service is shutting down"),
                   pending->enqueued_at);
     return StepOutcome::kParked;
+  }
+  if (offer == PendingQueue::Offer::kWaitlisted) {
+    // Rate-limited: under sustained overload every park lands here, and
+    // per-event warn lines would convoy the engine workers on the logging
+    // mutex — the very convoy the waitlist exists to avoid.
+    static LogRateLimiter waitlist_limiter(100);
+    if (std::uint64_t suppressed = 0;
+        Logger::enabled(LogLevel::kWarn) && waitlist_limiter.allow(&suppressed)) {
+      orch_log().warn("pending queue full, task waitlisted",
+                      {{"run", pending->run},
+                       {"task", pending->task_name},
+                       {"suppressed", suppressed}});
+    }
   }
   if (pending->settled()) {
     // cancel() fired between installing the hook and the push, so its

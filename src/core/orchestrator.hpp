@@ -61,6 +61,8 @@
 #include "core/run_engine.hpp"
 #include "core/run_table.hpp"
 #include "core/scheduler_service.hpp"
+#include "obs/health.hpp"
+#include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
 #include "core/system_monitor.hpp"
 #include "estimator/plans.hpp"
@@ -116,6 +118,28 @@ struct AdmissionConfig {
 /// Rejects out-of-range knobs with kInvalidArgument; kOk otherwise.
 api::Status validate_admission_config(const AdmissionConfig& config);
 
+/// Live-health knobs (obs/health.hpp + obs/slo.hpp): the engine watchdog
+/// budget, per-class SLO targets and burn-rate alert rules feeding
+/// getHealth. The scheduler/queue watchdog budgets live in
+/// SchedulerServiceConfig — they belong to the service, which also runs
+/// standalone in tests.
+struct HealthConfig {
+  /// Wall seconds of engine-worker heartbeat silence tolerated while the
+  /// engine's event queue is non-empty.
+  double engine_stall_budget_seconds = 60.0;
+  /// Per-class run-latency targets (virtual seconds) feeding the online
+  /// SLO monitor; 0 leaves a class untracked. The SLO machinery only
+  /// exists when some class is tracked or a rule is configured.
+  std::array<double, api::kNumPriorities> slo_seconds{};
+  /// Multi-window burn-rate rules, evaluated on the fleet virtual clock at
+  /// each getHealth call; transitions are logged at warn level.
+  std::vector<obs::SloRule> alert_rules;
+  /// TEST ONLY: invoked by the scheduler's QPU-snapshot hook at cycle
+  /// start, before the engine lock is taken — the wedge-injection point of
+  /// the watchdog death test. Leave unset in production configs.
+  std::function<void()> scheduler_fault_injection;
+};
+
 struct QonductorConfig {
   std::size_t num_qpus = 4;
   std::uint64_t seed = 2025;
@@ -149,6 +173,10 @@ struct QonductorConfig {
   /// histogram observations, trace retention, export sink. Counters backing
   /// getSchedulerStats/getAdmissionStats/prepCacheHits are always on.
   obs::TelemetryConfig telemetry;
+  /// Live-health knobs: engine watchdog budget, SLO targets, burn-rate
+  /// alert rules (see core::HealthConfig). Watchdogs are always armed;
+  /// the SLO monitor only materializes when targets/rules are configured.
+  HealthConfig health;
   /// Observer called by the executor right before each task runs (tracing,
   /// test instrumentation). Must be thread-safe; called outside all locks.
   std::function<void(RunId, const std::string&)> on_task_start;
@@ -207,6 +235,15 @@ class Qonductor {
   /// obs::render_prometheus / obs::render_json for export.
   api::Result<api::GetMetricsResponse> getMetrics(
       const api::GetMetricsRequest& request) const;
+  /// Aggregated live health: per-component watchdog/probe verdicts
+  /// (engine, scheduler, queue, admission, fleet) and the SLO burn-rate
+  /// alert states, rolled up into a worst-severity overall status (raised
+  /// to at least kDegraded while any alert fires). Always available —
+  /// liveness is structural, not gated on the telemetry knobs — and safe
+  /// to call even while a component is wedged: verdicts derive from
+  /// heartbeat AGE, so this never blocks on a stuck thread.
+  api::Result<api::GetHealthResponse> getHealth(
+      const api::GetHealthRequest& request = {}) const;
   /// Takes a QPU out of scheduling rotation (§7 reservations) via the
   /// monitor's reservation flag — separate from the `online` health flag,
   /// so reservations and device-manager faults compose. Scheduling
@@ -387,6 +424,19 @@ class Qonductor {
   /// destruction still record spans and bump counters, so the bundle must
   /// be destroyed after both.
   obs::Telemetry telemetry_;
+
+  /// Live-health aggregation: watchdog + probe registrations. Declared
+  /// right after the telemetry bundle and before the scheduler service and
+  /// the engine — both register watchdogs over heartbeats they own during
+  /// construction, and their destructors run first, so no check() can
+  /// outlive a registered heartbeat.
+  obs::HealthMonitor health_;
+  /// Beaten by every engine worker once per dispatched event (wired into
+  /// the engine's on_event hook).
+  obs::Heartbeat engine_beat_;
+  /// Online SLO burn tracking, fed from settle_run on the virtual clock;
+  /// null when no class target and no alert rule is configured.
+  std::unique_ptr<obs::SloMonitor> slo_;
 
   /// Verdict of construction-time config validation; a non-OK value is
   /// returned by invoke()/invokeAll() so bad scheduler knobs surface as a

@@ -330,6 +330,30 @@ std::uint64_t PendingQueue::waitlist_parks() const {
   return waitlist_parks_;
 }
 
+double PendingQueue::oldest_wait_seconds(double now) const {
+  double oldest_enqueue = -1.0;
+  MutexLock lock(mutex_);
+  for (const auto& lane : lanes_) {
+    for (const Item& item : lane) {
+      if (oldest_enqueue < 0.0 || item->enqueued_at < oldest_enqueue) {
+        oldest_enqueue = item->enqueued_at;
+      }
+    }
+  }
+  {
+    MutexLock wl(waitlist_mutex_);
+    for (const auto& lane : waitlist_) {
+      for (const Item& item : lane) {
+        if (oldest_enqueue < 0.0 || item->enqueued_at < oldest_enqueue) {
+          oldest_enqueue = item->enqueued_at;
+        }
+      }
+    }
+  }
+  if (oldest_enqueue < 0.0) return 0.0;
+  return std::max(0.0, now - oldest_enqueue);
+}
+
 PendingQueue::Wake PendingQueue::wait_for_batch(std::size_t threshold,
                                                 std::chrono::milliseconds linger) {
   MutexLock lock(mutex_);

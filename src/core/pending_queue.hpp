@@ -193,6 +193,11 @@ class PendingQueue {
 
   std::size_t size() const;
   bool empty() const { return size() == 0; }
+  /// Virtual-clock age of the oldest item parked anywhere in the queue
+  /// (lanes or capacity waitlist) at `now`; 0 when nothing is parked. The
+  /// queue-stall SLI: a growing oldest-wait with a beating scheduler means
+  /// cycles are firing but never draining this job's class.
+  double oldest_wait_seconds(double now) const;
   std::size_t capacity() const { return capacity_; }
   /// Largest size() ever observed — the Fig. 9b stability statistic.
   std::size_t high_watermark() const;

@@ -4,7 +4,9 @@
 
 namespace qon::core {
 
-RunEngine::RunEngine(std::size_t workers, Step step) : step_(std::move(step)) {
+RunEngine::RunEngine(std::size_t workers, Step step,
+                     std::function<void()> on_event)
+    : step_(std::move(step)), on_event_(std::move(on_event)) {
   const std::size_t n = std::max<std::size_t>(1, workers);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -56,6 +58,9 @@ void RunEngine::worker_loop() {
       queue_.pop_front();
       ++events_;
     }
+    // Beat before the step: a wedge inside step_ leaves a stale heartbeat
+    // that ages past the stall budget instead of a fresh one masking it.
+    if (on_event_) on_event_();
     const StepOutcome outcome = step_(run);
     if (outcome == StepOutcome::kProgress) {
       // Repost to the back of the queue: N runnable runs round-robin over
@@ -104,7 +109,7 @@ std::uint64_t RunEngine::events_dispatched() const {
 
 RunEngine::EngineStats RunEngine::stats() const {
   MutexLock lock(mutex_);
-  return EngineStats{live_, peak_live_, events_};
+  return EngineStats{live_, peak_live_, events_, queue_.size()};
 }
 
 }  // namespace qon::core

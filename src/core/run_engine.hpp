@@ -115,7 +115,11 @@ class RunEngine {
   using Step = std::function<StepOutcome(const std::shared_ptr<RunContinuation>&)>;
 
   /// Spawns `workers` threads (min 1) executing `step` on queued events.
-  RunEngine(std::size_t workers, Step step);
+  /// `on_event`, when set, is invoked by the dispatching worker once per
+  /// popped event BEFORE the step runs, outside the engine lock — the
+  /// orchestrator stamps its engine liveness heartbeat here, so a step
+  /// function that wedges is already past its final beat and ages out.
+  RunEngine(std::size_t workers, Step step, std::function<void()> on_event = {});
   ~RunEngine();
 
   RunEngine(const RunEngine&) = delete;
@@ -152,6 +156,10 @@ class RunEngine {
     std::size_t live_runs = 0;
     std::size_t peak_live_runs = 0;
     std::uint64_t events_dispatched = 0;
+    /// Events queued and not yet popped — the engine's "has work" signal.
+    /// Distinct from live_runs: a parked run is live but demands nothing of
+    /// the workers, so the health watchdog keys its busy-probe off this.
+    std::size_t queue_depth = 0;
   };
   EngineStats stats() const;
 
@@ -160,6 +168,8 @@ class RunEngine {
   void post(std::shared_ptr<RunContinuation> run) EXCLUDES(mutex_);
 
   const Step step_;
+  /// Liveness hook, called once per dispatched event outside mutex_.
+  const std::function<void()> on_event_;
 
   mutable Mutex mutex_{LockRank::kRunEngine, "RunEngine::mutex_"};
   CondVar cv_;          ///< workers waiting for events

@@ -60,7 +60,8 @@ api::SchedulerConfigView to_config_view(const SchedulerServiceConfig& config) {
 
 SchedulerService::SchedulerService(SchedulerServiceConfig config, std::uint64_t seed,
                                    sched::SchedulerConfig cycle_config,
-                                   SchedulerServiceHooks hooks, obs::Telemetry* telemetry)
+                                   SchedulerServiceHooks hooks, obs::Telemetry* telemetry,
+                                   obs::HealthMonitor* health)
     : config_(config),
       cycle_config_(cycle_config),
       hooks_(std::move(hooks)),
@@ -114,6 +115,33 @@ SchedulerService::SchedulerService(SchedulerServiceConfig config, std::uint64_t 
   registry.counter_fn("qon_sched_waitlist_parks_total",
                       "Offers parked on the capacity waitlist",
                       [this] { return static_cast<double>(queue_.waitlist_parks()); });
+  registry.gauge_fn("qon_queue_oldest_wait_seconds",
+                    "Virtual-clock age of the oldest parked job (0 when empty)",
+                    [this] { return queue_.oldest_wait_seconds(hooks_.now()); });
+  if (health != nullptr) {
+    registry.counter_fn("qon_health_heartbeats_total",
+                        "Liveness heartbeats stamped by the scheduler thread",
+                        [this] { return static_cast<double>(cycle_beat_.count()); },
+                        R"(component="scheduler")");
+    registry.counter_fn("qon_health_heartbeats_total",
+                        "Liveness heartbeats stamped by the queue drain path",
+                        [this] { return static_cast<double>(drain_beat_.count()); },
+                        R"(component="queue")");
+    obs::HealthMonitor::WatchdogOptions scheduler_dog;
+    scheduler_dog.stall_budget_seconds = config_.scheduler_stall_budget_seconds;
+    scheduler_dog.busy = [this] {
+      return in_cycle_.load(std::memory_order_relaxed) || queue_.size() > 0;
+    };
+    health->watch("scheduler", &cycle_beat_, std::move(scheduler_dog));
+    obs::HealthMonitor::WatchdogOptions queue_dog;
+    queue_dog.stall_budget_seconds = config_.queue_stall_budget_seconds;
+    queue_dog.busy = [this] {
+      return queue_.size() > 0 || queue_.waitlist_depth() > 0;
+    };
+    health->watch("queue", &drain_beat_, std::move(queue_dog));
+  }
+  // Thread start stays LAST: every instrument/watchdog registration above
+  // must be visible before the first cycle can beat or be polled.
   thread_ = std::thread([this] { run_loop(); });
 }
 
@@ -160,7 +188,13 @@ api::SchedulerStats SchedulerService::stats() const {
 void SchedulerService::run_loop() {
   for (;;) {
     const auto wake = queue_.wait_for_batch(trigger_.queue_threshold(), config_.linger);
+    // Beat once per wake (threshold, linger AND flush), before the cycle:
+    // a wedge inside run_cycle ages this beat past the stall budget while
+    // in_cycle_ keeps the busy probe true even after take_batch empties
+    // the queue.
+    cycle_beat_.beat();
     if (wake == PendingQueue::Wake::kClosed) break;
+    in_cycle_.store(true, std::memory_order_relaxed);
 
     // The wake reason IS the cycle's trigger — re-deriving it from a fresh
     // queue-size read would race late producers.
@@ -180,6 +214,7 @@ void SchedulerService::run_loop() {
       }
     }
     run_cycle(fired_at, fired_by);
+    in_cycle_.store(false, std::memory_order_relaxed);
   }
 }
 
@@ -246,6 +281,8 @@ void SchedulerService::run_cycle(double fired_at, api::CycleTrigger fired_by) {
   // overdue items are only *failed* after the cycle is accounted below.
   auto overdue = queue_.take_expired(fired_at);
   auto batch = queue_.take_batch(config_.max_batch_size, fired_at, config_.aging_seconds);
+  // The drain heartbeat: this cycle pulled whatever the queue held.
+  drain_beat_.beat();
   // Items settled sideways (a cancelled run's task raced a cycle taking
   // it) are dropped; their runs already carry a terminal status.
   const auto settled = [](const PendingQueue::Item& item) { return item->settled(); };

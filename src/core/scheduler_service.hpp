@@ -40,6 +40,7 @@
 #include "common/rng.hpp"
 #include "common/thread_safety.hpp"
 #include "core/pending_queue.hpp"
+#include "obs/health.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/hybrid_scheduler.hpp"
 #include "sched/triggers.hpp"
@@ -74,6 +75,13 @@ struct SchedulerServiceConfig {
   std::size_t stats_cycle_history = 256;
   /// How many per-job queue-wait samples getSchedulerStats retains.
   std::size_t stats_wait_history = 8192;
+  /// Liveness watchdog budgets (wall seconds; see obs/health.hpp). The
+  /// scheduler budget bounds heartbeat silence of the scheduler thread
+  /// while work is pending; the queue budget bounds silence of the drain
+  /// path (cycles firing without taking a batch). Only consulted when the
+  /// service is constructed with a HealthMonitor.
+  double scheduler_stall_budget_seconds = 60.0;
+  double queue_stall_budget_seconds = 120.0;
 };
 
 /// Rejects out-of-range knobs with kInvalidArgument; kOk otherwise.
@@ -105,9 +113,14 @@ class SchedulerService {
   /// (the orchestrator declares its Telemetry before the service); null
   /// falls back to a private bundle so standalone/unit-test construction
   /// keeps working.
+  /// `health`, when given, must outlive the service; the service registers
+  /// "scheduler" and "queue" watchdogs over its own heartbeats (the
+  /// monitor only dereferences them from check(), and the orchestrator
+  /// declares its HealthMonitor before the service).
   SchedulerService(SchedulerServiceConfig config, std::uint64_t seed,
                    sched::SchedulerConfig cycle_config, SchedulerServiceHooks hooks,
-                   obs::Telemetry* telemetry = nullptr);
+                   obs::Telemetry* telemetry = nullptr,
+                   obs::HealthMonitor* health = nullptr);
   ~SchedulerService();
 
   SchedulerService(const SchedulerService&) = delete;
@@ -215,6 +228,15 @@ class SchedulerService {
   Rng rng_;
 
   PendingQueue queue_;
+
+  // Liveness: the scheduler thread beats cycle_beat_ once per wake (cycle
+  // AND linger wakeup) and drain_beat_ once per batch/expiry drain;
+  // in_cycle_ is true from a wake until its cycle returns, so the busy
+  // probe reports work-in-progress even after take_batch emptied the queue
+  // (a wedge inside the QPU-snapshot hook must not read as "idle").
+  obs::Heartbeat cycle_beat_;
+  obs::Heartbeat drain_beat_;
+  std::atomic<bool> in_cycle_{false};
 
   mutable Mutex stats_mutex_{LockRank::kSchedulerStats, "SchedulerService::stats_mutex_"};
   api::SchedulerStats stats_ GUARDED_BY(stats_mutex_);

@@ -125,6 +125,35 @@ std::string render_json(const api::MetricsSnapshot& snapshot) {
   return out.str();
 }
 
+std::string render_health_json(const api::GetHealthResponse& health) {
+  std::ostringstream out;
+  out << "{\n  \"status\": \"" << api::health_status_name(health.status)
+      << "\",\n  \"components\": [\n";
+  for (std::size_t i = 0; i < health.components.size(); ++i) {
+    const auto& component = health.components[i];
+    out << "    {\"component\": \"" << json_escape(component.component)
+        << "\", \"status\": \"" << api::health_status_name(component.status)
+        << "\", \"detail\": \"" << json_escape(component.detail)
+        << "\", \"heartbeats\": " << component.heartbeats
+        << ", \"heartbeat_age_seconds\": "
+        << format_number(component.heartbeat_age_seconds) << "}"
+        << (i + 1 < health.components.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"alerts\": [\n";
+  for (std::size_t i = 0; i < health.alerts.size(); ++i) {
+    const auto& alert = health.alerts[i];
+    out << "    {\"rule\": \"" << json_escape(alert.rule) << "\", \"priority\": \""
+        << api::priority_name(alert.priority) << "\", \"state\": \""
+        << api::alert_state_name(alert.state)
+        << "\", \"fast_burn\": " << format_number(alert.fast_burn)
+        << ", \"slow_burn\": " << format_number(alert.slow_burn)
+        << ", \"since_virtual_s\": " << format_number(alert.since_virtual) << "}"
+        << (i + 1 < health.alerts.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
 std::string chrome_trace_events(const api::RunTrace& trace) {
   std::ostringstream out;
   for (const auto& span : trace.spans) {

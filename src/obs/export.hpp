@@ -22,6 +22,11 @@ std::string render_prometheus(const api::MetricsSnapshot& snapshot);
 /// object per metric in registration order.
 std::string render_json(const api::MetricsSnapshot& snapshot);
 
+/// The v1 getHealth response as a JSON document (CI artifact / probe
+/// endpoint format): overall status, one object per component verdict, one
+/// per SLO alert rule.
+std::string render_health_json(const api::GetHealthResponse& health);
+
 /// The trace as Chrome trace_event JSONL: one event object per line —
 /// complete ("X") events for closed spans, instant ("i") events for point
 /// spans — with ts/dur in wall µs, pid 1 and the run id as tid. Wrap the

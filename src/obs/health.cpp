@@ -1,0 +1,103 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace qon::obs {
+
+namespace {
+
+std::string format_age(double seconds) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << seconds;
+  return out.str();
+}
+
+}  // namespace
+
+void HealthMonitor::watch(std::string component, const Heartbeat* heartbeat,
+                          WatchdogOptions options) {
+  Entry entry;
+  entry.is_watchdog = true;
+  entry.watchdog.component = std::move(component);
+  entry.watchdog.heartbeat = heartbeat;
+  entry.watchdog.options = std::move(options);
+  MutexLock lock(mutex_);
+  entries_.push_back(std::move(entry));
+}
+
+void HealthMonitor::probe(std::string component,
+                          std::function<api::ComponentHealth()> callback) {
+  Entry entry;
+  entry.is_watchdog = false;
+  entry.probe.component = std::move(component);
+  entry.probe.callback = std::move(callback);
+  MutexLock lock(mutex_);
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<api::ComponentHealth> HealthMonitor::check() const {
+  // Copy the entry list out of the lock: busy/probe callbacks take
+  // component locks of arbitrary rank and must not nest under kHealth.
+  std::vector<Entry> entries;
+  {
+    MutexLock lock(mutex_);
+    entries = entries_;
+  }
+  const double now = Heartbeat::now_seconds();
+  std::vector<api::ComponentHealth> verdicts;
+  verdicts.reserve(entries.size());
+  for (const Entry& entry : entries) {
+    if (!entry.is_watchdog) {
+      api::ComponentHealth verdict = entry.probe.callback();
+      verdict.component = entry.probe.component;
+      verdicts.push_back(std::move(verdict));
+      continue;
+    }
+    const Watchdog& dog = entry.watchdog;
+    api::ComponentHealth verdict;
+    verdict.component = dog.component;
+    verdict.heartbeats = dog.heartbeat->count();
+    const double last = dog.heartbeat->last_beat_seconds();
+    const double age = last < 0.0 ? -1.0 : std::max(0.0, now - last);
+    verdict.heartbeat_age_seconds = age;
+    const bool busy = !dog.options.busy || dog.options.busy();
+    if (!busy) {
+      // No work to consume: a quiet heartbeat is rest, not a stall.
+      verdict.status = api::HealthStatus::kHealthy;
+      verdict.detail = "idle";
+    } else if (last < 0.0) {
+      // Busy but never beaten: the component has work it never started on.
+      // Fresh construction races land here briefly; treat as degraded, not
+      // unhealthy, until a full stall budget of silence confirms the wedge.
+      verdict.status = api::HealthStatus::kDegraded;
+      verdict.detail = "busy but no heartbeat recorded yet";
+    } else if (age > dog.options.stall_budget_seconds) {
+      verdict.status = api::HealthStatus::kUnhealthy;
+      verdict.detail = dog.component + " stalled: last heartbeat " +
+                       format_age(age) + " s ago (budget " +
+                       format_age(dog.options.stall_budget_seconds) + " s)";
+    } else {
+      verdict.status = api::HealthStatus::kHealthy;
+      verdict.detail = "beating (" + format_age(age) + " s ago)";
+    }
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
+}
+
+api::HealthStatus HealthMonitor::overall(
+    const std::vector<api::ComponentHealth>& components) {
+  api::HealthStatus worst = api::HealthStatus::kHealthy;
+  for (const api::ComponentHealth& component : components) {
+    if (static_cast<int>(component.status) > static_cast<int>(worst)) {
+      worst = component.status;
+    }
+  }
+  return worst;
+}
+
+}  // namespace qon::obs

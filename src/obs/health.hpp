@@ -1,0 +1,119 @@
+#pragma once
+// Liveness watchdogs — the active half of the health pillar (the fourth
+// pillar of src/obs/, next to metrics, traces and exporters). Components
+// own a Heartbeat and stamp it from their hot loops (scheduler thread per
+// wake, engine workers per event, queue drains per cycle); the
+// HealthMonitor derives a stall verdict AT CHECK TIME from heartbeat age
+// vs. a configured budget. Nothing here blocks a hot path: a beat is two
+// relaxed atomic stores, and a wedged component is detected — and named —
+// by the next getHealth() instead of surfacing as a hung CI job.
+//
+// Idle-awareness: a component with nothing to do stops beating, which must
+// not read as a stall. Every watchdog can carry a `busy` probe (e.g. "the
+// pending queue is non-empty"); a quiet heartbeat is only a stall verdict
+// while the probe says there is work the component should be consuming.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/types.hpp"
+#include "common/thread_safety.hpp"
+
+namespace qon::obs {
+
+/// One component's monotonic liveness counter. beat() is wait-free (two
+/// relaxed stores) and safe from any thread; readers see the count and the
+/// wall instant of the most recent beat.
+class Heartbeat {
+ public:
+  /// Wall seconds on the process-wide steady clock (the watchdog clock:
+  /// stall budgets are real-time budgets, never virtual time).
+  static double now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void beat() {
+    last_beat_.store(now_seconds(), std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Steady-clock instant of the last beat; negative = never beaten.
+  double last_beat_seconds() const {
+    return last_beat_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> last_beat_{-1.0};
+};
+
+/// Aggregates per-component verdicts for the v1 getHealth surface. Two
+/// kinds of entries:
+///   watch()  — a Heartbeat plus a stall budget (and an optional `busy`
+///              probe); verdict derived from heartbeat age at check time.
+///   probe()  — an arbitrary callback producing a ComponentHealth (used
+///              for components whose health is a state predicate, e.g. the
+///              admission gate's live-vs-limit or the fleet's online count).
+///
+/// Lock discipline: registration and the entry-list copy take the kHealth
+/// mutex; the busy/probe callbacks run OUTSIDE it, so they may take any
+/// component lock regardless of rank (the fleet probe nests under the
+/// kMonitor mutex, rank 500 < kHealth 570, which would deadlock-rank if
+/// held). check() is safe from any thread, concurrent with beats.
+class HealthMonitor {
+ public:
+  struct WatchdogOptions {
+    /// Wall seconds of heartbeat silence tolerated while busy. Must be > 0.
+    double stall_budget_seconds = 60.0;
+    /// Optional: "does this component currently have work?". A silent
+    /// heartbeat with no work is kHealthy ("idle"), never a stall.
+    std::function<bool()> busy;
+  };
+
+  /// Registers a watchdog over an externally owned heartbeat. `heartbeat`
+  /// must outlive every later check() call (components register themselves
+  /// at construction and are checked only while alive).
+  void watch(std::string component, const Heartbeat* heartbeat,
+             WatchdogOptions options);
+
+  /// Registers a callback-probed component, polled at check() time.
+  void probe(std::string component,
+             std::function<api::ComponentHealth()> callback);
+
+  /// One verdict per registered component, registration order. Watchdogs
+  /// are judged against `Heartbeat::now_seconds()` at call time.
+  std::vector<api::ComponentHealth> check() const;
+
+  /// Worst severity across verdicts; kHealthy when `components` is empty.
+  static api::HealthStatus overall(
+      const std::vector<api::ComponentHealth>& components);
+
+ private:
+  struct Watchdog {
+    std::string component;
+    const Heartbeat* heartbeat = nullptr;
+    WatchdogOptions options;
+  };
+  struct Probe {
+    std::string component;
+    std::function<api::ComponentHealth()> callback;
+  };
+  struct Entry {
+    bool is_watchdog = true;
+    Watchdog watchdog;
+    Probe probe;
+  };
+
+  mutable Mutex mutex_{LockRank::kHealth, "health_monitor"};
+  std::vector<Entry> entries_ GUARDED_BY(mutex_);
+};
+
+}  // namespace qon::obs

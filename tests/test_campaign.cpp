@@ -394,6 +394,67 @@ tenants:
   EXPECT_EQ(parsed->executor_threads, 4u);
 }
 
+TEST(CampaignProfile, AlertsSectionParsesRulesWithDefaults) {
+  const auto parsed = parse_profile(R"(
+tenants:
+  - name: t
+slo:
+  interactive_seconds: 600
+  standard_seconds: 1800
+alerts:
+  - name: interactive-burn
+    priority: interactive
+    attainment_target: 0.95
+    fast_window_seconds: 600
+    slow_window_seconds: 1800
+    burn_threshold: 3.0
+    clear_threshold: 0.5
+    min_samples: 20
+  - name: standard-burn
+    priority: standard
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->alerts.size(), 2u);
+  const obs::SloRule& tuned = parsed->alerts[0];
+  EXPECT_EQ(tuned.name, "interactive-burn");
+  EXPECT_EQ(tuned.priority, api::Priority::kInteractive);
+  EXPECT_DOUBLE_EQ(tuned.attainment_target, 0.95);
+  EXPECT_DOUBLE_EQ(tuned.fast_window_seconds, 600.0);
+  EXPECT_DOUBLE_EQ(tuned.slow_window_seconds, 1800.0);
+  EXPECT_DOUBLE_EQ(tuned.burn_threshold, 3.0);
+  EXPECT_DOUBLE_EQ(tuned.clear_threshold, 0.5);
+  EXPECT_EQ(tuned.min_samples, 20u);
+  // Only name/priority given: the SloRule defaults fill the rest.
+  const obs::SloRule& bare = parsed->alerts[1];
+  EXPECT_EQ(bare.priority, api::Priority::kStandard);
+  EXPECT_DOUBLE_EQ(bare.attainment_target, 0.99);
+  EXPECT_EQ(bare.min_samples, 10u);
+}
+
+TEST(CampaignProfile, AlertValidationRejectsBrokenRules) {
+  const std::string base = "tenants:\n  - name: t\nslo:\n  standard_seconds: 1800\n";
+  // A rule over a class with no SLO target cannot define a burn rate.
+  expect_invalid(base + "alerts:\n  - name: a\n    priority: batch\n",
+                 "slo.batch_seconds");
+  // Baseline sanity: the same rule on the SLO-carrying class parses fine.
+  const auto ok = parse_profile(base + "alerts:\n  - name: a\n");
+  EXPECT_TRUE(ok.ok()) << ok.status().to_string();
+  // Range violations name the rule.
+  expect_invalid(
+      base + "alerts:\n  - name: a\n    attainment_target: 1.0\n", "attainment");
+  expect_invalid(
+      base + "alerts:\n  - name: a\n    fast_window_seconds: 900\n"
+             "    slow_window_seconds: 600\n",
+      "window");
+  expect_invalid(
+      base + "alerts:\n  - name: a\n    burn_threshold: 1.0\n"
+             "    clear_threshold: 2.0\n",
+      "clear_threshold");
+  expect_invalid(base + "alerts:\n  - name: a\n    typo_knob: 1\n",
+                 "unknown key 'typo_knob'");
+  expect_invalid(base + "alerts:\n  - priority: standard\n", "name");
+}
+
 TEST(CampaignProfile, LoadProfileFileReportsNotFound) {
   const auto loaded = load_profile_file("/nonexistent/profile.yaml");
   ASSERT_FALSE(loaded.ok());

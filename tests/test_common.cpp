@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/stopwatch.hpp"
@@ -374,6 +375,48 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
   EXPECT_GT(sw.seconds(), 0.0);
   EXPECT_GE(sw.millis(), sw.seconds());
+}
+
+TEST(LogRateLimiter, PassesOneInEveryAndReportsSuppressed) {
+  LogRateLimiter limiter(100);
+  std::uint64_t suppressed = 123;
+  EXPECT_TRUE(limiter.allow(&suppressed));
+  EXPECT_EQ(suppressed, 0u);  // nothing swallowed before the first emission
+
+  // Calls 2..100 are suppressed; call 101 passes and reports the 99 skips.
+  std::uint64_t blocked = 0;
+  for (int i = 0; i < 99; ++i) {
+    if (!limiter.allow()) ++blocked;
+  }
+  EXPECT_EQ(blocked, 99u);
+  EXPECT_TRUE(limiter.allow(&suppressed));
+  EXPECT_EQ(suppressed, 99u);
+  EXPECT_EQ(limiter.total(), 101u);
+}
+
+TEST(LogRateLimiter, EveryOneLetsEverythingThroughAndZeroIsClamped) {
+  LogRateLimiter always(1);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(always.allow());
+  LogRateLimiter clamped(0);  // degenerate config must not divide by zero
+  EXPECT_TRUE(clamped.allow());
+  EXPECT_TRUE(clamped.allow());
+}
+
+TEST(LogRateLimiter, IsWaitFreeUnderConcurrentCallers) {
+  LogRateLimiter limiter(10);
+  std::atomic<std::uint64_t> allowed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 250; ++i) {
+        if (limiter.allow()) allowed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // 1000 calls at 1-in-10: exactly 100 pass, regardless of interleaving.
+  EXPECT_EQ(limiter.total(), 1000u);
+  EXPECT_EQ(allowed.load(), 100u);
 }
 
 }  // namespace

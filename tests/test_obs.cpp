@@ -21,6 +21,7 @@
 
 #include "api/client.hpp"
 #include "circuit/library.hpp"
+#include "obs/delta.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -500,6 +501,70 @@ TEST(ObsEndToEnd, JsonlTraceSinkReceivesEveryFinishedRun) {
   EXPECT_NE(text.find("\"queue_wait\""), std::string::npos);
   EXPECT_NE(text.find("\"settle\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+// ---- telemetry self-observation ----------------------------------------------
+
+TEST(ObsTelemetry, BuildInfoGaugeCarriesIdentityLabels) {
+  obs::Telemetry telemetry;
+  const auto snapshot = telemetry.snapshot(0.0);
+  const api::MetricValue* info = nullptr;
+  for (const auto& metric : snapshot.metrics) {
+    if (metric.name == "qon_build_info") info = &metric;
+  }
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->value, 1.0);  // constant 1: the information IS the labels
+  EXPECT_NE(info->labels.find("version=\"v1\""), std::string::npos);
+  EXPECT_NE(info->labels.find("compiler=\""), std::string::npos);
+  EXPECT_NE(info->labels.find("build=\""), std::string::npos);
+}
+
+TEST(ObsTelemetry, SnapshotPassTimesItselfIntoTheNextSnapshot) {
+  obs::Telemetry telemetry;
+  // The snapshot pass is observed AFTER the registry read, so the first
+  // snapshot sees an empty histogram and each pass lands in the next one.
+  const auto first = telemetry.snapshot(0.0);
+  const api::MetricValue* duration =
+      obs::find_metric(first, "qon_metrics_snapshot_duration_seconds");
+  ASSERT_NE(duration, nullptr);
+  EXPECT_EQ(duration->count, 0u);
+
+  const auto second = telemetry.snapshot(0.0);
+  duration = obs::find_metric(second, "qon_metrics_snapshot_duration_seconds");
+  ASSERT_NE(duration, nullptr);
+  EXPECT_EQ(duration->count, 1u);
+  EXPECT_GE(duration->sum, 0.0);
+}
+
+// ---- snapshot deltas with mid-interval registration --------------------------
+
+TEST(ObsDelta, MidIntervalRegistrationContributesFullValue) {
+  obs::MetricsRegistry registry;
+  auto* settled = registry.counter("settled_total", "runs settled");
+  auto* depth = registry.gauge("queue_depth", "current depth");
+  settled->inc(5);
+  depth->set(7.0);
+  const auto prev = registry.snapshot();
+
+  // An instrument registered BETWEEN snapshots must stream its full
+  // current value, not a bogus subtraction against a missing baseline.
+  auto* shed = registry.counter("shed_total", "runs shed");
+  shed->inc(3);
+  settled->inc(2);
+  depth->set(4.0);
+  const auto cur = registry.snapshot();
+
+  const auto delta = obs::snapshot_delta(prev, cur);
+  const api::MetricValue* settled_delta = obs::find_metric(delta, "settled_total");
+  ASSERT_NE(settled_delta, nullptr);
+  EXPECT_EQ(settled_delta->value, 2.0);  // 7 - 5
+  const api::MetricValue* shed_delta = obs::find_metric(delta, "shed_total");
+  ASSERT_NE(shed_delta, nullptr);
+  EXPECT_EQ(shed_delta->value, 3.0);  // fresh series: full current value
+  const api::MetricValue* depth_delta = obs::find_metric(delta, "queue_depth");
+  ASSERT_NE(depth_delta, nullptr);
+  EXPECT_EQ(depth_delta->value, 4.0);  // gauges pass through
+  EXPECT_EQ(obs::find_metric(delta, "missing_total"), nullptr);
 }
 
 }  // namespace

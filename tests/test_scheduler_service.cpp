@@ -364,6 +364,32 @@ TEST(PendingQueue, ClosePromotesWaitlistIntoTheFinalFlush) {
   EXPECT_EQ(queue.offer(make_task(3, 4, 2)), PendingQueue::Offer::kClosed);
 }
 
+TEST(PendingQueue, OldestWaitTracksTheStalestParkedItem) {
+  PendingQueue queue(1);
+  EXPECT_DOUBLE_EQ(queue.oldest_wait_seconds(100.0), 0.0);  // nothing parked
+
+  auto queued = make_task(1, 4, 2);
+  queued->enqueued_at = 10.0;
+  queue.offer(queued);
+  EXPECT_DOUBLE_EQ(queue.oldest_wait_seconds(100.0), 90.0);
+
+  // The queue-stall SLI must see the capacity waitlist too: a task starved
+  // of a slot is exactly the wait the gauge exists to expose.
+  auto waitlisted = make_task(2, 4, 2);
+  waitlisted->enqueued_at = 4.0;
+  EXPECT_EQ(queue.offer(waitlisted), PendingQueue::Offer::kWaitlisted);
+  EXPECT_DOUBLE_EQ(queue.oldest_wait_seconds(100.0), 96.0);
+
+  // Draining the queue promotes the waitlisted item; it is now the only —
+  // and oldest — parked task.
+  auto batch = queue.take_batch(1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0]->run, 1u);
+  EXPECT_DOUBLE_EQ(queue.oldest_wait_seconds(100.0), 96.0);
+  ASSERT_EQ(queue.take_batch(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.oldest_wait_seconds(100.0), 0.0);  // drained
+}
+
 TEST(PendingQueue, FirstSettlementWins) {
   auto task = make_task(1, 4, 2);
   task->fail(api::Cancelled("cancelled while parked"), 1.0);
